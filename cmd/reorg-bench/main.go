@@ -1,0 +1,103 @@
+// Command reorg-bench regenerates every experiment table in
+// EXPERIMENTS.md: the paper's Table 1, the three-pass behaviour of
+// Figures 1–2, and the quantified comparisons against the Tandem-style
+// baseline (§6.1 swap reduction, §8 concurrency, §5.1 forward
+// recovery, §5 log volume, granularity, range-scan I/O, and pass-3
+// availability).
+//
+// Usage:
+//
+//	reorg-bench [-exp all|e1|e2|...|e9] [-records N] [-pagesize N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, e1..e9")
+	records := flag.Int("records", 20000, "records loaded before sparsification")
+	pageSize := flag.Int("pagesize", 4096, "page size in bytes")
+	valueSize := flag.Int("valuesize", 48, "record value size in bytes")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	p := experiments.Params{Records: *records, ValueSize: *valueSize,
+		PageSize: *pageSize, Seed: *seed}
+
+	want := func(name string) bool {
+		return *exp == "all" || strings.EqualFold(*exp, name)
+	}
+	out := os.Stdout
+	start := time.Now()
+
+	if want("e1") {
+		if _, err := experiments.E1LockTable().WriteTo(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if want("e2") {
+		res, err := experiments.E2ThreePass(p)
+		if err != nil {
+			log.Fatalf("E2: %v", err)
+		}
+		_, _ = res.Table().WriteTo(out)
+	}
+	if want("e3") {
+		rows, err := experiments.E3SwapReduction(p)
+		if err != nil {
+			log.Fatalf("E3: %v", err)
+		}
+		_, _ = experiments.E3Table(rows).WriteTo(out)
+	}
+	if want("e4") {
+		rows, err := experiments.E4Concurrency(p, []int{4, 8, 16})
+		if err != nil {
+			log.Fatalf("E4: %v", err)
+		}
+		_, _ = experiments.E4Table(rows).WriteTo(out)
+	}
+	if want("e5") {
+		rows, err := experiments.E5ForwardRecovery(p)
+		if err != nil {
+			log.Fatalf("E5: %v", err)
+		}
+		_, _ = experiments.E5Table(rows).WriteTo(out)
+	}
+	if want("e6") {
+		rows, err := experiments.E6LogVolume(p)
+		if err != nil {
+			log.Fatalf("E6: %v", err)
+		}
+		_, _ = experiments.E6Table(rows).WriteTo(out)
+	}
+	if want("e7") {
+		rows, err := experiments.E7Granularity(p)
+		if err != nil {
+			log.Fatalf("E7: %v", err)
+		}
+		_, _ = experiments.E7Table(rows).WriteTo(out)
+	}
+	if want("e8") {
+		rows, err := experiments.E8RangeScanIO(p)
+		if err != nil {
+			log.Fatalf("E8: %v", err)
+		}
+		_, _ = experiments.E8Table(rows).WriteTo(out)
+	}
+	if want("e9") {
+		rows, err := experiments.E9Pass3Availability(p)
+		if err != nil {
+			log.Fatalf("E9: %v", err)
+		}
+		_, _ = experiments.E9Table(rows).WriteTo(out)
+	}
+	fmt.Fprintf(out, "\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,344 @@
+// Package repro is an implementation of Salzberg & Zou, "On-line
+// Reorganization of Sparsely-populated B+-trees" (SIGMOD 1996): a
+// primary-index B+-tree with record-level concurrency that can be
+// reorganized — leaves compacted, placed in key order on disk, and the
+// internal levels rebuilt and switched — while readers and updaters
+// keep running, losing at most one page-group's worth of work at a
+// crash thanks to forward recovery.
+//
+// The DB type bundles the simulated disk, buffer pool, write-ahead
+// log, lock manager, transaction manager and tree behind a small
+// surface:
+//
+//	db, _ := repro.Open(repro.Options{})
+//	_ = db.Insert([]byte("k"), []byte("v"))
+//	stats, _ := db.Reorganize(repro.DefaultReorgConfig())
+//
+// Crash() and Restart() expose the simulated failure semantics used by
+// the recovery experiments.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/recovery"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Errors surfaced by the public API.
+var (
+	// ErrNotFound reports a missing key.
+	ErrNotFound = kv.ErrNotFound
+	// ErrExists reports a duplicate insert.
+	ErrExists = kv.ErrExists
+	// ErrDeadlock reports the transaction was chosen as a deadlock
+	// victim; abort and retry.
+	ErrDeadlock = lock.ErrDeadlock
+	// ErrSwitched reports the tree switched under the transaction during
+	// reorganization; abort and retry.
+	ErrSwitched = btree.ErrSwitched
+)
+
+// IsRetryable reports whether err means "abort the transaction and try
+// again" (deadlock victimisation or a reorganization switch).
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrSwitched) ||
+		errors.Is(err, lock.ErrTimeout)
+}
+
+// Options configures Open.
+type Options struct {
+	// PageSize in bytes (default 4096, minimum 128).
+	PageSize int
+	// BufferPoolPages caps resident frames (0 = unbounded).
+	BufferPoolPages int
+}
+
+// ReorgConfig re-exports the reorganizer configuration.
+type ReorgConfig = core.Config
+
+// Placement re-exports the Find-Free-Space policy type.
+type Placement = core.Placement
+
+// Placement policies for Find-Free-Space (E3 ablation).
+const (
+	PlacementHeuristic = core.PlacementHeuristic
+	PlacementFirstFit  = core.PlacementFirstFit
+	PlacementInPlace   = core.PlacementInPlace
+)
+
+// DefaultReorgConfig runs all three passes with the paper's settings.
+func DefaultReorgConfig() ReorgConfig { return core.DefaultConfig() }
+
+// TreeStats re-exports physical tree statistics.
+type TreeStats = btree.Stats
+
+// DB is one database instance over a simulated disk.
+type DB struct {
+	mu    sync.Mutex
+	disk  *storage.Disk
+	pager *storage.Pager
+	log   *wal.Log
+	locks *lock.Manager
+	txns  *txn.Manager
+	tree  *btree.Tree
+	reorg *core.Reorganizer
+}
+
+// Open creates a fresh database.
+func Open(opts Options) (*DB, error) {
+	if opts.PageSize == 0 {
+		opts.PageSize = storage.DefaultPageSize
+	}
+	db := &DB{}
+	db.log = wal.NewLog()
+	db.disk = storage.NewDisk(opts.PageSize)
+	db.pager = storage.NewPager(db.disk, opts.BufferPoolPages, db.log)
+	db.locks = lock.NewManager()
+	db.txns = txn.NewManager(db.log, db.locks, db.pager)
+	tree, err := btree.Create(db.pager, db.log, db.locks, db.txns)
+	if err != nil {
+		return nil, err
+	}
+	db.tree = tree
+	return db, nil
+}
+
+// Txn is one transaction over the database.
+type Txn struct {
+	db    *DB
+	inner *txn.Txn
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Txn {
+	return &Txn{db: db, inner: db.txns.Begin()}
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.inner.ID() }
+
+// Insert adds a record; ErrExists for duplicates.
+func (t *Txn) Insert(key, val []byte) error {
+	return t.db.tree.Insert(t.inner, key, val)
+}
+
+// Get returns the value for key (nil, ErrNotFound when absent).
+func (t *Txn) Get(key []byte) ([]byte, error) {
+	v, ok, err := t.db.tree.Get(t.inner, key)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("get %q: %w", key, ErrNotFound)
+	}
+	return v, nil
+}
+
+// Update replaces an existing record's value.
+func (t *Txn) Update(key, val []byte) error {
+	return t.db.tree.Update(t.inner, key, val)
+}
+
+// Delete removes a record.
+func (t *Txn) Delete(key []byte) error {
+	return t.db.tree.Delete(t.inner, key)
+}
+
+// Scan streams records with lo <= key <= hi (hi nil = unbounded) in
+// key order until fn returns false.
+func (t *Txn) Scan(lo, hi []byte, fn func(key, val []byte) bool) error {
+	return t.db.tree.Scan(t.inner, lo, hi, fn)
+}
+
+// Commit commits (running deferred free-at-empty work first).
+func (t *Txn) Commit() error { return t.db.tree.Commit(t.inner) }
+
+// Abort rolls the transaction back.
+func (t *Txn) Abort() error { return t.db.tree.Abort(t.inner) }
+
+// --- single-operation conveniences (auto-commit, retry on conflicts) ---
+
+const maxAutoRetries = 100
+
+func (db *DB) auto(fn func(t *Txn) error) error {
+	for i := 0; i < maxAutoRetries; i++ {
+		t := db.Begin()
+		err := fn(t)
+		if err == nil {
+			if cerr := t.Commit(); cerr == nil {
+				return nil
+			} else if !IsRetryable(cerr) {
+				return cerr
+			}
+			backoff(i)
+			continue
+		}
+		_ = t.Abort()
+		if !IsRetryable(err) {
+			return err
+		}
+		backoff(i)
+	}
+	return fmt.Errorf("repro: operation did not converge after %d retries", maxAutoRetries)
+}
+
+// backoff sleeps briefly between transaction retries: a hot retry loop
+// during the reorganizer's switch window would otherwise burn through
+// the retry budget in microseconds.
+func backoff(attempt int) {
+	d := time.Duration(attempt) * 100 * time.Microsecond
+	if d > 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Insert adds a record in its own transaction.
+func (db *DB) Insert(key, val []byte) error {
+	return db.auto(func(t *Txn) error { return t.Insert(key, val) })
+}
+
+// Get reads a record in its own transaction.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	var out []byte
+	err := db.auto(func(t *Txn) error {
+		v, err := t.Get(key)
+		out = v
+		return err
+	})
+	return out, err
+}
+
+// Update replaces a record in its own transaction.
+func (db *DB) Update(key, val []byte) error {
+	return db.auto(func(t *Txn) error { return t.Update(key, val) })
+}
+
+// Delete removes a record in its own transaction.
+func (db *DB) Delete(key []byte) error {
+	return db.auto(func(t *Txn) error { return t.Delete(key) })
+}
+
+// Scan runs a range scan in its own transaction.
+func (db *DB) Scan(lo, hi []byte, fn func(key, val []byte) bool) error {
+	return db.auto(func(t *Txn) error { return t.Scan(lo, hi, fn) })
+}
+
+// Count counts records in [lo, hi].
+func (db *DB) Count(lo, hi []byte) (int, error) {
+	n := 0
+	err := db.Scan(lo, hi, func(_, _ []byte) bool { n++; return true })
+	return n, err
+}
+
+// --- reorganization ---
+
+// Reorganize runs the configured passes on-line and returns the
+// reorganizer's counters.
+func (db *DB) Reorganize(cfg ReorgConfig) (*metrics.Counters, error) {
+	r := core.New(db.tree, cfg)
+	db.mu.Lock()
+	db.reorg = r
+	db.mu.Unlock()
+	err := r.Run()
+	db.mu.Lock()
+	db.reorg = nil
+	db.mu.Unlock()
+	return r.Metrics(), err
+}
+
+// Reorganizer creates (without running) a reorganizer for fine-grained
+// control — individual passes, crash hooks, metrics.
+func (db *DB) Reorganizer(cfg ReorgConfig) *core.Reorganizer {
+	return core.New(db.tree, cfg)
+}
+
+// Tree exposes the underlying B+-tree (experiments and tools).
+func (db *DB) Tree() *btree.Tree { return db.tree }
+
+// --- durability and crash simulation ---
+
+// Checkpoint flushes all dirty pages and logs a sharp checkpoint (the
+// reorg table included when a reorganization is running).
+func (db *DB) Checkpoint() error {
+	if err := db.pager.FlushAll(); err != nil {
+		return err
+	}
+	cp := wal.Checkpoint{
+		ActiveTxns: db.txns.ActiveSnapshot(),
+		NextTxnID:  db.txns.NextID(),
+	}
+	db.mu.Lock()
+	if db.reorg != nil {
+		cp.Reorg = db.reorg.TableSnapshot()
+		cp.Pass3 = db.reorg.Pass3Snapshot()
+		cp.NextUnit = db.reorg.NextUnit()
+	}
+	db.mu.Unlock()
+	lsn := db.log.Append(cp)
+	return db.log.FlushTo(lsn)
+}
+
+// Crash simulates a system failure: all buffered pages and the
+// unforced log tail are lost; only the disk and the durable log
+// survive. Call Restart to recover.
+func (db *DB) Crash() {
+	db.log.Crash()
+	db.pager.Crash()
+}
+
+// RestartInfo reports what recovery did.
+type RestartInfo = recovery.Result
+
+// Restart recovers the database after Crash: redo, loser rollback,
+// forward recovery of an in-flight reorganization unit, and pass-3
+// reconciliation. The DB's internals are replaced by the recovered
+// instances.
+func (db *DB) Restart() (*RestartInfo, error) {
+	res, err := recovery.Restart(db.disk, db.log)
+	if err != nil {
+		return nil, err
+	}
+	db.pager = res.Pager
+	db.locks = res.Locks
+	db.txns = res.Txns
+	db.tree = res.Tree
+	return res, nil
+}
+
+// --- observability ---
+
+// GatherStats walks the quiescent tree for physical statistics.
+func (db *DB) GatherStats() (TreeStats, error) { return db.tree.GatherStats() }
+
+// Check verifies structural invariants (quiescent tree).
+func (db *DB) Check() error { return db.tree.Check() }
+
+// IOStats returns cumulative disk reads and writes.
+func (db *DB) IOStats() (reads, writes int64) { return db.disk.Stats().Snapshot() }
+
+// Seeks returns the number of non-sequential disk reads (pass 2's
+// contiguity benefit shows up here).
+func (db *DB) Seeks() int64 { return db.disk.Stats().Seeks.Load() }
+
+// LogBytes returns the total log volume appended.
+func (db *DB) LogBytes() int64 { return db.log.BytesAppended() }
+
+// LockStats exposes the lock manager's contention counters.
+func (db *DB) LockStats() *lock.Stats { return db.locks.Stats() }
+
+// PageSize returns the database page size.
+func (db *DB) PageSize() int { return db.pager.PageSize() }

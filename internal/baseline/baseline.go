@@ -1,0 +1,599 @@
+// Package baseline implements the Tandem-style reorganizer of [Smi90]
+// that the paper compares against (§8): every block operation (merge,
+// swap, move) is one transaction that locks the entire file — here the
+// whole-tree lock in X mode — works on (at most) two data blocks, logs
+// full before/after page images, and is rolled back if interrupted.
+// The contrasts the paper claims are all measurable against it:
+// whole-file blocking vs page-level RX locks, two-block granularity vs
+// d-page units, rollback vs forward recovery, and full-image logging vs
+// careful writing.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/kv"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Config tunes the baseline run.
+type Config struct {
+	// TargetFill is the fill factor merges aim for (default 0.9).
+	TargetFill float64
+	// SwapPass orders leaves on disk after merging.
+	SwapPass bool
+	// OnEvent is the crash-injection seam ("op.begin", "op.mutated",
+	// "op.end").
+	OnEvent func(stage string) error
+}
+
+// Reorganizer is the baseline process.
+type Reorganizer struct {
+	tree  *btree.Tree
+	cfg   Config
+	owner uint64
+	m     *metrics.Counters
+	seq   uint64
+}
+
+// New creates a baseline reorganizer over the tree.
+func New(tree *btree.Tree, cfg Config) *Reorganizer {
+	if cfg.TargetFill <= 0 || cfg.TargetFill > 1 {
+		cfg.TargetFill = 0.9
+	}
+	return &Reorganizer{tree: tree, cfg: cfg,
+		owner: tree.Txns().NextOwnerID(), m: metrics.New()}
+}
+
+// Metrics returns the baseline's counters.
+func (r *Reorganizer) Metrics() *metrics.Counters { return r.m }
+
+// Run merges sparse adjacent leaves, then optionally swaps leaves into
+// key order — one whole-file-locked block operation at a time.
+func (r *Reorganizer) Run() error {
+	if err := r.mergePass(); err != nil {
+		return err
+	}
+	if r.cfg.SwapPass {
+		if err := r.swapPass(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Reorganizer) event(stage string) error {
+	if r.cfg.OnEvent == nil {
+		return nil
+	}
+	return r.cfg.OnEvent(stage)
+}
+
+// lockFile takes the whole-tree X lock ([Smi90] locks the entire file
+// per operation). It returns the epoch locked and an unlock func.
+func (r *Reorganizer) lockFile() (func(), error) {
+	for {
+		_, epoch := r.tree.Root()
+		res := lock.TreeRes(epoch)
+		if err := r.tree.Locks().Lock(r.owner, res, lock.X); err != nil {
+			return nil, err
+		}
+		if _, e2 := r.tree.Root(); e2 == epoch {
+			return func() { r.tree.Locks().Unlock(r.owner, res) }, nil
+		}
+		r.tree.Locks().Unlock(r.owner, res)
+	}
+}
+
+func (r *Reorganizer) capacity() int {
+	usable := r.tree.Pager().PageSize() - storage.HeaderSize
+	return int(float64(usable) * r.cfg.TargetFill)
+}
+
+// mergePass repeatedly finds the first adjacent same-parent leaf pair
+// whose records fit one page and merges it, one transaction per merge.
+func (r *Reorganizer) mergePass() error {
+	for ops := 0; ops < 1<<20; ops++ {
+		merged, err := r.mergeOne()
+		if err != nil {
+			return err
+		}
+		if !merged {
+			return nil
+		}
+	}
+	return fmt.Errorf("baseline: merge pass did not terminate")
+}
+
+// mergeOne performs a single whole-file-locked merge. Returns false
+// when no mergeable pair remains.
+func (r *Reorganizer) mergeOne() (bool, error) {
+	unlock, err := r.lockFile()
+	if err != nil {
+		return false, err
+	}
+	defer unlock()
+
+	base, slot, err := r.findMergeablePair()
+	if err != nil || base == storage.InvalidPage {
+		return false, err
+	}
+	pg := r.tree.Pager()
+	baseF, err := pg.Fix(base)
+	if err != nil {
+		return false, err
+	}
+	defer pg.Unfix(baseF)
+	baseF.RLock()
+	if slot+1 >= baseF.Data().NumSlots() {
+		baseF.RUnlock()
+		return false, nil
+	}
+	_, left := kv.DecodeIndexCell(baseF.Data().Cell(slot))
+	rKey, right := kv.DecodeIndexCell(baseF.Data().Cell(slot + 1))
+	rightEntryKey := append([]byte(nil), rKey...)
+	baseF.RUnlock()
+
+	lf, err := pg.Fix(left)
+	if err != nil {
+		return false, err
+	}
+	defer pg.Unfix(lf)
+	rf, err := pg.Fix(right)
+	if err != nil {
+		return false, err
+	}
+	rfPinned := true
+	unfixRF := func() {
+		if rfPinned {
+			pg.Unfix(rf)
+			rfPinned = false
+		}
+	}
+	defer unfixRF()
+	rf.RLock()
+	succ := rf.Data().Next()
+	rf.RUnlock()
+
+	pages := []storage.PageID{left, right, base}
+	frames := []*storage.Frame{lf, rf, baseF}
+	var succF *storage.Frame
+	if succ != storage.InvalidPage {
+		succF, err = pg.Fix(succ)
+		if err != nil {
+			return false, err
+		}
+		defer pg.Unfix(succF)
+		pages = append(pages, succ)
+		frames = append(frames, succF)
+	}
+
+	seq, lsn, err := r.beginOp(pages, frames)
+	if err != nil {
+		return false, err
+	}
+	if err := r.event("op.begin"); err != nil {
+		return false, err
+	}
+
+	// Mutate: move R's records into L, unlink R from the chain, drop
+	// R's base entry.
+	lf.Lock()
+	rf.Lock()
+	for i := 0; i < rf.Data().NumSlots(); i++ {
+		k, v := kv.DecodeLeafCell(rf.Data().Cell(i))
+		if err := kv.LeafInsert(lf.Data(), k, v); err != nil {
+			rf.Unlock()
+			lf.Unlock()
+			return false, fmt.Errorf("baseline: merge insert: %w", err)
+		}
+	}
+	r.m.Add(metrics.RecordsMoved, int64(rf.Data().NumSlots()))
+	rf.Data().TruncateCells(0)
+	lf.Data().SetNext(succ)
+	lf.Data().SetLSN(lsn)
+	rf.Data().SetLSN(lsn)
+	rf.Unlock()
+	lf.Unlock()
+	pg.MarkDirty(lf, lsn)
+	pg.MarkDirty(rf, lsn)
+	if succF != nil {
+		succF.Lock()
+		succF.Data().SetPrev(left)
+		succF.Data().SetLSN(lsn)
+		succF.Unlock()
+		pg.MarkDirty(succF, lsn)
+	}
+	baseF.Lock()
+	if s, found := kv.Search(baseF.Data(), rightEntryKey); found {
+		_ = baseF.Data().DeleteCell(s)
+	}
+	baseF.Data().SetLSN(lsn)
+	baseF.Unlock()
+	pg.MarkDirty(baseF, lsn)
+	if err := r.event("op.mutated"); err != nil {
+		return false, err
+	}
+
+	if err := r.endOp(seq, pages, frames); err != nil {
+		return false, err
+	}
+	// Deallocate the emptied right page after the op is durable.
+	unfixRF()
+	dlsn := r.tree.Log().Append(wal.Dealloc{Page: right})
+	if err := pg.Deallocate(right, dlsn); err != nil {
+		return false, err
+	}
+	r.m.Add(metrics.PagesFreed, 1)
+	r.m.Add(metrics.BaselineOps, 1)
+	r.m.Add(metrics.BaselineTxns, 1)
+	if err := r.event("op.end"); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// findMergeablePair scans the base pages for the first adjacent pair of
+// leaves whose combined payload fits the target capacity. The caller
+// holds the whole-tree X lock, so plain reads are safe.
+func (r *Reorganizer) findMergeablePair() (storage.PageID, int, error) {
+	pg := r.tree.Pager()
+	capacity := r.capacity()
+	rootID, _ := r.tree.Root()
+	var found storage.PageID
+	foundSlot := -1
+	var walk func(id storage.PageID) (bool, error)
+	walk = func(id storage.PageID) (bool, error) {
+		f, err := pg.Fix(id)
+		if err != nil {
+			return false, err
+		}
+		p := f.Data()
+		if p.Type() != storage.PageInternal {
+			pg.Unfix(f)
+			return false, nil
+		}
+		level := p.Aux()
+		n := p.NumSlots()
+		children := make([]storage.PageID, 0, n)
+		for i := 0; i < n; i++ {
+			_, c := kv.DecodeIndexCell(p.Cell(i))
+			children = append(children, c)
+		}
+		pg.Unfix(f)
+		if level == 1 {
+			used := make([]int, len(children))
+			for i, c := range children {
+				cf, err := pg.Fix(c)
+				if err != nil {
+					return false, err
+				}
+				used[i] = cf.Data().UsedBytes() + 4*cf.Data().NumSlots()
+				pg.Unfix(cf)
+			}
+			for i := 0; i+1 < len(children); i++ {
+				if used[i]+used[i+1] <= capacity {
+					found, foundSlot = id, i
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+		for _, c := range children {
+			ok, err := walk(c)
+			if err != nil || ok {
+				return ok, err
+			}
+		}
+		return false, nil
+	}
+	if _, err := walk(rootID); err != nil {
+		return storage.InvalidPage, -1, err
+	}
+	return found, foundSlot, nil
+}
+
+// beginOp logs the before-images (full pages — block-level logging).
+func (r *Reorganizer) beginOp(pages []storage.PageID, frames []*storage.Frame) (uint64, uint64, error) {
+	r.seq++
+	images := make([][]byte, len(frames))
+	for i, f := range frames {
+		f.RLock()
+		images[i] = append([]byte(nil), f.Data()...)
+		f.RUnlock()
+	}
+	lsn := r.tree.Log().Append(wal.BaselineBegin{Seq: r.seq, Pages: pages, Images: images})
+	if err := r.tree.Log().FlushTo(lsn); err != nil {
+		return 0, 0, err
+	}
+	return r.seq, lsn, nil
+}
+
+// endOp logs the after-images and forces the log (commit point).
+func (r *Reorganizer) endOp(seq uint64, pages []storage.PageID, frames []*storage.Frame) error {
+	images := make([][]byte, len(frames))
+	for i, f := range frames {
+		f.RLock()
+		images[i] = append([]byte(nil), f.Data()...)
+		f.RUnlock()
+	}
+	lsn := r.tree.Log().Append(wal.BaselineEnd{Seq: seq, Pages: pages, Images: images})
+	return r.tree.Log().FlushTo(lsn)
+}
+
+// swapPass orders the leaves on disk using whole-file-locked swap ops.
+func (r *Reorganizer) swapPass() error {
+	for ops := 0; ops < 1<<20; ops++ {
+		swapped, err := r.swapOne()
+		if err != nil {
+			return err
+		}
+		if !swapped {
+			return nil
+		}
+	}
+	return fmt.Errorf("baseline: swap pass did not terminate")
+}
+
+// swapOne finds the first key-ordered leaf whose page id is out of
+// order and swaps it with the occupant of its target page.
+func (r *Reorganizer) swapOne() (bool, error) {
+	unlock, err := r.lockFile()
+	if err != nil {
+		return false, err
+	}
+	defer unlock()
+
+	// Collect leaves in key order with their parents.
+	type leafInfo struct {
+		page storage.PageID
+		base storage.PageID
+		key  []byte
+	}
+	var leaves []leafInfo
+	pg := r.tree.Pager()
+	rootID, _ := r.tree.Root()
+	var walk func(id storage.PageID) error
+	walk = func(id storage.PageID) error {
+		f, err := pg.Fix(id)
+		if err != nil {
+			return err
+		}
+		p := f.Data()
+		if p.Type() != storage.PageInternal {
+			pg.Unfix(f)
+			return nil
+		}
+		level := p.Aux()
+		n := p.NumSlots()
+		type ent struct {
+			k []byte
+			c storage.PageID
+		}
+		ents := make([]ent, 0, n)
+		for i := 0; i < n; i++ {
+			k, c := kv.DecodeIndexCell(p.Cell(i))
+			ents = append(ents, ent{append([]byte(nil), k...), c})
+		}
+		pg.Unfix(f)
+		for _, e := range ents {
+			if level == 1 {
+				leaves = append(leaves, leafInfo{page: e.c, base: id, key: e.k})
+			} else if err := walk(e.c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(rootID); err != nil {
+		return false, err
+	}
+	if len(leaves) < 2 {
+		return false, nil
+	}
+	desired := make([]storage.PageID, len(leaves))
+	for i, l := range leaves {
+		desired[i] = l.page
+	}
+	sort.Slice(desired, func(i, j int) bool { return desired[i] < desired[j] })
+	k := -1
+	for i := range leaves {
+		if leaves[i].page != desired[i] {
+			k = i
+			break
+		}
+	}
+	if k < 0 {
+		return false, nil
+	}
+	// Find the occupant of the target page.
+	var m int
+	for i := range leaves {
+		if leaves[i].page == desired[k] {
+			m = i
+			break
+		}
+	}
+	if err := r.swapOp(leaves[k].page, leaves[k].base, leaves[k].key,
+		leaves[m].page, leaves[m].base, leaves[m].key); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// swapOp exchanges two leaf pages' contents under the whole-file lock,
+// with before/after block images.
+func (r *Reorganizer) swapOp(pa storage.PageID, baseA storage.PageID, ka []byte,
+	pb storage.PageID, baseB storage.PageID, kb []byte) error {
+	pg := r.tree.Pager()
+	fa, err := pg.Fix(pa)
+	if err != nil {
+		return err
+	}
+	defer pg.Unfix(fa)
+	fb, err := pg.Fix(pb)
+	if err != nil {
+		return err
+	}
+	defer pg.Unfix(fb)
+
+	fa.RLock()
+	predA, succA := fa.Data().Prev(), fa.Data().Next()
+	fa.RUnlock()
+	fb.RLock()
+	predB, succB := fb.Data().Prev(), fb.Data().Next()
+	fb.RUnlock()
+
+	pages := []storage.PageID{pa, pb, baseA}
+	if baseB != baseA {
+		pages = append(pages, baseB)
+	}
+	for _, nb := range []storage.PageID{predA, succA, predB, succB} {
+		if nb == storage.InvalidPage || nb == pa || nb == pb {
+			continue
+		}
+		dup := false
+		for _, got := range pages {
+			if got == nb {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			pages = append(pages, nb)
+		}
+	}
+	frames := make([]*storage.Frame, 0, len(pages))
+	for _, id := range pages {
+		f, err := pg.Fix(id)
+		if err != nil {
+			return err
+		}
+		defer pg.Unfix(f)
+		frames = append(frames, f)
+	}
+	seq, lsn, err := r.beginOp(pages, frames)
+	if err != nil {
+		return err
+	}
+	if err := r.event("op.begin"); err != nil {
+		return err
+	}
+
+	swapFrames(fa, fb, lsn)
+	pg.MarkDirty(fa, lsn)
+	pg.MarkDirty(fb, lsn)
+	// Neighbour and parent fixes.
+	fixPtr := func(id storage.PageID, next bool, to storage.PageID) error {
+		if id == storage.InvalidPage || id == pa || id == pb {
+			return nil
+		}
+		f, err := pg.Fix(id)
+		if err != nil {
+			return err
+		}
+		defer pg.Unfix(f)
+		f.Lock()
+		if next {
+			f.Data().SetNext(to)
+		} else {
+			f.Data().SetPrev(to)
+		}
+		f.Data().SetLSN(lsn)
+		f.Unlock()
+		pg.MarkDirty(f, lsn)
+		return nil
+	}
+	if err := fixPtr(predA, true, pb); err != nil {
+		return err
+	}
+	if err := fixPtr(succA, false, pb); err != nil {
+		return err
+	}
+	if err := fixPtr(predB, true, pa); err != nil {
+		return err
+	}
+	if err := fixPtr(succB, false, pa); err != nil {
+		return err
+	}
+	repoint := func(base storage.PageID, key []byte, to storage.PageID) error {
+		f, err := pg.Fix(base)
+		if err != nil {
+			return err
+		}
+		defer pg.Unfix(f)
+		f.Lock()
+		defer f.Unlock()
+		if _, found := kv.Search(f.Data(), key); found {
+			if err := kv.IndexReplace(f.Data(), key, key, to); err != nil {
+				return err
+			}
+		}
+		f.Data().SetLSN(lsn)
+		pg.MarkDirty(f, lsn)
+		return nil
+	}
+	if err := repoint(baseA, ka, pb); err != nil {
+		return err
+	}
+	if err := repoint(baseB, kb, pa); err != nil {
+		return err
+	}
+	if err := r.event("op.mutated"); err != nil {
+		return err
+	}
+	if err := r.endOp(seq, pages, frames); err != nil {
+		return err
+	}
+	r.m.Add(metrics.BaselineOps, 1)
+	r.m.Add(metrics.BaselineTxns, 1)
+	r.m.Add(metrics.Pass2Swaps, 1)
+	return r.event("op.end")
+}
+
+// swapFrames mirrors core.SwapPages without importing core.
+func swapFrames(fa, fb *storage.Frame, lsn uint64) {
+	first, second := fa, fb
+	if first.ID() > second.ID() {
+		first, second = second, first
+	}
+	first.Lock()
+	second.Lock()
+	defer second.Unlock()
+	defer first.Unlock()
+	pa, pb := fa.Data(), fb.Data()
+	collect := func(p storage.Page) (cells [][]byte, next, prev storage.PageID) {
+		for i := 0; i < p.NumSlots(); i++ {
+			cells = append(cells, append([]byte(nil), p.Cell(i)...))
+		}
+		return cells, p.Next(), p.Prev()
+	}
+	cellsA, nextA, prevA := collect(pa)
+	cellsB, nextB, prevB := collect(pb)
+	idA, idB := fa.ID(), fb.ID()
+	fixRef := func(ref, self, other storage.PageID) storage.PageID {
+		if ref == self {
+			return other
+		}
+		return ref
+	}
+	write := func(p storage.Page, cells [][]byte, next, prev storage.PageID) {
+		p.TruncateCells(0)
+		p.Compact()
+		for i, c := range cells {
+			if err := p.InsertCell(i, c); err != nil {
+				panic(fmt.Sprintf("baseline: swap re-insert: %v", err))
+			}
+		}
+		p.SetNext(next)
+		p.SetPrev(prev)
+		p.SetLSN(lsn)
+	}
+	write(pa, cellsB, fixRef(nextB, idA, idB), fixRef(prevB, idA, idB))
+	write(pb, cellsA, fixRef(nextA, idB, idA), fixRef(prevA, idB, idA))
+}

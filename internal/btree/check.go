@@ -1,0 +1,246 @@
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/kv"
+	"repro/internal/storage"
+)
+
+// Stats summarises the physical state of the tree; the benchmarks use
+// it to quantify what reorganization achieves (fill factor, height,
+// on-disk ordering of leaves).
+type Stats struct {
+	Height        int
+	InternalPages int
+	LeafPages     int
+	Records       int
+	AvgLeafFill   float64 // mean fill factor over leaves
+	MinLeafFill   float64
+	LeafIDs       []storage.PageID // leaf pages in key order
+	// OutOfOrderPairs counts adjacent key-ordered leaves whose page ids
+	// decrease — the disorder a range scan pays seek cost for and pass 2
+	// eliminates.
+	OutOfOrderPairs int
+	// ContiguousPairs counts adjacent key-ordered leaves at exactly
+	// consecutive page ids.
+	ContiguousPairs int
+}
+
+// Check verifies structural invariants. It takes no locks: call it on a
+// quiescent tree (tests and tools).
+func (t *Tree) Check() error {
+	rootID, _ := t.Root()
+	rootF, err := t.pager.Fix(rootID)
+	if err != nil {
+		return err
+	}
+	level := rootF.Data().Aux()
+	typ := rootF.Data().Type()
+	t.pager.Unfix(rootF)
+	if typ != storage.PageInternal {
+		return fmt.Errorf("btree: root %d is %v, want internal", rootID, typ)
+	}
+	var leaves []storage.PageID
+	if err := t.checkNode(rootID, int(level), nil, nil, &leaves); err != nil {
+		return err
+	}
+	return t.checkLeafChain(leaves)
+}
+
+// checkNode verifies one subtree: key ordering, level decrease, child
+// typing, and that child keys lie within [lowBound, highBound).
+func (t *Tree) checkNode(id storage.PageID, level int, lowBound, highBound []byte, leaves *[]storage.PageID) error {
+	f, err := t.pager.Fix(id)
+	if err != nil {
+		return err
+	}
+	defer t.pager.Unfix(f)
+	p := f.Data()
+	if p.ID() != id {
+		return fmt.Errorf("btree: page %d self-id is %d", id, p.ID())
+	}
+	if err := kv.Verify(p); err != nil {
+		return err
+	}
+	if p.Type() == storage.PageLeaf {
+		if level != 0 {
+			return fmt.Errorf("btree: leaf %d at expected level %d", id, level)
+		}
+		n := p.NumSlots()
+		if n > 0 {
+			if lowBound != nil && kv.Compare(kv.SlotKey(p, 0), lowBound) < 0 {
+				return fmt.Errorf("btree: leaf %d key %q below bound %q", id, kv.SlotKey(p, 0), lowBound)
+			}
+			if highBound != nil && kv.Compare(kv.SlotKey(p, n-1), highBound) >= 0 {
+				return fmt.Errorf("btree: leaf %d key %q not below bound %q", id, kv.SlotKey(p, n-1), highBound)
+			}
+		}
+		*leaves = append(*leaves, id)
+		return nil
+	}
+	if p.Type() != storage.PageInternal {
+		return fmt.Errorf("btree: page %d has type %v inside the tree", id, p.Type())
+	}
+	if int(p.Aux()) != level {
+		return fmt.Errorf("btree: internal %d level %d, expected %d", id, p.Aux(), level)
+	}
+	n := p.NumSlots()
+	if n == 0 {
+		return fmt.Errorf("btree: internal page %d is empty", id)
+	}
+	for i := 0; i < n; i++ {
+		key, child := kv.DecodeIndexCell(p.Cell(i))
+		if lowBound != nil && kv.Compare(key, lowBound) < 0 {
+			return fmt.Errorf("btree: internal %d entry %q below bound %q", id, key, lowBound)
+		}
+		if highBound != nil && kv.Compare(key, highBound) >= 0 {
+			return fmt.Errorf("btree: internal %d entry %q not below bound %q", id, key, highBound)
+		}
+		childLow := key
+		if i == 0 {
+			// The leftmost child may hold keys below its entry key
+			// (low-mark routing): inherit this node's lower bound.
+			childLow = lowBound
+		}
+		childHigh := highBound
+		if i+1 < n {
+			childHigh = kv.SlotKey(p, i+1)
+		}
+		if err := t.checkNode(child, level-1, childLow, childHigh, leaves); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkLeafChain verifies the two-way side pointers visit exactly the
+// leaves in key order.
+func (t *Tree) checkLeafChain(leaves []storage.PageID) error {
+	for i, id := range leaves {
+		f, err := t.pager.Fix(id)
+		if err != nil {
+			return err
+		}
+		prev, next := f.Data().Prev(), f.Data().Next()
+		t.pager.Unfix(f)
+		var wantPrev, wantNext storage.PageID
+		if i > 0 {
+			wantPrev = leaves[i-1]
+		}
+		if i+1 < len(leaves) {
+			wantNext = leaves[i+1]
+		}
+		if prev != wantPrev {
+			return fmt.Errorf("btree: leaf %d prev = %d, want %d", id, prev, wantPrev)
+		}
+		if next != wantNext {
+			return fmt.Errorf("btree: leaf %d next = %d, want %d", id, next, wantNext)
+		}
+	}
+	return nil
+}
+
+// GatherStats walks the quiescent tree and returns physical statistics.
+func (t *Tree) GatherStats() (Stats, error) {
+	var s Stats
+	rootID, _ := t.Root()
+	rootF, err := t.pager.Fix(rootID)
+	if err != nil {
+		return s, err
+	}
+	s.Height = int(rootF.Data().Aux()) + 1
+	t.pager.Unfix(rootF)
+
+	var walk func(id storage.PageID) error
+	minFill := 1.0
+	walk = func(id storage.PageID) error {
+		f, err := t.pager.Fix(id)
+		if err != nil {
+			return err
+		}
+		p := f.Data()
+		if p.Type() == storage.PageLeaf {
+			s.LeafPages++
+			s.Records += p.NumSlots()
+			fill := p.FillFactor()
+			s.AvgLeafFill += fill
+			if fill < minFill {
+				minFill = fill
+			}
+			s.LeafIDs = append(s.LeafIDs, id)
+			t.pager.Unfix(f)
+			return nil
+		}
+		s.InternalPages++
+		n := p.NumSlots()
+		children := make([]storage.PageID, 0, n)
+		for i := 0; i < n; i++ {
+			_, child := kv.DecodeIndexCell(p.Cell(i))
+			children = append(children, child)
+		}
+		t.pager.Unfix(f)
+		for _, c := range children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(rootID); err != nil {
+		return s, err
+	}
+	if s.LeafPages > 0 {
+		s.AvgLeafFill /= float64(s.LeafPages)
+		s.MinLeafFill = minFill
+	}
+	for i := 1; i < len(s.LeafIDs); i++ {
+		if s.LeafIDs[i] < s.LeafIDs[i-1] {
+			s.OutOfOrderPairs++
+		}
+		if s.LeafIDs[i] == s.LeafIDs[i-1]+1 {
+			s.ContiguousPairs++
+		}
+	}
+	return s, nil
+}
+
+// CollectAll returns every record in the tree in key order (test
+// support; quiescent tree only).
+func (t *Tree) CollectAll() (keys, vals [][]byte, err error) {
+	rootID, _ := t.Root()
+	var walk func(id storage.PageID) error
+	walk = func(id storage.PageID) error {
+		f, err := t.pager.Fix(id)
+		if err != nil {
+			return err
+		}
+		p := f.Data()
+		if p.Type() == storage.PageLeaf {
+			for i := 0; i < p.NumSlots(); i++ {
+				k, v := kv.DecodeLeafCell(p.Cell(i))
+				keys = append(keys, append([]byte(nil), k...))
+				vals = append(vals, append([]byte(nil), v...))
+			}
+			t.pager.Unfix(f)
+			return nil
+		}
+		n := p.NumSlots()
+		children := make([]storage.PageID, 0, n)
+		for i := 0; i < n; i++ {
+			_, child := kv.DecodeIndexCell(p.Cell(i))
+			children = append(children, child)
+		}
+		t.pager.Unfix(f)
+		for _, c := range children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(rootID); err != nil {
+		return nil, nil, err
+	}
+	return keys, vals, nil
+}

@@ -1,0 +1,326 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kv"
+	"repro/internal/lock"
+	"repro/internal/storage"
+)
+
+// maxDescendRetries bounds forgo-and-retry loops (each retry means the
+// reader waited out one reorganization unit; units are short).
+const maxDescendRetries = 10000
+
+// descendToLeaf implements the reader/updater descent of §4.1.2/4.1.3:
+// S lock-coupling down the internal levels, then leafMode (S or X) on
+// the leaf with the forgo-on-RX protocol — on an RX conflict the base
+// lock is released, an unconditional instant-duration RS lock on the
+// base page blocks until the reorganizer finishes, and the descent
+// resumes from the base page.
+//
+// On success the base and leaf frames are returned pinned, with an S
+// lock held on the base and leafMode on the leaf. The caller must
+// unfix both and release the locks it no longer needs.
+func (t *Tree) descendToLeaf(owner uint64, key []byte, leafMode lock.Mode) (base, leaf *storage.Frame, err error) {
+	rootID, _ := t.Root()
+	cur := rootID
+	if err := t.locks.Lock(owner, pageRes(cur), lock.S); err != nil {
+		return nil, nil, err
+	}
+	f, err := t.pager.Fix(cur)
+	if err != nil {
+		t.locks.Unlock(owner, pageRes(cur))
+		return nil, nil, err
+	}
+
+	for retries := 0; ; retries++ {
+		if retries > maxDescendRetries {
+			t.locks.Unlock(owner, pageRes(cur))
+			t.pager.Unfix(f)
+			return nil, nil, fmt.Errorf("btree: descent did not converge on key %q", key)
+		}
+		p := f.Data()
+		if p.Type() != storage.PageInternal {
+			t.locks.Unlock(owner, pageRes(cur))
+			t.pager.Unfix(f)
+			return nil, nil, fmt.Errorf("btree: descent reached non-internal page %d (%v)", cur, p.Type())
+		}
+		child, _ := kv.ChildFor(p, key)
+		if child == storage.InvalidPage {
+			t.locks.Unlock(owner, pageRes(cur))
+			t.pager.Unfix(f)
+			return nil, nil, fmt.Errorf("btree: internal page %d has no entries", cur)
+		}
+		if p.Aux() == 1 {
+			// cur is a base page; child is the leaf.
+			lockErr := t.locks.LockOpts(owner, pageRes(child), leafMode, lock.Opt{ForgoOnRX: true})
+			if errors.Is(lockErr, lock.ErrReorgConflict) {
+				// Forgo: release the base S lock, wait for the
+				// reorganizer via instant RS, re-lock and re-route.
+				t.locks.Unlock(owner, pageRes(cur))
+				t.pager.Unfix(f)
+				if err := t.locks.LockInstant(owner, pageRes(cur), lock.RS); err != nil {
+					return nil, nil, err
+				}
+				if err := t.locks.Lock(owner, pageRes(cur), lock.S); err != nil {
+					return nil, nil, err
+				}
+				f, err = t.pager.Fix(cur)
+				if err != nil {
+					t.locks.Unlock(owner, pageRes(cur))
+					return nil, nil, err
+				}
+				continue
+			}
+			if lockErr != nil {
+				t.locks.Unlock(owner, pageRes(cur))
+				t.pager.Unfix(f)
+				return nil, nil, lockErr
+			}
+			lf, err := t.pager.Fix(child)
+			if err != nil {
+				t.locks.Unlock(owner, pageRes(child))
+				t.locks.Unlock(owner, pageRes(cur))
+				t.pager.Unfix(f)
+				return nil, nil, err
+			}
+			return f, lf, nil
+		}
+		// Interior level: S-couple to the child.
+		if err := t.locks.Lock(owner, pageRes(child), lock.S); err != nil {
+			t.locks.Unlock(owner, pageRes(cur))
+			t.pager.Unfix(f)
+			return nil, nil, err
+		}
+		cf, err := t.pager.Fix(child)
+		if err != nil {
+			t.locks.Unlock(owner, pageRes(child))
+			t.locks.Unlock(owner, pageRes(cur))
+			t.pager.Unfix(f)
+			return nil, nil, err
+		}
+		t.locks.Unlock(owner, pageRes(cur))
+		t.pager.Unfix(f)
+		cur, f = child, cf
+	}
+}
+
+// DescendToBase lock-couples down to the base page covering key and
+// acquires mode on it (the reorganizer uses mode R for passes 1–2 and
+// S for pass 3). The frame is returned pinned with mode held; the
+// coupling S lock is upgraded/kept per the lock lattice.
+func (t *Tree) DescendToBase(owner uint64, key []byte, mode lock.Mode) (*storage.Frame, error) {
+	rootID, _ := t.Root()
+	return t.descendToBaseFrom(owner, rootID, key, mode)
+}
+
+// DescendToBaseOf is DescendToBase starting from an explicit root
+// (pass 3 walks the old tree even while the anchor is changing).
+func (t *Tree) DescendToBaseOf(owner uint64, rootID storage.PageID, key []byte, mode lock.Mode) (*storage.Frame, error) {
+	return t.descendToBaseFrom(owner, rootID, key, mode)
+}
+
+func (t *Tree) descendToBaseFrom(owner uint64, rootID storage.PageID, key []byte, mode lock.Mode) (*storage.Frame, error) {
+	cur := rootID
+	if err := t.locks.Lock(owner, pageRes(cur), lock.S); err != nil {
+		return nil, err
+	}
+	f, err := t.pager.Fix(cur)
+	if err != nil {
+		t.locks.Unlock(owner, pageRes(cur))
+		return nil, err
+	}
+	for {
+		p := f.Data()
+		if p.Type() != storage.PageInternal {
+			t.locks.Unlock(owner, pageRes(cur))
+			t.pager.Unfix(f)
+			return nil, fmt.Errorf("btree: base descent hit %v page %d", p.Type(), cur)
+		}
+		if p.Aux() == 1 {
+			// cur is the base page: acquire the requested mode (the
+			// lattice upgrades S -> R when needed).
+			if mode != lock.S {
+				if err := t.locks.Lock(owner, pageRes(cur), mode); err != nil {
+					t.locks.Unlock(owner, pageRes(cur))
+					t.pager.Unfix(f)
+					return nil, err
+				}
+			}
+			return f, nil
+		}
+		child, _ := kv.ChildFor(p, key)
+		if child == storage.InvalidPage {
+			t.locks.Unlock(owner, pageRes(cur))
+			t.pager.Unfix(f)
+			return nil, fmt.Errorf("btree: internal page %d has no entries", cur)
+		}
+		if err := t.locks.Lock(owner, pageRes(child), lock.S); err != nil {
+			t.locks.Unlock(owner, pageRes(cur))
+			t.pager.Unfix(f)
+			return nil, err
+		}
+		cf, err := t.pager.Fix(child)
+		if err != nil {
+			t.locks.Unlock(owner, pageRes(child))
+			t.locks.Unlock(owner, pageRes(cur))
+			t.pager.Unfix(f)
+			return nil, err
+		}
+		t.locks.Unlock(owner, pageRes(cur))
+		t.pager.Unfix(f)
+		cur, f = child, cf
+	}
+}
+
+// ReleaseBase drops the lock and pin DescendToBase returned.
+func (t *Tree) ReleaseBase(owner uint64, f *storage.Frame) {
+	t.locks.Unlock(owner, pageRes(f.ID()))
+	t.pager.Unfix(f)
+}
+
+// FirstBase returns the leftmost base page locked in mode (the start of
+// the reorganizer's left-to-right pass).
+func (t *Tree) FirstBase(owner uint64, mode lock.Mode) (*storage.Frame, error) {
+	return t.DescendToBase(owner, []byte{}, mode)
+}
+
+// NextBase implements the paper's Get_Next(k) (§7.1): it returns the
+// base page whose low mark is the smallest one greater than k, locked
+// in mode, or nil when k's base is the last. It S-lock-couples down
+// while keeping the path locked so sibling navigation is consistent
+// with concurrent splits.
+func (t *Tree) NextBase(owner uint64, k []byte, mode lock.Mode) (*storage.Frame, error) {
+	return t.NextBaseOf(owner, 0, k, mode)
+}
+
+// NextBaseOf is NextBase starting from an explicit root (0 means the
+// current root); pass 3 keeps walking the old tree's bases regardless
+// of anchor changes.
+func (t *Tree) NextBaseOf(owner uint64, rootID storage.PageID, k []byte, mode lock.Mode) (*storage.Frame, error) {
+	if rootID == storage.InvalidPage {
+		rootID, _ = t.Root()
+	}
+	type node struct {
+		f    *storage.Frame
+		slot int // routing slot used at this node
+	}
+	var path []node
+	release := func() {
+		for _, n := range path {
+			t.locks.Unlock(owner, pageRes(n.f.ID()))
+			t.pager.Unfix(n.f)
+		}
+		path = nil
+	}
+	fixLocked := func(id storage.PageID) (*storage.Frame, error) {
+		if err := t.locks.Lock(owner, pageRes(id), lock.S); err != nil {
+			return nil, err
+		}
+		f, err := t.pager.Fix(id)
+		if err != nil {
+			t.locks.Unlock(owner, pageRes(id))
+			return nil, err
+		}
+		return f, nil
+	}
+
+	f, err := fixLocked(rootID)
+	if err != nil {
+		return nil, err
+	}
+	path = append(path, node{f: f})
+
+	// Route down to the level-2 node (the parent of base pages),
+	// keeping the whole path S-locked for sibling navigation.
+	for {
+		cur := &path[len(path)-1]
+		cur.f.RLock()
+		p := cur.f.Data()
+		level := p.Aux()
+		child, slot := kv.ChildFor(p, k)
+		cur.f.RUnlock()
+		cur.slot = slot
+		if level == 1 {
+			// The tree has a single base page (it is the root): there
+			// is no next base.
+			release()
+			return nil, nil
+		}
+		if child == storage.InvalidPage {
+			release()
+			return nil, fmt.Errorf("btree: internal page %d empty in NextBase", cur.f.ID())
+		}
+		if level == 2 {
+			break
+		}
+		cf, err := fixLocked(child)
+		if err != nil {
+			release()
+			return nil, err
+		}
+		path = append(path, node{f: cf})
+	}
+
+	// Climb from the level-2 node to the lowest ancestor with a right
+	// sibling of the routing slot, then descend leftmost to base level.
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		n.f.RLock()
+		slots := n.f.Data().NumSlots()
+		var nextChild storage.PageID
+		if n.slot+1 < slots {
+			_, nextChild = kv.DecodeIndexCell(n.f.Data().Cell(n.slot + 1))
+		}
+		n.f.RUnlock()
+		if nextChild == storage.InvalidPage {
+			continue
+		}
+		// Descend leftmost from nextChild to the base level.
+		cur, err := fixLocked(nextChild)
+		if err != nil {
+			release()
+			return nil, err
+		}
+		for {
+			cur.RLock()
+			level := cur.Data().Aux()
+			var first storage.PageID
+			if cur.Data().NumSlots() > 0 {
+				_, first = kv.DecodeIndexCell(cur.Data().Cell(0))
+			}
+			cur.RUnlock()
+			if level == 1 {
+				release()
+				if mode != lock.S {
+					if err := t.locks.Lock(owner, pageRes(cur.ID()), mode); err != nil {
+						t.locks.Unlock(owner, pageRes(cur.ID()))
+						t.pager.Unfix(cur)
+						return nil, err
+					}
+				}
+				return cur, nil
+			}
+			if first == storage.InvalidPage {
+				t.locks.Unlock(owner, pageRes(cur.ID()))
+				t.pager.Unfix(cur)
+				release()
+				return nil, fmt.Errorf("btree: empty internal %d in NextBase descent", cur.ID())
+			}
+			nf, err := fixLocked(first)
+			if err != nil {
+				t.locks.Unlock(owner, pageRes(cur.ID()))
+				t.pager.Unfix(cur)
+				release()
+				return nil, err
+			}
+			t.locks.Unlock(owner, pageRes(cur.ID()))
+			t.pager.Unfix(cur)
+			cur = nf
+		}
+	}
+	release()
+	return nil, nil // k's base is the rightmost
+}

@@ -1,0 +1,369 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kv"
+	"repro/internal/lock"
+	"repro/internal/pageops"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// errRetryDescent tells modify to restart its descent (the forgo
+// protocol waited out a reorganization unit, or the tree switched).
+var errRetryDescent = errors.New("btree: retry descent")
+
+// maxIndexEntry is the largest index cell (key + child + slot
+// bookkeeping) a node must be able to absorb to be considered safe.
+const maxIndexEntry = 2 + kv.MaxKeySize + 4 + 4
+
+// nodeFull reports whether an internal node cannot take one more
+// maximum-size entry (the Bayer–Schkolnick "unsafe node" test; the
+// descent splits unsafe nodes preemptively so parents always have
+// room).
+func nodeFull(p storage.Page) bool {
+	return p.FreeSpace() < maxIndexEntry
+}
+
+// insertSMO is the structure-modification path of the updater protocol
+// (§4.1.3): X lock-coupling from the root, splitting unsafe nodes
+// top-down, then the leaf operation. The caller retries on
+// errRetryDescent.
+func (t *Tree) insertSMO(tx *txn.Txn, u wal.Update) error {
+	owner := tx.ID()
+	rootID, _ := t.Root()
+	if err := t.locks.Lock(owner, pageRes(rootID), lock.X); err != nil {
+		return err
+	}
+	f, err := t.pager.Fix(rootID)
+	if err != nil {
+		t.locks.Unlock(owner, pageRes(rootID))
+		return err
+	}
+	if rootID2, _ := t.Root(); rootID2 != rootID {
+		// Switched between snapshot and lock grant.
+		t.locks.Unlock(owner, pageRes(rootID))
+		t.pager.Unfix(f)
+		return errRetryDescent
+	}
+
+	release := func(frames ...*storage.Frame) {
+		for _, fr := range frames {
+			if fr != nil {
+				t.locks.Unlock(owner, pageRes(fr.ID()))
+				t.pager.Unfix(fr)
+			}
+		}
+	}
+
+	// Root pre-split keeps the invariant that every parent we use for a
+	// child split has room.
+	f.RLock()
+	rootFull := nodeFull(f.Data())
+	f.RUnlock()
+	if rootFull {
+		if err := t.splitRoot(f); err != nil {
+			release(f)
+			return err
+		}
+	}
+
+	for {
+		f.RLock()
+		p := f.Data()
+		level := p.Aux()
+		child, _ := kv.ChildFor(p, u.Key)
+		f.RUnlock()
+		if child == storage.InvalidPage {
+			release(f)
+			return fmt.Errorf("btree: internal page %d empty during SMO", f.ID())
+		}
+		if level == 1 {
+			// f is the base page; child is the leaf.
+			lockErr := t.locks.LockOpts(owner, pageRes(child), lock.X, lock.Opt{ForgoOnRX: true})
+			if errors.Is(lockErr, lock.ErrReorgConflict) {
+				baseID := f.ID()
+				release(f)
+				if err := t.locks.LockInstant(owner, pageRes(baseID), lock.RS); err != nil {
+					return err
+				}
+				return errRetryDescent
+			}
+			if lockErr != nil {
+				release(f)
+				return lockErr
+			}
+			leaf, err := t.pager.Fix(child)
+			if err != nil {
+				t.locks.Unlock(owner, pageRes(child))
+				release(f)
+				return err
+			}
+			if err := t.locks.Lock(owner, recordRes(u.Key), lock.X); err != nil {
+				release(f, leaf)
+				return err
+			}
+			u.Page = leaf.ID()
+			aerr := t.applyLogged(tx, leaf, u)
+			if aerr == storage.ErrPageFull {
+				target, serr := t.splitChild(tx, f, leaf, u.Key)
+				if serr != nil {
+					t.locks.Unlock(owner, pageRes(child))
+					t.pager.Unfix(leaf)
+					release(f)
+					if errors.Is(serr, errRetryDescent) {
+						return errRetryDescent
+					}
+					return serr
+				}
+				leaf = target
+				u.Page = leaf.ID()
+				aerr = t.applyLogged(tx, leaf, u)
+			}
+			t.locks.Unlock(owner, pageRes(f.ID()))
+			t.pager.Unfix(f)
+			// Downgrade the leaf to IX (held to end of transaction) per
+			// the record-locking protocol.
+			t.locks.Downgrade(owner, pageRes(leaf.ID()), lock.IX)
+			t.pager.Unfix(leaf)
+			return aerr
+		}
+		// Interior descent: X-couple, pre-splitting full children.
+		if err := t.locks.Lock(owner, pageRes(child), lock.X); err != nil {
+			release(f)
+			return err
+		}
+		cf, err := t.pager.Fix(child)
+		if err != nil {
+			t.locks.Unlock(owner, pageRes(child))
+			release(f)
+			return err
+		}
+		cf.RLock()
+		childFull := nodeFull(cf.Data())
+		cf.RUnlock()
+		if childFull {
+			target, serr := t.splitChild(tx, f, cf, u.Key)
+			if serr != nil {
+				t.locks.Unlock(owner, pageRes(child))
+				t.pager.Unfix(cf)
+				release(f)
+				if errors.Is(serr, errRetryDescent) {
+					return errRetryDescent
+				}
+				return serr
+			}
+			cf = target
+		}
+		t.locks.Unlock(owner, pageRes(f.ID()))
+		t.pager.Unfix(f)
+		f = cf
+	}
+}
+
+// splitChild splits child (leaf or internal) at its midpoint, posting
+// the separator into parent, which the caller guarantees has room. Both
+// frames arrive X-locked and pinned. On success the half covering key
+// is returned X-locked and pinned; the other half is released. The
+// split is logged as one atomic wal.Split record.
+func (t *Tree) splitChild(tx *txn.Txn, parent, child *storage.Frame, key []byte) (*storage.Frame, error) {
+	owner := tx.ID()
+
+	child.RLock()
+	cp := child.Data()
+	n := cp.NumSlots()
+	level := cp.Aux()
+	isLeaf := cp.Type() == storage.PageLeaf
+	if n < 2 {
+		child.RUnlock()
+		return nil, fmt.Errorf("btree: cannot split page %d with %d cells", child.ID(), n)
+	}
+	mid := n / 2
+	sep := append([]byte(nil), kv.SlotKey(cp, mid)...)
+	moved := make([][]byte, 0, n-mid)
+	for i := mid; i < n; i++ {
+		moved = append(moved, append([]byte(nil), cp.Cell(i)...))
+	}
+	oldNext := cp.Next()
+	child.RUnlock()
+
+	pageType := storage.PageLeaf
+	if !isLeaf {
+		pageType = storage.PageInternal
+	}
+	right, err := t.pager.Allocate(pageType)
+	if err != nil {
+		return nil, err
+	}
+	rightID := right.ID()
+	if err := t.locks.Lock(owner, pageRes(rightID), lock.X); err != nil {
+		t.pager.Unfix(right)
+		return nil, err
+	}
+	cleanupRight := func() {
+		t.locks.Unlock(owner, pageRes(rightID))
+		t.pager.Unfix(right)
+		_ = t.pager.Deallocate(rightID, 0)
+	}
+
+	// Lock the old right neighbour (its Prev pointer changes).
+	var nextFrame *storage.Frame
+	if isLeaf && oldNext != storage.InvalidPage {
+		if err := t.locks.Lock(owner, pageRes(oldNext), lock.X); err != nil {
+			cleanupRight()
+			return nil, err
+		}
+		nextFrame, err = t.pager.Fix(oldNext)
+		if err != nil {
+			t.locks.Unlock(owner, pageRes(oldNext))
+			cleanupRight()
+			return nil, err
+		}
+	}
+	releaseNext := func() {
+		if nextFrame != nil {
+			t.locks.Unlock(owner, pageRes(oldNext))
+			t.pager.Unfix(nextFrame)
+		}
+	}
+
+	// Base-page updates consult the reorganization hook (§7.2) before
+	// being carried out: during internal-page reorganization the new
+	// entry may also need to reach the side file.
+	// After free-at-empty, the left child's routing entry key in the
+	// parent may sit above its actual low mark (keys arrived through the
+	// leftmost-child rule); the posted separator would then break the
+	// parent's entry ordering. Lower the entry to the child's true low
+	// mark as part of the split.
+	var baseOldKey, baseNewKey []byte
+	child.RLock()
+	leftLow := append([]byte(nil), kv.SlotKey(child.Data(), 0)...)
+	child.RUnlock()
+	parent.RLock()
+	parentLevel := parent.Data().Aux()
+	for i := 0; i < parent.Data().NumSlots(); i++ {
+		k, c := kv.DecodeIndexCell(parent.Data().Cell(i))
+		if c == child.ID() {
+			if kv.Compare(k, leftLow) > 0 {
+				baseOldKey = append([]byte(nil), k...)
+				baseNewKey = leftLow
+			}
+			break
+		}
+	}
+	parent.RUnlock()
+
+	var hookReleases []func()
+	hookRelease := func() {
+		for _, r := range hookReleases {
+			r()
+		}
+	}
+	if parentLevel == 1 {
+		if h := t.reorgHook(); h != nil {
+			ops := []wal.Update{{Page: parent.ID(), Op: wal.OpInsert,
+				Key: sep, NewVal: pageops.EncodeChild(rightID)}}
+			if baseOldKey != nil {
+				ops = append(ops,
+					wal.Update{Page: parent.ID(), Op: wal.OpDelete, Key: baseOldKey},
+					wal.Update{Page: parent.ID(), Op: wal.OpInsert,
+						Key: baseNewKey, NewVal: pageops.EncodeChild(child.ID())})
+			}
+			for _, hookOp := range ops {
+				rel, err := h.OnBaseUpdate(owner, hookOp)
+				if err != nil {
+					hookRelease()
+					releaseNext()
+					cleanupRight()
+					return nil, err
+				}
+				if rel != nil {
+					hookReleases = append(hookReleases, rel)
+				}
+			}
+		}
+	}
+
+	s := wal.Split{
+		Left:       child.ID(),
+		Right:      rightID,
+		Level:      level,
+		Sep:        sep,
+		Moved:      moved,
+		RightNext:  oldNext,
+		NextPage:   oldNext,
+		Base:       parent.ID(),
+		BaseOldKey: baseOldKey,
+		BaseNewKey: baseNewKey,
+	}
+	if !isLeaf {
+		s.RightNext, s.NextPage = storage.InvalidPage, storage.InvalidPage
+	}
+	lsn := t.log.Append(s)
+	err = pageops.ApplySplit(t.pager, s, lsn)
+	hookRelease()
+	if err != nil {
+		releaseNext()
+		cleanupRight()
+		return nil, fmt.Errorf("btree: apply split of %d: %w", child.ID(), err)
+	}
+	releaseNext()
+
+	// Hand back the half that covers key.
+	if kv.Compare(key, sep) >= 0 {
+		t.locks.Unlock(owner, pageRes(child.ID()))
+		t.pager.Unfix(child)
+		return right, nil
+	}
+	t.locks.Unlock(owner, pageRes(rightID))
+	t.pager.Unfix(right)
+	return child, nil
+}
+
+// splitRoot grows the tree by one level while keeping the root page id
+// (so the anchor only changes at the pass-3 switch). The caller holds X
+// on the root.
+func (t *Tree) splitRoot(root *storage.Frame) error {
+	root.RLock()
+	p := root.Data()
+	n := p.NumSlots()
+	level := p.Aux()
+	if n < 2 {
+		root.RUnlock()
+		return fmt.Errorf("btree: cannot split root with %d cells", n)
+	}
+	mid := n / 2
+	sep := append([]byte(nil), kv.SlotKey(p, mid)...)
+	low := make([][]byte, 0, mid)
+	hi := make([][]byte, 0, n-mid)
+	for i := 0; i < mid; i++ {
+		low = append(low, append([]byte(nil), p.Cell(i)...))
+	}
+	for i := mid; i < n; i++ {
+		hi = append(hi, append([]byte(nil), p.Cell(i)...))
+	}
+	root.RUnlock()
+
+	lowF, err := t.pager.Allocate(storage.PageInternal)
+	if err != nil {
+		return err
+	}
+	hiF, err := t.pager.Allocate(storage.PageInternal)
+	if err != nil {
+		t.pager.Unfix(lowF)
+		return err
+	}
+	s := wal.RootSplit{Root: root.ID(), Low: lowF.ID(), High: hiF.ID(),
+		Level: level, Sep: sep, LowCells: low, HiCells: hi}
+	lsn := t.log.Append(s)
+	err = pageops.ApplyRootSplit(t.pager, s, lsn)
+	t.pager.Unfix(lowF)
+	t.pager.Unfix(hiF)
+	if err != nil {
+		return fmt.Errorf("btree: apply root split: %w", err)
+	}
+	return nil
+}

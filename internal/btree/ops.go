@@ -1,0 +1,170 @@
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/kv"
+	"repro/internal/lock"
+	"repro/internal/pageops"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// lockTree takes the tree lock in the given intention mode against the
+// current epoch, retrying if the root switch changes the epoch
+// underneath (the old and new trees have distinct lock names, §7.4).
+func (t *Tree) lockTree(owner uint64, mode lock.Mode) error {
+	for i := 0; i < maxDescendRetries; i++ {
+		_, epoch := t.Root()
+		if err := t.locks.Lock(owner, lock.TreeRes(epoch), mode); err != nil {
+			return err
+		}
+		if _, e2 := t.Root(); e2 == epoch {
+			return nil
+		}
+		t.locks.Unlock(owner, lock.TreeRes(epoch))
+	}
+	return fmt.Errorf("btree: tree lock did not stabilise")
+}
+
+// applyLogged validates, logs and applies one record operation on a
+// leaf under its write latch. Validation happens before logging so a
+// failed operation (duplicate key, missing key, full page) leaves no
+// log record behind. The caller holds the logical locks.
+func (t *Tree) applyLogged(tx *txn.Txn, f *storage.Frame, u wal.Update) error {
+	f.Lock()
+	defer f.Unlock()
+	p := f.Data()
+	switch u.Op {
+	case wal.OpInsert:
+		if _, found := kv.Search(p, u.Key); found {
+			return fmt.Errorf("btree: insert %q: %w", u.Key, kv.ErrExists)
+		}
+		if p.FreeSpace() < 2+len(u.Key)+len(u.NewVal) {
+			return storage.ErrPageFull
+		}
+	case wal.OpDelete:
+		slot, found := kv.Search(p, u.Key)
+		if !found {
+			return fmt.Errorf("btree: delete %q: %w", u.Key, kv.ErrNotFound)
+		}
+		_, old := kv.DecodeLeafCell(p.Cell(slot))
+		u.OldVal = append([]byte(nil), old...)
+	case wal.OpReplace:
+		slot, found := kv.Search(p, u.Key)
+		if !found {
+			return fmt.Errorf("btree: replace %q: %w", u.Key, kv.ErrNotFound)
+		}
+		_, old := kv.DecodeLeafCell(p.Cell(slot))
+		if len(u.NewVal) > len(old) && p.FreeSpace() < 2+len(u.Key)+len(u.NewVal) {
+			return storage.ErrPageFull
+		}
+		u.OldVal = append([]byte(nil), old...)
+	default:
+		return fmt.Errorf("btree: applyLogged does not handle %v", u.Op)
+	}
+	lsn := tx.LogUpdate(u)
+	if err := pageops.ApplyToPage(p, u.Op, u.Key, u.NewVal); err != nil {
+		// Validation above makes this unreachable; fail loudly if not.
+		panic(fmt.Sprintf("btree: logged op failed to apply: %v", err))
+	}
+	p.SetLSN(lsn)
+	t.pager.MarkDirty(f, lsn)
+	return nil
+}
+
+// Get returns the value for key (a copy), taking an IS tree lock,
+// lock-coupling to the leaf with the forgo-on-RX protocol, an IS page
+// lock and an S record lock held to end of transaction.
+func (t *Tree) Get(tx *txn.Txn, key []byte) ([]byte, bool, error) {
+	owner := tx.ID()
+	if err := t.lockTree(owner, lock.IS); err != nil {
+		return nil, false, err
+	}
+	base, leaf, err := t.descendToLeaf(owner, key, lock.IS)
+	if err != nil {
+		return nil, false, err
+	}
+	t.ReleaseBase(owner, base)
+	if err := t.locks.Lock(owner, recordRes(key), lock.S); err != nil {
+		t.pager.Unfix(leaf)
+		return nil, false, err
+	}
+	leaf.RLock()
+	v, ok := kv.LeafGet(leaf.Data(), key)
+	var out []byte
+	if ok {
+		out = append([]byte(nil), v...)
+	}
+	leaf.RUnlock()
+	t.pager.Unfix(leaf) // the IS page lock stays until end of transaction
+	return out, ok, nil
+}
+
+// Insert adds (key, value). Duplicate keys return kv.ErrExists.
+func (t *Tree) Insert(tx *txn.Txn, key, val []byte) error {
+	if err := t.ValidateRecord(key, val); err != nil {
+		return err
+	}
+	return t.modify(tx, wal.Update{Op: wal.OpInsert, Key: key, NewVal: val})
+}
+
+// Update replaces the value of an existing key.
+func (t *Tree) Update(tx *txn.Txn, key, val []byte) error {
+	if err := t.ValidateRecord(key, val); err != nil {
+		return err
+	}
+	return t.modify(tx, wal.Update{Op: wal.OpReplace, Key: key, NewVal: val})
+}
+
+// Delete removes key. Emptied leaves are deallocated at commit
+// (free-at-empty deferred so record undo stays sound).
+func (t *Tree) Delete(tx *txn.Txn, key []byte) error {
+	return t.modify(tx, wal.Update{Op: wal.OpDelete, Key: key})
+}
+
+// modify runs one record operation under the updater protocol: IX tree
+// lock, descent to the leaf with IX (forgo on RX), X record lock, then
+// the logged apply. A full page escalates to the split path.
+func (t *Tree) modify(tx *txn.Txn, u wal.Update) error {
+	owner := tx.ID()
+	if err := t.lockTree(owner, lock.IX); err != nil {
+		return err
+	}
+	for attempt := 0; attempt < maxDescendRetries; attempt++ {
+		base, leaf, err := t.descendToLeaf(owner, u.Key, lock.IX)
+		if err != nil {
+			return err
+		}
+		t.ReleaseBase(owner, base)
+		if err := t.locks.Lock(owner, recordRes(u.Key), lock.X); err != nil {
+			t.pager.Unfix(leaf)
+			return err
+		}
+		u.Page = leaf.ID()
+		err = t.applyLogged(tx, leaf, u)
+		if err == nil {
+			if u.Op == wal.OpDelete {
+				leaf.RLock()
+				empty := leaf.Data().NumSlots() == 0
+				leaf.RUnlock()
+				if empty {
+					t.deferFree(owner, leaf.ID(), u.Key)
+				}
+			}
+			t.pager.Unfix(leaf)
+			return nil
+		}
+		t.pager.Unfix(leaf)
+		if err == storage.ErrPageFull {
+			smoErr := t.insertSMO(tx, u)
+			if smoErr == errRetryDescent {
+				continue
+			}
+			return smoErr
+		}
+		return err
+	}
+	return fmt.Errorf("btree: modify of %q did not converge", u.Key)
+}

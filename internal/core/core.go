@@ -1,0 +1,244 @@
+// Package core implements the paper's contribution: on-line
+// reorganization of a sparsely populated B+-tree in three passes —
+// compaction of leaves under one base page at a time (in-place and
+// new-place with the Find-Free-Space heuristic), optional swapping and
+// moving of leaves into key order on disk, and a new-place bottom-up
+// rebuild of the internal levels with side-file catch-up and an atomic
+// root switch. Reorganization units are logged (BEGIN/MOVE/MODIFY/END)
+// and recovered forward: an interrupted unit is finished, not rolled
+// back.
+package core
+
+import (
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Placement selects how Find-Free-Space chooses destination pages for
+// new-place compaction; the alternatives exist for the E3 ablation.
+type Placement int
+
+// Placement policies.
+const (
+	// PlacementHeuristic is the paper's §6.1 rule: the first empty page
+	// after the largest finished leaf L and before the current leaf C.
+	PlacementHeuristic Placement = iota
+	// PlacementFirstFit takes the lowest-numbered free page anywhere.
+	PlacementFirstFit
+	// PlacementInPlace disables new-place compaction entirely.
+	PlacementInPlace
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlacementHeuristic:
+		return "heuristic"
+	case PlacementFirstFit:
+		return "first-fit"
+	case PlacementInPlace:
+		return "in-place"
+	default:
+		return "unknown"
+	}
+}
+
+// Config tunes a reorganization run.
+type Config struct {
+	// TargetFill is f2: the desired leaf fill factor after
+	// reorganization (0 < TargetFill <= 1; default 0.9).
+	TargetFill float64
+	// Placement is the Find-Free-Space policy (default the paper's
+	// heuristic).
+	Placement Placement
+	// SwapPass enables pass 2 (optional per §6: "the user can decide
+	// not to do swapping").
+	SwapPass bool
+	// InternalPass enables pass 3 (rebuild of the internal levels and
+	// the switch).
+	InternalPass bool
+	// CarefulWriting logs only record keys in MOVE records and installs
+	// write-ordering dependencies instead (§5); disabled, MOVE records
+	// carry full record contents.
+	CarefulWriting bool
+	// StablePointEvery forces completed new-tree pages to disk after
+	// this many base pages during pass 3 (default 5, §7.3).
+	StablePointEvery int
+	// MaxUnitRetries bounds deadlock retries per unit (default 3).
+	MaxUnitRetries int
+	// StartKey resumes pass 1 from the base page covering this key
+	// (the paper's LK restart position, §5; recovery.Result.ReorgLK).
+	StartKey []byte
+	// OnEvent, when set, is invoked at named points of the
+	// reorganization ("compact.begin", "compact.moved",
+	// "compact.modified", "move.begin", "swap.moved", "pass3.base",
+	// "pass3.built", "pass3.switched", ...). Returning an error aborts
+	// the reorganizer at that point — the crash-injection seam used by
+	// the recovery tests and benchmarks.
+	OnEvent func(stage string) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.TargetFill <= 0 || c.TargetFill > 1 {
+		c.TargetFill = 0.9
+	}
+	if c.StablePointEvery <= 0 {
+		c.StablePointEvery = 5
+	}
+	if c.MaxUnitRetries <= 0 {
+		c.MaxUnitRetries = 3
+	}
+	return c
+}
+
+// DefaultConfig reorganizes all three passes with the paper's settings.
+func DefaultConfig() Config {
+	return Config{TargetFill: 0.9, Placement: PlacementHeuristic,
+		SwapPass: true, InternalPass: true, CarefulWriting: true,
+		StablePointEvery: 5, MaxUnitRetries: 3}
+}
+
+// reorgTable is the paper's in-memory reorganization system table (§5):
+// at most one in-flight unit plus LK, the largest key of the last
+// finished unit. It is embedded in checkpoints.
+type reorgTable struct {
+	mu       sync.Mutex
+	hasUnit  bool
+	unit     uint64
+	beginLSN uint64
+	lastLSN  uint64
+	hasLK    bool
+	lk       []byte
+}
+
+func (t *reorgTable) beginUnit(unit, beginLSN uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hasUnit = true
+	t.unit = unit
+	t.beginLSN = beginLSN
+	t.lastLSN = beginLSN
+}
+
+func (t *reorgTable) record(lsn uint64) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	prev := t.lastLSN
+	t.lastLSN = lsn
+	return prev
+}
+
+func (t *reorgTable) prevLSN() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastLSN
+}
+
+func (t *reorgTable) endUnit(largestKey []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hasUnit = false
+	if largestKey != nil {
+		t.hasLK = true
+		t.lk = append([]byte(nil), largestKey...)
+	}
+}
+
+func (t *reorgTable) snapshot() wal.ReorgTableSnap {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return wal.ReorgTableSnap{HasUnit: t.hasUnit, Unit: t.unit,
+		BeginLSN: t.beginLSN, LastLSN: t.lastLSN, HasLK: t.hasLK,
+		LK: append([]byte(nil), t.lk...)}
+}
+
+// Reorganizer is the single background reorganization process.
+type Reorganizer struct {
+	tree  *btree.Tree
+	cfg   Config
+	owner uint64
+	m     *metrics.Counters
+
+	table    reorgTable
+	nextUnit uint64
+
+	// largestFinished is L, the largest finished leaf page id of pass 1
+	// (the left boundary of the Find-Free-Space interval).
+	largestFinished storage.PageID
+
+	pass3 pass3State
+}
+
+// New creates a reorganizer for the tree. The owner id is registered
+// with the lock manager as the preferred deadlock victim.
+func New(tree *btree.Tree, cfg Config) *Reorganizer {
+	r := &Reorganizer{
+		tree:     tree,
+		cfg:      cfg.withDefaults(),
+		owner:    tree.Txns().NextOwnerID(),
+		m:        metrics.New(),
+		nextUnit: 1,
+	}
+	tree.Locks().SetReorg(r.owner, true)
+	return r
+}
+
+// Metrics returns the reorganizer's counters.
+func (r *Reorganizer) Metrics() *metrics.Counters { return r.m }
+
+// TableSnapshot exports the reorg table for a checkpoint.
+func (r *Reorganizer) TableSnapshot() wal.ReorgTableSnap {
+	return r.table.snapshot()
+}
+
+// Pass3Snapshot exports pass-3 progress for a checkpoint.
+func (r *Reorganizer) Pass3Snapshot() wal.Pass3Snap {
+	return r.pass3.snapshot()
+}
+
+// NextUnit returns the next unit id (checkpointed so restarted systems
+// keep unit ids monotone).
+func (r *Reorganizer) NextUnit() uint64 { return r.nextUnit }
+
+// SetNextUnit restores the unit id generator after restart.
+func (r *Reorganizer) SetNextUnit(u uint64) {
+	if u > r.nextUnit {
+		r.nextUnit = u
+	}
+}
+
+// Run executes the configured passes in order: compact, swap, rebuild.
+func (r *Reorganizer) Run() error {
+	if err := r.CompactLeaves(); err != nil {
+		return err
+	}
+	if r.cfg.SwapPass {
+		if err := r.SwapLeaves(); err != nil {
+			return err
+		}
+	}
+	if r.cfg.InternalPass {
+		if err := r.RebuildInternal(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// leafCapacity returns the target payload budget of a compacted leaf:
+// TargetFill of the page's usable area (cell bytes plus slot entries).
+func (r *Reorganizer) leafCapacity() int {
+	usable := r.tree.Pager().PageSize() - storage.HeaderSize
+	return int(float64(usable) * r.cfg.TargetFill)
+}
+
+// event fires the configured event hook.
+func (r *Reorganizer) event(stage string) error {
+	if r.cfg.OnEvent == nil {
+		return nil
+	}
+	return r.cfg.OnEvent(stage)
+}

@@ -1,0 +1,500 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kv"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/pageops"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// baseEntry is one (low key, leaf) entry of a base page.
+type baseEntry struct {
+	key   []byte
+	child storage.PageID
+}
+
+func readBaseEntries(f *storage.Frame) []baseEntry {
+	f.RLock()
+	defer f.RUnlock()
+	p := f.Data()
+	out := make([]baseEntry, 0, p.NumSlots())
+	for i := 0; i < p.NumSlots(); i++ {
+		k, c := kv.DecodeIndexCell(p.Cell(i))
+		out = append(out, baseEntry{key: append([]byte(nil), k...), child: c})
+	}
+	return out
+}
+
+// CompactLeaves is pass 1: walk the base pages left to right (R lock on
+// one base at a time), grouping consecutive sparse leaves whose records
+// fit one page at the target fill, and compacting each group in one
+// reorganization unit — in-place into the group's first leaf, or
+// new-place into an empty page chosen by Find-Free-Space.
+func (r *Reorganizer) CompactLeaves() error {
+	owner := r.owner
+	locks := r.tree.Locks()
+	var err error
+	_, epoch := r.tree.Root()
+	if err := locks.Lock(owner, lock.TreeRes(epoch), lock.IX); err != nil {
+		return fmt.Errorf("pass1 tree IX: %w", err)
+	}
+	defer locks.Unlock(owner, lock.TreeRes(epoch))
+
+	var base *storage.Frame
+	if len(r.cfg.StartKey) > 0 {
+		// Resume from LK: the base covering the largest finished key.
+		rootID, _ := r.tree.Root()
+		base, err = r.descendToBase(rootID, r.cfg.StartKey, lock.R)
+	} else {
+		base, err = r.firstBase(lock.R)
+	}
+	if err != nil {
+		return fmt.Errorf("pass1 first base: %w", err)
+	}
+	for base != nil {
+		entries := readBaseEntries(base)
+		if err := r.compactBase(base, entries); err != nil {
+			r.tree.ReleaseBase(owner, base)
+			return err
+		}
+		var lowMark []byte
+		if len(entries) > 0 {
+			lowMark = entries[0].key
+		}
+		r.tree.ReleaseBase(owner, base)
+		rootID, _ := r.tree.Root()
+		base, err = r.nextBase(rootID, lowMark, lock.R)
+		if err != nil {
+			return fmt.Errorf("pass1 next base: %w", err)
+		}
+	}
+	return nil
+}
+
+// compactBase forms and executes compaction units under one base page.
+// The caller holds R on the base.
+func (r *Reorganizer) compactBase(base *storage.Frame, entries []baseEntry) error {
+	capacity := r.leafCapacity()
+	i := 0
+	retries := 0
+	for i < len(entries) {
+		group, frames, total, err := r.acquireGroup(entries, i, capacity)
+		if err != nil {
+			if errors.Is(err, errUnitAborted) {
+				// Deadlock victim while assembling the group: retry the
+				// position a few times (the winning transaction needs a
+				// moment to finish), then move past it.
+				if retries < r.cfg.MaxUnitRetries {
+					retries++
+					retryBackoff(retries)
+					continue
+				}
+				retries = 0
+				i++
+				continue
+			}
+			return err
+		}
+		if len(group) < 2 {
+			for _, f := range frames {
+				r.unlock(f.ID())
+				r.tree.Pager().Unfix(f)
+			}
+			if len(group) == 1 {
+				r.noteFinished(group[0].child)
+			}
+			retries = 0
+			i++
+			continue
+		}
+		_ = total
+		err = r.executeCompactUnit(base, entries, i, group, frames)
+		if err != nil {
+			if errors.Is(err, errUnitAborted) && retries < r.cfg.MaxUnitRetries {
+				retries++
+				retryBackoff(retries)
+				continue
+			}
+			if !errors.Is(err, errUnitAborted) {
+				return err
+			}
+		}
+		retries = 0
+		i += len(group)
+	}
+	return nil
+}
+
+// acquireGroup RX-locks consecutive leaves starting at index i while
+// their combined payload fits the target capacity. It returns the
+// locked frames (caller releases on every path).
+func (r *Reorganizer) acquireGroup(entries []baseEntry, i, capacity int) ([]baseEntry, []*storage.Frame, int, error) {
+	var (
+		frames []*storage.Frame
+		total  int
+	)
+	release := func() {
+		for _, f := range frames {
+			r.unlock(f.ID())
+			r.tree.Pager().Unfix(f)
+		}
+	}
+	j := i
+	for j < len(entries) {
+		id := entries[j].child
+		if err := r.lockLeaf(id, lock.RX); err != nil {
+			release()
+			return nil, nil, 0, err
+		}
+		f, err := r.tree.Pager().Fix(id)
+		if err != nil {
+			r.unlock(id)
+			release()
+			return nil, nil, 0, err
+		}
+		f.RLock()
+		used := usedPayload(f.Data())
+		f.RUnlock()
+		if len(frames) > 0 && total+used > capacity {
+			r.unlock(id)
+			r.tree.Pager().Unfix(f)
+			break
+		}
+		frames = append(frames, f)
+		total += used
+		j++
+	}
+	return entries[i:j], frames, total, nil
+}
+
+// noteFinished records that a leaf's final position is known (L of the
+// Find-Free-Space heuristic).
+func (r *Reorganizer) noteFinished(id storage.PageID) {
+	if id > r.largestFinished {
+		r.largestFinished = id
+	}
+}
+
+// executeCompactUnit runs one compaction unit. The caller holds R on
+// the base and RX on the group frames; this function always releases
+// the group locks and pins before returning.
+func (r *Reorganizer) executeCompactUnit(base *storage.Frame, entries []baseEntry,
+	i int, group []baseEntry, frames []*storage.Frame) (err error) {
+	owner := r.owner
+	locks := r.tree.Locks()
+	pg := r.tree.Pager()
+	releaseFrames := func() {
+		for _, f := range frames {
+			r.unlock(f.ID())
+		}
+	}
+	unfixFrames := func() {
+		for _, f := range frames {
+			pg.Unfix(f)
+		}
+	}
+
+	// Original chain endpoints (for side-pointer fixes and undo).
+	frames[0].RLock()
+	pred := frames[0].Data().Prev()
+	frames[0].RUnlock()
+	lastF := frames[len(frames)-1]
+	lastF.RLock()
+	succ := lastF.Data().Next()
+	lastF.RUnlock()
+
+	// Lock the chain neighbours before any record moves (§4.3): RX for
+	// children of the same base page, X otherwise.
+	lockNeighbour := func(id storage.PageID, sameBase bool) error {
+		if id == storage.InvalidPage {
+			return nil
+		}
+		mode := lock.X
+		if sameBase {
+			mode = lock.RX
+		}
+		return r.lockLeaf(id, mode)
+	}
+	if err := lockNeighbour(pred, i > 0); err != nil {
+		releaseFrames()
+		unfixFrames()
+		return err
+	}
+	if err := lockNeighbour(succ, i+len(group) < len(entries)); err != nil {
+		if pred != storage.InvalidPage {
+			r.unlock(pred)
+		}
+		releaseFrames()
+		unfixFrames()
+		return err
+	}
+	releaseNeighbours := func() {
+		if pred != storage.InvalidPage {
+			r.unlock(pred)
+		}
+		if succ != storage.InvalidPage {
+			r.unlock(succ)
+		}
+	}
+
+	// Find-Free-Space: choose a destination page (§6.1).
+	dest, newPlace, err := r.chooseDest(frames[0])
+	if err != nil {
+		releaseNeighbours()
+		releaseFrames()
+		unfixFrames()
+		return err
+	}
+	if newPlace {
+		if err := r.lockLeaf(dest.ID(), lock.RX); err != nil {
+			pg.Unfix(dest)
+			_ = pg.Deallocate(dest.ID(), 0)
+			releaseNeighbours()
+			releaseFrames()
+			unfixFrames()
+			return err
+		}
+	}
+
+	unit := r.nextUnit
+	r.nextUnit++
+	leafIDs := make([]storage.PageID, 0, len(group))
+	for _, g := range group {
+		leafIDs = append(leafIDs, g.child)
+	}
+	begin := wal.ReorgBegin{Unit: unit, RType: wal.RCompact,
+		BasePages: []storage.PageID{base.ID()}, LeafPages: leafIDs,
+		Dest: dest.ID(), NewPlace: newPlace,
+		Preds: []storage.PageID{pred}, Succs: []storage.PageID{succ}}
+	r.beginUnit(begin)
+	if err := r.event("compact.begin"); err != nil {
+		return err
+	}
+
+	// Move records (remembering them for deadlock undo, §5.2).
+	var moved []movedSet
+	captureCells := func(f *storage.Frame) [][]byte {
+		f.RLock()
+		defer f.RUnlock()
+		out := make([][]byte, 0, f.Data().NumSlots())
+		for k := 0; k < f.Data().NumSlots(); k++ {
+			out = append(out, append([]byte(nil), f.Data().Cell(k)...))
+		}
+		return out
+	}
+	for idx, f := range frames {
+		if !newPlace && idx == 0 {
+			continue // in-place destination keeps its records
+		}
+		cells := captureCells(f)
+		if _, err := r.moveRecords(unit, f, dest); err != nil {
+			releaseNeighbours()
+			releaseFrames()
+			unfixFrames()
+			if newPlace {
+				r.unlock(dest.ID())
+				pg.Unfix(dest)
+			}
+			return err
+		}
+		moved = append(moved, movedSet{org: f, cells: cells})
+		if err := r.event("compact.moved"); err != nil {
+			return err
+		}
+	}
+
+	// Rewire the leaf chain around the destination.
+	if err := r.setChainPointers(dest.ID(), pred, succ); err != nil {
+		releaseNeighbours()
+		releaseFrames()
+		unfixFrames()
+		if newPlace {
+			r.unlock(dest.ID())
+			pg.Unfix(dest)
+		}
+		return err
+	}
+
+	// Upgrade the base lock R -> X to post the new keys (§4.1.1). A
+	// deadlock here undoes the unit's moves (§5.2).
+	if upErr := locks.Lock(owner, pageRes(base.ID()), lock.X); upErr != nil {
+		r.undoUnitMoves(unit, moved, dest, group, pred, succ)
+		r.endUnit(unit, nil)
+		r.m.Add(metrics.UnitsDeadlocked, 1)
+		releaseNeighbours()
+		releaseFrames()
+		unfixFrames()
+		if newPlace {
+			r.unlock(dest.ID())
+			dlsn := r.tree.Log().Append(wal.Dealloc{Page: dest.ID()})
+			pg.Unfix(dest)
+			_ = pg.Deallocate(dest.ID(), dlsn)
+		}
+		return errUnitAborted
+	}
+
+	// MODIFY: drop the emptied entries; point the group's entry at the
+	// destination.
+	m := wal.ReorgModify{Unit: unit, Base: base.ID()}
+	for _, g := range group[1:] {
+		m.Removes = append(m.Removes, g.key)
+	}
+	if newPlace {
+		m.Replaces = []wal.IndexReplace{{OldKey: group[0].key,
+			NewKey: group[0].key, NewChild: dest.ID()}}
+	}
+	if err := r.applyModify(m, base); err != nil {
+		locks.Downgrade(owner, pageRes(base.ID()), lock.R)
+		releaseNeighbours()
+		releaseFrames()
+		unfixFrames()
+		if newPlace {
+			r.unlock(dest.ID())
+			pg.Unfix(dest)
+		}
+		return fmt.Errorf("core: modify base %d: %w", base.ID(), err)
+	}
+	locks.Downgrade(owner, pageRes(base.ID()), lock.R)
+	if err := r.event("compact.modified"); err != nil {
+		return err
+	}
+
+	// Largest key processed (for LK in the reorg table).
+	dest.RLock()
+	var largest []byte
+	if n := dest.Data().NumSlots(); n > 0 {
+		largest = append([]byte(nil), kv.SlotKey(dest.Data(), n-1)...)
+	}
+	dest.RUnlock()
+
+	// Deallocate the emptied source pages (careful-writing dependencies
+	// force the destination to disk first).
+	unfixFrames()
+	for idx, g := range group {
+		if !newPlace && idx == 0 {
+			continue
+		}
+		if err := r.deallocLeaf(g.child); err != nil {
+			r.endUnit(unit, largest)
+			releaseNeighbours()
+			releaseFrames()
+			if newPlace {
+				r.unlock(dest.ID())
+				pg.Unfix(dest)
+			}
+			return err
+		}
+	}
+
+	r.endUnit(unit, largest)
+	r.noteFinished(dest.ID())
+	r.m.Add(metrics.UnitsCompact, 1)
+	if newPlace {
+		r.m.Add(metrics.PagesAllocated, 1)
+	}
+	releaseNeighbours()
+	releaseFrames()
+	if newPlace {
+		r.unlock(dest.ID())
+		pg.Unfix(dest)
+	}
+	return nil
+}
+
+// chooseDest implements Find-Free-Space: a "good" empty page per the
+// configured policy, or in-place (dest = the group's first leaf).
+// A new-place destination is returned pinned and formatted as a leaf.
+func (r *Reorganizer) chooseDest(first *storage.Frame) (*storage.Frame, bool, error) {
+	pg := r.tree.Pager()
+	switch r.cfg.Placement {
+	case PlacementInPlace:
+		return first, false, nil
+	case PlacementFirstFit:
+		f, err := pg.AllocateIn(0, storage.PageID(1<<30), storage.PageLeaf)
+		if err != nil {
+			return nil, false, err
+		}
+		if f == nil {
+			return first, false, nil
+		}
+		return f, true, nil
+	default: // PlacementHeuristic: first free page in (L, C)
+		c := first.ID()
+		f, err := pg.AllocateIn(r.largestFinished, c, storage.PageLeaf)
+		if err != nil {
+			return nil, false, err
+		}
+		if f == nil {
+			return first, false, nil
+		}
+		return f, true, nil
+	}
+}
+
+// movedSet remembers what one MOVE took from a source page, for §5.2
+// deadlock undo.
+type movedSet struct {
+	org   *storage.Frame
+	cells [][]byte
+}
+
+// undoUnitMoves reverses a unit's record moves and chain rewiring after
+// a deadlock at the base-lock upgrade (§5.2). Each reversal is logged
+// as a full-content MOVE so recovery can redo it.
+func (r *Reorganizer) undoUnitMoves(unit uint64, moved []movedSet,
+	dest *storage.Frame, group []baseEntry, pred, succ storage.PageID) {
+	pg := r.tree.Pager()
+	for i := len(moved) - 1; i >= 0; i-- {
+		ms := moved[i]
+		mv := wal.ReorgMove{Unit: unit, PrevLSN: r.table.prevLSN(),
+			Org: dest.ID(), Dest: ms.org.ID(), Full: true, Records: ms.cells}
+		lsn := r.tree.Log().Append(mv)
+		r.table.record(lsn)
+		dest.Lock()
+		for _, c := range ms.cells {
+			k, _ := kv.DecodeLeafCell(c)
+			if slot, found := kv.Search(dest.Data(), k); found {
+				_ = dest.Data().DeleteCell(slot)
+			}
+		}
+		dest.Data().SetLSN(lsn)
+		dest.Unlock()
+		pg.MarkDirty(dest, lsn)
+		ms.org.Lock()
+		for _, c := range ms.cells {
+			k, v := kv.DecodeLeafCell(c)
+			if _, found := kv.Search(ms.org.Data(), k); !found {
+				_ = kv.LeafInsert(ms.org.Data(), k, v)
+			}
+		}
+		ms.org.Data().SetLSN(lsn)
+		ms.org.Unlock()
+		pg.MarkDirty(ms.org, lsn)
+	}
+	// Restore the original chain: pred -> g0 -> g1 ... -> succ.
+	chain := make([]storage.PageID, 0, len(group)+2)
+	chain = append(chain, pred)
+	for _, g := range group {
+		chain = append(chain, g.child)
+	}
+	chain = append(chain, succ)
+	for idx := 1; idx < len(chain)-1; idx++ {
+		_ = r.logUpd(wal.Update{Page: chain[idx], Op: wal.OpSetPrev,
+			NewVal: pageops.EncodeChild(chain[idx-1])})
+		_ = r.logUpd(wal.Update{Page: chain[idx], Op: wal.OpSetNext,
+			NewVal: pageops.EncodeChild(chain[idx+1])})
+	}
+	if pred != storage.InvalidPage {
+		_ = r.logUpd(wal.Update{Page: pred, Op: wal.OpSetNext,
+			NewVal: pageops.EncodeChild(chain[1])})
+	}
+	if succ != storage.InvalidPage {
+		_ = r.logUpd(wal.Update{Page: succ, Op: wal.OpSetPrev,
+			NewVal: pageops.EncodeChild(chain[len(chain)-2])})
+	}
+}

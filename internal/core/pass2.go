@@ -1,0 +1,588 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kv"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/pageops"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// leafPos is one leaf in key order: the base entry key that routes to
+// it and its current page.
+type leafPos struct {
+	key  []byte
+	page storage.PageID
+}
+
+// SwapLeaves is pass 2: put the (compacted) leaves into key order on
+// disk. For each out-of-place leaf it prefers a Move to a well-placed
+// empty page (cheaper logging, one base page) and otherwise Swaps with
+// the occupant of the target position. The pass is optional and best
+// effort: units that hit conflicts are skipped.
+func (r *Reorganizer) SwapLeaves() error {
+	owner := r.owner
+	locks := r.tree.Locks()
+	_, epoch := r.tree.Root()
+	if err := locks.Lock(owner, lock.TreeRes(epoch), lock.IX); err != nil {
+		return err
+	}
+	defer locks.Unlock(owner, lock.TreeRes(epoch))
+
+	leaves, err := r.collectLeaves()
+	if err != nil {
+		return fmt.Errorf("pass2 collect: %w", err)
+	}
+	n := len(leaves)
+	if n < 2 {
+		return nil
+	}
+
+	// cur[k] = page currently holding the k-th leaf; pos[p] = which
+	// key-order leaf page p currently holds.
+	cur := make([]storage.PageID, n)
+	pos := make(map[storage.PageID]int, n)
+	maxID := storage.PageID(0)
+	for k, l := range leaves {
+		cur[k] = l.page
+		pos[l.page] = k
+		if l.page > maxID {
+			maxID = l.page
+		}
+	}
+
+	// Greedy placement: leaf k goes to the smallest id greater than the
+	// previous placement that is either free (Move: cheaper logging,
+	// one base page, §6.1) or occupied by a later leaf (Swap).
+	prevAssigned := storage.PageID(0)
+	for k := 0; k < n; k++ {
+		// Smallest remaining occupied id.
+		minOcc := storage.PageID(0)
+		for j := k; j < n; j++ {
+			if cur[j] > prevAssigned && (minOcc == 0 || cur[j] < minOcc) {
+				minOcc = cur[j]
+			}
+		}
+		free := r.tree.Pager().FirstFreeIn(prevAssigned, maxID+1)
+		if free != storage.InvalidPage && (minOcc == 0 || free < minOcc) && free != cur[k] {
+			moved, err := r.moveLeafUnit(leaves[k].key, cur[k], free)
+			if err != nil {
+				return fmt.Errorf("pass2 move: %w", err)
+			}
+			if moved {
+				delete(pos, cur[k])
+				cur[k] = free
+				pos[free] = k
+				prevAssigned = free
+				continue
+			}
+			// fall through to swap on conflict
+		}
+		if minOcc == 0 {
+			// Everything remaining sits at ids <= prevAssigned and no
+			// free slot above it exists: leave the residue (best
+			// effort; only reachable under concurrent churn).
+			prevAssigned = cur[k]
+			continue
+		}
+		if cur[k] == minOcc {
+			prevAssigned = cur[k]
+			continue
+		}
+		m, ok := pos[minOcc]
+		if !ok || m == k {
+			prevAssigned = cur[k]
+			continue
+		}
+		swapped, err := r.swapUnit(leaves[k].key, cur[k], leaves[m].key, minOcc)
+		if err != nil {
+			return fmt.Errorf("pass2 swap: %w", err)
+		}
+		if swapped {
+			pos[cur[k]], pos[minOcc] = m, k
+			cur[m] = cur[k]
+			cur[k] = minOcc
+		}
+		prevAssigned = cur[k]
+	}
+	return nil
+}
+
+// collectLeaves gathers (entry key, leaf page) pairs in key order by
+// walking the base pages under R locks.
+func (r *Reorganizer) collectLeaves() ([]leafPos, error) {
+	owner := r.owner
+	var out []leafPos
+	base, err := r.firstBase(lock.R)
+	if err != nil {
+		return nil, err
+	}
+	for base != nil {
+		entries := readBaseEntries(base)
+		for _, e := range entries {
+			out = append(out, leafPos{key: e.key, page: e.child})
+		}
+		var lowMark []byte
+		if len(entries) > 0 {
+			lowMark = entries[0].key
+		}
+		r.tree.ReleaseBase(owner, base)
+		rootID, _ := r.tree.Root()
+		base, err = r.nextBase(rootID, lowMark, lock.R)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// verifyEntry checks, under the held base lock, that the base routes
+// key to the expected leaf (concurrent activity may have restructured).
+func verifyEntry(base *storage.Frame, key []byte, want storage.PageID) bool {
+	base.RLock()
+	defer base.RUnlock()
+	child, _ := kv.ChildFor(base.Data(), key)
+	return child == want
+}
+
+// moveLeafUnit moves one leaf to the chosen empty page (a Move-type
+// unit: one base page, new-place). Returns false when skipped.
+func (r *Reorganizer) moveLeafUnit(key []byte, from, to storage.PageID) (bool, error) {
+	owner := r.owner
+	locks := r.tree.Locks()
+	pg := r.tree.Pager()
+
+	rootID, _ := r.tree.Root()
+	base, err := r.descendToBase(rootID, key, lock.R)
+	if err != nil {
+		return false, err
+	}
+	defer r.tree.ReleaseBase(owner, base)
+	if !verifyEntry(base, key, from) {
+		return false, nil
+	}
+	if err := r.lockLeaf(from, lock.RX); err != nil {
+		if errors.Is(err, errUnitAborted) {
+			return false, nil
+		}
+		return false, err
+	}
+	defer r.unlock(from)
+	leaf, err := pg.Fix(from)
+	if err != nil {
+		return false, err
+	}
+	leafPinned := true
+	unfixLeaf := func() {
+		if leafPinned {
+			pg.Unfix(leaf)
+			leafPinned = false
+		}
+	}
+	defer unfixLeaf()
+
+	leaf.RLock()
+	pred, succ := leaf.Data().Prev(), leaf.Data().Next()
+	leaf.RUnlock()
+	for _, nb := range []storage.PageID{pred, succ} {
+		if nb == storage.InvalidPage {
+			continue
+		}
+		if err := r.lockLeaf(nb, lock.X); err != nil {
+			if pred != storage.InvalidPage && nb == succ {
+				r.unlock(pred)
+			}
+			if errors.Is(err, errUnitAborted) {
+				return false, nil
+			}
+			return false, err
+		}
+	}
+	releaseNbs := func() {
+		if pred != storage.InvalidPage {
+			r.unlock(pred)
+		}
+		if succ != storage.InvalidPage {
+			r.unlock(succ)
+		}
+	}
+
+	dest, err := pg.AllocateAt(to, storage.PageLeaf)
+	if err != nil {
+		releaseNbs()
+		return false, nil // the page was taken meanwhile
+	}
+	if err := r.lockLeaf(to, lock.RX); err != nil {
+		pg.Unfix(dest)
+		_ = pg.Deallocate(to, 0)
+		releaseNbs()
+		if errors.Is(err, errUnitAborted) {
+			return false, nil
+		}
+		return false, err
+	}
+	releaseDest := func() {
+		r.unlock(to)
+		pg.Unfix(dest)
+	}
+
+	unit := r.nextUnit
+	r.nextUnit++
+	r.beginUnit(wal.ReorgBegin{Unit: unit, RType: wal.RMove,
+		BasePages: []storage.PageID{base.ID()},
+		LeafPages: []storage.PageID{from}, Dest: to, NewPlace: true,
+		Preds: []storage.PageID{pred}, Succs: []storage.PageID{succ}})
+
+	if err := r.event("move.begin"); err != nil {
+		return false, err
+	}
+	leaf.RLock()
+	origCells := make([][]byte, 0, leaf.Data().NumSlots())
+	for i := 0; i < leaf.Data().NumSlots(); i++ {
+		origCells = append(origCells, append([]byte(nil), leaf.Data().Cell(i)...))
+	}
+	leaf.RUnlock()
+	if _, err := r.moveRecords(unit, leaf, dest); err != nil {
+		releaseDest()
+		releaseNbs()
+		return false, err
+	}
+	if err := r.setChainPointers(to, pred, succ); err != nil {
+		releaseDest()
+		releaseNbs()
+		return false, err
+	}
+	if err := locks.Lock(owner, pageRes(base.ID()), lock.X); err != nil {
+		// Deadlock at upgrade: undo the single move (§5.2).
+		r.undoUnitMoves(unit, []movedSet{{org: leaf, cells: origCells}}, dest,
+			[]baseEntry{{key: key, child: from}}, pred, succ)
+		r.endUnit(unit, nil)
+		releaseDest()
+		releaseNbs()
+		dlsn := r.tree.Log().Append(wal.Dealloc{Page: to})
+		_ = pg.Deallocate(to, dlsn)
+		r.m.Add(metrics.UnitsDeadlocked, 1)
+		return false, nil
+	}
+	m := wal.ReorgModify{Unit: unit, Base: base.ID(),
+		Replaces: []wal.IndexReplace{{OldKey: key, NewKey: key, NewChild: to}}}
+	if err := r.applyModify(m, base); err != nil {
+		locks.Downgrade(owner, pageRes(base.ID()), lock.R)
+		releaseDest()
+		releaseNbs()
+		return false, fmt.Errorf("core: pass2 modify: %w", err)
+	}
+	locks.Downgrade(owner, pageRes(base.ID()), lock.R)
+
+	unfixLeaf()
+	if err := r.deallocLeaf(from); err != nil {
+		releaseDest()
+		releaseNbs()
+		return false, err
+	}
+	r.endUnit(unit, nil)
+	r.m.Add(metrics.UnitsMove, 1)
+	r.m.Add(metrics.Pass2Moves, 1)
+	releaseDest()
+	releaseNbs()
+	return true, nil
+}
+
+// swapUnit exchanges the contents of pages pa and pb (leaves keyed ka
+// and kb), updating both parents (a Swap-type unit, §4.1). Returns
+// false when skipped due to conflicts.
+func (r *Reorganizer) swapUnit(ka []byte, pa storage.PageID, kb []byte, pb storage.PageID) (bool, error) {
+	owner := r.owner
+	locks := r.tree.Locks()
+	pg := r.tree.Pager()
+
+	rootID, _ := r.tree.Root()
+	baseA, err := r.descendToBase(rootID, ka, lock.R)
+	if err != nil {
+		return false, err
+	}
+	// The second descent can deadlock against updaters while R is held
+	// on baseA; skip the unit in that case rather than retrying under
+	// the held lock.
+	baseB, err := r.tree.DescendToBaseOf(owner, rootID, kb, lock.R)
+	if err != nil {
+		r.tree.ReleaseBase(owner, baseA)
+		if errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrTimeout) {
+			return false, nil
+		}
+		return false, err
+	}
+	sameBase := baseA.ID() == baseB.ID()
+	releaseBases := func() {
+		r.tree.ReleaseBase(owner, baseA)
+		if !sameBase {
+			r.tree.ReleaseBase(owner, baseB)
+		} else {
+			pg.Unfix(baseB)
+		}
+	}
+	if !verifyEntry(baseA, ka, pa) || !verifyEntry(baseB, kb, pb) {
+		releaseBases()
+		return false, nil
+	}
+
+	// RX both leaves, then X their chain neighbours (excluding each
+	// other), all before any data moves (§4.3).
+	if err := r.lockLeaf(pa, lock.RX); err != nil {
+		releaseBases()
+		return false, skipAborted(err)
+	}
+	if err := r.lockLeaf(pb, lock.RX); err != nil {
+		r.unlock(pa)
+		releaseBases()
+		return false, skipAborted(err)
+	}
+	fa, err := pg.Fix(pa)
+	if err != nil {
+		r.unlock(pa)
+		r.unlock(pb)
+		releaseBases()
+		return false, err
+	}
+	fb, err := pg.Fix(pb)
+	if err != nil {
+		pg.Unfix(fa)
+		r.unlock(pa)
+		r.unlock(pb)
+		releaseBases()
+		return false, err
+	}
+	fa.RLock()
+	predA, succA := fa.Data().Prev(), fa.Data().Next()
+	fa.RUnlock()
+	fb.RLock()
+	predB, succB := fb.Data().Prev(), fb.Data().Next()
+	fb.RUnlock()
+	var nbs []storage.PageID
+	for _, nb := range []storage.PageID{predA, succA, predB, succB} {
+		if nb == storage.InvalidPage || nb == pa || nb == pb {
+			continue
+		}
+		dup := false
+		for _, got := range nbs {
+			if got == nb {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if err := r.lockLeaf(nb, lock.X); err != nil {
+			for _, got := range nbs {
+				r.unlock(got)
+			}
+			pg.Unfix(fa)
+			pg.Unfix(fb)
+			r.unlock(pa)
+			r.unlock(pb)
+			releaseBases()
+			return false, skipAborted(err)
+		}
+		nbs = append(nbs, nb)
+	}
+	releaseAll := func() {
+		for _, got := range nbs {
+			r.unlock(got)
+		}
+		pg.Unfix(fa)
+		pg.Unfix(fb)
+		r.unlock(pa)
+		r.unlock(pb)
+		releaseBases()
+	}
+
+	unit := r.nextUnit
+	r.nextUnit++
+	bases := []storage.PageID{baseA.ID()}
+	if !sameBase {
+		bases = append(bases, baseB.ID())
+	}
+	r.beginUnit(wal.ReorgBegin{Unit: unit, RType: wal.RSwap,
+		BasePages: bases, LeafPages: []storage.PageID{pa, pb},
+		Preds: []storage.PageID{predA, predB},
+		Succs: []storage.PageID{succA, succB}})
+
+	// Log the full pre-swap image of page A (§5: "no way to avoid
+	// logging at least one of the full page contents") and install the
+	// write-ordering dependency: B (now holding A's content) must not
+	// reach disk before A does, or the old B would be unrecoverable.
+	fa.RLock()
+	imgA := append([]byte(nil), fa.Data()...)
+	fa.RUnlock()
+	sw := wal.ReorgSwap{Unit: unit, PrevLSN: r.table.prevLSN(),
+		PageA: pa, PageB: pb, ImageA: imgA}
+	lsn := r.tree.Log().Append(sw)
+	r.table.record(lsn)
+	pg.AddWriteDep(pb, pa)
+
+	SwapPages(fa, fb, lsn)
+	pg.MarkDirty(fa, lsn)
+	pg.MarkDirty(fb, lsn)
+	if err := r.event("swap.moved"); err != nil {
+		return false, err
+	}
+
+	// Neighbour pointer fixes: whoever pointed at pa now points at pb
+	// and vice versa.
+	fix := func(nb storage.PageID, op wal.Op, to storage.PageID) error {
+		if nb == storage.InvalidPage || nb == pa || nb == pb {
+			return nil
+		}
+		return r.logUpd(wal.Update{Page: nb, Op: op, NewVal: pageops.EncodeChild(to)})
+	}
+	if err := errFirst(
+		fix(predA, wal.OpSetNext, pb),
+		fix(succA, wal.OpSetPrev, pb),
+		fix(predB, wal.OpSetNext, pa),
+		fix(succB, wal.OpSetPrev, pa),
+	); err != nil {
+		releaseAll()
+		return false, err
+	}
+
+	// Upgrade both parents and post the pointer changes.
+	if err := locks.Lock(owner, pageRes(baseA.ID()), lock.X); err != nil {
+		r.undoSwap(unit, fa, fb, predA, succA, predB, succB)
+		r.endUnit(unit, nil)
+		releaseAll()
+		r.m.Add(metrics.UnitsDeadlocked, 1)
+		return false, nil
+	}
+	if !sameBase {
+		if err := locks.Lock(owner, pageRes(baseB.ID()), lock.X); err != nil {
+			locks.Downgrade(owner, pageRes(baseA.ID()), lock.R)
+			r.undoSwap(unit, fa, fb, predA, succA, predB, succB)
+			r.endUnit(unit, nil)
+			releaseAll()
+			r.m.Add(metrics.UnitsDeadlocked, 1)
+			return false, nil
+		}
+	}
+	ma := wal.ReorgModify{Unit: unit, Base: baseA.ID(),
+		Replaces: []wal.IndexReplace{{OldKey: ka, NewKey: ka, NewChild: pb}}}
+	mb := wal.ReorgModify{Unit: unit, Base: baseB.ID(),
+		Replaces: []wal.IndexReplace{{OldKey: kb, NewKey: kb, NewChild: pa}}}
+	if sameBase {
+		ma.Replaces = append(ma.Replaces, mb.Replaces...)
+	}
+	if err := r.applyModify(ma, baseA); err != nil {
+		releaseAll()
+		return false, err
+	}
+	if !sameBase {
+		if err := r.applyModify(mb, baseB); err != nil {
+			releaseAll()
+			return false, err
+		}
+		locks.Downgrade(owner, pageRes(baseB.ID()), lock.R)
+	}
+	locks.Downgrade(owner, pageRes(baseA.ID()), lock.R)
+
+	r.endUnit(unit, nil)
+	r.m.Add(metrics.UnitsSwap, 1)
+	r.m.Add(metrics.Pass2Swaps, 1)
+	releaseAll()
+	return true, nil
+}
+
+// undoSwap reverses a swap after a deadlock at the upgrade (§5.2): a
+// swap is its own inverse, so it is re-logged and re-applied, and the
+// neighbour pointers are restored.
+func (r *Reorganizer) undoSwap(unit uint64, fa, fb *storage.Frame,
+	predA, succA, predB, succB storage.PageID) {
+	pa, pb := fa.ID(), fb.ID()
+	fa.RLock()
+	imgA := append([]byte(nil), fa.Data()...)
+	fa.RUnlock()
+	sw := wal.ReorgSwap{Unit: unit, PrevLSN: r.table.prevLSN(),
+		PageA: pa, PageB: pb, ImageA: imgA}
+	lsn := r.tree.Log().Append(sw)
+	r.table.record(lsn)
+	SwapPages(fa, fb, lsn)
+	r.tree.Pager().MarkDirty(fa, lsn)
+	r.tree.Pager().MarkDirty(fb, lsn)
+	fix := func(nb storage.PageID, op wal.Op, to storage.PageID) {
+		if nb == storage.InvalidPage || nb == pa || nb == pb {
+			return
+		}
+		_ = r.logUpd(wal.Update{Page: nb, Op: op, NewVal: pageops.EncodeChild(to)})
+	}
+	fix(predA, wal.OpSetNext, pa)
+	fix(succA, wal.OpSetPrev, pa)
+	fix(predB, wal.OpSetNext, pb)
+	fix(succB, wal.OpSetPrev, pb)
+}
+
+// SwapPages exchanges the record contents and side pointers of two
+// latched-by-caller... it takes both write latches itself (in id order)
+// and fixes self-references for adjacent leaves. Exported for use by
+// forward recovery.
+func SwapPages(fa, fb *storage.Frame, lsn uint64) {
+	first, second := fa, fb
+	if first.ID() > second.ID() {
+		first, second = second, first
+	}
+	first.Lock()
+	second.Lock()
+	defer second.Unlock()
+	defer first.Unlock()
+
+	pa, pb := fa.Data(), fb.Data()
+	collect := func(p storage.Page) (cells [][]byte, next, prev storage.PageID) {
+		for i := 0; i < p.NumSlots(); i++ {
+			cells = append(cells, append([]byte(nil), p.Cell(i)...))
+		}
+		return cells, p.Next(), p.Prev()
+	}
+	cellsA, nextA, prevA := collect(pa)
+	cellsB, nextB, prevB := collect(pb)
+	idA, idB := fa.ID(), fb.ID()
+
+	write := func(p storage.Page, cells [][]byte, next, prev storage.PageID) {
+		p.TruncateCells(0)
+		p.Compact()
+		for i, c := range cells {
+			if err := p.InsertCell(i, c); err != nil {
+				panic(fmt.Sprintf("core: swap re-insert into %d: %v", p.ID(), err))
+			}
+		}
+		p.SetNext(next)
+		p.SetPrev(prev)
+		p.SetLSN(lsn)
+	}
+	// A receives B's content; self-references (adjacency) flip.
+	fixRef := func(ref, self, other storage.PageID) storage.PageID {
+		if ref == self {
+			return other
+		}
+		return ref
+	}
+	write(pa, cellsB, fixRef(nextB, idA, idB), fixRef(prevB, idA, idB))
+	write(pb, cellsA, fixRef(nextA, idB, idA), fixRef(prevA, idB, idA))
+}
+
+func errFirst(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func skipAborted(err error) error {
+	if errors.Is(err, errUnitAborted) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/kv"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/pageops"
+	"repro/internal/sidefile"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// pass3State is the shared state between the reorganizer and the
+// base-update hook during internal-page reorganization (§7).
+type pass3State struct {
+	mu       sync.Mutex
+	active   bool
+	switched bool
+	allRead  bool   // every base page has been read: all updates go to the side file
+	ck       []byte // low mark of the base page currently being read
+	sf       *sidefile.SideFile
+	newRoot  storage.PageID
+}
+
+func (s *pass3State) snapshot() wal.Pass3Snap {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := wal.Pass3Snap{Active: s.active, ReorgBit: s.active,
+		CK: append([]byte(nil), s.ck...), NewRoot: s.newRoot}
+	if s.sf != nil {
+		snap.SideFileHead = s.sf.Head()
+	}
+	return snap
+}
+
+func (s *pass3State) start(sf *sidefile.SideFile) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active, s.switched, s.allRead = true, false, false
+	s.ck = nil
+	s.sf = sf
+	s.newRoot = storage.InvalidPage
+}
+
+func (s *pass3State) setCK(ck []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ck = append([]byte(nil), ck...)
+}
+
+func (s *pass3State) setAllRead() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.allRead = true
+}
+
+func (s *pass3State) setSwitched() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.switched = true
+}
+
+func (s *pass3State) finish() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active, s.switched, s.allRead = false, false, false
+	s.sf = nil
+}
+
+// GetCurrent returns CK, the low mark of the base page the reorganizer
+// is currently reading (§7.1's Get_Current).
+func (r *Reorganizer) GetCurrent() []byte {
+	r.pass3.mu.Lock()
+	defer r.pass3.mu.Unlock()
+	return append([]byte(nil), r.pass3.ck...)
+}
+
+// OnBaseUpdate implements btree.ReorgHook (§7.2): an updater holding X
+// on a base page calls it before changing the base. If the reorganizer
+// has already read past the key (or has read everything), the change is
+// appended to the side file under an IX table lock, held (via the
+// returned release) until the base change is applied. A blocked IX
+// means the switch is in progress: the updater waits it out with an
+// instant-duration IX and restarts against the new tree.
+func (r *Reorganizer) OnBaseUpdate(owner uint64, op wal.Update) (func(), error) {
+	r.pass3.mu.Lock()
+	active, allRead, switched := r.pass3.active, r.pass3.allRead, r.pass3.switched
+	ck := append([]byte(nil), r.pass3.ck...)
+	sf := r.pass3.sf
+	r.pass3.mu.Unlock()
+	if !active || sf == nil {
+		return nil, nil
+	}
+	if switched {
+		return nil, btree.ErrSwitched
+	}
+	needSide := allRead || kv.Compare(op.Key, ck) < 0
+	if !needSide {
+		return nil, nil // the reorganizer will read this base page later
+	}
+	locks := r.tree.Locks()
+	err := locks.LockOpts(owner, lock.SideFileRes(), lock.IX, lock.Opt{NoWait: true})
+	if errors.Is(err, lock.ErrWouldBlock) {
+		// Switching is in progress: the reorganizer holds X on the side
+		// file and will need X on the old tree, which this updater's
+		// transaction may hold intents on — waiting here would deadlock.
+		// The paper's escape hatch is to force old-tree transactions to
+		// abort (§7.4); ErrSwitched propagates up so the transaction
+		// aborts and retries against the (about to be) new tree.
+		return nil, btree.ErrSwitched
+	}
+	if err != nil {
+		return nil, err
+	}
+	var child storage.PageID
+	if op.Op == wal.OpInsert {
+		child = pageops.DecodeChild(op.NewVal)
+	}
+	if err := sf.Append(owner, op.Op, op.Key, child); err != nil {
+		locks.Unlock(owner, lock.SideFileRes())
+		return nil, err
+	}
+	return func() { locks.Unlock(owner, lock.SideFileRes()) }, nil
+}
+
+// RebuildInternal is pass 3 (§7): build new internal levels bottom-up
+// from the sorted base pages (one S lock at a time), catch up
+// concurrent base changes through the side file, then switch.
+func (r *Reorganizer) RebuildInternal() error {
+	owner := r.owner
+	locks := r.tree.Locks()
+	pg := r.tree.Pager()
+	oldRoot, oldEpoch := r.tree.Root()
+
+	if err := locks.Lock(owner, lock.TreeRes(oldEpoch), lock.IX); err != nil {
+		return fmt.Errorf("pass3 tree IX: %w", err)
+	}
+	sf, err := sidefile.Create(pg, r.tree.Log(), locks)
+	if err != nil {
+		locks.Unlock(owner, lock.TreeRes(oldEpoch))
+		return err
+	}
+	r.pass3.start(sf)
+	if err := r.tree.SetReorgBit(true, sf.Head()); err != nil {
+		return err
+	}
+	r.tree.SetReorgHook(r)
+
+	b := newBuilder(pg, r.tree.Log(), r.cfg.TargetFill)
+
+	// Read the old tree's base pages left to right, one S lock at a
+	// time, feeding every entry into the bulk builder. CK tracks the
+	// base being read; it is advanced before the S lock is released.
+	base, err := r.descendToBase(oldRoot, []byte{}, lock.S)
+	if err != nil {
+		return fmt.Errorf("pass3 first base: %w", err)
+	}
+	basesRead := 0
+	var lastKey []byte
+	for base != nil {
+		entries := readBaseEntries(base)
+		if len(entries) > 0 {
+			r.pass3.setCK(entries[0].key)
+		}
+		var next *storage.Frame
+		var lowMark []byte
+		if len(entries) > 0 {
+			lowMark = entries[0].key
+		}
+		// Couple to the next base so CK can be advanced before this S
+		// lock is released (§7.1). If the couple is victimised, the
+		// current base must be RELEASED before retrying — holding it
+		// would pin the deadlock cycle in place — and then re-read,
+		// since updates may hit it while unlocked (CK still names it,
+		// so they are not in the side file).
+		for tries := 0; ; tries++ {
+			next, err = r.tree.NextBaseOf(owner, oldRoot, lowMark, lock.S)
+			if err == nil {
+				break
+			}
+			if !isTransient(err) || tries > 1000 {
+				r.tree.ReleaseBase(owner, base)
+				return fmt.Errorf("pass3 next base: %w", err)
+			}
+			r.tree.ReleaseBase(owner, base)
+			retryBackoff(tries)
+			base, err = r.descendToBase(oldRoot, lowMark, lock.S)
+			if err != nil {
+				return fmt.Errorf("pass3 re-acquire base: %w", err)
+			}
+			entries = readBaseEntries(base)
+		}
+		if next != nil {
+			nextEntries := readBaseEntries(next)
+			if len(nextEntries) > 0 {
+				// Advance CK before giving up the S lock (§7.1).
+				r.pass3.setCK(nextEntries[0].key)
+			}
+		} else {
+			r.pass3.setAllRead()
+		}
+		r.tree.ReleaseBase(owner, base)
+
+		for _, e := range entries {
+			if err := b.add(e.key, e.child); err != nil {
+				return err
+			}
+			lastKey = e.key
+		}
+		r.m.Add(metrics.Pass3Bases, 1)
+		if err := r.event("pass3.base"); err != nil {
+			return err
+		}
+		basesRead++
+		if basesRead%r.cfg.StablePointEvery == 0 {
+			if err := r.stablePoint(b, lastKey); err != nil {
+				return err
+			}
+		}
+		base = next
+	}
+
+	newRoot, err := b.finish()
+	if err != nil {
+		return err
+	}
+	r.pass3.mu.Lock()
+	r.pass3.newRoot = newRoot
+	r.pass3.mu.Unlock()
+	if err := b.flushAll(); err != nil {
+		return err
+	}
+	if err := r.event("pass3.built"); err != nil {
+		return err
+	}
+	if err := r.stablePoint(b, lastKey); err != nil {
+		return err
+	}
+
+	// Catch-up rounds: drain the side file while updaters may still be
+	// appending. Leaf splits are rare, so this converges (§7).
+	for round := 0; round < 1000; round++ {
+		n, err := sf.Drain(func(e sidefile.Entry) error {
+			return r.applySideEntry(&newRoot, e)
+		})
+		if err != nil {
+			return err
+		}
+		r.m.Add(metrics.Pass3SideApply, int64(n))
+		if n == 0 && sf.Pending() == 0 {
+			break
+		}
+	}
+
+	// Switch (§7.4): X on the side file freezes base pages; apply the
+	// residue; make everything durable; flip the anchor.
+	if err := locks.Lock(owner, lock.SideFileRes(), lock.X); err != nil {
+		return fmt.Errorf("pass3 sidefile X: %w", err)
+	}
+	n, err := sf.Drain(func(e sidefile.Entry) error {
+		return r.applySideEntry(&newRoot, e)
+	})
+	if err != nil {
+		return err
+	}
+	r.m.Add(metrics.Pass3SideApply, int64(n))
+	if err := pg.FlushAll(); err != nil {
+		return err
+	}
+	newHeight, err := treeHeightOf(pg, newRoot)
+	if err != nil {
+		return err
+	}
+	lsn := r.tree.Log().Append(wal.SwitchRoot{OldRoot: oldRoot,
+		NewRoot: newRoot, NewHeight: uint32(newHeight), NewEpoch: oldEpoch + 1})
+	if err := r.tree.Log().FlushTo(lsn); err != nil {
+		return err
+	}
+	if err := r.tree.SwitchRoot(newRoot, oldEpoch+1); err != nil {
+		return err
+	}
+	r.pass3.setSwitched()
+	if err := r.event("pass3.switched"); err != nil {
+		return err
+	}
+
+	// Wait for transactions still using the old tree, then reclaim its
+	// internal pages (the leaves are shared and stay).
+	if err := locks.Lock(owner, lock.TreeRes(oldEpoch), lock.X); err != nil {
+		return fmt.Errorf("pass3 old-tree X: %w", err)
+	}
+	if err := r.discardOldInternals(oldRoot); err != nil {
+		return err
+	}
+
+	if err := r.tree.SetReorgBit(false, storage.InvalidPage); err != nil {
+		return err
+	}
+	r.tree.SetReorgHook(nil)
+	r.pass3.finish()
+	if err := sf.Destroy(); err != nil {
+		return err
+	}
+	locks.Unlock(owner, lock.SideFileRes())
+	locks.Unlock(owner, lock.TreeRes(oldEpoch))
+	return nil
+}
+
+// stablePoint forces the builder's pages to disk and logs the stable
+// key (§7.3). After it, log records before the stable key are no
+// longer needed to rebuild the new tree.
+func (r *Reorganizer) stablePoint(b *builder, lastKey []byte) error {
+	if err := b.flushAll(); err != nil {
+		return err
+	}
+	lsn := r.tree.Log().Append(wal.StableKey{Key: append([]byte(nil), lastKey...),
+		NewRoot: b.topPage()})
+	if err := r.tree.Log().FlushTo(lsn); err != nil {
+		return err
+	}
+	r.m.Add(metrics.Pass3Stable, 1)
+	return nil
+}
+
+// applySideEntry replays one captured base change against the new tree
+// (private until the switch, so plain latched access suffices).
+func (r *Reorganizer) applySideEntry(newRoot *storage.PageID, e sidefile.Entry) error {
+	switch e.Op {
+	case wal.OpInsert:
+		root, err := newTreeInsert(r.tree.Pager(), *newRoot, e.Key, e.Child)
+		if err != nil {
+			return err
+		}
+		*newRoot = root
+		r.pass3.mu.Lock()
+		r.pass3.newRoot = root
+		r.pass3.mu.Unlock()
+		return nil
+	case wal.OpDelete:
+		return newTreeDelete(r.tree.Pager(), *newRoot, e.Key)
+	default:
+		return fmt.Errorf("core: side entry op %v", e.Op)
+	}
+}
+
+// discardOldInternals deallocates the old tree's internal pages after
+// all old-tree transactions have drained.
+func (r *Reorganizer) discardOldInternals(oldRoot storage.PageID) error {
+	pg := r.tree.Pager()
+	var internals []storage.PageID
+	var walk func(id storage.PageID) error
+	walk = func(id storage.PageID) error {
+		f, err := pg.Fix(id)
+		if err != nil {
+			return err
+		}
+		f.RLock()
+		p := f.Data()
+		if p.Type() != storage.PageInternal {
+			f.RUnlock()
+			pg.Unfix(f)
+			return nil
+		}
+		level := p.Aux()
+		var children []storage.PageID
+		if level > 1 {
+			for i := 0; i < p.NumSlots(); i++ {
+				_, c := kv.DecodeIndexCell(p.Cell(i))
+				children = append(children, c)
+			}
+		}
+		f.RUnlock()
+		pg.Unfix(f)
+		internals = append(internals, id)
+		for _, c := range children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(oldRoot); err != nil {
+		return err
+	}
+	for _, id := range internals {
+		lsn := r.tree.Log().Append(wal.Dealloc{Page: id})
+		if err := pg.Deallocate(id, lsn); err != nil {
+			return err
+		}
+		r.m.Add(metrics.PagesFreed, 1)
+	}
+	return nil
+}
+
+func treeHeightOf(pg *storage.Pager, root storage.PageID) (int, error) {
+	f, err := pg.Fix(root)
+	if err != nil {
+		return 0, err
+	}
+	defer pg.Unfix(f)
+	f.RLock()
+	defer f.RUnlock()
+	return int(f.Data().Aux()) + 1, nil
+}

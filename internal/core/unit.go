@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kv"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/pageops"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// errUnitAborted reports that a unit gave up its locks (deadlock
+// victim, §4.1) and should be retried or skipped.
+var errUnitAborted = fmt.Errorf("core: reorganization unit aborted")
+
+func pageRes(id storage.PageID) lock.Resource {
+	return lock.PageRes(uint64(id))
+}
+
+// isTransient reports lock-manager outcomes the reorganizer absorbs by
+// retrying: it is always the deadlock victim (§4.1), so victimisation
+// during a descent just means "try again".
+func isTransient(err error) bool {
+	return err == lock.ErrDeadlock || err == lock.ErrTimeout
+}
+
+// retryBackoff sleeps briefly before the reorganizer retries after
+// being victimised: the user transaction that won the deadlock needs
+// time to finish, or the same cycle re-forms immediately.
+func retryBackoff(tries int) {
+	d := time.Duration(tries) * time.Millisecond
+	if d > 20*time.Millisecond {
+		d = 20 * time.Millisecond
+	}
+	time.Sleep(d)
+}
+
+// firstBase / nextBase retry transient lock failures during base-page
+// navigation.
+func (r *Reorganizer) firstBase(mode lock.Mode) (*storage.Frame, error) {
+	for tries := 0; ; tries++ {
+		f, err := r.tree.FirstBase(r.owner, mode)
+		if err != nil && isTransient(err) && tries < 1000 {
+			retryBackoff(tries)
+			continue
+		}
+		return f, err
+	}
+}
+
+func (r *Reorganizer) nextBase(rootID storage.PageID, k []byte, mode lock.Mode) (*storage.Frame, error) {
+	for tries := 0; ; tries++ {
+		f, err := r.tree.NextBaseOf(r.owner, rootID, k, mode)
+		if err != nil && isTransient(err) && tries < 1000 {
+			retryBackoff(tries)
+			continue
+		}
+		return f, err
+	}
+}
+
+func (r *Reorganizer) descendToBase(rootID storage.PageID, k []byte, mode lock.Mode) (*storage.Frame, error) {
+	for tries := 0; ; tries++ {
+		f, err := r.tree.DescendToBaseOf(r.owner, rootID, k, mode)
+		if err != nil && isTransient(err) && tries < 1000 {
+			retryBackoff(tries)
+			continue
+		}
+		return f, err
+	}
+}
+
+// lockLeaf acquires mode on a leaf for the reorganizer, translating a
+// deadlock victimisation into errUnitAborted.
+func (r *Reorganizer) lockLeaf(id storage.PageID, mode lock.Mode) error {
+	err := r.tree.Locks().Lock(r.owner, pageRes(id), mode)
+	if err == lock.ErrDeadlock || err == lock.ErrTimeout {
+		r.m.Add(metrics.UnitsDeadlocked, 1)
+		return errUnitAborted
+	}
+	return err
+}
+
+func (r *Reorganizer) unlock(id storage.PageID) {
+	r.tree.Locks().Unlock(r.owner, pageRes(id))
+}
+
+// usedPayload is the byte budget a leaf's records consume in a
+// destination page (cells plus slot entries).
+func usedPayload(p storage.Page) int {
+	return p.UsedBytes() + 4*p.NumSlots()
+}
+
+// logUpd appends a system update record and applies it (side-pointer
+// fixes inside reorganization units; redone by generic recovery).
+func (r *Reorganizer) logUpd(u wal.Update) error {
+	u.Txn = 0
+	lsn := r.tree.Log().Append(u)
+	return pageops.Apply(r.tree.Pager(), u, lsn)
+}
+
+// setChainPointers rewires dest's own side pointers and its neighbours'
+// (logged as system updates, idempotent at redo).
+func (r *Reorganizer) setChainPointers(dest, pred, succ storage.PageID) error {
+	if err := r.logUpd(wal.Update{Page: dest, Op: wal.OpSetPrev,
+		NewVal: pageops.EncodeChild(pred)}); err != nil {
+		return err
+	}
+	if err := r.logUpd(wal.Update{Page: dest, Op: wal.OpSetNext,
+		NewVal: pageops.EncodeChild(succ)}); err != nil {
+		return err
+	}
+	if pred != storage.InvalidPage {
+		if err := r.logUpd(wal.Update{Page: pred, Op: wal.OpSetNext,
+			NewVal: pageops.EncodeChild(dest)}); err != nil {
+			return err
+		}
+	}
+	if succ != storage.InvalidPage {
+		if err := r.logUpd(wal.Update{Page: succ, Op: wal.OpSetPrev,
+			NewVal: pageops.EncodeChild(dest)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// moveRecords moves every record from org into dest inside the current
+// unit: one MOVE log record (keys only under careful writing, full
+// cells otherwise), chained through the reorg table, then the physical
+// move. Under careful writing an org->dest write-ordering dependency is
+// installed so the source image can never overtake the destination.
+func (r *Reorganizer) moveRecords(unit uint64, org, dest *storage.Frame) (int, error) {
+	org.RLock()
+	n := org.Data().NumSlots()
+	cells := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		cells = append(cells, append([]byte(nil), org.Data().Cell(i)...))
+	}
+	org.RUnlock()
+	if n == 0 {
+		return 0, nil
+	}
+
+	recs := cells
+	if r.cfg.CarefulWriting {
+		keys := make([][]byte, 0, n)
+		for _, c := range cells {
+			k, _ := kv.DecodeLeafCell(c)
+			keys = append(keys, append([]byte(nil), k...))
+		}
+		recs = keys
+	}
+	mv := wal.ReorgMove{Unit: unit, PrevLSN: r.table.prevLSN(),
+		Org: org.ID(), Dest: dest.ID(), Full: !r.cfg.CarefulWriting,
+		Records: recs}
+	lsn := r.tree.Log().Append(mv)
+	r.table.record(lsn)
+
+	dest.Lock()
+	var err error
+	for _, c := range cells {
+		k, v := kv.DecodeLeafCell(c)
+		if ierr := kv.LeafInsert(dest.Data(), k, v); ierr != nil {
+			err = fmt.Errorf("core: move into %d: %w", dest.ID(), ierr)
+			break
+		}
+	}
+	dest.Data().SetLSN(lsn)
+	dest.Unlock()
+	r.tree.Pager().MarkDirty(dest, lsn)
+	if err != nil {
+		return 0, err
+	}
+
+	org.Lock()
+	org.Data().TruncateCells(0)
+	org.Data().SetLSN(lsn)
+	org.Unlock()
+	r.tree.Pager().MarkDirty(org, lsn)
+
+	if r.cfg.CarefulWriting {
+		r.tree.Pager().AddWriteDep(org.ID(), dest.ID())
+	}
+	r.m.Add(metrics.RecordsMoved, int64(n))
+	return n, nil
+}
+
+// applyModify logs a MODIFY record (chained) and applies the base-page
+// entry changes under the base's write latch. The caller holds X on the
+// base page.
+func (r *Reorganizer) applyModify(m wal.ReorgModify, base *storage.Frame) error {
+	m.PrevLSN = r.table.prevLSN()
+	lsn := r.tree.Log().Append(m)
+	r.table.record(lsn)
+	base.Lock()
+	err := ApplyModifyToPage(base.Data(), m)
+	base.Data().SetLSN(lsn)
+	base.Unlock()
+	r.tree.Pager().MarkDirty(base, lsn)
+	return err
+}
+
+// ApplyModifyToPage performs a MODIFY's entry edits on a latched base
+// page, idempotently (presence-checked) so redo and forward recovery
+// can share it.
+func ApplyModifyToPage(p storage.Page, m wal.ReorgModify) error {
+	for _, key := range m.Removes {
+		if slot, found := kv.Search(p, key); found {
+			if err := p.DeleteCell(slot); err != nil {
+				return err
+			}
+		}
+	}
+	for _, rep := range m.Replaces {
+		if _, found := kv.Search(p, rep.OldKey); found {
+			if err := kv.IndexReplace(p, rep.OldKey, rep.NewKey, rep.NewChild); err != nil {
+				return err
+			}
+		} else if _, found := kv.Search(p, rep.NewKey); !found {
+			if err := kv.IndexInsert(p, rep.NewKey, rep.NewChild); err != nil {
+				return err
+			}
+		} else {
+			// Entry already at the new key: ensure the child is right.
+			if err := kv.IndexReplace(p, rep.NewKey, rep.NewKey, rep.NewChild); err != nil {
+				return err
+			}
+		}
+	}
+	for _, ins := range m.Inserts {
+		if _, found := kv.Search(p, ins.Key); !found {
+			if err := kv.IndexInsert(p, ins.Key, ins.Child); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// beginUnit logs BEGIN (only after every lock is held, §5) and records
+// it in the reorg table.
+func (r *Reorganizer) beginUnit(b wal.ReorgBegin) uint64 {
+	lsn := r.tree.Log().Append(b)
+	r.table.beginUnit(b.Unit, lsn)
+	if b.NewPlace && b.Dest != storage.InvalidPage {
+		// Stamp the fresh destination page with the BEGIN LSN so its
+		// formatting is ordered against redo.
+		if f, err := r.tree.Pager().Fix(b.Dest); err == nil {
+			f.Lock()
+			f.Data().SetLSN(lsn)
+			f.Unlock()
+			r.tree.Pager().MarkDirty(f, lsn)
+			r.tree.Pager().Unfix(f)
+		}
+	}
+	return lsn
+}
+
+// endUnit logs END, updates LK, and forces the log so a finished unit
+// survives (its pages may still be volatile; redo re-creates them).
+func (r *Reorganizer) endUnit(unit uint64, largestKey []byte) {
+	e := wal.ReorgEnd{Unit: unit, PrevLSN: r.table.prevLSN(),
+		LargestKey: append([]byte(nil), largestKey...)}
+	lsn := r.tree.Log().Append(e)
+	r.table.record(lsn)
+	r.table.endUnit(largestKey)
+}
+
+// deallocLeaf logs and performs a page deallocation inside a unit.
+func (r *Reorganizer) deallocLeaf(id storage.PageID) error {
+	lsn := r.tree.Log().Append(wal.Dealloc{Page: id})
+	r.table.record(lsn)
+	r.m.Add(metrics.PagesFreed, 1)
+	return r.tree.Pager().Deallocate(id, lsn)
+}

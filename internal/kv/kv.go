@@ -1,0 +1,195 @@
+// Package kv defines the cell formats stored in slotted pages and the
+// key-ordered search primitives over them. Leaf cells hold (key, value)
+// records; index cells hold (key, child) entries in the paper's
+// "internal node with n keys has n children" variant. Keys are opaque
+// byte strings ordered by bytes.Compare.
+package kv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// Compare orders two keys (bytes.Compare semantics).
+func Compare(a, b []byte) int { return bytes.Compare(a, b) }
+
+// MaxKeySize bounds key length so any record fits well inside a page.
+const MaxKeySize = 64
+
+// EncodeLeafCell encodes a (key, value) record.
+// Layout: u16 keyLen | key | value.
+func EncodeLeafCell(key, val []byte) []byte {
+	cell := make([]byte, 2+len(key)+len(val))
+	binary.LittleEndian.PutUint16(cell, uint16(len(key)))
+	copy(cell[2:], key)
+	copy(cell[2+len(key):], val)
+	return cell
+}
+
+// DecodeLeafCell splits a leaf cell into key and value. The returned
+// slices alias the cell.
+func DecodeLeafCell(cell []byte) (key, val []byte) {
+	kl := int(binary.LittleEndian.Uint16(cell))
+	return cell[2 : 2+kl], cell[2+kl:]
+}
+
+// EncodeIndexCell encodes a (key, child) index entry.
+// Layout: u16 keyLen | key | u32 child.
+func EncodeIndexCell(key []byte, child storage.PageID) []byte {
+	cell := make([]byte, 2+len(key)+4)
+	binary.LittleEndian.PutUint16(cell, uint16(len(key)))
+	copy(cell[2:], key)
+	binary.LittleEndian.PutUint32(cell[2+len(key):], uint32(child))
+	return cell
+}
+
+// DecodeIndexCell splits an index cell into key and child pointer.
+func DecodeIndexCell(cell []byte) (key []byte, child storage.PageID) {
+	kl := int(binary.LittleEndian.Uint16(cell))
+	return cell[2 : 2+kl], storage.PageID(binary.LittleEndian.Uint32(cell[2+kl:]))
+}
+
+// CellKey returns the key of a cell on a page of the given type.
+func CellKey(typ storage.PageType, cell []byte) []byte {
+	kl := int(binary.LittleEndian.Uint16(cell))
+	return cell[2 : 2+kl]
+}
+
+// SlotKey returns the key stored at slot i of p.
+func SlotKey(p storage.Page, i int) []byte {
+	return CellKey(p.Type(), p.Cell(i))
+}
+
+// Search finds key in the key-ordered page p. It returns the slot where
+// key is (found = true) or where it would be inserted (found = false).
+func Search(p storage.Page, key []byte) (slot int, found bool) {
+	n := p.NumSlots()
+	slot = sort.Search(n, func(i int) bool {
+		return Compare(SlotKey(p, i), key) >= 0
+	})
+	found = slot < n && Compare(SlotKey(p, slot), key) == 0
+	return slot, found
+}
+
+// ChildFor returns the child pointer an internal page routes key to:
+// the entry with the largest key <= key. Keys below the first entry
+// route to the first child (the paper's low-mark convention). Returns
+// the slot used as well. A page with no entries returns InvalidPage.
+func ChildFor(p storage.Page, key []byte) (storage.PageID, int) {
+	n := p.NumSlots()
+	if n == 0 {
+		return storage.InvalidPage, -1
+	}
+	slot, found := Search(p, key)
+	if !found {
+		slot--
+	}
+	if slot < 0 {
+		slot = 0
+	}
+	_, child := DecodeIndexCell(p.Cell(slot))
+	return child, slot
+}
+
+// LeafInsert inserts (key, val) at the correct slot. It fails with
+// storage.ErrPageFull when the record does not fit and with ErrExists
+// when the key is already present.
+func LeafInsert(p storage.Page, key, val []byte) error {
+	slot, found := Search(p, key)
+	if found {
+		return fmt.Errorf("kv: key %q: %w", key, ErrExists)
+	}
+	return p.InsertCell(slot, EncodeLeafCell(key, val))
+}
+
+// ErrExists reports a duplicate-key insert.
+var ErrExists = fmt.Errorf("key exists")
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = fmt.Errorf("key not found")
+
+// LeafDelete removes key from the page.
+func LeafDelete(p storage.Page, key []byte) error {
+	slot, found := Search(p, key)
+	if !found {
+		return fmt.Errorf("kv: key %q: %w", key, ErrNotFound)
+	}
+	return p.DeleteCell(slot)
+}
+
+// LeafGet returns the value for key. The slice aliases the page.
+func LeafGet(p storage.Page, key []byte) ([]byte, bool) {
+	slot, found := Search(p, key)
+	if !found {
+		return nil, false
+	}
+	_, val := DecodeLeafCell(p.Cell(slot))
+	return val, true
+}
+
+// LeafReplace overwrites the value for an existing key.
+func LeafReplace(p storage.Page, key, val []byte) error {
+	slot, found := Search(p, key)
+	if !found {
+		return fmt.Errorf("kv: key %q: %w", key, ErrNotFound)
+	}
+	return p.ReplaceCell(slot, EncodeLeafCell(key, val))
+}
+
+// IndexInsert inserts a (key, child) entry at the correct slot.
+func IndexInsert(p storage.Page, key []byte, child storage.PageID) error {
+	slot, found := Search(p, key)
+	if found {
+		return fmt.Errorf("kv: index key %q: %w", key, ErrExists)
+	}
+	return p.InsertCell(slot, EncodeIndexCell(key, child))
+}
+
+// IndexDelete removes the entry with exactly this key.
+func IndexDelete(p storage.Page, key []byte) error {
+	slot, found := Search(p, key)
+	if !found {
+		return fmt.Errorf("kv: index key %q: %w", key, ErrNotFound)
+	}
+	return p.DeleteCell(slot)
+}
+
+// IndexReplace rewrites the entry oldKey -> (newKey, newChild). oldKey
+// and newKey may be equal (pointer-only change). The entry must keep
+// its ordering position or be re-inserted; IndexReplace handles both.
+func IndexReplace(p storage.Page, oldKey, newKey []byte, newChild storage.PageID) error {
+	slot, found := Search(p, oldKey)
+	if !found {
+		return fmt.Errorf("kv: index key %q: %w", oldKey, ErrNotFound)
+	}
+	if Compare(oldKey, newKey) == 0 {
+		return p.ReplaceCell(slot, EncodeIndexCell(newKey, newChild))
+	}
+	if err := p.DeleteCell(slot); err != nil {
+		return err
+	}
+	return IndexInsert(p, newKey, newChild)
+}
+
+// LowMark returns the smallest key on the page (slot 0), or nil for an
+// empty page. For base pages this is the paper's low-mark key.
+func LowMark(p storage.Page) []byte {
+	if p.NumSlots() == 0 {
+		return nil
+	}
+	return SlotKey(p, 0)
+}
+
+// Verify checks that the page's cells are strictly key-ordered.
+func Verify(p storage.Page) error {
+	for i := 1; i < p.NumSlots(); i++ {
+		if Compare(SlotKey(p, i-1), SlotKey(p, i)) >= 0 {
+			return fmt.Errorf("kv: page %d slots %d,%d out of order", p.ID(), i-1, i)
+		}
+	}
+	return nil
+}

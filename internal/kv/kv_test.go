@@ -1,0 +1,282 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func leafPage(size int) storage.Page {
+	p := make(storage.Page, size)
+	storage.FormatPage(p, storage.PageLeaf, 1)
+	return p
+}
+
+func indexPage(size int) storage.Page {
+	p := make(storage.Page, size)
+	storage.FormatPage(p, storage.PageInternal, 2)
+	return p
+}
+
+func TestLeafCellRoundTrip(t *testing.T) {
+	cell := EncodeLeafCell([]byte("key1"), []byte("value-1"))
+	k, v := DecodeLeafCell(cell)
+	if string(k) != "key1" || string(v) != "value-1" {
+		t.Errorf("round trip: %q %q", k, v)
+	}
+	// Empty value and empty key edge cases.
+	k, v = DecodeLeafCell(EncodeLeafCell([]byte("k"), nil))
+	if string(k) != "k" || len(v) != 0 {
+		t.Errorf("empty value round trip: %q %q", k, v)
+	}
+}
+
+func TestIndexCellRoundTrip(t *testing.T) {
+	cell := EncodeIndexCell([]byte("sep"), 77)
+	k, c := DecodeIndexCell(cell)
+	if string(k) != "sep" || c != 77 {
+		t.Errorf("round trip: %q %d", k, c)
+	}
+}
+
+func TestLeafInsertOrderAndSearch(t *testing.T) {
+	p := leafPage(1024)
+	keys := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for _, k := range keys {
+		if err := LeafInsert(p, []byte(k), []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	for i, k := range sorted {
+		if got := string(SlotKey(p, i)); got != k {
+			t.Errorf("slot %d = %q, want %q", i, got, k)
+		}
+	}
+	v, ok := LeafGet(p, []byte("charlie"))
+	if !ok || string(v) != "v-charlie" {
+		t.Errorf("get charlie = %q %v", v, ok)
+	}
+	if _, ok := LeafGet(p, []byte("zulu")); ok {
+		t.Error("found nonexistent key")
+	}
+	if err := Verify(p); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeafInsertDuplicate(t *testing.T) {
+	p := leafPage(512)
+	if err := LeafInsert(p, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := LeafInsert(p, []byte("k"), []byte("v2")); err == nil {
+		t.Error("duplicate insert should fail")
+	}
+}
+
+func TestLeafDeleteReplace(t *testing.T) {
+	p := leafPage(512)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := LeafInsert(p, []byte(k), []byte(k+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := LeafReplace(p, []byte("b"), []byte("BB")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := LeafGet(p, []byte("b"))
+	if string(v) != "BB" {
+		t.Errorf("after replace: %q", v)
+	}
+	if err := LeafDelete(p, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := LeafGet(p, []byte("b")); ok {
+		t.Error("deleted key still present")
+	}
+	if err := LeafDelete(p, []byte("zzz")); err == nil {
+		t.Error("deleting missing key should fail")
+	}
+	if err := LeafReplace(p, []byte("zzz"), nil); err == nil {
+		t.Error("replacing missing key should fail")
+	}
+}
+
+func TestChildForRouting(t *testing.T) {
+	p := indexPage(512)
+	for k, c := range map[string]storage.PageID{"g": 30, "m": 40, "a": 20} {
+		if err := IndexInsert(p, []byte(k), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := map[string]storage.PageID{
+		"a": 20, "b": 20, "f": 20,
+		"g": 30, "h": 30, "lzz": 30,
+		"m": 40, "zz": 40,
+		// Keys below the low mark route to the first child.
+		"0": 20, "": 20,
+	}
+	for k, want := range cases {
+		got, _ := ChildFor(p, []byte(k))
+		if got != want {
+			t.Errorf("ChildFor(%q) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestChildForEmptyPage(t *testing.T) {
+	p := indexPage(256)
+	if c, slot := ChildFor(p, []byte("x")); c != storage.InvalidPage || slot != -1 {
+		t.Errorf("empty page ChildFor = %d/%d", c, slot)
+	}
+}
+
+func TestIndexReplaceSameKey(t *testing.T) {
+	p := indexPage(512)
+	if err := IndexInsert(p, []byte("k"), 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := IndexReplace(p, []byte("k"), []byte("k"), 9); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := ChildFor(p, []byte("k"))
+	if c != 9 {
+		t.Errorf("child = %d, want 9", c)
+	}
+}
+
+func TestIndexReplaceNewKey(t *testing.T) {
+	p := indexPage(512)
+	for k, c := range map[string]storage.PageID{"b": 2, "d": 4, "f": 6} {
+		if err := IndexInsert(p, []byte(k), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Move entry "d" to key "e" with a new child: ordering must hold.
+	if err := IndexReplace(p, []byte("d"), []byte("e"), 44); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := ChildFor(p, []byte("e"))
+	if c != 44 {
+		t.Errorf("child for e = %d", c)
+	}
+	if _, found := Search(p, []byte("d")); found {
+		t.Error("old key still present")
+	}
+}
+
+func TestLowMark(t *testing.T) {
+	p := indexPage(256)
+	if LowMark(p) != nil {
+		t.Error("empty page low mark should be nil")
+	}
+	if err := IndexInsert(p, []byte("m"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := IndexInsert(p, []byte("c"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if string(LowMark(p)) != "c" {
+		t.Errorf("low mark = %q", LowMark(p))
+	}
+}
+
+// Model test: random leaf ops mirrored against a map.
+func TestLeafModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := leafPage(4096)
+	model := map[string]string{}
+	for step := 0; step < 8000; step++ {
+		k := fmt.Sprintf("key%03d", rng.Intn(120))
+		switch rng.Intn(3) {
+		case 0:
+			v := fmt.Sprintf("val%d", step)
+			err := LeafInsert(p, []byte(k), []byte(v))
+			if _, dup := model[k]; dup {
+				if err == nil {
+					t.Fatalf("step %d: duplicate insert of %q succeeded", step, k)
+				}
+			} else if err == nil {
+				model[k] = v
+			} else if err != storage.ErrPageFull && !bytes.Contains([]byte(err.Error()), []byte("full")) {
+				// page may legitimately be full; other errors are bugs
+				t.Fatalf("step %d: %v", step, err)
+			}
+		case 1:
+			err := LeafDelete(p, []byte(k))
+			if _, ok := model[k]; ok {
+				if err != nil {
+					t.Fatalf("step %d: delete of present %q failed: %v", step, k, err)
+				}
+				delete(model, k)
+			} else if err == nil {
+				t.Fatalf("step %d: delete of absent %q succeeded", step, k)
+			}
+		case 2:
+			v, ok := LeafGet(p, []byte(k))
+			mv, mok := model[k]
+			if ok != mok || (ok && string(v) != mv) {
+				t.Fatalf("step %d: get %q = %q,%v want %q,%v", step, k, v, ok, mv, mok)
+			}
+		}
+		if p.NumSlots() != len(model) {
+			t.Fatalf("step %d: slots=%d model=%d", step, p.NumSlots(), len(model))
+		}
+	}
+	if err := Verify(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ChildFor always routes to the entry with the largest key
+// <= search key (or the first entry).
+func TestQuickChildFor(t *testing.T) {
+	f := func(rawKeys []uint16, probe uint16) bool {
+		p := indexPage(4096)
+		seen := map[string]bool{}
+		var keys []string
+		for i, rk := range rawKeys {
+			k := fmt.Sprintf("%05d", rk)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if err := IndexInsert(p, []byte(k), storage.PageID(i+1)); err != nil {
+				return true // page full: skip case
+			}
+			keys = append(keys, k)
+		}
+		if len(keys) == 0 {
+			return true
+		}
+		sort.Strings(keys)
+		pk := fmt.Sprintf("%05d", probe)
+		// Reference: last key <= pk, else first key.
+		want := keys[0]
+		for _, k := range keys {
+			if k <= pk {
+				want = k
+			}
+		}
+		child, slot := ChildFor(p, []byte(pk))
+		if slot < 0 {
+			return false
+		}
+		gotKey := string(SlotKey(p, slot))
+		wantChild, _ := ChildFor(p, []byte(want))
+		return gotKey == want && child == wantChild
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,522 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Space partitions the lock name space.
+type Space uint8
+
+// Lock name spaces.
+const (
+	SpaceTree     Space = iota + 1 // one name per tree epoch (old/new tree)
+	SpacePage                      // physical pages (leaves and base pages)
+	SpaceRecord                    // record-level locks (side-file entries)
+	SpaceSideFile                  // the side-file table lock
+)
+
+// Resource names one lockable object.
+type Resource struct {
+	Space Space
+	ID    uint64
+}
+
+func (r Resource) String() string {
+	return fmt.Sprintf("%d/%d", r.Space, r.ID)
+}
+
+// TreeRes names a tree by epoch (the old and new trees have distinct
+// lock names, §7.4).
+func TreeRes(epoch uint64) Resource { return Resource{SpaceTree, epoch} }
+
+// PageRes names a page.
+func PageRes(id uint64) Resource { return Resource{SpacePage, id} }
+
+// RecordRes names a record key (callers hash keys to 64 bits).
+func RecordRes(h uint64) Resource { return Resource{SpaceRecord, h} }
+
+// SideFileRes names the side-file table.
+func SideFileRes() Resource { return Resource{SpaceSideFile, 1} }
+
+// Errors returned by Lock.
+var (
+	// ErrReorgConflict is returned under Opt.ForgoOnRX when the request
+	// conflicts with an RX lock: the caller must release its parent lock
+	// and wait via an instant-duration RS request (§4.1.2).
+	ErrReorgConflict = errors.New("lock: conflict with reorganizer RX lock")
+	// ErrDeadlock is returned to the victim of a deadlock cycle.
+	ErrDeadlock = errors.New("lock: deadlock victim")
+	// ErrWouldBlock is returned under Opt.NoWait.
+	ErrWouldBlock = errors.New("lock: would block")
+	// ErrTimeout is a watchdog against lost wakeups; it should not occur
+	// in correct runs.
+	ErrTimeout = errors.New("lock: wait timed out")
+)
+
+// Opt modifies a single lock request.
+type Opt struct {
+	// Instant requests an instant-duration lock: wait until the mode
+	// would be grantable, then return success without holding it.
+	Instant bool
+	// ForgoOnRX makes the request fail fast with ErrReorgConflict when
+	// the conflict is with an RX holder (or queued RX request), per the
+	// reader/updater protocols.
+	ForgoOnRX bool
+	// NoWait makes the request fail fast with ErrWouldBlock on any
+	// conflict.
+	NoWait bool
+}
+
+// Stats aggregates contention metrics; the paper's concurrency claims
+// are quantified with these.
+type Stats struct {
+	UserWaits      atomic.Int64
+	UserWaitNanos  atomic.Int64
+	ReorgWaits     atomic.Int64
+	ReorgWaitNanos atomic.Int64
+	Deadlocks      atomic.Int64
+	Forgoes        atomic.Int64
+	Grants         atomic.Int64
+}
+
+type waiter struct {
+	owner   uint64
+	res     Resource
+	mode    Mode
+	instant bool
+	upgrade bool
+	ch      chan error
+}
+
+type lockHead struct {
+	holders map[uint64]Mode
+	queue   []*waiter
+}
+
+// Manager is the lock manager.
+type Manager struct {
+	mu      sync.Mutex
+	table   map[Resource]*lockHead
+	reorg   map[uint64]bool
+	held    map[uint64]map[Resource]Mode // per-owner index for ReleaseAll
+	waiting map[uint64]*waiter
+	stats   Stats
+
+	// Timeout is the watchdog on a single wait (default 10s).
+	Timeout time.Duration
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		table:   make(map[Resource]*lockHead),
+		reorg:   make(map[uint64]bool),
+		held:    make(map[uint64]map[Resource]Mode),
+		waiting: make(map[uint64]*waiter),
+		Timeout: 10 * time.Second,
+	}
+}
+
+// Stats returns the manager's contention counters.
+func (m *Manager) Stats() *Stats { return &m.stats }
+
+// SetReorg flags owner as the reorganization process: it becomes the
+// preferred deadlock victim and its waits are accounted separately.
+func (m *Manager) SetReorg(owner uint64, isReorg bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if isReorg {
+		m.reorg[owner] = true
+	} else {
+		delete(m.reorg, owner)
+	}
+}
+
+// Held returns the mode owner currently holds on res (None if none).
+func (m *Manager) Held(owner uint64, res Resource) Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.held[owner][res]
+}
+
+// Lock acquires mode on res for owner, waiting if necessary.
+func (m *Manager) Lock(owner uint64, res Resource, mode Mode) error {
+	return m.LockOpts(owner, res, mode, Opt{})
+}
+
+// LockInstant waits until mode would be grantable without granting it
+// (the paper's unconditional instant-duration request).
+func (m *Manager) LockInstant(owner uint64, res Resource, mode Mode) error {
+	return m.LockOpts(owner, res, mode, Opt{Instant: true})
+}
+
+// LockOpts acquires mode on res for owner under the given options.
+func (m *Manager) LockOpts(owner uint64, res Resource, mode Mode, opt Opt) error {
+	m.mu.Lock()
+	h := m.table[res]
+	if h == nil {
+		h = &lockHead{holders: make(map[uint64]Mode)}
+		m.table[res] = h
+	}
+
+	cur := h.holders[owner]
+	if !opt.Instant && cur != None && Covers(cur, mode) {
+		m.mu.Unlock()
+		return nil // already held strongly enough
+	}
+	eff := mode
+	upgrade := false
+	if !opt.Instant && cur != None {
+		eff = combine(cur, mode)
+		upgrade = true
+	}
+
+	if m.grantableLocked(h, owner, eff, upgrade) {
+		if !opt.Instant {
+			m.setHeldLocked(h, owner, res, eff)
+		}
+		m.stats.Grants.Add(1)
+		m.mu.Unlock()
+		return nil
+	}
+
+	// Not immediately grantable.
+	if opt.ForgoOnRX && m.rxConflictLocked(h, owner) {
+		m.stats.Forgoes.Add(1)
+		m.mu.Unlock()
+		return ErrReorgConflict
+	}
+	if opt.NoWait {
+		m.mu.Unlock()
+		return ErrWouldBlock
+	}
+
+	w := &waiter{owner: owner, res: res, mode: eff, instant: opt.Instant,
+		upgrade: upgrade, ch: make(chan error, 1)}
+	if upgrade {
+		// Upgrades jump the queue to avoid upgrade starvation.
+		h.queue = append([]*waiter{w}, h.queue...)
+	} else {
+		h.queue = append(h.queue, w)
+	}
+	m.waiting[owner] = w
+
+	// Deadlock detection on block.
+	if victim := m.detectLocked(); victim != nil {
+		m.abortWaitLocked(victim, ErrDeadlock)
+	}
+
+	isReorg := m.reorg[owner]
+	m.mu.Unlock()
+
+	start := time.Now()
+	timeout := m.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	var err error
+	select {
+	case err = <-w.ch:
+	case <-time.After(timeout):
+		m.mu.Lock()
+		// Remove from the queue if still present (a grant may have
+		// raced with the timeout; prefer the grant).
+		select {
+		case err = <-w.ch:
+		default:
+			var holders []string
+			if h := m.table[res]; h != nil {
+				for o, md := range h.holders {
+					holders = append(holders, fmt.Sprintf("%d:%v", o, md))
+				}
+				for _, q := range h.queue {
+					holders = append(holders, fmt.Sprintf("q%d:%v", q.owner, q.mode))
+				}
+			}
+			err = fmt.Errorf("%w: owner %d mode %v on %v (held/queued: %v)",
+				ErrTimeout, owner, mode, res, holders)
+			m.removeWaiterLocked(w)
+		}
+		m.mu.Unlock()
+	}
+	d := time.Since(start).Nanoseconds()
+	if isReorg {
+		m.stats.ReorgWaits.Add(1)
+		m.stats.ReorgWaitNanos.Add(d)
+	} else {
+		m.stats.UserWaits.Add(1)
+		m.stats.UserWaitNanos.Add(d)
+	}
+	return err
+}
+
+// Unlock releases owner's lock on res entirely.
+func (m *Manager) Unlock(owner uint64, res Resource) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.unlockLocked(owner, res)
+}
+
+// Downgrade replaces owner's lock on res with a weaker mode (e.g. the
+// reader protocol's S -> IS on a leaf) and wakes newly compatible
+// waiters.
+func (m *Manager) Downgrade(owner uint64, res Resource, to Mode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.table[res]
+	if h == nil || h.holders[owner] == None {
+		return
+	}
+	m.setHeldLocked(h, owner, res, to)
+	m.wakeLocked(res, h)
+}
+
+// ReleaseAll drops every lock owner holds (end of transaction).
+func (m *Manager) ReleaseAll(owner uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for res := range m.held[owner] {
+		m.unlockLocked(owner, res)
+	}
+	delete(m.held, owner)
+}
+
+// HeldResources returns a snapshot of owner's locks.
+func (m *Manager) HeldResources(owner uint64) map[Resource]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[Resource]Mode, len(m.held[owner]))
+	for r, md := range m.held[owner] {
+		out[r] = md
+	}
+	return out
+}
+
+// --- internals (all require m.mu) ---
+
+func (m *Manager) setHeldLocked(h *lockHead, owner uint64, res Resource, mode Mode) {
+	h.holders[owner] = mode
+	hm := m.held[owner]
+	if hm == nil {
+		hm = make(map[Resource]Mode)
+		m.held[owner] = hm
+	}
+	hm[res] = mode
+}
+
+func (m *Manager) unlockLocked(owner uint64, res Resource) {
+	h := m.table[res]
+	if h == nil {
+		return
+	}
+	if _, ok := h.holders[owner]; !ok {
+		return
+	}
+	delete(h.holders, owner)
+	if hm := m.held[owner]; hm != nil {
+		delete(hm, res)
+		if len(hm) == 0 {
+			delete(m.held, owner)
+		}
+	}
+	m.wakeLocked(res, h)
+	if len(h.holders) == 0 && len(h.queue) == 0 {
+		delete(m.table, res)
+	}
+}
+
+// grantableLocked reports whether owner's request for mode on h can be
+// granted now. Strict FIFO: a non-upgrade request also waits behind any
+// queued request.
+func (m *Manager) grantableLocked(h *lockHead, owner uint64, mode Mode, upgrade bool) bool {
+	if !upgrade && len(h.queue) > 0 {
+		return false
+	}
+	for o, held := range h.holders {
+		if o == owner {
+			continue
+		}
+		if !Compatible(held, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// rxConflictLocked reports whether owner's conflict on h involves an RX
+// lock (held or queued ahead), triggering the forgo protocol.
+func (m *Manager) rxConflictLocked(h *lockHead, owner uint64) bool {
+	for o, held := range h.holders {
+		if o != owner && held == RX {
+			return true
+		}
+	}
+	for _, w := range h.queue {
+		if w.owner != owner && w.mode == RX {
+			return true
+		}
+	}
+	return false
+}
+
+// wakeLocked grants queued requests on res in FIFO order until the head
+// cannot be granted.
+func (m *Manager) wakeLocked(res Resource, h *lockHead) {
+	for len(h.queue) > 0 {
+		w := h.queue[0]
+		if !m.grantableHeadLocked(h, w) {
+			return
+		}
+		h.queue = h.queue[1:]
+		delete(m.waiting, w.owner)
+		if !w.instant {
+			cur := h.holders[w.owner]
+			m.setHeldLocked(h, w.owner, res, combine(cur, w.mode))
+		}
+		m.stats.Grants.Add(1)
+		w.ch <- nil
+	}
+}
+
+// grantableHeadLocked checks the queue head against holders only.
+func (m *Manager) grantableHeadLocked(h *lockHead, w *waiter) bool {
+	for o, held := range h.holders {
+		if o == w.owner {
+			continue
+		}
+		if !Compatible(held, w.mode) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) removeWaiterLocked(w *waiter) {
+	h := m.table[w.res]
+	if h == nil {
+		return
+	}
+	for i, q := range h.queue {
+		if q == w {
+			h.queue = append(h.queue[:i], h.queue[i+1:]...)
+			break
+		}
+	}
+	delete(m.waiting, w.owner)
+	// Removing a blocker may make successors grantable.
+	m.wakeLocked(w.res, h)
+}
+
+func (m *Manager) abortWaitLocked(w *waiter, err error) {
+	m.stats.Deadlocks.Add(1)
+	m.removeWaiterLocked(w)
+	w.ch <- err
+}
+
+// detectLocked builds the waits-for graph and returns the waiter to
+// victimise, or nil. An owner waits for (a) every holder of its
+// resource with an incompatible mode and (b) every waiter queued ahead
+// of it (strict FIFO makes those real blockers). The victim is a
+// reorganizer in the cycle if one exists (§4.1: "we always force the
+// reorganizer to give up"), else the youngest (largest id) owner.
+func (m *Manager) detectLocked() *waiter {
+	edges := make(map[uint64]map[uint64]bool)
+	addEdge := func(from, to uint64) {
+		if from == to {
+			return
+		}
+		s := edges[from]
+		if s == nil {
+			s = make(map[uint64]bool)
+			edges[from] = s
+		}
+		s[to] = true
+	}
+	for owner, w := range m.waiting {
+		h := m.table[w.res]
+		if h == nil {
+			continue
+		}
+		for o, held := range h.holders {
+			if o != owner && !Compatible(held, w.mode) {
+				addEdge(owner, o)
+			}
+		}
+		for _, q := range h.queue {
+			if q == w {
+				break
+			}
+			if q.owner != owner {
+				addEdge(owner, q.owner)
+			}
+		}
+	}
+	// Find a cycle via DFS.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[uint64]int)
+	var stack []uint64
+	var cycle []uint64
+	var dfs func(u uint64) bool
+	dfs = func(u uint64) bool {
+		color[u] = grey
+		stack = append(stack, u)
+		for v := range edges[u] {
+			switch color[v] {
+			case white:
+				if dfs(v) {
+					return true
+				}
+			case grey:
+				// Extract the cycle from the stack.
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == v {
+						break
+					}
+				}
+				return true
+			}
+		}
+		color[u] = black
+		stack = stack[:len(stack)-1]
+		return false
+	}
+	for u := range edges {
+		if color[u] == white && dfs(u) {
+			break
+		}
+	}
+	if len(cycle) == 0 {
+		return nil
+	}
+	var victim uint64
+	var found bool
+	for _, o := range cycle {
+		if m.reorg[o] && m.waiting[o] != nil {
+			victim, found = o, true
+			break
+		}
+	}
+	if !found {
+		for _, o := range cycle {
+			if m.waiting[o] == nil {
+				continue
+			}
+			if !found || o > victim {
+				victim, found = o, true
+			}
+		}
+	}
+	if !found {
+		return nil
+	}
+	return m.waiting[victim]
+}

@@ -1,0 +1,113 @@
+// Package lock implements the paper's lock manager: the classical
+// IS/IX/S/X modes plus the three reorganization modes R, RX and RS
+// (Table 1), instant-duration requests, the forgo-on-RX protocol,
+// lock upgrades, and waits-for deadlock detection that always victimises
+// the reorganizer (§4.1).
+package lock
+
+import "fmt"
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes. RS is request-only: it is never actually granted
+// (instant duration), it only waits until it would be grantable.
+const (
+	None Mode = iota
+	IS        // intention share (tree lock, record-locking readers on leaves)
+	IX        // intention exclusive (tree lock, record-locking updaters on leaves)
+	S         // share
+	X         // exclusive
+	R         // reorganizer's base-page read lock; compatible with S
+	RX        // reorganizer's exclusive leaf lock; conflicts with everything,
+	//           and conflicting requesters forgo instead of waiting
+	RS // instant-duration wait-for-reorganizer mode on base pages
+)
+
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "-"
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case X:
+		return "X"
+	case R:
+		return "R"
+	case RX:
+		return "RX"
+	case RS:
+		return "RS"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// compat[granted][requested] reproduces Table 1 of the paper. Blank
+// cells in the paper ("won't be requested together by different
+// requesters") are filled conservatively as incompatible; the prose
+// constraints are: R is compatible with S (both directions), RS is not
+// compatible with R, and RX is not compatible with any mode. RS rows
+// do not exist because RS is never granted.
+var compat = [8][8]bool{
+	IS: {IS: true, IX: true, S: true, X: false, R: false, RX: false, RS: true},
+	IX: {IS: true, IX: true, S: false, X: false, R: false, RX: false, RS: true},
+	S:  {IS: true, IX: false, S: true, X: false, R: true, RX: false, RS: false},
+	X:  {IS: false, IX: false, S: false, X: false, R: false, RX: false, RS: false},
+	R:  {IS: false, IX: false, S: true, X: false, R: true, RX: false, RS: false},
+	RX: {IS: false, IX: false, S: false, X: false, R: false, RX: false, RS: false},
+}
+
+// Compatible reports whether a request for mode req can be granted
+// while granted is held by a different owner.
+func Compatible(granted, req Mode) bool {
+	if granted == None {
+		return true
+	}
+	return compat[granted][req]
+}
+
+// combine returns the mode an owner holds after acquiring want on top
+// of cur (the supremum used for lock upgrades). Combinations that
+// cannot occur under the paper's protocols map to the stronger
+// exclusive mode.
+func combine(cur, want Mode) Mode {
+	if cur == want || want == None {
+		return cur
+	}
+	if cur == None {
+		return want
+	}
+	switch {
+	case cur == X || want == X:
+		return X
+	case cur == RX || want == RX:
+		return RX
+	case cur == IS:
+		return want
+	case want == IS:
+		return cur
+	case cur == R && want == S, cur == S && want == R:
+		// The reorganizer S-couples to a base page then R-locks it; R
+		// subsumes S under the paper's protocols (IS is never requested
+		// on base pages).
+		return R
+	case cur == IX && want == S, cur == S && want == IX:
+		// SIX is not modelled; escalate.
+		return X
+	case cur == IX && want == R, cur == R && want == IX:
+		return X
+	default:
+		return X
+	}
+}
+
+// Covers reports whether holding `have` already satisfies a request for
+// `want` (no lock-table work needed).
+func Covers(have, want Mode) bool {
+	return combine(have, want) == have
+}

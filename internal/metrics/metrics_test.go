@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddGetSnapshot(t *testing.T) {
+	c := New()
+	c.Add("a", 3)
+	c.Add("a", 2)
+	c.Add("b", 1)
+	if c.Get("a") != 5 || c.Get("b") != 1 || c.Get("missing") != 0 {
+		t.Errorf("counters: a=%d b=%d missing=%d", c.Get("a"), c.Get("b"), c.Get("missing"))
+	}
+	snap := c.Snapshot()
+	if snap["a"] != 5 || len(snap) != 3 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestStringSortedByName(t *testing.T) {
+	c := New()
+	c.Add("zeta", 1)
+	c.Add("alpha", 2)
+	s := c.String()
+	if strings.Index(s, "alpha") > strings.Index(s, "zeta") {
+		t.Errorf("not sorted:\n%s", s)
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(UnitsCompact, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get(UnitsCompact); got != 8000 {
+		t.Errorf("concurrent adds = %d, want 8000", got)
+	}
+}

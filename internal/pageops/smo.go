@@ -1,0 +1,209 @@
+package pageops
+
+import (
+	"fmt"
+
+	"repro/internal/kv"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// ApplyToPage performs op on the latched page without LSN bookkeeping.
+// It is exported so callers holding their own latch (the tree's logged
+// write path) share one operation interpreter with redo.
+func ApplyToPage(p storage.Page, op wal.Op, key, newVal []byte) error {
+	return apply(p, op, key, newVal)
+}
+
+// withPage runs fn on page id under its write latch if the page's LSN
+// is below lsn, then stamps lsn. This is the per-page idempotent-redo
+// wrapper shared by the multi-page structure modifications.
+func withPage(pg *storage.Pager, id storage.PageID, lsn uint64, fn func(p storage.Page) error) error {
+	if id == storage.InvalidPage {
+		return nil
+	}
+	f, err := pg.Fix(id)
+	if err != nil {
+		return err
+	}
+	defer pg.Unfix(f)
+	f.Lock()
+	defer f.Unlock()
+	if f.Data().LSN() >= lsn {
+		return nil
+	}
+	if err := fn(f.Data()); err != nil {
+		return err
+	}
+	f.Data().SetLSN(lsn)
+	pg.MarkDirty(f, lsn)
+	return nil
+}
+
+// ApplySplit applies a Split record at lsn. Each affected page is
+// handled independently under the pageLSN test, so the operation is
+// atomic with respect to recovery: replaying it any number of times
+// from any partial state converges.
+func ApplySplit(pg *storage.Pager, s wal.Split, lsn uint64) error {
+	pageType := storage.PageLeaf
+	if s.Level > 0 {
+		pageType = storage.PageInternal
+	}
+	// Right: fresh page built from the moved cells.
+	err := withPage(pg, s.Right, lsn, func(p storage.Page) error {
+		storage.FormatPage(p, pageType, s.Right)
+		p.SetAux(s.Level)
+		for i, cell := range s.Moved {
+			if err := p.InsertCell(i, cell); err != nil {
+				return fmt.Errorf("pageops: split right insert: %w", err)
+			}
+		}
+		if s.Level == 0 {
+			p.SetNext(s.RightNext)
+			p.SetPrev(s.Left)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Left: drop cells >= Sep; rewire the forward side pointer.
+	err = withPage(pg, s.Left, lsn, func(p storage.Page) error {
+		cut, _ := kv.Search(p, s.Sep)
+		p.TruncateCells(cut)
+		if s.Level == 0 {
+			p.SetNext(s.Right)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Old right neighbour: back pointer.
+	if s.Level == 0 && s.NextPage != storage.InvalidPage {
+		err = withPage(pg, s.NextPage, lsn, func(p storage.Page) error {
+			p.SetPrev(s.Right)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Parent: lower the left child's stale routing key if needed, then
+	// post the new entry (skip when posting is deferred).
+	if s.Base != storage.InvalidPage {
+		err = withPage(pg, s.Base, lsn, func(p storage.Page) error {
+			if len(s.BaseOldKey) > 0 {
+				if slot, found := kv.Search(p, s.BaseOldKey); found {
+					_, child := kv.DecodeIndexCell(p.Cell(slot))
+					if child == s.Left {
+						if err := kv.IndexReplace(p, s.BaseOldKey, s.BaseNewKey, child); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			if _, found := kv.Search(p, s.Sep); found {
+				return nil
+			}
+			return kv.IndexInsert(p, s.Sep, s.Right)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyRootSplit applies a RootSplit record at lsn.
+func ApplyRootSplit(pg *storage.Pager, s wal.RootSplit, lsn uint64) error {
+	childType := storage.PageLeaf
+	if s.Level > 0 {
+		childType = storage.PageInternal
+	}
+	build := func(id storage.PageID, cells [][]byte) error {
+		return withPage(pg, id, lsn, func(p storage.Page) error {
+			storage.FormatPage(p, childType, id)
+			p.SetAux(s.Level)
+			for i, cell := range cells {
+				if err := p.InsertCell(i, cell); err != nil {
+					return fmt.Errorf("pageops: root split child %d: %w", id, err)
+				}
+			}
+			return nil
+		})
+	}
+	if err := build(s.Low, s.LowCells); err != nil {
+		return err
+	}
+	if err := build(s.High, s.HiCells); err != nil {
+		return err
+	}
+	return withPage(pg, s.Root, lsn, func(p storage.Page) error {
+		var lowMark []byte
+		if len(s.LowCells) > 0 {
+			lowMark = kv.CellKey(childType, s.LowCells[0])
+		}
+		storage.FormatPage(p, storage.PageInternal, s.Root)
+		p.SetAux(s.Level + 1)
+		if err := kv.IndexInsert(p, lowMark, s.Low); err != nil {
+			return err
+		}
+		return kv.IndexInsert(p, s.Sep, s.High)
+	})
+}
+
+// ApplyFreeChain applies a FreeChain record at lsn: unlink the entry
+// from the survivor, rewire the leaf chain, and deallocate the emptied
+// pages.
+func ApplyFreeChain(pg *storage.Pager, fc wal.FreeChain, lsn uint64) error {
+	err := withPage(pg, fc.Survivor, lsn, func(p storage.Page) error {
+		if slot, found := kv.Search(p, fc.EntryKey); found {
+			return p.DeleteCell(slot)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if fc.PrevLeaf != storage.InvalidPage {
+		if err := withPage(pg, fc.PrevLeaf, lsn, func(p storage.Page) error {
+			p.SetNext(fc.NextLeaf)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if fc.NextLeaf != storage.InvalidPage {
+		if err := withPage(pg, fc.NextLeaf, lsn, func(p storage.Page) error {
+			p.SetPrev(fc.PrevLeaf)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	for _, id := range fc.Dealloc {
+		if err := DeallocateIfUnseen(pg, id, lsn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeallocateIfUnseen deallocates id unless its pageLSN shows it already
+// observed this or a later operation (the page may have been freed and
+// reused before the crash; wiping it here would lose the reuse).
+func DeallocateIfUnseen(pg *storage.Pager, id storage.PageID, lsn uint64) error {
+	f, err := pg.Fix(id)
+	if err != nil {
+		return err
+	}
+	f.RLock()
+	seen := f.Data().LSN() >= lsn
+	f.RUnlock()
+	pg.Unfix(f)
+	if seen {
+		return nil
+	}
+	return pg.Deallocate(id, lsn)
+}

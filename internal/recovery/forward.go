@@ -1,0 +1,358 @@
+package recovery
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/kv"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// completeUnit is Forward Recovery (§5.1): the one possibly-incomplete
+// reorganization unit is finished from its BEGIN record and the current
+// (post-redo) page states, instead of being rolled back. Restart runs
+// single-threaded, so the locks the paper re-acquires are implicit.
+func completeUnit(pg *storage.Pager, log *wal.Log, u *unitState) error {
+	switch u.begin.RType {
+	case wal.RCompact, wal.RMove:
+		if err := completeCompact(pg, log, u); err != nil {
+			return err
+		}
+	case wal.RSwap:
+		if err := completeSwap(pg, log, u); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("recovery: unknown unit type %v", u.begin.RType)
+	}
+	return nil
+}
+
+// completeCompact finishes a compaction or move unit: any records left
+// in source pages are moved to the destination, the leaf chain is
+// rewired to the BEGIN record's pred/succ, the base page entries are
+// recomputed, the emptied sources are deallocated, and END is logged.
+func completeCompact(pg *storage.Pager, log *wal.Log, u *unitState) error {
+	b := u.begin
+	dest := b.Dest
+	destF, err := pg.Fix(dest)
+	if err != nil {
+		return err
+	}
+	defer pg.Unfix(destF)
+
+	// Move any remaining records (logged as full-content MOVEs so a
+	// second crash replays them without the source pre-state).
+	for _, org := range b.LeafPages {
+		if org == dest {
+			continue
+		}
+		orgF, err := pg.Fix(org)
+		if err != nil {
+			return err
+		}
+		orgF.RLock()
+		isLeaf := orgF.Data().Type() == storage.PageLeaf
+		var cells [][]byte
+		if isLeaf {
+			for i := 0; i < orgF.Data().NumSlots(); i++ {
+				cells = append(cells, append([]byte(nil), orgF.Data().Cell(i)...))
+			}
+		}
+		orgF.RUnlock()
+		if !isLeaf || len(cells) == 0 {
+			pg.Unfix(orgF)
+			continue
+		}
+		mv := wal.ReorgMove{Unit: b.Unit, Org: org, Dest: dest, Full: true,
+			Records: cells}
+		lsn := log.Append(mv)
+		destF.Lock()
+		for _, c := range cells {
+			k, v := kv.DecodeLeafCell(c)
+			if _, found := kv.Search(destF.Data(), k); !found {
+				if err := kv.LeafInsert(destF.Data(), k, v); err != nil {
+					destF.Unlock()
+					pg.Unfix(orgF)
+					return err
+				}
+			}
+		}
+		destF.Data().SetLSN(lsn)
+		destF.Unlock()
+		pg.MarkDirty(destF, lsn)
+		orgF.Lock()
+		orgF.Data().TruncateCells(0)
+		orgF.Data().SetLSN(lsn)
+		orgF.Unlock()
+		pg.MarkDirty(orgF, lsn)
+		pg.Unfix(orgF)
+	}
+
+	// Rewire the leaf chain to the BEGIN record's endpoints.
+	var pred, succ storage.PageID
+	if len(b.Preds) > 0 {
+		pred = b.Preds[0]
+	}
+	if len(b.Succs) > 0 {
+		succ = b.Succs[0]
+	}
+	setPtr := func(page storage.PageID, op wal.Op, to storage.PageID) error {
+		if page == storage.InvalidPage {
+			return nil
+		}
+		return applySystemUpdate(pg, log, page, op, to)
+	}
+	if err := setPtr(dest, wal.OpSetPrev, pred); err != nil {
+		return err
+	}
+	if err := setPtr(dest, wal.OpSetNext, succ); err != nil {
+		return err
+	}
+	if err := setPtr(pred, wal.OpSetNext, dest); err != nil {
+		return err
+	}
+	if err := setPtr(succ, wal.OpSetPrev, dest); err != nil {
+		return err
+	}
+
+	// Recompute the base page: of all entries pointing at unit members,
+	// the lowest-keyed one points at the destination; the rest go.
+	if len(b.BasePages) > 0 {
+		base := b.BasePages[0]
+		baseF, err := pg.Fix(base)
+		if err != nil {
+			return err
+		}
+		members := map[storage.PageID]bool{dest: true}
+		for _, org := range b.LeafPages {
+			members[org] = true
+		}
+		m := wal.ReorgModify{Unit: b.Unit, Base: base}
+		baseF.RLock()
+		first := true
+		for i := 0; i < baseF.Data().NumSlots(); i++ {
+			k, c := kv.DecodeIndexCell(baseF.Data().Cell(i))
+			if !members[c] {
+				continue
+			}
+			key := append([]byte(nil), k...)
+			if first {
+				first = false
+				if c != dest {
+					m.Replaces = append(m.Replaces,
+						wal.IndexReplace{OldKey: key, NewKey: key, NewChild: dest})
+				}
+			} else {
+				m.Removes = append(m.Removes, key)
+			}
+		}
+		baseF.RUnlock()
+		if len(m.Removes) > 0 || len(m.Replaces) > 0 {
+			lsn := log.Append(m)
+			if err := redoModifyForce(pg, baseF, m, lsn); err != nil {
+				pg.Unfix(baseF)
+				return err
+			}
+		}
+		pg.Unfix(baseF)
+	}
+
+	// Deallocate the emptied sources and close the unit.
+	var largest []byte
+	destF.RLock()
+	if n := destF.Data().NumSlots(); n > 0 {
+		largest = append([]byte(nil), kv.SlotKey(destF.Data(), n-1)...)
+	}
+	destF.RUnlock()
+	for _, org := range b.LeafPages {
+		if org == dest {
+			continue
+		}
+		orgF, err := pg.Fix(org)
+		if err != nil {
+			return err
+		}
+		orgF.RLock()
+		free := orgF.Data().Type() == storage.PageFree
+		orgF.RUnlock()
+		pg.Unfix(orgF)
+		if free {
+			continue
+		}
+		lsn := log.Append(wal.Dealloc{Page: org})
+		if err := pg.Deallocate(org, lsn); err != nil {
+			return err
+		}
+	}
+	log.Append(wal.ReorgEnd{Unit: b.Unit, LargestKey: largest})
+	return log.Flush()
+}
+
+// completeSwap finishes a swap unit. The post-redo page contents are
+// ground truth (their own side pointers travelled with them), so the
+// chain neighbours and parent entries are healed to match wherever the
+// contents ended up — correct regardless of how far the swap, or a
+// deadlock-undo re-swap, had progressed.
+func completeSwap(pg *storage.Pager, log *wal.Log, u *unitState) error {
+	b := u.begin
+	if len(b.LeafPages) != 2 {
+		return fmt.Errorf("recovery: swap unit with %d leaves", len(b.LeafPages))
+	}
+	for _, page := range b.LeafPages {
+		f, err := pg.Fix(page)
+		if err != nil {
+			return err
+		}
+		f.RLock()
+		prev, next := f.Data().Prev(), f.Data().Next()
+		f.RUnlock()
+		pg.Unfix(f)
+		if prev != storage.InvalidPage {
+			if err := applySystemUpdate(pg, log, prev, wal.OpSetNext, page); err != nil {
+				return err
+			}
+		}
+		if next != storage.InvalidPage {
+			if err := applySystemUpdate(pg, log, next, wal.OpSetPrev, page); err != nil {
+				return err
+			}
+		}
+	}
+	// Heal parent entries: an entry must point at the page whose low
+	// record key lies within the entry's key range.
+	members := b.LeafPages
+	lowMarks := make(map[storage.PageID][]byte, 2)
+	for _, page := range members {
+		f, err := pg.Fix(page)
+		if err != nil {
+			return err
+		}
+		f.RLock()
+		if f.Data().NumSlots() > 0 {
+			lowMarks[page] = append([]byte(nil), kv.SlotKey(f.Data(), 0)...)
+		}
+		f.RUnlock()
+		pg.Unfix(f)
+	}
+	for _, base := range b.BasePages {
+		baseF, err := pg.Fix(base)
+		if err != nil {
+			return err
+		}
+		m := wal.ReorgModify{Unit: b.Unit, Base: base}
+		baseF.RLock()
+		n := baseF.Data().NumSlots()
+		for i := 0; i < n; i++ {
+			k, c := kv.DecodeIndexCell(baseF.Data().Cell(i))
+			if c != members[0] && c != members[1] {
+				continue
+			}
+			var hi []byte
+			if i+1 < n {
+				hi = kv.SlotKey(baseF.Data(), i+1)
+			}
+			inRange := func(lm []byte) bool {
+				if lm == nil {
+					return false
+				}
+				if bytes.Compare(lm, k) < 0 {
+					return false
+				}
+				return hi == nil || bytes.Compare(lm, hi) < 0
+			}
+			correct := c
+			for _, page := range members {
+				if inRange(lowMarks[page]) {
+					correct = page
+					break
+				}
+			}
+			if correct != c {
+				key := append([]byte(nil), k...)
+				m.Replaces = append(m.Replaces,
+					wal.IndexReplace{OldKey: key, NewKey: key, NewChild: correct})
+			}
+		}
+		baseF.RUnlock()
+		if len(m.Replaces) > 0 {
+			lsn := log.Append(m)
+			if err := redoModifyForce(pg, baseF, m, lsn); err != nil {
+				pg.Unfix(baseF)
+				return err
+			}
+		}
+		pg.Unfix(baseF)
+	}
+	log.Append(wal.ReorgEnd{Unit: b.Unit})
+	return log.Flush()
+}
+
+// applySystemUpdate logs and applies a pointer fix.
+func applySystemUpdate(pg *storage.Pager, log *wal.Log, page storage.PageID, op wal.Op, to storage.PageID) error {
+	val := make([]byte, 4)
+	val[0] = byte(to)
+	val[1] = byte(to >> 8)
+	val[2] = byte(to >> 16)
+	val[3] = byte(to >> 24)
+	u := wal.Update{Page: page, Op: op, NewVal: val}
+	lsn := log.Append(u)
+	f, err := pg.Fix(page)
+	if err != nil {
+		return err
+	}
+	defer pg.Unfix(f)
+	f.Lock()
+	defer f.Unlock()
+	switch op {
+	case wal.OpSetNext:
+		f.Data().SetNext(to)
+	case wal.OpSetPrev:
+		f.Data().SetPrev(to)
+	}
+	f.Data().SetLSN(lsn)
+	pg.MarkDirty(f, lsn)
+	return nil
+}
+
+// redoModifyForce applies a MODIFY unconditionally (the record was just
+// created; the page has not seen it).
+func redoModifyForce(pg *storage.Pager, baseF *storage.Frame, m wal.ReorgModify, lsn uint64) error {
+	baseF.Lock()
+	defer baseF.Unlock()
+	if err := applyModifyEntries(baseF.Data(), m); err != nil {
+		return err
+	}
+	baseF.Data().SetLSN(lsn)
+	pg.MarkDirty(baseF, lsn)
+	return nil
+}
+
+// applyModifyEntries mirrors core.ApplyModifyToPage without importing
+// core's reorganizer (recovery already imports core for swap replay; a
+// local copy keeps this file self-describing for the MODIFY edits).
+func applyModifyEntries(p storage.Page, m wal.ReorgModify) error {
+	for _, key := range m.Removes {
+		if slot, found := kv.Search(p, key); found {
+			if err := p.DeleteCell(slot); err != nil {
+				return err
+			}
+		}
+	}
+	for _, rep := range m.Replaces {
+		if _, found := kv.Search(p, rep.OldKey); found {
+			if err := kv.IndexReplace(p, rep.OldKey, rep.NewKey, rep.NewChild); err != nil {
+				return err
+			}
+		}
+	}
+	for _, ins := range m.Inserts {
+		if _, found := kv.Search(p, ins.Key); !found {
+			if err := kv.IndexInsert(p, ins.Key, ins.Child); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,371 @@
+// Package recovery implements restart after a crash: a redo pass from
+// the last checkpoint that repeats history (including the logical
+// replay of reorganization MOVE/SWAP/MODIFY records under careful
+// writing), rollback of loser transactions, and the paper's Forward
+// Recovery — an interrupted reorganization unit is finished, not
+// undone (§5.1). An interrupted internal-page reorganization (pass 3)
+// is reclaimed: its new-place pages and side file are deallocated and
+// the reorganization bit cleared (if the switch record made it to the
+// log, the switch is completed instead).
+package recovery
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/kv"
+	"repro/internal/lock"
+	"repro/internal/sidefile"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Result reports what restart did and hands back the recovered system.
+type Result struct {
+	Tree  *btree.Tree
+	Txns  *txn.Manager
+	Locks *lock.Manager
+	Pager *storage.Pager
+
+	RedoneRecords  int
+	LosersUndone   int
+	UnitCompleted  bool   // forward recovery finished an in-flight unit
+	CompletedUnit  uint64 // its id
+	Pass3Abandoned bool   // interrupted pass 3 reclaimed
+	Pass3Completed bool   // switch was durable; finished the discard
+	// BaselineRolledBack reports that an interrupted baseline block
+	// operation was physically undone (its work lost).
+	BaselineRolledBack bool
+	// ReorgLK is the largest key of the last finished reorganization
+	// unit (the paper's LK): pass it as Config.StartKey to resume
+	// compaction where it left off.
+	ReorgLK   []byte
+	NextTxnID uint64
+	NextUnit  uint64
+}
+
+// errStopIterate ends a bounded log scan early.
+var errStopIterate = errors.New("stop")
+
+// txnState tracks one transaction across the redo scan.
+type txnState struct {
+	lastLSN uint64
+	ended   bool
+}
+
+// unitState tracks the (single) in-flight reorganization unit.
+type unitState struct {
+	begin    wal.ReorgBegin
+	beginLSN uint64
+	moves    []wal.ReorgMove
+	swaps    []wal.ReorgSwap
+	ended    bool
+}
+
+// Restart recovers the database from the stable disk and the durable
+// prefix of the log. The caller must have invoked log.Crash() (or be
+// reusing a freshly read log).
+func Restart(disk *storage.Disk, log *wal.Log) (*Result, error) {
+	res := &Result{}
+	pager := storage.NewPager(disk, 0, log)
+	locks := lock.NewManager()
+	txns := txn.NewManager(log, locks, pager)
+	res.Pager, res.Locks, res.Txns = pager, locks, txns
+
+	// --- analysis: find the redo start point ---
+	cpLSN, cp, haveCP := log.LastCheckpoint()
+	redoFrom := uint64(1)
+	if haveCP {
+		redoFrom = cpLSN
+		res.NextTxnID = cp.NextTxnID
+		res.NextUnit = cp.NextUnit
+	}
+	active := map[uint64]*txnState{}
+	if haveCP {
+		for _, t := range cp.ActiveTxns {
+			active[t.ID] = &txnState{lastLSN: t.LastLSN}
+		}
+	}
+
+	// The paper's reorg table is embedded in the checkpoint (§5): if a
+	// unit was in flight when the checkpoint was taken, its BEGIN (and
+	// possibly some MOVEs) lie before the redo start point — rebuild
+	// the unit state from the BEGIN LSN recorded in the table.
+	var preUnit *unitState
+	if haveCP && cp.Reorg.HasUnit {
+		u := &unitState{}
+		err := log.Iterate(cp.Reorg.BeginLSN, func(lsn uint64, rec wal.Record) error {
+			if lsn >= cpLSN {
+				return errStopIterate
+			}
+			switch r := rec.(type) {
+			case wal.ReorgBegin:
+				if r.Unit == cp.Reorg.Unit {
+					u.begin = r
+					u.beginLSN = lsn
+				}
+			case wal.ReorgMove:
+				if r.Unit == cp.Reorg.Unit {
+					u.moves = append(u.moves, r)
+				}
+			case wal.ReorgSwap:
+				if r.Unit == cp.Reorg.Unit {
+					u.swaps = append(u.swaps, r)
+				}
+			case wal.ReorgEnd:
+				if r.Unit == cp.Reorg.Unit {
+					u.ended = true
+				}
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errStopIterate) {
+			return nil, fmt.Errorf("recovery: reorg table scan: %w", err)
+		}
+		if u.beginLSN != 0 {
+			preUnit = u
+		}
+	}
+
+	// --- redo pass: repeat history from the checkpoint ---
+	unit := preUnit
+	var (
+		allocs     []wal.Alloc
+		lastSwitch *wal.SwitchRoot
+		maxTxn     uint64
+		maxUnit    uint64
+		baseOp     *wal.BaselineBegin // in-flight baseline block op
+	)
+	err := log.Iterate(redoFrom, func(lsn uint64, rec wal.Record) error {
+		res.RedoneRecords++
+		switch r := rec.(type) {
+		case wal.TxnBegin:
+			active[r.Txn] = &txnState{lastLSN: lsn}
+			if r.Txn > maxTxn {
+				maxTxn = r.Txn
+			}
+		case wal.TxnCommit:
+			delete(active, r.Txn)
+		case wal.TxnEnd:
+			delete(active, r.Txn)
+		case wal.TxnAbort:
+			if st := active[r.Txn]; st != nil {
+				st.lastLSN = lsn
+			}
+		case wal.Update:
+			if st := active[r.Txn]; st != nil {
+				st.lastLSN = lsn
+			}
+			return redoUpdate(pager, r, lsn)
+		case wal.CLR:
+			if st := active[r.Txn]; st != nil {
+				st.lastLSN = lsn
+			}
+			return redoCLR(pager, r, lsn)
+		case wal.Split:
+			return pageopsApplySplit(pager, r, lsn)
+		case wal.RootSplit:
+			return pageopsApplyRootSplit(pager, r, lsn)
+		case wal.FreeChain:
+			return pageopsApplyFreeChain(pager, r, lsn)
+		case wal.Alloc:
+			allocs = append(allocs, r)
+			return redoAlloc(pager, r, lsn)
+		case wal.Dealloc:
+			return redoDealloc(pager, r, lsn)
+		case wal.ReorgBegin:
+			unit = &unitState{begin: r, beginLSN: lsn}
+			if r.Unit > maxUnit {
+				maxUnit = r.Unit
+			}
+			return redoReorgBegin(pager, r, lsn)
+		case wal.ReorgMove:
+			if unit != nil && unit.begin.Unit == r.Unit {
+				unit.moves = append(unit.moves, r)
+			}
+			return redoMove(pager, r, lsn)
+		case wal.ReorgSwap:
+			if unit != nil && unit.begin.Unit == r.Unit {
+				unit.swaps = append(unit.swaps, r)
+			}
+			return redoSwap(pager, r, lsn)
+		case wal.ReorgModify:
+			return redoModify(pager, r, lsn)
+		case wal.ReorgEnd:
+			if unit != nil && unit.begin.Unit == r.Unit {
+				unit.ended = true
+			}
+			if len(r.LargestKey) > 0 {
+				res.ReorgLK = append([]byte(nil), r.LargestKey...)
+			}
+		case wal.BaselineBegin:
+			op := r
+			baseOp = &op
+		case wal.BaselineEnd:
+			baseOp = nil
+			return redoImages(pager, r.Pages, r.Images, lsn)
+		case wal.SwitchRoot:
+			cp := r
+			lastSwitch = &cp
+			allocs = nil // the new tree is live: its pages must stay
+		case wal.StableKey, wal.Checkpoint:
+			// bookkeeping only
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("recovery: redo: %w", err)
+	}
+	if res.NextTxnID <= maxTxn {
+		res.NextTxnID = maxTxn + 1
+	}
+	if res.NextUnit <= maxUnit {
+		res.NextUnit = maxUnit + 1
+	}
+	txns.SetNextID(res.NextTxnID)
+
+	// Make the disk authoritative before rebuilding the free map: redo
+	// may have recreated pages that exist only in buffered frames, and
+	// a disk scan would hand their ids out again.
+	if err := pager.FlushAll(); err != nil {
+		return nil, err
+	}
+	pager.RebuildFreeMap()
+
+	// --- open the tree: the anchor is authoritative, and opening
+	// installs the logical undoer the undo pass needs ---
+	tree, err := btree.Open(pager, log, locks, txns)
+	if err != nil {
+		return nil, err
+	}
+	res.Tree = tree
+
+	// --- undo pass: roll back loser transactions (logical undo: their
+	// records are located through the index) ---
+	for id, st := range active {
+		if st.ended || st.lastLSN == 0 {
+			continue
+		}
+		loser := txns.Resurrect(id, st.lastLSN)
+		if err := loser.UndoFrom(st.lastLSN); err != nil {
+			return nil, fmt.Errorf("recovery: undo txn %d: %w", id, err)
+		}
+		loser.FinishRecovery()
+		res.LosersUndone++
+	}
+
+	// --- baseline rollback: an interrupted block operation of the
+	// Tandem-style baseline is undone physically from its before-images
+	// (the rollback-on-crash behaviour the paper contrasts with
+	// Forward Recovery) ---
+	if baseOp != nil {
+		restoreLSN := log.Append(wal.BaselineEnd{Seq: baseOp.Seq,
+			Pages: baseOp.Pages, Images: baseOp.Images})
+		if err := installImages(pager, baseOp.Pages, baseOp.Images, restoreLSN); err != nil {
+			return nil, fmt.Errorf("recovery: baseline rollback: %w", err)
+		}
+		res.BaselineRolledBack = true
+	}
+
+	// --- forward recovery: finish the in-flight reorganization unit ---
+	if unit != nil && !unit.ended {
+		if err := completeUnit(pager, log, unit); err != nil {
+			return nil, fmt.Errorf("recovery: forward recovery of unit %d: %w",
+				unit.begin.Unit, err)
+		}
+		res.UnitCompleted = true
+		res.CompletedUnit = unit.begin.Unit
+	}
+	bit, sfHead := tree.ReorgState()
+	if bit {
+		root, _ := tree.Root()
+		switchedDurably := lastSwitch != nil && lastSwitch.NewRoot == root
+		if switchedDurably {
+			// Crash after the switch but before cleanup: finish the
+			// discard of the old internal pages and the side file.
+			if err := discardTree(pager, log, lastSwitch.OldRoot); err != nil {
+				return nil, err
+			}
+			if sfHead != storage.InvalidPage {
+				if err := sidefile.DestroyChain(pager, log, sfHead); err != nil {
+					return nil, err
+				}
+			}
+			res.Pass3Completed = true
+		} else {
+			// Abandon the interrupted internal reorganization: the old
+			// tree remains authoritative; reclaim every page the pass
+			// allocated (builder pages and the side-file chain).
+			for _, a := range allocs {
+				lsn := log.Append(wal.Dealloc{Page: a.Page})
+				if err := pager.Deallocate(a.Page, lsn); err != nil {
+					return nil, err
+				}
+			}
+			res.Pass3Abandoned = true
+		}
+		if err := tree.SetReorgBit(false, storage.InvalidPage); err != nil {
+			return nil, err
+		}
+	}
+
+	// Restart checkpoint: everything recovery produced becomes stable,
+	// and the free map is rebuilt from the final page states.
+	if err := pager.FlushAll(); err != nil {
+		return nil, err
+	}
+	pager.RebuildFreeMap()
+	if err := log.Flush(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// discardTree deallocates the internal pages of the tree rooted at
+// root, skipping pages already freed.
+func discardTree(pager *storage.Pager, log *wal.Log, root storage.PageID) error {
+	var internals []storage.PageID
+	var walk func(id storage.PageID) error
+	walk = func(id storage.PageID) error {
+		f, err := pager.Fix(id)
+		if err != nil {
+			return err
+		}
+		f.RLock()
+		p := f.Data()
+		if p.Type() != storage.PageInternal {
+			f.RUnlock()
+			pager.Unfix(f)
+			return nil
+		}
+		level := p.Aux()
+		var children []storage.PageID
+		if level > 1 {
+			for i := 0; i < p.NumSlots(); i++ {
+				_, c := kv.DecodeIndexCell(p.Cell(i))
+				children = append(children, c)
+			}
+		}
+		f.RUnlock()
+		pager.Unfix(f)
+		internals = append(internals, id)
+		for _, c := range children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return err
+	}
+	for _, id := range internals {
+		lsn := log.Append(wal.Dealloc{Page: id})
+		if err := pager.Deallocate(id, lsn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

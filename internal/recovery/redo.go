@@ -1,0 +1,274 @@
+package recovery
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/pageops"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// redoUpdate re-applies a logical page operation under the pageLSN
+// test.
+func redoUpdate(pg *storage.Pager, r wal.Update, lsn uint64) error {
+	return pageops.Redo(pg, r.Page, r.Op, r.Key, r.NewVal, lsn)
+}
+
+// redoCLR re-applies a compensation record (same mechanics as Update).
+func redoCLR(pg *storage.Pager, r wal.CLR, lsn uint64) error {
+	return pageops.Redo(pg, r.Page, r.Op, r.Key, r.NewVal, lsn)
+}
+
+func pageopsApplySplit(pg *storage.Pager, r wal.Split, lsn uint64) error {
+	return pageops.ApplySplit(pg, r, lsn)
+}
+
+func pageopsApplyRootSplit(pg *storage.Pager, r wal.RootSplit, lsn uint64) error {
+	return pageops.ApplyRootSplit(pg, r, lsn)
+}
+
+func pageopsApplyFreeChain(pg *storage.Pager, r wal.FreeChain, lsn uint64) error {
+	return pageops.ApplyFreeChain(pg, r, lsn)
+}
+
+// redoAlloc reformats an allocated page (pass-3 builder and side-file
+// pages). The allocation stamped the page with this LSN at run time, so
+// a flushed page (holding later content) is left alone.
+func redoAlloc(pg *storage.Pager, r wal.Alloc, lsn uint64) error {
+	f, err := pg.Fix(r.Page)
+	if err != nil {
+		return err
+	}
+	defer pg.Unfix(f)
+	f.Lock()
+	defer f.Unlock()
+	if f.Data().LSN() >= lsn {
+		return nil
+	}
+	storage.FormatPage(f.Data(), r.Typ, r.Page)
+	f.Data().SetAux(r.Aux)
+	f.Data().SetLSN(lsn)
+	pg.MarkDirty(f, lsn)
+	return nil
+}
+
+// redoDealloc frees a page unless it already observed a later
+// operation (it may have been reused before the crash).
+func redoDealloc(pg *storage.Pager, r wal.Dealloc, lsn uint64) error {
+	return pageops.DeallocateIfUnseen(pg, r.Page, lsn)
+}
+
+// redoReorgBegin formats a new-place destination leaf (the unit
+// stamped it with the BEGIN LSN at run time).
+func redoReorgBegin(pg *storage.Pager, r wal.ReorgBegin, lsn uint64) error {
+	if !r.NewPlace || r.Dest == storage.InvalidPage {
+		return nil
+	}
+	f, err := pg.Fix(r.Dest)
+	if err != nil {
+		return err
+	}
+	defer pg.Unfix(f)
+	f.Lock()
+	defer f.Unlock()
+	if f.Data().LSN() >= lsn {
+		return nil
+	}
+	storage.FormatPage(f.Data(), storage.PageLeaf, r.Dest)
+	f.Data().SetLSN(lsn)
+	pg.MarkDirty(f, lsn)
+	return nil
+}
+
+// redoMove logically replays a reorganization MOVE. Under careful
+// writing the record carries only keys and the values come from the
+// source page's disk state — the write-ordering dependency guarantees
+// the source cannot have overtaken the destination, so exactly the
+// cases below can occur.
+func redoMove(pg *storage.Pager, r wal.ReorgMove, lsn uint64) error {
+	org, err := pg.Fix(r.Org)
+	if err != nil {
+		return err
+	}
+	defer pg.Unfix(org)
+	dest, err := pg.Fix(r.Dest)
+	if err != nil {
+		return err
+	}
+	defer pg.Unfix(dest)
+
+	org.Lock()
+	defer org.Unlock()
+	dest.Lock()
+	defer dest.Unlock()
+	orgDone := org.Data().LSN() >= lsn
+	destDone := dest.Data().LSN() >= lsn
+
+	if !r.Full && orgDone && !destDone {
+		return fmt.Errorf("recovery: careful-writing violation on move %d->%d (source overtook destination)",
+			r.Org, r.Dest)
+	}
+	if !destDone {
+		for _, rec := range r.Records {
+			var k, v []byte
+			if r.Full {
+				k, v = kv.DecodeLeafCell(rec)
+			} else {
+				k = rec
+				var ok bool
+				v, ok = kv.LeafGet(org.Data(), k)
+				if !ok {
+					// The record is already gone from the source and
+					// (per the check above) must be in the destination.
+					continue
+				}
+			}
+			if _, found := kv.Search(dest.Data(), k); !found {
+				if err := kv.LeafInsert(dest.Data(), k, v); err != nil {
+					return fmt.Errorf("recovery: redo move into %d: %w", r.Dest, err)
+				}
+			}
+		}
+		dest.Data().SetLSN(lsn)
+		pg.MarkDirty(dest, lsn)
+	}
+	if !orgDone {
+		for _, rec := range r.Records {
+			k := rec
+			if r.Full {
+				k, _ = kv.DecodeLeafCell(rec)
+			}
+			if slot, found := kv.Search(org.Data(), k); found {
+				if err := org.Data().DeleteCell(slot); err != nil {
+					return err
+				}
+			}
+		}
+		org.Data().SetLSN(lsn)
+		pg.MarkDirty(org, lsn)
+	}
+	return nil
+}
+
+// redoSwap replays a page-content swap. The careful-writing dependency
+// (B may not reach disk before A) leaves three reachable disk states.
+func redoSwap(pg *storage.Pager, r wal.ReorgSwap, lsn uint64) error {
+	fa, err := pg.Fix(r.PageA)
+	if err != nil {
+		return err
+	}
+	defer pg.Unfix(fa)
+	fb, err := pg.Fix(r.PageB)
+	if err != nil {
+		return err
+	}
+	defer pg.Unfix(fb)
+
+	fa.RLock()
+	aDone := fa.Data().LSN() >= lsn
+	fa.RUnlock()
+	fb.RLock()
+	bDone := fb.Data().LSN() >= lsn
+	fb.RUnlock()
+
+	switch {
+	case aDone && bDone:
+		return nil
+	case !aDone && !bDone:
+		core.SwapPages(fa, fb, lsn)
+		pg.MarkDirty(fa, lsn)
+		pg.MarkDirty(fb, lsn)
+		return nil
+	case aDone && !bDone:
+		// A already holds B's old content; rebuild B from the logged
+		// image of A's old content, flipping self-references.
+		img := storage.Page(r.ImageA)
+		fb.Lock()
+		p := fb.Data()
+		p.TruncateCells(0)
+		p.Compact()
+		for i := 0; i < img.NumSlots(); i++ {
+			if err := p.InsertCell(i, img.Cell(i)); err != nil {
+				fb.Unlock()
+				return err
+			}
+		}
+		next, prev := img.Next(), img.Prev()
+		if next == r.PageB {
+			next = r.PageA
+		}
+		if prev == r.PageB {
+			prev = r.PageA
+		}
+		p.SetNext(next)
+		p.SetPrev(prev)
+		p.SetLSN(lsn)
+		fb.Unlock()
+		pg.MarkDirty(fb, lsn)
+		return nil
+	default:
+		return fmt.Errorf("recovery: swap %d/%d: destination overtook source on disk",
+			r.PageA, r.PageB)
+	}
+}
+
+// redoModify re-applies base-page entry edits under the pageLSN test.
+func redoModify(pg *storage.Pager, r wal.ReorgModify, lsn uint64) error {
+	f, err := pg.Fix(r.Base)
+	if err != nil {
+		return err
+	}
+	defer pg.Unfix(f)
+	f.Lock()
+	defer f.Unlock()
+	if f.Data().LSN() >= lsn {
+		return nil
+	}
+	if err := core.ApplyModifyToPage(f.Data(), r); err != nil {
+		return err
+	}
+	f.Data().SetLSN(lsn)
+	pg.MarkDirty(f, lsn)
+	return nil
+}
+
+// redoImages installs full page images under the pageLSN test (redo of
+// a completed baseline block operation).
+func redoImages(pg *storage.Pager, pages []storage.PageID, images [][]byte, lsn uint64) error {
+	for i, id := range pages {
+		if err := installImage(pg, id, images[i], lsn, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// installImages overwrites pages with images unconditionally (physical
+// rollback of an interrupted baseline operation).
+func installImages(pg *storage.Pager, pages []storage.PageID, images [][]byte, lsn uint64) error {
+	for i, id := range pages {
+		if err := installImage(pg, id, images[i], lsn, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func installImage(pg *storage.Pager, id storage.PageID, img []byte, lsn uint64, gated bool) error {
+	f, err := pg.Fix(id)
+	if err != nil {
+		return err
+	}
+	defer pg.Unfix(f)
+	f.Lock()
+	defer f.Unlock()
+	if gated && f.Data().LSN() >= lsn {
+		return nil
+	}
+	copy(f.Data(), img)
+	f.Data().SetLSN(lsn)
+	pg.MarkDirty(f, lsn)
+	return nil
+}

@@ -1,0 +1,164 @@
+package sidefile
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+func newSF(t *testing.T) (*SideFile, *storage.Pager, *wal.Log, *lock.Manager) {
+	t.Helper()
+	log := wal.NewLog()
+	pager := storage.NewPager(storage.NewDisk(storage.MinPageSize*2), 0, log)
+	locks := lock.NewManager()
+	sf, err := Create(pager, log, locks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sf, pager, log, locks
+}
+
+func TestAppendAndDrainInOrder(t *testing.T) {
+	sf, _, _, _ := newSF(t)
+	for i := 0; i < 50; i++ {
+		op := wal.OpInsert
+		if i%3 == 0 {
+			op = wal.OpDelete
+		}
+		if err := sf.Append(1, op, []byte(fmt.Sprintf("key%03d", i)), storage.PageID(i+10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sf.Pending() != 50 {
+		t.Fatalf("pending = %d", sf.Pending())
+	}
+	var got []Entry
+	n, err := sf.Drain(func(e Entry) error {
+		got = append(got, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 || len(got) != 50 {
+		t.Fatalf("drained %d", n)
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("entry %d seq %d: out of order", i, e.Seq)
+		}
+		if string(e.Key) != fmt.Sprintf("key%03d", i) {
+			t.Fatalf("entry %d key %q", i, e.Key)
+		}
+		wantOp := wal.OpInsert
+		if i%3 == 0 {
+			wantOp = wal.OpDelete
+		}
+		if e.Op != wantOp || (wantOp == wal.OpInsert && e.Child != storage.PageID(i+10)) {
+			t.Fatalf("entry %d decoded wrong: %+v", i, e)
+		}
+	}
+	if sf.Pending() != 0 {
+		t.Errorf("pending after drain = %d", sf.Pending())
+	}
+}
+
+func TestChainGrowsAcrossPages(t *testing.T) {
+	sf, pager, _, _ := newSF(t)
+	// MinPageSize*2 pages hold only a few entries each; force chaining.
+	for i := 0; i < 40; i++ {
+		if err := sf.Append(1, wal.OpInsert, []byte(fmt.Sprintf("some-longer-key-%04d", i)), 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Walk the chain.
+	pages := 0
+	for id := sf.Head(); id != storage.InvalidPage; {
+		f, err := pager.Fix(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.RLock()
+		next := f.Data().Next()
+		f.RUnlock()
+		pager.Unfix(f)
+		pages++
+		id = next
+	}
+	if pages < 2 {
+		t.Fatalf("expected chained pages, got %d", pages)
+	}
+}
+
+func TestOpenReconstructsState(t *testing.T) {
+	sf, pager, log, locks := newSF(t)
+	for i := 0; i < 30; i++ {
+		if err := sf.Append(1, wal.OpInsert, []byte(fmt.Sprintf("k%05d", i)), 9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Apply a few to advance state.
+	applied := 0
+	_, err := sf.Drain(func(e Entry) error {
+		applied++
+		if applied >= 10 {
+			return fmt.Errorf("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected stop error")
+	}
+
+	sf2, err := Open(pager, log, locks, sf.Head())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf2.Pending() != sf.Pending() {
+		t.Errorf("reopened pending = %d, want %d", sf2.Pending(), sf.Pending())
+	}
+	// New appends must not collide with old sequence numbers.
+	if err := sf2.Append(1, wal.OpDelete, []byte("new"), 0); err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	if _, err := sf2.Drain(func(e Entry) error {
+		seqs = append(seqs, e.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("sequence regression: %v", seqs)
+		}
+	}
+}
+
+func TestDestroyFreesChain(t *testing.T) {
+	sf, pager, _, _ := newSF(t)
+	for i := 0; i < 40; i++ {
+		if err := sf.Append(1, wal.OpInsert, []byte(fmt.Sprintf("some-longer-key-%04d", i)), 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	head := sf.Head()
+	if err := sf.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	pager.RebuildFreeMap()
+	if pager.FreeMap().IsAllocated(head) {
+		t.Error("head page still allocated after destroy")
+	}
+}
+
+func TestDrainEmpty(t *testing.T) {
+	sf, _, _, _ := newSF(t)
+	n, err := sf.Drain(func(Entry) error { return nil })
+	if err != nil || n != 0 {
+		t.Fatalf("drain empty = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,14 @@
+// Package storage provides the page-level substrate the reorganization
+// algorithms run on: fixed-size pages with a common header, a simulated
+// disk with crash semantics and I/O accounting, a buffer pool that
+// enforces the write-ahead-log rule and Lomet–Tuttle careful-write
+// ordering, and a free-space map supporting the paper's
+// Find-Free-Space placement heuristic.
+//
+// The disk is an in-memory array of page images. Crash semantics are
+// exact: only page images that were explicitly flushed (and the flushed
+// prefix of the log) survive a Crash; everything held in buffer-pool
+// frames is lost. This is the property the paper's recovery and
+// careful-writing arguments depend on, so the simulation preserves the
+// behaviour the paper's testbed provided.
+package storage

@@ -1,0 +1,108 @@
+package storage
+
+import "sort"
+
+// FreeMap tracks which page ids are allocated. The paper's
+// Find-Free-Space heuristic needs ordered queries ("first free page
+// after L and before C"), so the map keeps a sorted view of free ids
+// below the high-water mark.
+//
+// FreeMap is not safe for concurrent use; the Pager serialises access.
+type FreeMap struct {
+	allocated map[PageID]bool
+	highWater PageID // one past the largest id ever allocated
+}
+
+// NewFreeMap returns an empty free map. Page 0 is permanently reserved.
+func NewFreeMap() *FreeMap {
+	return &FreeMap{allocated: map[PageID]bool{0: true}, highWater: 1}
+}
+
+// MarkAllocated records id as in use (used when rebuilding from a disk
+// scan at restart).
+func (f *FreeMap) MarkAllocated(id PageID) {
+	f.allocated[id] = true
+	if id >= f.highWater {
+		f.highWater = id + 1
+	}
+}
+
+// Allocate returns the lowest free page id, extending the disk extent
+// if no freed page exists.
+func (f *FreeMap) Allocate() PageID {
+	for id := PageID(1); id < f.highWater; id++ {
+		if !f.allocated[id] {
+			f.allocated[id] = true
+			return id
+		}
+	}
+	id := f.highWater
+	f.allocated[id] = true
+	f.highWater = id + 1
+	return id
+}
+
+// AllocateAt marks a specific id allocated, returning false if it was
+// already in use.
+func (f *FreeMap) AllocateAt(id PageID) bool {
+	if f.allocated[id] {
+		return false
+	}
+	f.MarkAllocated(id)
+	return true
+}
+
+// AllocateEnd always extends the extent: it returns the page after the
+// high-water mark. New-place reorganization of internal pages uses it
+// so the new index pages never collide with the leaf area.
+func (f *FreeMap) AllocateEnd() PageID {
+	id := f.highWater
+	f.allocated[id] = true
+	f.highWater = id + 1
+	return id
+}
+
+// FirstFreeIn returns the lowest free id in the open interval (lo, hi),
+// or InvalidPage if none. This is the primitive behind the paper's
+// §6.1 heuristic: choose the first empty page after the largest
+// finished leaf L and before the current leaf C.
+func (f *FreeMap) FirstFreeIn(lo, hi PageID) PageID {
+	start := lo + 1
+	if start < 1 {
+		start = 1
+	}
+	for id := start; id < hi && id < f.highWater; id++ {
+		if !f.allocated[id] {
+			return id
+		}
+	}
+	return InvalidPage
+}
+
+// Free releases id for reuse.
+func (f *FreeMap) Free(id PageID) {
+	if id == InvalidPage {
+		return
+	}
+	delete(f.allocated, id)
+}
+
+// IsAllocated reports whether id is in use.
+func (f *FreeMap) IsAllocated(id PageID) bool {
+	return f.allocated[id]
+}
+
+// FreeIDs returns all free ids below the high-water mark, sorted.
+func (f *FreeMap) FreeIDs() []PageID {
+	var out []PageID
+	for id := PageID(1); id < f.highWater; id++ {
+		if !f.allocated[id] {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HighWater returns one past the largest id ever allocated.
+func (f *FreeMap) HighWater() PageID { return f.highWater }

@@ -1,0 +1,186 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageID identifies a page on the simulated disk. Page 0 is reserved as
+// the invalid id; page 1 is conventionally the tree anchor.
+type PageID uint32
+
+// InvalidPage is the zero PageID, used as a nil pointer on disk.
+const InvalidPage PageID = 0
+
+// PageType distinguishes the role a page plays. It is stored in the
+// page header so the free map can be rebuilt by scanning the disk
+// after a crash.
+type PageType uint16
+
+const (
+	// PageFree marks an unallocated page.
+	PageFree PageType = iota
+	// PageAnchor is the database anchor: root location, tree epoch,
+	// reorganization bit.
+	PageAnchor
+	// PageLeaf is a B+-tree leaf holding data records.
+	PageLeaf
+	// PageInternal is a B+-tree internal (index) page. Internal pages
+	// whose children are leaves are "base pages" in the paper's terms;
+	// that is a property of tree position, not of the page type.
+	PageInternal
+	// PageSideFile is a page of the side-file system table used during
+	// internal-page reorganization.
+	PageSideFile
+)
+
+func (t PageType) String() string {
+	switch t {
+	case PageFree:
+		return "free"
+	case PageAnchor:
+		return "anchor"
+	case PageLeaf:
+		return "leaf"
+	case PageInternal:
+		return "internal"
+	case PageSideFile:
+		return "sidefile"
+	default:
+		return fmt.Sprintf("type(%d)", uint16(t))
+	}
+}
+
+// Page header layout. All multi-byte fields are little-endian.
+//
+//	off size field
+//	  0    2 type
+//	  2    2 nSlots
+//	  4    4 id (self-identifying, for consistency checks)
+//	  8    8 pageLSN
+//	 16    2 freeStart (first free byte of the cell area)
+//	 18    2 unused (alignment)
+//	 20    4 next (side pointer / chain)
+//	 24    4 prev (side pointer / chain)
+//	 28    4 aux  (page-type specific: tree level for internal pages)
+const (
+	// HeaderSize is the number of bytes reserved at the start of every
+	// page for the common header.
+	HeaderSize = 32
+
+	offType      = 0
+	offNSlots    = 2
+	offID        = 4
+	offLSN       = 8
+	offFreeStart = 16
+	offNext      = 20
+	offPrev      = 24
+	offAux       = 28
+
+	// slotSize is the size of one slot-directory entry (offset, length).
+	slotSize = 4
+)
+
+// MinPageSize is the smallest page size the slotted layout supports.
+// Tiny pages are useful in tests to force deep trees.
+const MinPageSize = 128
+
+// DefaultPageSize matches a common database page size.
+const DefaultPageSize = 4096
+
+// Page is a fixed-size byte buffer with header accessors. A Page always
+// aliases a buffer-pool frame or a scratch buffer; it never owns disk
+// state itself.
+type Page []byte
+
+// FormatPage initialises p as an empty page of the given type and id.
+func FormatPage(p Page, typ PageType, id PageID) {
+	for i := range p {
+		p[i] = 0
+	}
+	p.SetType(typ)
+	p.SetID(id)
+	p.SetFreeStart(HeaderSize)
+}
+
+// Type returns the page type from the header.
+func (p Page) Type() PageType {
+	return PageType(binary.LittleEndian.Uint16(p[offType:]))
+}
+
+// SetType stores the page type.
+func (p Page) SetType(t PageType) {
+	binary.LittleEndian.PutUint16(p[offType:], uint16(t))
+}
+
+// NumSlots returns the number of slot-directory entries.
+func (p Page) NumSlots() int {
+	return int(binary.LittleEndian.Uint16(p[offNSlots:]))
+}
+
+func (p Page) setNumSlots(n int) {
+	binary.LittleEndian.PutUint16(p[offNSlots:], uint16(n))
+}
+
+// ID returns the self-identifying page id stored in the header.
+func (p Page) ID() PageID {
+	return PageID(binary.LittleEndian.Uint32(p[offID:]))
+}
+
+// SetID stores the page id.
+func (p Page) SetID(id PageID) {
+	binary.LittleEndian.PutUint32(p[offID:], uint32(id))
+}
+
+// LSN returns the pageLSN: the LSN of the last log record describing a
+// change to this page. Redo compares record LSNs against it.
+func (p Page) LSN() uint64 {
+	return binary.LittleEndian.Uint64(p[offLSN:])
+}
+
+// SetLSN stores the pageLSN.
+func (p Page) SetLSN(lsn uint64) {
+	binary.LittleEndian.PutUint64(p[offLSN:], lsn)
+}
+
+// FreeStart returns the offset of the first free byte in the cell area.
+func (p Page) FreeStart() int {
+	return int(binary.LittleEndian.Uint16(p[offFreeStart:]))
+}
+
+// SetFreeStart stores the cell-area free pointer.
+func (p Page) SetFreeStart(v int) {
+	binary.LittleEndian.PutUint16(p[offFreeStart:], uint16(v))
+}
+
+// Next returns the forward side pointer (leaf chain) or next page in a
+// page list.
+func (p Page) Next() PageID {
+	return PageID(binary.LittleEndian.Uint32(p[offNext:]))
+}
+
+// SetNext stores the forward side pointer.
+func (p Page) SetNext(id PageID) {
+	binary.LittleEndian.PutUint32(p[offNext:], uint32(id))
+}
+
+// Prev returns the backward side pointer.
+func (p Page) Prev() PageID {
+	return PageID(binary.LittleEndian.Uint32(p[offPrev:]))
+}
+
+// SetPrev stores the backward side pointer.
+func (p Page) SetPrev(id PageID) {
+	binary.LittleEndian.PutUint32(p[offPrev:], uint32(id))
+}
+
+// Aux returns the page-type-specific auxiliary word. Internal pages use
+// it for their level above the leaves (base pages have level 1).
+func (p Page) Aux() uint32 {
+	return binary.LittleEndian.Uint32(p[offAux:])
+}
+
+// SetAux stores the auxiliary word.
+func (p Page) SetAux(v uint32) {
+	binary.LittleEndian.PutUint32(p[offAux:], v)
+}

@@ -1,0 +1,60 @@
+package storage
+
+import "testing"
+
+func TestFormatPageHeader(t *testing.T) {
+	p := make(Page, 256)
+	FormatPage(p, PageLeaf, 42)
+	if p.Type() != PageLeaf {
+		t.Errorf("Type = %v, want leaf", p.Type())
+	}
+	if p.ID() != 42 {
+		t.Errorf("ID = %d, want 42", p.ID())
+	}
+	if p.NumSlots() != 0 {
+		t.Errorf("NumSlots = %d, want 0", p.NumSlots())
+	}
+	if p.FreeStart() != HeaderSize {
+		t.Errorf("FreeStart = %d, want %d", p.FreeStart(), HeaderSize)
+	}
+	if p.LSN() != 0 || p.Next() != InvalidPage || p.Prev() != InvalidPage {
+		t.Error("fresh page has nonzero LSN or side pointers")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	p := make(Page, 256)
+	FormatPage(p, PageInternal, 7)
+	p.SetLSN(0xDEADBEEFCAFE)
+	p.SetNext(101)
+	p.SetPrev(99)
+	p.SetAux(3)
+	if p.LSN() != 0xDEADBEEFCAFE {
+		t.Errorf("LSN = %#x", p.LSN())
+	}
+	if p.Next() != 101 || p.Prev() != 99 {
+		t.Errorf("side pointers = %d/%d", p.Next(), p.Prev())
+	}
+	if p.Aux() != 3 {
+		t.Errorf("Aux = %d", p.Aux())
+	}
+	if p.Type() != PageInternal || p.ID() != 7 {
+		t.Error("type/id clobbered by other header writes")
+	}
+}
+
+func TestPageTypeString(t *testing.T) {
+	cases := map[PageType]string{
+		PageFree:     "free",
+		PageAnchor:   "anchor",
+		PageLeaf:     "leaf",
+		PageInternal: "internal",
+		PageSideFile: "sidefile",
+		PageType(77): "type(77)",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}

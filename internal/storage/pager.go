@@ -1,0 +1,396 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// LogFlusher is the slice of the log manager the buffer pool needs for
+// the write-ahead rule: before a dirty page image reaches disk, the log
+// must be durable up to that page's pageLSN.
+type LogFlusher interface {
+	FlushTo(lsn uint64) error
+}
+
+// Frame is an in-memory copy of one page. The embedded RWMutex is the
+// physical latch: logical locks (internal/lock) order transactions, the
+// latch orders byte-level access within an operation.
+type Frame struct {
+	sync.RWMutex
+	id   PageID
+	data Page
+	pin  int
+	// dirty is atomic so MarkDirty can run while the caller holds the
+	// frame latch without touching the pool mutex (the flusher holds
+	// the pool mutex and then latches frames; the reverse order would
+	// deadlock).
+	dirty atomic.Bool
+	elem  *list.Element
+}
+
+// ID returns the frame's page id.
+func (f *Frame) ID() PageID { return f.id }
+
+// Data returns the page bytes. Callers must hold the frame latch
+// (read or write as appropriate) while touching them.
+func (f *Frame) Data() Page { return f.data }
+
+// Pager is the buffer pool. It owns the free map and the careful-write
+// dependency graph and enforces the WAL rule on every flush/eviction.
+type Pager struct {
+	disk *Disk
+	wal  LogFlusher
+
+	mu       sync.Mutex
+	frames   map[PageID]*Frame
+	lru      *list.List // front = most recently used
+	capacity int
+	free     *FreeMap
+
+	// deps[p] is the set of pages that must be stable on disk before p
+	// may be flushed or deallocated (Lomet–Tuttle careful writing).
+	deps map[PageID]map[PageID]struct{}
+}
+
+// NewPager creates a buffer pool over disk with at most capacity
+// resident frames (0 means unbounded). wal may be nil for WAL-free use
+// (tests, scratch pools).
+func NewPager(disk *Disk, capacity int, wal LogFlusher) *Pager {
+	return &Pager{
+		disk:     disk,
+		wal:      wal,
+		frames:   make(map[PageID]*Frame),
+		lru:      list.New(),
+		capacity: capacity,
+		free:     NewFreeMap(),
+		deps:     make(map[PageID]map[PageID]struct{}),
+	}
+}
+
+// Disk returns the underlying simulated disk.
+func (p *Pager) Disk() *Disk { return p.disk }
+
+// PageSize returns the page size in bytes.
+func (p *Pager) PageSize() int { return p.disk.PageSize() }
+
+// FreeMap exposes the allocation map for single-threaded use (restart,
+// tests). Concurrent queries must go through FirstFreeIn/IsFree, which
+// take the pool mutex.
+func (p *Pager) FreeMap() *FreeMap {
+	return p.free
+}
+
+// FirstFreeIn returns the lowest free page id in the open interval
+// (lo, hi), or InvalidPage, under the pool mutex.
+func (p *Pager) FirstFreeIn(lo, hi PageID) PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.free.FirstFreeIn(lo, hi)
+}
+
+// Fix pins page id in the pool, reading it from disk on a miss, and
+// returns its frame. Callers must Unfix when done.
+func (p *Pager) Fix(id PageID) (*Frame, error) {
+	if id == InvalidPage {
+		return nil, fmt.Errorf("storage: fix of invalid page")
+	}
+	p.mu.Lock()
+	if f, ok := p.frames[id]; ok {
+		f.pin++
+		p.lru.MoveToFront(f.elem)
+		p.mu.Unlock()
+		return f, nil
+	}
+	if err := p.makeRoomLocked(); err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	f := &Frame{id: id, data: make(Page, p.disk.PageSize()), pin: 1}
+	f.elem = p.lru.PushFront(f)
+	p.frames[id] = f
+	// Hold the pool lock across the (simulated, fast) read so a second
+	// fixer cannot observe a half-loaded frame.
+	err := p.disk.Read(id, f.data)
+	p.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Unfix releases one pin on the frame.
+func (p *Pager) Unfix(f *Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.pin <= 0 {
+		panic(fmt.Sprintf("storage: unfix of unpinned page %d", f.id))
+	}
+	f.pin--
+}
+
+// MarkDirty records that the frame was modified under lsn. The caller
+// must hold the frame's write latch.
+func (p *Pager) MarkDirty(f *Frame, lsn uint64) {
+	f.dirty.Store(true)
+	if lsn > f.data.LSN() {
+		f.data.SetLSN(lsn)
+	}
+}
+
+// makeRoomLocked evicts the least recently used unpinned frame if the
+// pool is at capacity. Pinned frames are skipped; if everything is
+// pinned the pool grows (a soft cap keeps the simulation robust).
+func (p *Pager) makeRoomLocked() error {
+	if p.capacity <= 0 || len(p.frames) < p.capacity {
+		return nil
+	}
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*Frame)
+		if f.pin > 0 {
+			continue
+		}
+		if f.dirty.Load() {
+			if err := p.flushFrameLocked(f, make(map[PageID]bool)); err != nil {
+				return err
+			}
+		}
+		delete(p.frames, f.id)
+		p.lru.Remove(e)
+		return nil
+	}
+	return nil // all pinned: grow
+}
+
+// AddWriteDep records that page must not reach disk (by flush or
+// eviction) or be deallocated before dependsOn is stable. This is the
+// careful-writing primitive: it lets MOVE log records carry only keys,
+// because the source page image cannot overtake the destination page.
+func (p *Pager) AddWriteDep(page, dependsOn PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.deps[page]
+	if !ok {
+		s = make(map[PageID]struct{})
+		p.deps[page] = s
+	}
+	s[dependsOn] = struct{}{}
+}
+
+// flushFrameLocked writes the frame to disk, first flushing (in
+// dependency order) every page it carefully depends on, then the log up
+// to the frame's pageLSN. visiting guards against dependency cycles.
+func (p *Pager) flushFrameLocked(f *Frame, visiting map[PageID]bool) error {
+	if visiting[f.id] {
+		return fmt.Errorf("storage: careful-write dependency cycle through page %d", f.id)
+	}
+	visiting[f.id] = true
+	defer delete(visiting, f.id)
+
+	for dep := range p.deps[f.id] {
+		df, ok := p.frames[dep]
+		if !ok || !df.dirty.Load() {
+			continue
+		}
+		if err := p.flushFrameLocked(df, visiting); err != nil {
+			return err
+		}
+	}
+	delete(p.deps, f.id)
+
+	f.RLock()
+	lsn := f.data.LSN()
+	img := make([]byte, len(f.data))
+	copy(img, f.data)
+	f.RUnlock()
+	if p.wal != nil {
+		if err := p.wal.FlushTo(lsn); err != nil {
+			return err
+		}
+	}
+	if err := p.disk.Write(f.id, img); err != nil {
+		return err
+	}
+	f.dirty.Store(false)
+	return nil
+}
+
+// FlushPage forces page id (and its careful-write dependencies) to
+// disk. It is a no-op for clean or non-resident pages. The caller must
+// not hold the frame's latch.
+func (p *Pager) FlushPage(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[id]
+	if !ok || !f.dirty.Load() {
+		return nil
+	}
+	return p.flushFrameLocked(f, make(map[PageID]bool))
+}
+
+// FlushAll forces every dirty frame to disk (checkpoint support).
+func (p *Pager) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if !f.dirty.Load() {
+			continue
+		}
+		if err := p.flushFrameLocked(f, make(map[PageID]bool)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Allocate reserves the lowest free page id and returns a pinned,
+// formatted frame for it. The allocation itself is volatile until the
+// caller logs it (or the page is flushed).
+func (p *Pager) Allocate(typ PageType) (*Frame, error) {
+	p.mu.Lock()
+	id := p.free.Allocate()
+	p.mu.Unlock()
+	return p.fixFresh(id, typ)
+}
+
+// AllocateEnd reserves a page past the high-water mark (new-place
+// internal pages live in their own region, per §6 of the paper).
+func (p *Pager) AllocateEnd(typ PageType) (*Frame, error) {
+	p.mu.Lock()
+	id := p.free.AllocateEnd()
+	p.mu.Unlock()
+	return p.fixFresh(id, typ)
+}
+
+// AllocateIn reserves the first free page in the open interval
+// (lo, hi), returning nil (no error) when the interval has no free
+// page. This is Find-Free-Space's placement primitive.
+func (p *Pager) AllocateIn(lo, hi PageID, typ PageType) (*Frame, error) {
+	p.mu.Lock()
+	id := p.free.FirstFreeIn(lo, hi)
+	if id == InvalidPage {
+		p.mu.Unlock()
+		return nil, nil
+	}
+	p.free.MarkAllocated(id)
+	p.mu.Unlock()
+	return p.fixFresh(id, typ)
+}
+
+// AllocateAt reserves a specific free page id (recovery redo of an
+// allocation). It fails if the page is already in use.
+func (p *Pager) AllocateAt(id PageID, typ PageType) (*Frame, error) {
+	p.mu.Lock()
+	if !p.free.AllocateAt(id) {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("storage: page %d already allocated", id)
+	}
+	p.mu.Unlock()
+	return p.fixFresh(id, typ)
+}
+
+func (p *Pager) fixFresh(id PageID, typ PageType) (*Frame, error) {
+	p.mu.Lock()
+	if f, ok := p.frames[id]; ok {
+		// A stale frame for a freed page can linger after recovery
+		// reads; reuse it. A pinned frame is a real allocation bug.
+		if f.pin > 0 {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("storage: fresh page %d already resident and pinned", id)
+		}
+		f.pin = 1
+		p.lru.MoveToFront(f.elem)
+		p.mu.Unlock()
+		f.Lock()
+		FormatPage(f.data, typ, id)
+		f.Unlock()
+		f.dirty.Store(true)
+		return f, nil
+	}
+	if err := p.makeRoomLocked(); err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	f := &Frame{id: id, data: make(Page, p.disk.PageSize()), pin: 1}
+	f.dirty.Store(true)
+	f.elem = p.lru.PushFront(f)
+	p.frames[id] = f
+	p.mu.Unlock()
+	FormatPage(f.data, typ, id)
+	return f, nil
+}
+
+// Deallocate frees a page. Careful writing requires that pages whose
+// contents were copied elsewhere are stable first, so Deallocate
+// flushes the page's dependencies before dropping it; the WAL rule
+// requires the log record covering the deallocation (lsn) to be
+// durable before the stable image is stamped free, or a crash could
+// leave an unredoable pointer to a wiped page. Pass lsn 0 for
+// unlogged use.
+func (p *Pager) Deallocate(id PageID, lsn uint64) error {
+	p.mu.Lock()
+	if f, ok := p.frames[id]; ok {
+		if f.pin > 0 {
+			p.mu.Unlock()
+			return fmt.Errorf("storage: deallocate of pinned page %d", id)
+		}
+		// Flush the pages this one depends on (its copied-out contents).
+		for dep := range p.deps[id] {
+			df, ok := p.frames[dep]
+			if !ok || !df.dirty.Load() {
+				continue
+			}
+			if err := p.flushFrameLocked(df, make(map[PageID]bool)); err != nil {
+				p.mu.Unlock()
+				return err
+			}
+		}
+		delete(p.deps, id)
+		delete(p.frames, id)
+		p.lru.Remove(f.elem)
+	}
+	p.free.Free(id)
+	p.mu.Unlock()
+	if p.wal != nil && lsn != 0 {
+		if err := p.wal.FlushTo(lsn); err != nil {
+			return err
+		}
+	}
+	// Stamp the stable image as free so restart scans rebuild the map.
+	p.disk.MarkFree(id, lsn)
+	return nil
+}
+
+// Crash simulates a system failure: every buffered frame, pin,
+// dependency edge, and the volatile free map are lost. Only the disk
+// (and whatever log the owner flushed) survives.
+func (p *Pager) Crash() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frames = make(map[PageID]*Frame)
+	p.lru = list.New()
+	p.deps = make(map[PageID]map[PageID]struct{})
+	p.free = NewFreeMap()
+}
+
+// RebuildFreeMap reconstructs the allocation map from the stable page
+// headers (restart analysis).
+func (p *Pager) RebuildFreeMap() {
+	types := p.disk.ScanTypes()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = NewFreeMap()
+	for i, t := range types {
+		if i == 0 {
+			continue
+		}
+		if t != PageFree {
+			p.free.MarkAllocated(PageID(i))
+		} else if PageID(i) >= p.free.highWater {
+			// keep high-water mark covering the whole extent so freed
+			// holes are visible to FirstFreeIn
+			p.free.highWater = PageID(i) + 1
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package storage
+
+import (
+	"testing"
+)
+
+// fakeWAL records the highest LSN it was asked to make durable.
+type fakeWAL struct {
+	flushedTo uint64
+	calls     int
+}
+
+func (w *fakeWAL) FlushTo(lsn uint64) error {
+	w.calls++
+	if lsn > w.flushedTo {
+		w.flushedTo = lsn
+	}
+	return nil
+}
+
+func TestDiskReadWrite(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	img := make(Page, MinPageSize)
+	FormatPage(img, PageLeaf, 3)
+	img.SetLSN(9)
+	if err := d.Write(3, img); err != nil {
+		t.Fatal(err)
+	}
+	got := make(Page, MinPageSize)
+	if err := d.Read(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID() != 3 || got.LSN() != 9 || got.Type() != PageLeaf {
+		t.Errorf("round trip lost header: id=%d lsn=%d type=%v", got.ID(), got.LSN(), got.Type())
+	}
+	r, w := d.Stats().Snapshot()
+	if r != 1 || w != 1 {
+		t.Errorf("stats = %d reads %d writes, want 1/1", r, w)
+	}
+}
+
+func TestDiskReadUnwritten(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	buf := make(Page, MinPageSize)
+	buf[0] = 0xFF
+	if err := d.Read(99, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Type() != PageFree {
+		t.Errorf("unwritten page type = %v, want free", buf.Type())
+	}
+}
+
+func TestDiskRejectsBadArgs(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	if err := d.Read(InvalidPage, make([]byte, MinPageSize)); err == nil {
+		t.Error("read of page 0 should fail")
+	}
+	if err := d.Write(1, make([]byte, 10)); err == nil {
+		t.Error("short write should fail")
+	}
+	if err := d.Read(1, make([]byte, 10)); err == nil {
+		t.Error("short read should fail")
+	}
+}
+
+func TestPagerAllocateFixUnfix(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	p := NewPager(d, 0, nil)
+	f, err := p.Allocate(PageLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+	if id == InvalidPage {
+		t.Fatal("allocated invalid page")
+	}
+	if f.Data().Type() != PageLeaf {
+		t.Errorf("fresh frame type = %v", f.Data().Type())
+	}
+	p.Unfix(f)
+
+	f2, err := p.Fix(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 != f {
+		t.Error("Fix of resident page returned a different frame")
+	}
+	p.Unfix(f2)
+}
+
+func TestPagerDirtyLostOnCrashCleanSurvives(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	p := NewPager(d, 0, nil)
+	f, _ := p.Allocate(PageLeaf)
+	id := f.ID()
+	f.Lock()
+	if err := f.Data().InsertCell(0, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	f.Unlock()
+	p.MarkDirty(f, 5)
+	p.Unfix(f)
+	if err := p.FlushPage(id); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second page: dirtied but never flushed.
+	g, _ := p.Allocate(PageLeaf)
+	gid := g.ID()
+	g.Lock()
+	if err := g.Data().InsertCell(0, []byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	g.Unlock()
+	p.MarkDirty(g, 6)
+	p.Unfix(g)
+
+	p.Crash()
+
+	f2, err := p.Fix(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Data().NumSlots() != 1 || string(f2.Data().Cell(0)) != "durable" {
+		t.Error("flushed page content lost across crash")
+	}
+	p.Unfix(f2)
+
+	g2, err := p.Fix(gid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Data().NumSlots() != 0 {
+		t.Error("unflushed page content survived crash")
+	}
+	p.Unfix(g2)
+}
+
+func TestPagerWALRuleOnFlush(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	w := &fakeWAL{}
+	p := NewPager(d, 0, w)
+	f, _ := p.Allocate(PageLeaf)
+	p.MarkDirty(f, 123)
+	p.Unfix(f)
+	if err := p.FlushPage(f.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if w.flushedTo < 123 {
+		t.Errorf("WAL flushed to %d before page write, want >= 123", w.flushedTo)
+	}
+}
+
+func TestPagerEvictionWritesBack(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	p := NewPager(d, 2, nil)
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		f, err := p.Allocate(PageLeaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Lock()
+		if err := f.Data().InsertCell(0, []byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+		f.Unlock()
+		p.MarkDirty(f, uint64(i+1))
+		ids = append(ids, f.ID())
+		p.Unfix(f)
+	}
+	// Capacity 2 with 4 pages touched: earlier pages must have been
+	// evicted (written back). Re-fixing them must show their content.
+	for i, id := range ids {
+		f, err := p.Fix(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data().NumSlots() != 1 || f.Data().Cell(0)[0] != byte('a'+i) {
+			t.Errorf("page %d content lost through eviction", id)
+		}
+		p.Unfix(f)
+	}
+	if _, w := d.Stats().Snapshot(); w == 0 {
+		t.Error("eviction never wrote to disk")
+	}
+}
+
+func TestCarefulWriteDependency(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	p := NewPager(d, 0, nil)
+	src, _ := p.Allocate(PageLeaf)
+	dst, _ := p.Allocate(PageLeaf)
+	dst.Lock()
+	if err := dst.Data().InsertCell(0, []byte("moved")); err != nil {
+		t.Fatal(err)
+	}
+	dst.Unlock()
+	p.MarkDirty(src, 1)
+	p.MarkDirty(dst, 2)
+	// src must not hit disk before dst.
+	p.AddWriteDep(src.ID(), dst.ID())
+	p.Unfix(src)
+	p.Unfix(dst)
+	if err := p.FlushPage(src.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// dst must now be stable.
+	p.Crash()
+	f, err := p.Fix(dst.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Data().NumSlots() != 1 || string(f.Data().Cell(0)) != "moved" {
+		t.Error("careful-write dependency did not force destination flush")
+	}
+	p.Unfix(f)
+}
+
+func TestCarefulWriteCycleDetected(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	p := NewPager(d, 0, nil)
+	a, _ := p.Allocate(PageLeaf)
+	b, _ := p.Allocate(PageLeaf)
+	p.MarkDirty(a, 1)
+	p.MarkDirty(b, 2)
+	p.AddWriteDep(a.ID(), b.ID())
+	p.AddWriteDep(b.ID(), a.ID())
+	p.Unfix(a)
+	p.Unfix(b)
+	if err := p.FlushPage(a.ID()); err == nil {
+		t.Error("dependency cycle should be reported")
+	}
+}
+
+func TestDeallocateHonoursDependencies(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	p := NewPager(d, 0, nil)
+	src, _ := p.Allocate(PageLeaf)
+	dst, _ := p.Allocate(PageLeaf)
+	dst.Lock()
+	if err := dst.Data().InsertCell(0, []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	dst.Unlock()
+	p.MarkDirty(dst, 3)
+	srcID, dstID := src.ID(), dst.ID()
+	p.AddWriteDep(srcID, dstID)
+	p.Unfix(src)
+	p.Unfix(dst)
+	if err := p.Deallocate(srcID, 0); err != nil {
+		t.Fatal(err)
+	}
+	p.Crash()
+	f, err := p.Fix(dstID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Data().NumSlots() != 1 {
+		t.Error("deallocate dropped source before destination was stable")
+	}
+	p.Unfix(f)
+	// Source page must scan as free after restart.
+	p.RebuildFreeMap()
+	if p.FreeMap().IsAllocated(srcID) {
+		t.Error("deallocated page still marked allocated after rebuild")
+	}
+}
+
+func TestDeallocatePinnedFails(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	p := NewPager(d, 0, nil)
+	f, _ := p.Allocate(PageLeaf)
+	if err := p.Deallocate(f.ID(), 0); err == nil {
+		t.Error("deallocating a pinned page should fail")
+	}
+	p.Unfix(f)
+}
+
+func TestAllocateInInterval(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	p := NewPager(d, 0, nil)
+	var frames []*Frame
+	for i := 0; i < 6; i++ {
+		f, _ := p.Allocate(PageLeaf)
+		frames = append(frames, f)
+		p.Unfix(f)
+	}
+	// Free page 3 (0-indexed frame 2 has id 3 given anchor reservation
+	// patterns: just use the actual ids).
+	mid := frames[2].ID()
+	if err := p.Deallocate(mid, 0); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := frames[0].ID(), frames[5].ID()
+	f, err := p.AllocateIn(lo, hi, PageLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil || f.ID() != mid {
+		t.Fatalf("AllocateIn picked %v, want %d", f, mid)
+	}
+	p.Unfix(f)
+	// No more free pages in the interval now.
+	f2, err := p.AllocateIn(lo, hi, PageLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 != nil {
+		t.Errorf("AllocateIn found %d in a full interval", f2.ID())
+	}
+}
+
+func TestAllocateEndBeyondHighWater(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	p := NewPager(d, 0, nil)
+	a, _ := p.Allocate(PageLeaf)
+	p.Unfix(a)
+	if err := p.Deallocate(a.ID(), 0); err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.AllocateEnd(PageInternal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID() <= a.ID() {
+		t.Errorf("AllocateEnd reused id %d, want beyond high water", e.ID())
+	}
+	p.Unfix(e)
+}
+
+func TestFreeMapFirstFreeIn(t *testing.T) {
+	f := NewFreeMap()
+	for i := 0; i < 10; i++ {
+		f.Allocate()
+	}
+	f.Free(4)
+	f.Free(7)
+	if got := f.FirstFreeIn(2, 9); got != 4 {
+		t.Errorf("FirstFreeIn(2,9) = %d, want 4", got)
+	}
+	if got := f.FirstFreeIn(4, 9); got != 7 {
+		t.Errorf("FirstFreeIn(4,9) = %d, want 7", got)
+	}
+	if got := f.FirstFreeIn(7, 9); got != InvalidPage {
+		t.Errorf("FirstFreeIn(7,9) = %d, want invalid", got)
+	}
+	// Allocate must reuse the lowest freed page.
+	if got := f.Allocate(); got != 4 {
+		t.Errorf("Allocate = %d, want 4", got)
+	}
+	ids := f.FreeIDs()
+	if len(ids) != 1 || ids[0] != 7 {
+		t.Errorf("FreeIDs = %v, want [7]", ids)
+	}
+}
+
+func TestFixInvalidPage(t *testing.T) {
+	p := NewPager(NewDisk(MinPageSize), 0, nil)
+	if _, err := p.Fix(InvalidPage); err == nil {
+		t.Error("Fix(0) should fail")
+	}
+}

@@ -1,0 +1,187 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Slotted-page cell management. Cells grow forward from the header;
+// the slot directory grows backward from the end of the page. Slot i
+// occupies the 4 bytes at len(p)-slotSize*(i+1): a 2-byte cell offset
+// followed by a 2-byte cell length. Slots are kept in logical (key)
+// order by the callers; this file only maintains the physical layout.
+
+// ErrPageFull is returned when a cell does not fit in the page.
+var ErrPageFull = errors.New("storage: page full")
+
+func (p Page) slotPos(i int) int {
+	return len(p) - slotSize*(i+1)
+}
+
+func (p Page) slot(i int) (off, length int) {
+	pos := p.slotPos(i)
+	off = int(p[pos]) | int(p[pos+1])<<8
+	length = int(p[pos+2]) | int(p[pos+3])<<8
+	return off, length
+}
+
+func (p Page) setSlot(i, off, length int) {
+	pos := p.slotPos(i)
+	p[pos] = byte(off)
+	p[pos+1] = byte(off >> 8)
+	p[pos+2] = byte(length)
+	p[pos+3] = byte(length >> 8)
+}
+
+// Cell returns the bytes of cell i. The returned slice aliases the
+// page; callers must copy it if they retain it past page modification.
+func (p Page) Cell(i int) []byte {
+	off, length := p.slot(i)
+	return p[off : off+length]
+}
+
+// FreeSpace returns the number of payload bytes available for one new
+// cell (its slot entry already accounted for), counting garbage left by
+// deleted cells as free: InsertCell compacts when the contiguous region
+// is too small.
+func (p Page) FreeSpace() int {
+	free := len(p) - HeaderSize - p.UsedBytes() - slotSize*(p.NumSlots()+1)
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// UsedBytes returns the number of payload bytes consumed by live cells
+// (excluding header and slot directory). It is the basis for
+// fill-factor accounting.
+func (p Page) UsedBytes() int {
+	total := 0
+	for i := 0; i < p.NumSlots(); i++ {
+		_, length := p.slot(i)
+		total += length
+	}
+	return total
+}
+
+// FillFactor returns the fraction of the usable cell area occupied by
+// live cells.
+func (p Page) FillFactor() float64 {
+	usable := len(p) - HeaderSize
+	if usable <= 0 {
+		return 0
+	}
+	return float64(p.UsedBytes()+slotSize*p.NumSlots()) / float64(usable)
+}
+
+// InsertCell inserts cell bytes at slot index i, shifting later slots
+// up. It compacts the cell area first if the contiguous free region is
+// too small but total free space suffices.
+func (p Page) InsertCell(i int, cell []byte) error {
+	n := p.NumSlots()
+	if i < 0 || i > n {
+		return fmt.Errorf("storage: insert slot %d out of range [0,%d]", i, n)
+	}
+	// contiguousFree already reserves the new slot-directory entry.
+	need := len(cell)
+	if p.contiguousFree() < need {
+		if p.FreeSpace() < len(cell) {
+			return ErrPageFull
+		}
+		p.Compact()
+		if p.contiguousFree() < need {
+			return ErrPageFull
+		}
+	}
+	// Shift slot entries i..n-1 toward the page start (each moves down
+	// by slotSize in address, which is "up" one slot index).
+	if n > i {
+		src := p.slotPos(n - 1)
+		dst := p.slotPos(n)
+		copy(p[dst:], p[src:src+(n-i)*slotSize])
+	}
+	off := p.FreeStart()
+	copy(p[off:], cell)
+	p.setNumSlots(n + 1)
+	p.setSlot(i, off, len(cell))
+	p.SetFreeStart(off + len(cell))
+	return nil
+}
+
+// contiguousFree is the size of the single free region between the cell
+// area and the slot directory, assuming one more slot will be added.
+func (p Page) contiguousFree() int {
+	free := len(p) - slotSize*(p.NumSlots()+1) - p.FreeStart()
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// DeleteCell removes slot i, shifting later slots down. The cell bytes
+// become garbage reclaimed by the next Compact.
+func (p Page) DeleteCell(i int) error {
+	n := p.NumSlots()
+	if i < 0 || i >= n {
+		return fmt.Errorf("storage: delete slot %d out of range [0,%d)", i, n)
+	}
+	if n-1 > i {
+		src := p.slotPos(n - 1)
+		dst := p.slotPos(n - 2)
+		copy(p[dst:], p[src:src+(n-1-i)*slotSize])
+	}
+	p.setNumSlots(n - 1)
+	return nil
+}
+
+// ReplaceCell overwrites the cell at slot i with new bytes, reusing the
+// existing space when possible.
+func (p Page) ReplaceCell(i int, cell []byte) error {
+	n := p.NumSlots()
+	if i < 0 || i >= n {
+		return fmt.Errorf("storage: replace slot %d out of range [0,%d)", i, n)
+	}
+	off, length := p.slot(i)
+	if len(cell) <= length {
+		copy(p[off:], cell)
+		p.setSlot(i, off, len(cell))
+		return nil
+	}
+	if err := p.DeleteCell(i); err != nil {
+		return err
+	}
+	if err := p.InsertCell(i, cell); err != nil {
+		// Undo is not possible cheaply; callers treat ErrPageFull from
+		// ReplaceCell as a page-level failure and restructure.
+		return err
+	}
+	return nil
+}
+
+// Compact rewrites the cell area so all live cells are contiguous from
+// HeaderSize, reclaiming garbage left by deletions.
+func (p Page) Compact() {
+	n := p.NumSlots()
+	type ent struct{ off, length int }
+	cells := make([]ent, n)
+	scratch := make([]byte, 0, p.FreeStart()-HeaderSize)
+	for i := 0; i < n; i++ {
+		off, length := p.slot(i)
+		cells[i] = ent{len(scratch), length}
+		scratch = append(scratch, p[off:off+length]...)
+	}
+	copy(p[HeaderSize:], scratch)
+	for i := 0; i < n; i++ {
+		p.setSlot(i, HeaderSize+cells[i].off, cells[i].length)
+	}
+	p.SetFreeStart(HeaderSize + len(scratch))
+}
+
+// TruncateCells removes all cells from slot i onward.
+func (p Page) TruncateCells(i int) {
+	n := p.NumSlots()
+	if i < 0 || i > n {
+		return
+	}
+	p.setNumSlots(i)
+}

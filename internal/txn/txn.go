@@ -1,0 +1,294 @@
+// Package txn provides transactions: ids, update logging with prevLSN
+// chains, commit (log force + lock release) and abort (chain-walking
+// undo with CLRs). The reorganization process is not a transaction —
+// it logs reorg-unit records and recovers forward — but it registers an
+// owner id here so the lock manager can victimise it.
+package txn
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/lock"
+	"repro/internal/pageops"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Status is a transaction's lifecycle state.
+type Status uint8
+
+// Transaction states.
+const (
+	Active Status = iota
+	Committed
+	Aborted
+)
+
+// Txn is one transaction.
+type Txn struct {
+	id      uint64
+	mgr     *Manager
+	mu      sync.Mutex
+	lastLSN uint64
+	status  Status
+}
+
+// Undoer applies the compensating operation for one logged update,
+// locating the record through the index (logical undo, ARIES/IM
+// style): the transaction's own page splits may have moved an
+// uncommitted record away from the page the update was logged against.
+type Undoer interface {
+	UndoUpdate(ownerID uint64, rec wal.Update) (clrLSN uint64, err error)
+}
+
+// Manager creates transactions and tracks the active set (for
+// checkpoints and restart analysis).
+type Manager struct {
+	log   *wal.Log
+	locks *lock.Manager
+	pager *storage.Pager
+
+	mu     sync.Mutex
+	nextID uint64
+	active map[uint64]*Txn
+	undoer Undoer
+}
+
+// SetUndoer installs the logical undo implementation (the B+-tree).
+func (m *Manager) SetUndoer(u Undoer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.undoer = u
+}
+
+func (m *Manager) getUndoer() Undoer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.undoer
+}
+
+// NewManager returns a transaction manager over the given log, lock
+// manager and buffer pool.
+func NewManager(log *wal.Log, locks *lock.Manager, pager *storage.Pager) *Manager {
+	return &Manager{log: log, locks: locks, pager: pager, nextID: 1,
+		active: make(map[uint64]*Txn)}
+}
+
+// Locks returns the lock manager (shared with the tree and reorganizer).
+func (m *Manager) Locks() *lock.Manager { return m.locks }
+
+// Log returns the write-ahead log.
+func (m *Manager) Log() *wal.Log { return m.log }
+
+// SetNextID bumps the id generator (recovery restores it from the
+// checkpoint so restarted systems never reuse ids).
+func (m *Manager) SetNextID(id uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id > m.nextID {
+		m.nextID = id
+	}
+}
+
+// NextOwnerID hands out an id from the transaction id space without
+// creating a transaction (used by the reorganizer process).
+func (m *Manager) NextOwnerID() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	return id
+}
+
+// Begin starts a transaction and logs its begin record.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	id := m.nextID
+	m.nextID++
+	t := &Txn{id: id, mgr: m}
+	m.active[id] = t
+	m.mu.Unlock()
+	t.lastLSN = m.log.Append(wal.TxnBegin{Txn: id})
+	return t
+}
+
+// Resurrect recreates a loser transaction at restart so it can be
+// rolled back; lastLSN comes from restart analysis.
+func (m *Manager) Resurrect(id, lastLSN uint64) *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &Txn{id: id, mgr: m, lastLSN: lastLSN}
+	m.active[id] = t
+	if id >= m.nextID {
+		m.nextID = id + 1
+	}
+	return t
+}
+
+// ActiveSnapshot lists active transactions for a checkpoint.
+func (m *Manager) ActiveSnapshot() []wal.TxnInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]wal.TxnInfo, 0, len(m.active))
+	for _, t := range m.active {
+		t.mu.Lock()
+		out = append(out, wal.TxnInfo{ID: t.id, LastLSN: t.lastLSN})
+		t.mu.Unlock()
+	}
+	return out
+}
+
+// NextID returns the id the next Begin would use (checkpointed).
+func (m *Manager) NextID() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextID
+}
+
+// ID returns the transaction id (also its lock-owner id).
+func (t *Txn) ID() uint64 { return t.id }
+
+// LastLSN returns the transaction's most recent log record.
+func (t *Txn) LastLSN() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastLSN
+}
+
+// Status returns the transaction's state.
+func (t *Txn) Status() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status
+}
+
+// LogUpdate appends an update record chained to this transaction and
+// returns its LSN. The caller applies the change to the page itself
+// (or uses pageops.Apply).
+func (t *Txn) LogUpdate(u wal.Update) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	u.Txn = t.id
+	u.PrevLSN = t.lastLSN
+	lsn := t.mgr.log.Append(u)
+	t.lastLSN = lsn
+	return lsn
+}
+
+// Lock acquires a lock owned by this transaction.
+func (t *Txn) Lock(res lock.Resource, mode lock.Mode) error {
+	return t.mgr.locks.Lock(t.id, res, mode)
+}
+
+// LockOpts acquires a lock with options.
+func (t *Txn) LockOpts(res lock.Resource, mode lock.Mode, opt lock.Opt) error {
+	return t.mgr.locks.LockOpts(t.id, res, mode, opt)
+}
+
+// Unlock releases one lock early (lock coupling releases parents before
+// end of transaction).
+func (t *Txn) Unlock(res lock.Resource) {
+	t.mgr.locks.Unlock(t.id, res)
+}
+
+// Commit logs the commit, forces the log, and releases all locks.
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	if t.status != Active {
+		t.mu.Unlock()
+		return fmt.Errorf("txn %d: commit of %v transaction", t.id, t.status)
+	}
+	lsn := t.mgr.log.Append(wal.TxnCommit{Txn: t.id, PrevLSN: t.lastLSN})
+	t.lastLSN = lsn
+	t.status = Committed
+	t.mu.Unlock()
+	if err := t.mgr.log.FlushTo(lsn); err != nil {
+		return err
+	}
+	t.finish()
+	return nil
+}
+
+// Abort rolls the transaction back: it walks the prevLSN chain applying
+// compensating operations (logging CLRs), logs the end record, and
+// releases all locks.
+func (t *Txn) Abort() error {
+	t.mu.Lock()
+	if t.status != Active {
+		t.mu.Unlock()
+		return fmt.Errorf("txn %d: abort of %v transaction", t.id, t.status)
+	}
+	t.lastLSN = t.mgr.log.Append(wal.TxnAbort{Txn: t.id, PrevLSN: t.lastLSN})
+	cursor := t.lastLSN
+	t.mu.Unlock()
+
+	if err := t.undoFrom(cursor); err != nil {
+		return err
+	}
+
+	t.mu.Lock()
+	t.lastLSN = t.mgr.log.Append(wal.TxnEnd{Txn: t.id, PrevLSN: t.lastLSN})
+	t.status = Aborted
+	t.mu.Unlock()
+	t.finish()
+	return nil
+}
+
+// undoFrom walks the chain starting at lsn, undoing updates. CLRs are
+// skipped via UndoNext so undo is itself idempotent across crashes.
+func (t *Txn) undoFrom(lsn uint64) error {
+	for lsn != 0 {
+		rec, _, err := t.mgr.log.Read(lsn)
+		if err != nil {
+			return err
+		}
+		switch r := rec.(type) {
+		case wal.TxnBegin:
+			return nil
+		case wal.TxnAbort:
+			lsn = r.PrevLSN
+		case wal.Update:
+			var clrLSN uint64
+			var err error
+			if u := t.mgr.getUndoer(); u != nil {
+				clrLSN, err = u.UndoUpdate(t.id, r)
+			} else {
+				clrLSN, err = pageops.Undo(t.mgr.pager, t.mgr.log, r)
+			}
+			if err != nil {
+				return err
+			}
+			t.mu.Lock()
+			t.lastLSN = clrLSN
+			t.mu.Unlock()
+			lsn = r.PrevLSN
+		case wal.CLR:
+			lsn = r.UndoNext
+		default:
+			return fmt.Errorf("txn %d: unexpected %T in undo chain", t.id, rec)
+		}
+	}
+	return nil
+}
+
+// UndoFrom exposes chain undo for restart recovery (rolling back loser
+// transactions from their last known LSN).
+func (t *Txn) UndoFrom(lsn uint64) error { return t.undoFrom(lsn) }
+
+// FinishRecovery logs the end record after a restart rollback and
+// releases the transaction's slot.
+func (t *Txn) FinishRecovery() {
+	t.mu.Lock()
+	t.lastLSN = t.mgr.log.Append(wal.TxnEnd{Txn: t.id, PrevLSN: t.lastLSN})
+	t.status = Aborted
+	t.mu.Unlock()
+	t.finish()
+}
+
+func (t *Txn) finish() {
+	t.mgr.locks.ReleaseAll(t.id)
+	t.mgr.mu.Lock()
+	delete(t.mgr.active, t.id)
+	t.mgr.mu.Unlock()
+}

@@ -1,0 +1,197 @@
+// Package workload generates the synthetic workloads the experiments
+// run: bulk loads, deletion patterns that produce the paper's
+// sparsely-populated trees, key distributions, and concurrent
+// reader/updater drivers with latency capture.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Key formats record key i (zero-padded so byte order == numeric order).
+func Key(i int) []byte { return []byte(fmt.Sprintf("user%08d", i)) }
+
+// Value builds a payload of the given size for record i.
+func Value(i, size int) []byte {
+	v := make([]byte, size)
+	copy(v, fmt.Sprintf("val-%08d-", i))
+	for j := len(fmt.Sprintf("val-%08d-", i)); j < size; j++ {
+		v[j] = byte('a' + (i+j)%26)
+	}
+	return v
+}
+
+// Store is the slice of the database the generators need (satisfied by
+// *repro.DB).
+type Store interface {
+	Insert(key, val []byte) error
+	Delete(key []byte) error
+	Get(key []byte) ([]byte, error)
+	Update(key, val []byte) error
+	Scan(lo, hi []byte, fn func(k, v []byte) bool) error
+}
+
+// Load inserts records [0, n) with the given value size. Order
+// "seq" loads ascending (few splits of old pages), "random" shuffles.
+func Load(s Store, n, valueSize int, order string, seed int64) error {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if order == "random" {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	}
+	for _, i := range idx {
+		if err := s.Insert(Key(i), Value(i, valueSize)); err != nil {
+			return fmt.Errorf("workload: load %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Sparsify deletes records until roughly the target fraction remains,
+// spreading survivors uniformly (the paper's "large numbers of
+// deletions" scenario). It returns the predicate for surviving keys.
+func Sparsify(s Store, n int, keepFraction float64) (func(i int) bool, error) {
+	if keepFraction <= 0 || keepFraction > 1 {
+		return nil, fmt.Errorf("workload: keep fraction %v out of range", keepFraction)
+	}
+	every := int(1/keepFraction + 0.5)
+	if every < 1 {
+		every = 1
+	}
+	keep := func(i int) bool { return i%every == 0 }
+	for i := 0; i < n; i++ {
+		if keep(i) {
+			continue
+		}
+		if err := s.Delete(Key(i)); err != nil {
+			return nil, fmt.Errorf("workload: sparsify %d: %w", i, err)
+		}
+	}
+	return keep, nil
+}
+
+// Mix is an operation mix in percent (must sum to 100).
+type Mix struct {
+	GetPct    int
+	InsertPct int
+	UpdatePct int
+	ScanPct   int
+}
+
+// ReadMostly is 95% point reads, 5% inserts.
+var ReadMostly = Mix{GetPct: 95, InsertPct: 5}
+
+// Balanced is 50% reads, 30% inserts, 15% updates, 5% short scans.
+var Balanced = Mix{GetPct: 50, InsertPct: 30, UpdatePct: 15, ScanPct: 5}
+
+// ClientStats aggregates what a driver run observed.
+type ClientStats struct {
+	Ops        int64
+	Errors     int64
+	Retries    int64
+	TotalNanos int64
+	MaxNanos   int64
+	Elapsed    time.Duration
+	// LastError samples one of the counted errors for diagnostics.
+	LastError error
+}
+
+// Throughput returns operations per second.
+func (c ClientStats) Throughput() float64 {
+	if c.Elapsed <= 0 {
+		return 0
+	}
+	return float64(c.Ops) / c.Elapsed.Seconds()
+}
+
+// AvgLatency returns the mean operation latency.
+func (c ClientStats) AvgLatency() time.Duration {
+	if c.Ops == 0 {
+		return 0
+	}
+	return time.Duration(c.TotalNanos / c.Ops)
+}
+
+// RunClients drives `clients` goroutines issuing the mix against the
+// store until stop is closed (or opsPerClient is reached when > 0).
+// Keys are drawn uniformly from [0, keySpace); inserts use fresh keys
+// above keySpace. The store's auto-retry surfaces conflicts as
+// successful (retried) operations, so Errors counts real failures only.
+func RunClients(s Store, clients int, opsPerClient int, mix Mix,
+	keySpace int, valueSize int, stop <-chan struct{}) ClientStats {
+	var stats ClientStats
+	var wg sync.WaitGroup
+	var lastErrMu sync.Mutex
+	var lastErr error
+	start := time.Now()
+	var freshKey atomic.Int64
+	freshKey.Store(int64(keySpace) + 1_000_000)
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)*7919 + 13))
+			for n := 0; opsPerClient <= 0 || n < opsPerClient; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				opStart := time.Now()
+				var err error
+				p := rng.Intn(100)
+				switch {
+				case p < mix.GetPct:
+					_, gerr := s.Get(Key(rng.Intn(keySpace)))
+					if gerr != nil && gerr.Error() != "" {
+						// missing keys are expected in sparse trees
+						err = nil
+					}
+				case p < mix.GetPct+mix.InsertPct:
+					id := int(freshKey.Add(1))
+					err = s.Insert(Key(id), Value(id, valueSize))
+				case p < mix.GetPct+mix.InsertPct+mix.UpdatePct:
+					id := rng.Intn(keySpace)
+					uerr := s.Update(Key(id), Value(id, valueSize))
+					if uerr != nil {
+						err = nil // missing key: fine
+					}
+				default:
+					lo := rng.Intn(keySpace)
+					count := 0
+					err = s.Scan(Key(lo), Key(lo+100), func(_, _ []byte) bool {
+						count++
+						return count < 100
+					})
+				}
+				d := time.Since(opStart).Nanoseconds()
+				atomic.AddInt64(&stats.Ops, 1)
+				atomic.AddInt64(&stats.TotalNanos, d)
+				for {
+					old := atomic.LoadInt64(&stats.MaxNanos)
+					if d <= old || atomic.CompareAndSwapInt64(&stats.MaxNanos, old, d) {
+						break
+					}
+				}
+				if err != nil {
+					atomic.AddInt64(&stats.Errors, 1)
+					lastErrMu.Lock()
+					lastErr = err
+					lastErrMu.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+	stats.LastError = lastErr
+	return stats
+}

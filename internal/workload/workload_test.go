@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memStore is a thread-safe map implementing Store for generator tests.
+type memStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newMemStore() *memStore { return &memStore{m: map[string][]byte{}} }
+
+func (s *memStore) Insert(k, v []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[string(k)]; ok {
+		return fmt.Errorf("exists")
+	}
+	s.m[string(k)] = append([]byte(nil), v...)
+	return nil
+}
+func (s *memStore) Delete(k []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[string(k)]; !ok {
+		return fmt.Errorf("missing")
+	}
+	delete(s.m, string(k))
+	return nil
+}
+func (s *memStore) Get(k []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[string(k)]
+	if !ok {
+		return nil, fmt.Errorf("missing")
+	}
+	return v, nil
+}
+func (s *memStore) Update(k, v []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[string(k)]; !ok {
+		return fmt.Errorf("missing")
+	}
+	s.m[string(k)] = append([]byte(nil), v...)
+	return nil
+}
+func (s *memStore) Scan(lo, hi []byte, fn func(k, v []byte) bool) error {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		if lo != nil && k < string(lo) {
+			continue
+		}
+		if hi != nil && k > string(hi) {
+			break
+		}
+		if !fn([]byte(k), nil) {
+			break
+		}
+	}
+	return nil
+}
+
+func TestKeyOrderMatchesNumericOrder(t *testing.T) {
+	for i := 0; i < 1000; i += 7 {
+		if bytes.Compare(Key(i), Key(i+1)) >= 0 {
+			t.Fatalf("Key(%d) >= Key(%d)", i, i+1)
+		}
+	}
+}
+
+func TestValueSizeAndDeterminism(t *testing.T) {
+	v1 := Value(42, 64)
+	v2 := Value(42, 64)
+	if len(v1) != 64 || !bytes.Equal(v1, v2) {
+		t.Errorf("value not deterministic or wrong size: %d", len(v1))
+	}
+}
+
+func TestLoadSeqAndRandomSameSet(t *testing.T) {
+	a, b := newMemStore(), newMemStore()
+	if err := Load(a, 200, 16, "seq", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(b, 200, 16, "random", 9); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.m) != 200 || len(b.m) != 200 {
+		t.Fatalf("sizes %d/%d", len(a.m), len(b.m))
+	}
+	for k := range a.m {
+		if _, ok := b.m[k]; !ok {
+			t.Fatalf("key %q missing from random load", k)
+		}
+	}
+}
+
+func TestSparsifyFractions(t *testing.T) {
+	for _, tc := range []struct {
+		frac  float64
+		every int
+	}{{0.5, 2}, {0.3333, 3}, {0.25, 4}, {0.125, 8}} {
+		s := newMemStore()
+		if err := Load(s, 400, 16, "seq", 1); err != nil {
+			t.Fatal(err)
+		}
+		keep, err := Sparsify(s, 400, tc.frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for i := 0; i < 400; i++ {
+			if i%tc.every == 0 {
+				want++
+				if !keep(i) {
+					t.Fatalf("frac %v: keep(%d) false", tc.frac, i)
+				}
+			}
+		}
+		if len(s.m) != want {
+			t.Errorf("frac %v: kept %d, want %d", tc.frac, len(s.m), want)
+		}
+	}
+	if _, err := Sparsify(newMemStore(), 10, 0); err == nil {
+		t.Error("fraction 0 accepted")
+	}
+}
+
+func TestRunClientsCountsOps(t *testing.T) {
+	s := newMemStore()
+	if err := Load(s, 500, 16, "seq", 1); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	stats := RunClients(s, 4, 50, Balanced, 500, 16, stop)
+	if stats.Ops != 200 {
+		t.Errorf("ops = %d, want 200", stats.Ops)
+	}
+	if stats.Throughput() <= 0 || stats.AvgLatency() < 0 {
+		t.Errorf("throughput %v latency %v", stats.Throughput(), stats.AvgLatency())
+	}
+}
+
+func TestRunClientsStops(t *testing.T) {
+	s := newMemStore()
+	if err := Load(s, 100, 16, "seq", 1); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan ClientStats, 1)
+	go func() { done <- RunClients(s, 2, 0, ReadMostly, 100, 16, stop) }()
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	select {
+	case stats := <-done:
+		if stats.Ops == 0 {
+			t.Error("no ops before stop")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunClients did not stop")
+	}
+}
