@@ -91,7 +91,7 @@ func dump(db *repro.DB) {
 	}
 	fmt.Println(b.String())
 
-	reads, writes := db.IOStats()
-	fmt.Printf("\ndisk I/O        %d reads, %d writes, %d seeks\n", reads, writes, db.Seeks())
+	reads, writes, seeks := db.IOStats3()
+	fmt.Printf("\ndisk I/O        %d reads, %d writes, %d seeks\n", reads, writes, seeks)
 	fmt.Printf("log volume      %d bytes\n", db.LogBytes())
 }

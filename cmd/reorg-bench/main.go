@@ -8,6 +8,11 @@
 // Usage:
 //
 //	reorg-bench [-exp all|e1|e2|...|e9] [-records N] [-pagesize N]
+//	reorg-bench -sweep [-stride N] [-maxruns N]
+//
+// The -sweep mode runs experiment E5b instead: the exhaustive
+// crash-schedule sweep over every fault-point hit of a scripted
+// reorganization (see internal/fault/sweep).
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fault/sweep"
 )
 
 func main() {
@@ -27,7 +33,15 @@ func main() {
 	pageSize := flag.Int("pagesize", 4096, "page size in bytes")
 	valueSize := flag.Int("valuesize", 48, "record value size in bytes")
 	seed := flag.Int64("seed", 42, "workload seed")
+	doSweep := flag.Bool("sweep", false, "run the E5b crash-schedule sweep and exit")
+	stride := flag.Int("stride", 1, "sweep: crash at every stride-th hit")
+	maxRuns := flag.Int("maxruns", 0, "sweep: cap on crash runs (0 = all)")
 	flag.Parse()
+
+	if *doSweep {
+		runSweep(*stride, *maxRuns)
+		return
+	}
 
 	p := experiments.Params{Records: *records, ValueSize: *valueSize,
 		PageSize: *pageSize, Seed: *seed}
@@ -100,4 +114,32 @@ func main() {
 		_, _ = experiments.E9Table(rows).WriteTo(out)
 	}
 	fmt.Fprintf(out, "\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runSweep executes E5b: enumerate every fault-point hit in the
+// scripted workload, then crash at each one and verify recovery.
+func runSweep(stride, maxRuns int) {
+	start := time.Now()
+	res, err := sweep.Run(sweep.Config{
+		Stride:  stride,
+		MaxRuns: maxRuns,
+		Torn:    true,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		log.Fatalf("sweep: %v", err)
+	}
+	fmt.Printf("\nE5b crash-schedule sweep (%v)\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  fault-point hits enumerated  %d\n", res.TotalHits)
+	fmt.Printf("  distinct fault points        %d\n", len(res.Points))
+	fmt.Printf("  crash runs verified          %d\n", res.CrashRuns)
+	fmt.Printf("  torn-log runs verified       %d\n", res.TornRuns)
+	fmt.Printf("  units forward-completed      %d\n", res.ForwardCompleted)
+	fmt.Printf("  pass-3 builds abandoned      %d\n", res.Pass3Abandoned)
+	fmt.Printf("  pass-3 switches completed    %d\n", res.Pass3Completed)
+	for _, p := range res.Points {
+		fmt.Printf("    %s\n", p)
+	}
 }

@@ -21,11 +21,13 @@ package repro
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
 	"repro/internal/btree"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/kv"
 	"repro/internal/lock"
 	"repro/internal/metrics"
@@ -62,7 +64,16 @@ type Options struct {
 	PageSize int
 	// BufferPoolPages caps resident frames (0 = unbounded).
 	BufferPoolPages int
+	// FaultInjector, when set, is installed at the disk, WAL, pager and
+	// reorganizer fault points (see internal/fault). It survives
+	// Restart: recovery runs against the same injector, so sweeps must
+	// Disarm it before restarting.
+	FaultInjector *fault.Injector
 }
+
+// ErrIO re-exports the typed permanent I/O error surfaced after the
+// storage layer's transient-fault retry budget is exhausted.
+var ErrIO = storage.ErrIO
 
 // ReorgConfig re-exports the reorganizer configuration.
 type ReorgConfig = core.Config
@@ -93,6 +104,7 @@ type DB struct {
 	txns  *txn.Manager
 	tree  *btree.Tree
 	reorg *core.Reorganizer
+	inj   *fault.Injector
 }
 
 // Open creates a fresh database.
@@ -100,10 +112,13 @@ func Open(opts Options) (*DB, error) {
 	if opts.PageSize == 0 {
 		opts.PageSize = storage.DefaultPageSize
 	}
-	db := &DB{}
+	db := &DB{inj: opts.FaultInjector}
 	db.log = wal.NewLog()
+	db.log.SetInjector(db.inj)
 	db.disk = storage.NewDisk(opts.PageSize)
+	db.disk.SetInjector(db.inj)
 	db.pager = storage.NewPager(db.disk, opts.BufferPoolPages, db.log)
+	db.pager.SetInjector(db.inj)
 	db.locks = lock.NewManager()
 	db.txns = txn.NewManager(db.log, db.locks, db.pager)
 	tree, err := btree.Create(db.pager, db.log, db.locks, db.txns)
@@ -172,6 +187,7 @@ func (t *Txn) Abort() error { return t.db.tree.Abort(t.inner) }
 const maxAutoRetries = 100
 
 func (db *DB) auto(fn func(t *Txn) error) error {
+	var last error
 	for i := 0; i < maxAutoRetries; i++ {
 		t := db.Begin()
 		err := fn(t)
@@ -180,6 +196,8 @@ func (db *DB) auto(fn func(t *Txn) error) error {
 				return nil
 			} else if !IsRetryable(cerr) {
 				return cerr
+			} else {
+				last = cerr
 			}
 			backoff(i)
 			continue
@@ -188,22 +206,40 @@ func (db *DB) auto(fn func(t *Txn) error) error {
 		if !IsRetryable(err) {
 			return err
 		}
+		last = err
 		backoff(i)
 	}
-	return fmt.Errorf("repro: operation did not converge after %d retries", maxAutoRetries)
+	// Keep the last underlying error in the chain so callers can tell
+	// deadlock churn (ErrDeadlock) from switch churn (ErrSwitched).
+	return fmt.Errorf("repro: operation did not converge after %d retries: %w",
+		maxAutoRetries, last)
 }
+
+// backoffRNG seeds the retry jitter. Deterministic seed: tests get
+// reproducible schedules; concurrent clients still spread out because
+// each drawn jitter differs.
+var (
+	backoffMu  sync.Mutex
+	backoffRNG = rand.New(rand.NewSource(0xb0ff))
+)
 
 // backoff sleeps briefly between transaction retries: a hot retry loop
 // during the reorganizer's switch window would otherwise burn through
-// the retry budget in microseconds.
+// the retry budget in microseconds. The jitter keeps clients that were
+// all rejected by the same switch window from retrying in lockstep and
+// colliding again.
 func backoff(attempt int) {
 	d := time.Duration(attempt) * 100 * time.Microsecond
 	if d > 5*time.Millisecond {
 		d = 5 * time.Millisecond
 	}
-	if d > 0 {
-		time.Sleep(d)
+	if d <= 0 {
+		return
 	}
+	backoffMu.Lock()
+	jitter := time.Duration(backoffRNG.Int63n(int64(d)/2 + 1))
+	backoffMu.Unlock()
+	time.Sleep(d/2 + jitter)
 }
 
 // Insert adds a record in its own transaction.
@@ -249,6 +285,9 @@ func (db *DB) Count(lo, hi []byte) (int, error) {
 // Reorganize runs the configured passes on-line and returns the
 // reorganizer's counters.
 func (db *DB) Reorganize(cfg ReorgConfig) (*metrics.Counters, error) {
+	if cfg.Injector == nil {
+		cfg.Injector = db.inj
+	}
 	r := core.New(db.tree, cfg)
 	db.mu.Lock()
 	db.reorg = r
@@ -263,6 +302,9 @@ func (db *DB) Reorganize(cfg ReorgConfig) (*metrics.Counters, error) {
 // Reorganizer creates (without running) a reorganizer for fine-grained
 // control — individual passes, crash hooks, metrics.
 func (db *DB) Reorganizer(cfg ReorgConfig) *core.Reorganizer {
+	if cfg.Injector == nil {
+		cfg.Injector = db.inj
+	}
 	return core.New(db.tree, cfg)
 }
 
@@ -313,6 +355,9 @@ func (db *DB) Restart() (*RestartInfo, error) {
 		return nil, err
 	}
 	db.pager = res.Pager
+	// The disk and log carry the injector across the restart; the
+	// rebuilt pager needs it re-installed.
+	db.pager.SetInjector(db.inj)
 	db.locks = res.Locks
 	db.txns = res.Txns
 	db.tree = res.Tree
@@ -329,6 +374,9 @@ func (db *DB) Check() error { return db.tree.Check() }
 
 // IOStats returns cumulative disk reads and writes.
 func (db *DB) IOStats() (reads, writes int64) { return db.disk.Stats().Snapshot() }
+
+// IOStats3 returns cumulative reads, writes and seeks in one call.
+func (db *DB) IOStats3() (reads, writes, seeks int64) { return db.disk.Stats().Snapshot3() }
 
 // Seeks returns the number of non-sequential disk reads (pass 2's
 // contiguity benefit shows up here).

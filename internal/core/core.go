@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/btree"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/storage"
 	"repro/internal/wal"
@@ -79,6 +80,11 @@ type Config struct {
 	// the reorganizer at that point — the crash-injection seam used by
 	// the recovery tests and benchmarks.
 	OnEvent func(stage string) error
+	// Injector, when set, registers every event stage as a fault point
+	// named "reorg.<stage>", so the crash sweep can crash the
+	// reorganizer at unit boundaries, swap halves, stable points,
+	// side-file applies, and both sides of the root switch.
+	Injector *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -235,8 +241,13 @@ func (r *Reorganizer) leafCapacity() int {
 	return int(float64(usable) * r.cfg.TargetFill)
 }
 
-// event fires the configured event hook.
+// event reports a named reorganization stage: first to the fault
+// injector (which may return a transient error or panic a crash), then
+// to the configured event hook.
 func (r *Reorganizer) event(stage string) error {
+	if err := r.cfg.Injector.Hit("reorg." + stage); err != nil {
+		return err
+	}
 	if r.cfg.OnEvent == nil {
 		return nil
 	}

@@ -403,7 +403,7 @@ func (r *Reorganizer) executeCompactUnit(base *storage.Frame, entries []baseEntr
 		r.unlock(dest.ID())
 		pg.Unfix(dest)
 	}
-	return nil
+	return r.event("compact.end")
 }
 
 // chooseDest implements Find-Free-Space: a "good" empty page per the

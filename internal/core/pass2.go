@@ -289,7 +289,7 @@ func (r *Reorganizer) moveLeafUnit(key []byte, from, to storage.PageID) (bool, e
 	r.m.Add(metrics.Pass2Moves, 1)
 	releaseDest()
 	releaseNbs()
-	return true, nil
+	return true, r.event("move.end")
 }
 
 // swapUnit exchanges the contents of pages pa and pb (leaves keyed ka
@@ -411,6 +411,10 @@ func (r *Reorganizer) swapUnit(ka []byte, pa storage.PageID, kb []byte, pb stora
 		BasePages: bases, LeafPages: []storage.PageID{pa, pb},
 		Preds: []storage.PageID{predA, predB},
 		Succs: []storage.PageID{succA, succB}})
+	if err := r.event("swap.begin"); err != nil {
+		releaseAll()
+		return false, err
+	}
 
 	// Log the full pre-swap image of page A (§5: "no way to avoid
 	// logging at least one of the full page contents") and install the
@@ -424,6 +428,12 @@ func (r *Reorganizer) swapUnit(ka []byte, pa storage.PageID, kb []byte, pb stora
 	lsn := r.tree.Log().Append(sw)
 	r.table.record(lsn)
 	pg.AddWriteDep(pb, pa)
+	// Between the SWAP record and the in-memory exchange: a crash here
+	// must redo the whole swap from ImageA.
+	if err := r.event("swap.logged"); err != nil {
+		releaseAll()
+		return false, err
+	}
 
 	SwapPages(fa, fb, lsn)
 	pg.MarkDirty(fa, lsn)
@@ -492,7 +502,7 @@ func (r *Reorganizer) swapUnit(ka []byte, pa storage.PageID, kb []byte, pb stora
 	r.m.Add(metrics.UnitsSwap, 1)
 	r.m.Add(metrics.Pass2Swaps, 1)
 	releaseAll()
-	return true, nil
+	return true, r.event("swap.end")
 }
 
 // undoSwap reverses a swap after a deadlock at the upgrade (§5.2): a

@@ -276,9 +276,19 @@ func (r *Reorganizer) RebuildInternal() error {
 	if err != nil {
 		return err
 	}
+	// The two sides of the commit point: a crash at switch.pre loses the
+	// switch entirely (the new tree is garbage-collected at restart); a
+	// crash at switch.durable must complete the switch forward from the
+	// durable SwitchRoot record even though the anchor never made disk.
+	if err := r.event("pass3.switch.pre"); err != nil {
+		return err
+	}
 	lsn := r.tree.Log().Append(wal.SwitchRoot{OldRoot: oldRoot,
 		NewRoot: newRoot, NewHeight: uint32(newHeight), NewEpoch: oldEpoch + 1})
 	if err := r.tree.Log().FlushTo(lsn); err != nil {
+		return err
+	}
+	if err := r.event("pass3.switch.durable"); err != nil {
 		return err
 	}
 	if err := r.tree.SwitchRoot(newRoot, oldEpoch+1); err != nil {
@@ -324,12 +334,15 @@ func (r *Reorganizer) stablePoint(b *builder, lastKey []byte) error {
 		return err
 	}
 	r.m.Add(metrics.Pass3Stable, 1)
-	return nil
+	return r.event("pass3.stable")
 }
 
 // applySideEntry replays one captured base change against the new tree
 // (private until the switch, so plain latched access suffices).
 func (r *Reorganizer) applySideEntry(newRoot *storage.PageID, e sidefile.Entry) error {
+	if err := r.event("pass3.side"); err != nil {
+		return err
+	}
 	switch e.Op {
 	case wal.OpInsert:
 		root, err := newTreeInsert(r.tree.Pager(), *newRoot, e.Key, e.Child)

@@ -1,0 +1,204 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if err := in.Hit("disk.read"); err != nil {
+		t.Fatalf("nil injector returned %v", err)
+	}
+	if err := in.HitTorn("disk.write", func() { t.Fatal("torn fired") }); err != nil {
+		t.Fatalf("nil injector HitTorn returned %v", err)
+	}
+	if got := in.Seq(); got != 0 {
+		t.Fatalf("nil Seq = %d", got)
+	}
+	in.Disarm() // must not panic
+}
+
+func TestOnHitSchedule(t *testing.T) {
+	in := New(1)
+	in.Arm(DiskWrite, Schedule{Kind: KindError, OnHit: 3})
+	for i := 1; i <= 5; i++ {
+		err := in.Hit(DiskWrite)
+		if i == 3 {
+			if !IsTransient(err) {
+				t.Fatalf("hit %d: want transient error, got %v", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("hit %d: unexpected %v", i, err)
+		}
+	}
+}
+
+func TestOnHitMaxFiresRange(t *testing.T) {
+	in := New(1)
+	in.Arm(DiskRead, Schedule{Kind: KindError, OnHit: 2, MaxFires: 3})
+	var fired int
+	for i := 1; i <= 6; i++ {
+		if err := in.Hit(DiskRead); err != nil {
+			if i < 2 || i >= 5 {
+				t.Fatalf("hit %d fired outside [2,5)", i)
+			}
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+}
+
+func TestProbScheduleDeterministic(t *testing.T) {
+	run := func() []int {
+		in := New(42)
+		in.Arm(WALAppend, Schedule{Kind: KindError, Prob: 0.3})
+		var fired []int
+		for i := 1; i <= 50; i++ {
+			if err := in.Hit(WALAppend); err != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("probabilistic schedule never fired in 50 hits at p=0.3")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic fire counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic fire sequence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestProbMaxFires(t *testing.T) {
+	in := New(7)
+	in.Arm(PagerFlush, Schedule{Kind: KindError, Prob: 1.0, MaxFires: 2})
+	var fired int
+	for i := 0; i < 10; i++ {
+		if err := in.Hit(PagerFlush); err != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d, want MaxFires=2", fired)
+	}
+}
+
+func TestCrashSchedulePanics(t *testing.T) {
+	in := New(1)
+	in.Arm(DiskWrite, Schedule{Kind: KindCrash, OnHit: 2})
+	if err := in.Hit(DiskWrite); err != nil {
+		t.Fatalf("hit 1: %v", err)
+	}
+	crash, err := Catch(func() error { return in.Hit(DiskWrite) })
+	if err != nil {
+		t.Fatalf("Catch err: %v", err)
+	}
+	if crash == nil {
+		t.Fatal("no crash delivered on hit 2")
+	}
+	if crash.Point != DiskWrite || crash.Hit != 2 || crash.Torn {
+		t.Fatalf("crash = %+v", crash)
+	}
+}
+
+func TestTornCrashInvokesTearClosure(t *testing.T) {
+	in := New(1)
+	in.Arm(DiskWrite, Schedule{Kind: KindTorn, OnHit: 1})
+	var torn bool
+	crash, err := Catch(func() error {
+		return in.HitTorn(DiskWrite, func() { torn = true })
+	})
+	if err != nil {
+		t.Fatalf("Catch err: %v", err)
+	}
+	if crash == nil || !crash.Torn || !torn {
+		t.Fatalf("crash=%+v torn=%v, want torn crash with closure invoked", crash, torn)
+	}
+}
+
+func TestTornAtNonTearablePointDowngrades(t *testing.T) {
+	in := New(1)
+	in.Arm(WALAppend, Schedule{Kind: KindTorn, OnHit: 1})
+	crash, _ := Catch(func() error { return in.Hit(WALAppend) })
+	if crash == nil {
+		t.Fatal("no crash")
+	}
+	if crash.Torn {
+		t.Fatal("Hit (no tear closure) reported a torn crash")
+	}
+}
+
+func TestArmCrashAtSeq(t *testing.T) {
+	in := New(1)
+	in.ArmCrashAtSeq(3, false)
+	_ = in.Hit("a")
+	_ = in.Hit("b")
+	crash, _ := Catch(func() error { return in.Hit("c") })
+	if crash == nil || crash.Point != "c" || crash.Seq != 3 {
+		t.Fatalf("crash = %+v, want point c at seq 3", crash)
+	}
+}
+
+func TestDisarmStopsFiringKeepsCounting(t *testing.T) {
+	in := New(1)
+	in.Arm(DiskRead, Schedule{Kind: KindError, OnHit: 1, MaxFires: 1000})
+	if err := in.Hit(DiskRead); err == nil {
+		t.Fatal("armed point did not fire")
+	}
+	in.Disarm()
+	if err := in.Hit(DiskRead); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	if in.Seq() != 2 {
+		t.Fatalf("Seq = %d after 2 hits", in.Seq())
+	}
+	if in.HitCounts()[DiskRead] != 2 {
+		t.Fatalf("HitCounts = %v", in.HitCounts())
+	}
+}
+
+func TestTraceRecordsHits(t *testing.T) {
+	in := New(1)
+	in.StartTrace()
+	_ = in.Hit("x")
+	_ = in.Hit("y")
+	_ = in.Hit("x")
+	tr := in.StopTrace()
+	want := []string{"x", "y", "x"}
+	if len(tr) != len(want) {
+		t.Fatalf("trace %v", tr)
+	}
+	for i := range want {
+		if tr[i] != want[i] {
+			t.Fatalf("trace[%d] = %q, want %q", i, tr[i], want[i])
+		}
+	}
+	pts := in.Points()
+	if len(pts) != 2 || pts[0] != "x" || pts[1] != "y" {
+		t.Fatalf("Points = %v", pts)
+	}
+}
+
+func TestCatchPassesThroughErrorsAndForeignPanics(t *testing.T) {
+	sentinel := errors.New("boom")
+	crash, err := Catch(func() error { return sentinel })
+	if crash != nil || !errors.Is(err, sentinel) {
+		t.Fatalf("crash=%v err=%v", crash, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic swallowed")
+		}
+	}()
+	_, _ = Catch(func() error { panic("not a crash") })
+}

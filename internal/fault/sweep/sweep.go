@@ -1,0 +1,511 @@
+// Package sweep implements the exhaustive crash-schedule sweep (E5b):
+// a scripted sparse-load → concurrent-update → reorganize workload is
+// run once with a tracing fault.Injector to enumerate every fault-point
+// hit, then re-run once per hit index with a crash armed at exactly
+// that hit. After each injected crash the harness calls Crash() and
+// Restart() and asserts the recovery invariants:
+//
+//   - tree.Check() passes (structural integrity),
+//   - every committed key is readable with its committed value,
+//   - no uncommitted key survives,
+//   - the operation in flight at the crash is atomic (fully applied or
+//     fully absent),
+//   - the reorganization unit in flight is fully absent or fully
+//     forward-completed (implied by the first three plus scan order),
+//   - the recovered database accepts new work (liveness probe).
+//
+// The workload is strictly single-goroutine so the hit sequence is
+// deterministic: "concurrent" updates are injected from the
+// reorganizer's OnEvent hook at stages where the reorganizer holds no
+// lock that the update needs (pass3.base targets keys in bases already
+// read; pass3.built runs after every base has been read, so updates
+// flow through the side file).
+//
+// Hits during repro.Open (initial formatting of a fresh database) are
+// excluded: a crash before Open returns leaves no database to recover.
+// Torn crashes are armed only at wal.force (the log tail tears at a
+// record boundary after Log.Crash truncation); torn data pages would
+// need full-page writes to recover, which the storage layer does not
+// implement (documented in DESIGN.md).
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro"
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+// Config sizes the sweep. The zero value gets usable defaults.
+type Config struct {
+	// Records loaded before sparsification (default 48).
+	Records int
+	// ValueSize in bytes per record (default 40).
+	ValueSize int
+	// PageSize of the database (default 512, the smallest size whose
+	// value limit admits the 40-byte payloads; small pages keep the
+	// workload short while still building a multi-level tree).
+	PageSize int
+	// BufferPool caps resident frames (default 4; a small pool forces
+	// evictions so pager.evict, pager.flush and disk.read are
+	// exercised continuously).
+	BufferPool int
+	// KeepEvery keeps every KeepEvery-th record at sparsification
+	// (default 3: ~33% occupancy, the paper's sparse regime).
+	KeepEvery int
+	// Seed for the injector RNG (default 1; the sweep itself arms only
+	// deterministic crash schedules).
+	Seed int64
+	// Stride crashes at every Stride-th hit (default 1 = every hit).
+	Stride int
+	// Torn additionally re-runs every wal.force hit with a torn log
+	// tail (default true when Stride == 1 semantics are wanted; set by
+	// callers explicitly).
+	Torn bool
+	// MaxRuns caps the number of crash runs (0 = unlimited).
+	MaxRuns int
+	// Logf receives progress output (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Records <= 0 {
+		c.Records = 96
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 40
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = 512
+	}
+	if c.BufferPool <= 0 {
+		c.BufferPool = 4
+	}
+	if c.KeepEvery <= 0 {
+		c.KeepEvery = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Stride <= 0 {
+		c.Stride = 1
+	}
+	return c
+}
+
+// Result summarises a sweep.
+type Result struct {
+	// TotalHits is the number of fault-point hits enumerated in the
+	// scripted workload (after Open).
+	TotalHits int
+	// Points is the sorted set of distinct fault points hit.
+	Points []string
+	// CrashRuns and TornRuns count the crash re-runs performed.
+	CrashRuns int
+	TornRuns  int
+	// ForwardCompleted counts restarts that finished an in-flight
+	// reorganization unit forward; Pass3Abandoned/Pass3Completed count
+	// the two pass-3 reconciliation outcomes.
+	ForwardCompleted int
+	Pass3Abandoned   int
+	Pass3Completed   int
+}
+
+// op is one scripted mutation, tracked for crash-atomicity checking.
+type op struct {
+	kind string // "insert", "update", "delete"
+	key  string
+	val  string
+}
+
+// script is one deterministic execution of the workload plus the
+// committed-state model used to verify recovery.
+type script struct {
+	cfg Config
+	db  *repro.DB
+	// model holds exactly the committed (acknowledged) records.
+	model map[string]string
+	// pending is the mutation in flight; at a crash it is ambiguous
+	// (fully applied or fully absent) and checked as such.
+	pending *op
+}
+
+func newScript(cfg Config, inj *fault.Injector) (*script, error) {
+	db, err := repro.Open(repro.Options{
+		PageSize:        cfg.PageSize,
+		BufferPoolPages: cfg.BufferPool,
+		FaultInjector:   inj,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &script{cfg: cfg, db: db, model: make(map[string]string)}, nil
+}
+
+func (s *script) key(i int) string { return string(workload.Key(i)) }
+
+// val derives a value for key i; gen distinguishes successive updates.
+func (s *script) val(i, gen int) string {
+	return string(workload.Value(i+gen*1_000_000, s.cfg.ValueSize))
+}
+
+func (s *script) insert(i, gen int) error {
+	k, v := s.key(i), s.val(i, gen)
+	s.pending = &op{kind: "insert", key: k, val: v}
+	if err := s.db.Insert([]byte(k), []byte(v)); err != nil {
+		return fmt.Errorf("insert %s: %w", k, err)
+	}
+	s.model[k] = v
+	s.pending = nil
+	return nil
+}
+
+func (s *script) update(i, gen int) error {
+	k, v := s.key(i), s.val(i, gen)
+	s.pending = &op{kind: "update", key: k, val: v}
+	if err := s.db.Update([]byte(k), []byte(v)); err != nil {
+		return fmt.Errorf("update %s: %w", k, err)
+	}
+	s.model[k] = v
+	s.pending = nil
+	return nil
+}
+
+func (s *script) delete(i int) error {
+	k := s.key(i)
+	s.pending = &op{kind: "delete", key: k}
+	if err := s.db.Delete([]byte(k)); err != nil {
+		return fmt.Errorf("delete %s: %w", k, err)
+	}
+	delete(s.model, k)
+	s.pending = nil
+	return nil
+}
+
+// run executes the scripted workload: load, sparsify, checkpoint, then
+// the three reorganization passes with update waves between passes and
+// OnEvent-driven updates inside pass 3.
+func (s *script) run() error {
+	n, every := s.cfg.Records, s.cfg.KeepEvery
+
+	// Sparse load: insert in a stride-permuted order (so page
+	// allocation order differs from key order and pass 2 has swapping
+	// to do), then delete all but every KeepEvery-th record (the
+	// paper's "large numbers of deletions").
+	step := 7
+	for step%n == 0 || gcd(step, n) != 1 {
+		step++
+	}
+	for i := 0; i < n; i++ {
+		if err := s.insert(i * step % n, 0); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < n; i++ {
+		if i%every == 0 {
+			continue
+		}
+		if err := s.delete(i); err != nil {
+			return err
+		}
+	}
+	if err := s.db.Checkpoint(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+
+	// Pass-3 update bursts fire from the reorganizer's event hook.
+	// pass3.base: the current base's S lock is already released when the
+	// event fires (only the *next*, higher-keyed base is still locked),
+	// so updates to the lowest keys cannot block against the
+	// reorganizer. pass3.built: every base has been read; updates flow
+	// through the side file and exercise catch-up and the final drain.
+	var burstBase, burstBuilt bool
+	rcfg := repro.DefaultReorgConfig()
+	rcfg.OnEvent = func(stage string) error {
+		switch stage {
+		case "pass3.base":
+			if burstBase {
+				return nil
+			}
+			burstBase = true
+			// Re-insert sparsified low keys: the compacted first leaf is
+			// near the target fill, so these force a leaf split whose
+			// new base entry must flow through the side file.
+			for _, i := range []int{1, 2, 4, 5} {
+				if err := s.insert(i, 0); err != nil {
+					return err
+				}
+			}
+			return s.update(0, 2)
+		case "pass3.built":
+			if burstBuilt {
+				return nil
+			}
+			burstBuilt = true
+			// High-key inserts past the last leaf: splits here append
+			// side-file entries that only the final drain can apply.
+			for i := n + 5; i < n+11; i++ {
+				if err := s.insert(i, 0); err != nil {
+					return err
+				}
+			}
+			if err := s.delete(6 * every); err != nil {
+				return err
+			}
+			return s.update(9*every, 1)
+		}
+		return nil
+	}
+	r := s.db.Reorganizer(rcfg)
+
+	if err := r.CompactLeaves(); err != nil {
+		return fmt.Errorf("pass1: %w", err)
+	}
+	// Update wave 1: between passes the reorganizer holds no locks.
+	// The high-key insert burst deliberately consumes the free pages
+	// that pass 1 released: the new (high-keyed) leaves land on low
+	// page ids, so pass 2 finds leaves out of key order with no free
+	// slots below them and must use Swap units, not just Moves.
+	if err := s.update(0, 1); err != nil {
+		return err
+	}
+	for i := n + 11; i < n+11+n/8; i++ {
+		if err := s.insert(i, 0); err != nil {
+			return err
+		}
+	}
+	if err := s.delete(2 * every); err != nil {
+		return err
+	}
+	if err := s.db.Checkpoint(); err != nil {
+		return fmt.Errorf("mid checkpoint: %w", err)
+	}
+
+	if err := r.SwapLeaves(); err != nil {
+		return fmt.Errorf("pass2: %w", err)
+	}
+	// Update wave 2.
+	if err := s.update(3*every, 1); err != nil {
+		return err
+	}
+	if err := s.insert(n+3, 0); err != nil {
+		return err
+	}
+	if err := s.delete(4 * every); err != nil {
+		return err
+	}
+
+	if err := r.RebuildInternal(); err != nil {
+		return fmt.Errorf("pass3: %w", err)
+	}
+	return nil
+}
+
+// verify asserts the recovery invariants against the committed-state
+// model after Restart.
+func (s *script) verify() error {
+	if err := s.db.Check(); err != nil {
+		return fmt.Errorf("tree check failed: %w", err)
+	}
+
+	got := make(map[string]string)
+	var prev []byte
+	var orderErr error
+	err := s.db.Scan([]byte(""), nil, func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 && orderErr == nil {
+			orderErr = fmt.Errorf("scan order violation: %q after %q", k, prev)
+		}
+		got[string(k)] = string(v)
+		prev = append(prev[:0], k...)
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("full scan: %w", err)
+	}
+	if orderErr != nil {
+		return orderErr
+	}
+
+	pend := s.pending
+	// Committed-data durability: every acknowledged record is readable
+	// with exactly its committed value.
+	for k, v := range s.model {
+		if pend != nil && pend.key == k {
+			continue // in flight at the crash: checked below
+		}
+		gv, ok := got[k]
+		if !ok {
+			return fmt.Errorf("committed key %q lost", k)
+		}
+		if gv != v {
+			return fmt.Errorf("committed key %q: got %q, want %q", k, gv, v)
+		}
+	}
+	// No dirty reads: nothing outside the model (modulo the pending op)
+	// may exist.
+	for k, gv := range got {
+		if _, ok := s.model[k]; ok {
+			continue
+		}
+		if pend != nil && pend.key == k && pend.kind == "insert" {
+			if gv != pend.val {
+				return fmt.Errorf("pending insert %q: got %q, want %q or absence", k, gv, pend.val)
+			}
+			continue
+		}
+		return fmt.Errorf("uncommitted key %q survived the crash", k)
+	}
+	// Crash atomicity of the operation in flight: fully applied or
+	// fully absent, never a mixture.
+	if pend != nil {
+		gv, present := got[pend.key]
+		switch pend.kind {
+		case "insert":
+			// absence or the new value; both checked above
+		case "update":
+			old := s.model[pend.key]
+			if !present {
+				return fmt.Errorf("pending update lost key %q entirely", pend.key)
+			}
+			if gv != old && gv != pend.val {
+				return fmt.Errorf("pending update %q: got %q, want %q or %q",
+					pend.key, gv, old, pend.val)
+			}
+		case "delete":
+			if present && gv != s.model[pend.key] {
+				return fmt.Errorf("pending delete %q: surviving value %q != committed %q",
+					pend.key, gv, s.model[pend.key])
+			}
+		}
+	}
+
+	// Liveness probe: the recovered database accepts new work.
+	probeK, probeV := []byte("zz-probe"), []byte("probe-value")
+	if err := s.db.Insert(probeK, probeV); err != nil {
+		return fmt.Errorf("probe insert: %w", err)
+	}
+	v, err := s.db.Get(probeK)
+	if err != nil || !bytes.Equal(v, probeV) {
+		return fmt.Errorf("probe get: %v (val %q)", err, v)
+	}
+	if err := s.db.Delete(probeK); err != nil {
+		return fmt.Errorf("probe delete: %w", err)
+	}
+	return nil
+}
+
+// Enumerate runs the scripted workload once under a tracing injector
+// and returns the post-Open hit trace (hit i of the sweep is
+// trace[i-1]).
+func Enumerate(cfg Config) ([]string, error) {
+	cfg = cfg.withDefaults()
+	inj := fault.New(cfg.Seed)
+	s, err := newScript(cfg, inj)
+	if err != nil {
+		return nil, err
+	}
+	inj.StartTrace()
+	if err := s.run(); err != nil {
+		return nil, fmt.Errorf("enumeration run: %w", err)
+	}
+	trace := inj.StopTrace()
+	// The clean run must itself satisfy the invariants.
+	if err := s.verify(); err != nil {
+		return nil, fmt.Errorf("enumeration run verify: %w", err)
+	}
+	return trace, nil
+}
+
+// Run performs the full sweep and returns its summary. The first
+// failing crash index aborts the sweep with a descriptive error.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	trace, err := Enumerate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{TotalHits: len(trace), Points: distinct(trace)}
+	if cfg.Logf != nil {
+		cfg.Logf("sweep: %d hits across %d fault points", len(trace), len(res.Points))
+	}
+
+	for i := 1; i <= len(trace); i += cfg.Stride {
+		if cfg.MaxRuns > 0 && res.CrashRuns+res.TornRuns >= cfg.MaxRuns {
+			if cfg.Logf != nil {
+				cfg.Logf("sweep: stopping at MaxRuns=%d (hit %d/%d)", cfg.MaxRuns, i, len(trace))
+			}
+			break
+		}
+		if err := runOne(cfg, i, false, res); err != nil {
+			return res, fmt.Errorf("crash at hit %d (%s): %w", i, trace[i-1], err)
+		}
+		res.CrashRuns++
+		if cfg.Torn && trace[i-1] == fault.WALForce {
+			if err := runOne(cfg, i, true, res); err != nil {
+				return res, fmt.Errorf("torn crash at hit %d (%s): %w", i, trace[i-1], err)
+			}
+			res.TornRuns++
+		}
+		if cfg.Logf != nil && res.CrashRuns%100 == 0 {
+			cfg.Logf("sweep: %d/%d crash points verified", i, len(trace))
+		}
+	}
+	return res, nil
+}
+
+// runOne re-runs the script with a crash armed at the given post-Open
+// hit index, then restarts and verifies.
+func runOne(cfg Config, hit int, torn bool, res *Result) error {
+	inj := fault.New(cfg.Seed)
+	s, err := newScript(cfg, inj) // Open runs uninjected (nothing armed)
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	inj.ArmCrashAtSeq(inj.Seq()+int64(hit), torn)
+	crash, err := fault.Catch(s.run)
+	if err != nil {
+		return fmt.Errorf("script failed before the armed crash: %w", err)
+	}
+	if crash == nil {
+		return fmt.Errorf("script completed without reaching hit %d", hit)
+	}
+	inj.Disarm() // recovery must not be re-injected
+	s.db.Crash()
+	info, err := s.db.Restart()
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	if info.UnitCompleted {
+		res.ForwardCompleted++
+	}
+	if info.Pass3Abandoned {
+		res.Pass3Abandoned++
+	}
+	if info.Pass3Completed {
+		res.Pass3Completed++
+	}
+	return s.verify()
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func distinct(trace []string) []string {
+	set := make(map[string]struct{})
+	for _, p := range trace {
+		set[p] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,88 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestCrashSweep is the E5b acceptance test: enumerate every fault-point
+// hit in the scripted workload, crash at each one (every Stride-th in
+// -short mode), restart, and verify the recovery invariants.
+func TestCrashSweep(t *testing.T) {
+	cfg := Config{Torn: true, Logf: t.Logf}
+	if testing.Short() {
+		cfg.Stride = 7
+		cfg.Torn = false
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("sweep failed: %v", err)
+	}
+	if res.TotalHits < 100 {
+		t.Errorf("enumerated %d fault-point hits, want >= 100", res.TotalHits)
+	}
+	if res.CrashRuns == 0 {
+		t.Error("no crash runs performed")
+	}
+	t.Logf("sweep: %d hits, %d crash runs, %d torn runs, %d forward-completed units, %d/%d pass3 abandoned/completed",
+		res.TotalHits, res.CrashRuns, res.TornRuns, res.ForwardCompleted,
+		res.Pass3Abandoned, res.Pass3Completed)
+
+	// The script must exercise every reorganization unit type and the
+	// root-switch window, or the sweep is not testing what it claims.
+	want := []string{
+		fault.DiskRead, fault.DiskWrite, fault.WALAppend, fault.WALForce,
+		fault.PagerFlush, fault.PagerEvict,
+		"reorg.compact.begin", "reorg.compact.end",
+		"reorg.move.begin", "reorg.move.end",
+		"reorg.swap.begin", "reorg.swap.logged", "reorg.swap.end",
+		"reorg.pass3.base", "reorg.pass3.built", "reorg.pass3.side",
+		"reorg.pass3.stable",
+		"reorg.pass3.switch.pre", "reorg.pass3.switch.durable",
+	}
+	have := make(map[string]bool, len(res.Points))
+	for _, p := range res.Points {
+		have[p] = true
+	}
+	for _, p := range want {
+		if !have[p] {
+			t.Errorf("fault point %s never hit by the sweep workload", p)
+		}
+	}
+	if !testing.Short() {
+		if res.TornRuns == 0 {
+			t.Error("no torn-log runs despite Torn: true")
+		}
+		if res.ForwardCompleted == 0 {
+			t.Error("no restart ever forward-completed an in-flight unit")
+		}
+		if res.Pass3Abandoned == 0 {
+			t.Error("no restart ever reclaimed an interrupted pass-3 build")
+		}
+		if res.Pass3Completed == 0 {
+			t.Error("no restart ever finished a durably-switched pass 3")
+		}
+	}
+}
+
+// TestEnumerateDeterministic guards the property the whole sweep rests
+// on: the same config yields the identical hit trace every run.
+func TestEnumerateDeterministic(t *testing.T) {
+	a, err := Enumerate(Config{})
+	if err != nil {
+		t.Fatalf("first enumeration: %v", err)
+	}
+	b, err := Enumerate(Config{})
+	if err != nil {
+		t.Fatalf("second enumeration: %v", err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at hit %d: %s vs %s", i+1, a[i], b[i])
+		}
+	}
+}

@@ -282,6 +282,17 @@ func Restart(disk *storage.Disk, log *wal.Log) (*Result, error) {
 	if bit {
 		root, _ := tree.Root()
 		switchedDurably := lastSwitch != nil && lastSwitch.NewRoot == root
+		// The SwitchRoot log record is the switch's commit point: the new
+		// tree and the final side-file drain are forced to disk before it
+		// is appended. If the record is durable but the anchor flip never
+		// reached disk (anchor still names OldRoot), finish the switch
+		// forward instead of abandoning a fully-built tree.
+		if !switchedDurably && lastSwitch != nil && lastSwitch.OldRoot == root {
+			if err := tree.SwitchRoot(lastSwitch.NewRoot, lastSwitch.NewEpoch); err != nil {
+				return nil, fmt.Errorf("recovery: completing root switch: %w", err)
+			}
+			switchedDurably = true
+		}
 		if switchedDurably {
 			// Crash after the switch but before cleanup: finish the
 			// discard of the old internal pages and the side file.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // IOStats counts physical page transfers against the simulated disk.
@@ -21,6 +23,13 @@ func (s *IOStats) Snapshot() (reads, writes int64) {
 	return s.Reads.Load(), s.Writes.Load()
 }
 
+// Snapshot3 returns reads, writes and seeks in one consistent-enough
+// view (each counter is individually atomic; exact cross-counter
+// consistency is not needed by any consumer).
+func (s *IOStats) Snapshot3() (reads, writes, seeks int64) {
+	return s.Reads.Load(), s.Writes.Load(), s.Seeks.Load()
+}
+
 // Disk is the simulated stable storage: an array of page images plus
 // I/O accounting. Only what has been written here survives a crash.
 type Disk struct {
@@ -29,6 +38,7 @@ type Disk struct {
 	mu       sync.Mutex
 	pages    [][]byte
 	lastRead PageID
+	inj      *fault.Injector
 
 	stats IOStats
 }
@@ -47,6 +57,14 @@ func NewDisk(pageSize int) *Disk {
 
 // PageSize returns the disk's page size in bytes.
 func (d *Disk) PageSize() int { return d.pageSize }
+
+// SetInjector installs the fault injector consulted at the disk.read
+// and disk.write fault points (nil disables injection).
+func (d *Disk) SetInjector(in *fault.Injector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inj = in
+}
 
 // Stats exposes the I/O counters.
 func (d *Disk) Stats() *IOStats { return &d.stats }
@@ -77,6 +95,9 @@ func (d *Disk) Read(id PageID, buf []byte) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.inj.Hit(fault.DiskRead); err != nil {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
 	d.stats.Reads.Add(1)
 	if id != d.lastRead+1 {
 		d.stats.Seeks.Add(1)
@@ -102,11 +123,18 @@ func (d *Disk) Write(id PageID, data []byte) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.stats.Writes.Add(1)
 	d.ensure(id)
 	if d.pages[id] == nil {
 		d.pages[id] = make([]byte, d.pageSize)
 	}
+	// disk.write is tear-capable: a torn crash makes only the first
+	// half of the new image stable before the failure.
+	if err := d.inj.HitTorn(fault.DiskWrite, func() {
+		copy(d.pages[id][:d.pageSize/2], data[:d.pageSize/2])
+	}); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	d.stats.Writes.Add(1)
 	copy(d.pages[id], data)
 	return nil
 }

@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"testing"
+)
+
+func TestMarkFreeStampsFreeImage(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	img := make(Page, MinPageSize)
+	FormatPage(img, PageLeaf, 5)
+	img.SetLSN(3)
+	if err := d.Write(5, img); err != nil {
+		t.Fatal(err)
+	}
+	r0, w0 := d.Stats().Snapshot()
+
+	d.MarkFree(5, 7)
+
+	// Freeing is an allocation-bitmap update, not a page transfer: no
+	// data I/O may be charged.
+	r1, w1 := d.Stats().Snapshot()
+	if r1 != r0 || w1 != w0 {
+		t.Errorf("MarkFree charged I/O: reads %d->%d writes %d->%d", r0, r1, w0, w1)
+	}
+	got := make(Page, MinPageSize)
+	if err := d.Read(5, got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Type() != PageFree {
+		t.Errorf("stable type = %v, want free", got.Type())
+	}
+	if got.LSN() != 7 {
+		t.Errorf("free image LSN = %d, want 7 (orders deallocation against redo)", got.LSN())
+	}
+}
+
+func TestMarkFreeGrowsDiskAndIgnoresInvalid(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	d.MarkFree(InvalidPage, 1) // must not panic
+	d.MarkFree(9, 2)           // beyond current extent
+	types := d.ScanTypes()
+	if len(types) != 10 {
+		t.Fatalf("extent = %d pages after MarkFree(9), want 10", len(types))
+	}
+	if types[9] != PageFree {
+		t.Errorf("page 9 type = %v, want free", types[9])
+	}
+}
+
+func TestScanTypes(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	write := func(id PageID, typ PageType) {
+		img := make(Page, MinPageSize)
+		FormatPage(img, typ, id)
+		if err := d.Write(id, img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(1, PageAnchor)
+	write(2, PageLeaf)
+	write(4, PageInternal) // page 3 never written
+	d.MarkFree(2, 5)       // freed after use
+
+	r0, _ := d.Stats().Snapshot()
+	types := d.ScanTypes()
+	if r1, _ := d.Stats().Snapshot(); r1 != r0 {
+		t.Errorf("ScanTypes charged %d reads (stands in for the allocation bitmap)", r1-r0)
+	}
+	want := []PageType{PageFree, PageAnchor, PageFree, PageFree, PageInternal}
+	if len(types) != len(want) {
+		t.Fatalf("ScanTypes len = %d, want %d", len(types), len(want))
+	}
+	for i, typ := range want {
+		if types[i] != typ {
+			t.Errorf("page %d type = %v, want %v", i, types[i], typ)
+		}
+	}
+}
+
+// TestRebuildFreeMap covers the restart path: recovery reconstructs the
+// allocation map from stable page headers, so pages freed before the
+// crash must be allocatable again and live pages must not be handed out.
+func TestRebuildFreeMap(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	wal := &fakeWAL{}
+	p := NewPager(d, 8, wal)
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		f, err := p.Allocate(PageLeaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, f.ID())
+		p.Unfix(f)
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Deallocate(ids[1], 10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate restart: a fresh pager over the surviving disk.
+	p2 := NewPager(d, 8, wal)
+	p2.RebuildFreeMap()
+	if got := p2.FirstFreeIn(0, ids[3]+1); got != ids[1] {
+		t.Errorf("FirstFreeIn after rebuild = %d, want freed page %d", got, ids[1])
+	}
+	f, err := p2.Allocate(PageLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID() != ids[1] {
+		t.Errorf("rebuilt map allocated page %d, want reuse of freed %d", f.ID(), ids[1])
+	}
+	p2.Unfix(f)
+	// The remaining live pages must not be reused: the next allocation
+	// has to extend past the rebuilt high-water mark.
+	g, err := p2.Allocate(PageLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if g.ID() == id && id != ids[1] {
+			t.Errorf("rebuilt map re-allocated live page %d", id)
+		}
+	}
+	p2.Unfix(g)
+}
+
+// TestSnapshot3Seeks checks the seek model: a read is a seek unless it
+// targets the page immediately after the previous read.
+func TestSnapshot3Seeks(t *testing.T) {
+	d := NewDisk(MinPageSize)
+	buf := make([]byte, MinPageSize)
+	for _, id := range []PageID{3, 4, 5, 9, 10, 2} {
+		if err := d.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, w, s := d.Stats().Snapshot3()
+	if r != 6 || w != 0 {
+		t.Fatalf("Snapshot3 reads/writes = %d/%d, want 6/0", r, w)
+	}
+	// Seeks: 3 (cold), 9 (gap), 2 (backwards); 4, 5, 10 are sequential.
+	if s != 3 {
+		t.Errorf("Snapshot3 seeks = %d, want 3", s)
+	}
+}

@@ -11,4 +11,22 @@
 // frames is lost. This is the property the paper's recovery and
 // careful-writing arguments depend on, so the simulation preserves the
 // behaviour the paper's testbed provided.
+//
+// I/O accounting (IOStats) follows a simple single-arm seek model: the
+// disk remembers the id of the last page read, and a read of any page
+// other than the immediate successor charges one seek. Sequential
+// range scans over contiguously-placed leaves therefore cost one seek
+// plus N transfers, while the same scan over a fragmented tree costs
+// up to N seeks — exactly the contiguity benefit pass 2 of the
+// reorganization buys (paper §6, range-scan experiment E8). Writes do
+// not move the model's arm: the simulated device writes through a
+// cache, as the paper's testbed did, so write scheduling is not
+// charged against read locality. Snapshot3 exposes reads, writes and
+// seeks together for tools that report all three.
+//
+// Fault injection: Disk.Read, Disk.Write and the pager's flush/evict
+// paths consult an optional fault.Injector (disk.read, disk.write,
+// pager.flush, pager.evict). disk.write is tear-capable — a torn crash
+// leaves only the first half of the new image stable, modelling a
+// power failure mid-sector-run.
 package storage

@@ -2,10 +2,25 @@ package storage
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
+	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
 )
+
+// ErrIO reports a permanent I/O failure: every retry of a transient
+// disk fault failed, so the operation degrades gracefully into a typed
+// error instead of panicking or wedging the pool.
+var ErrIO = errors.New("storage: I/O failure (retry budget exhausted)")
+
+// ioRetries bounds how many times a transient disk fault is retried
+// before ErrIO surfaces.
+const ioRetries = 4
 
 // LogFlusher is the slice of the log manager the buffer pool needs for
 // the write-ahead rule: before a dirty page image reaches disk, the log
@@ -48,6 +63,11 @@ type Pager struct {
 	lru      *list.List // front = most recently used
 	capacity int
 	free     *FreeMap
+	inj      *fault.Injector
+	// retryRNG jitters the transient-I/O backoff; it is only touched
+	// under mu (every retry loop runs with the pool mutex held), and
+	// its fixed seed keeps retry schedules deterministic under test.
+	retryRNG *rand.Rand
 
 	// deps[p] is the set of pages that must be stable on disk before p
 	// may be flushed or deallocated (Lomet–Tuttle careful writing).
@@ -65,12 +85,48 @@ func NewPager(disk *Disk, capacity int, wal LogFlusher) *Pager {
 		lru:      list.New(),
 		capacity: capacity,
 		free:     NewFreeMap(),
+		retryRNG: rand.New(rand.NewSource(0x5eed)),
 		deps:     make(map[PageID]map[PageID]struct{}),
 	}
 }
 
 // Disk returns the underlying simulated disk.
 func (p *Pager) Disk() *Disk { return p.disk }
+
+// SetInjector installs the fault injector consulted at the pager.flush
+// and pager.evict fault points (nil disables injection).
+func (p *Pager) SetInjector(in *fault.Injector) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inj = in
+}
+
+// retryIO runs fn, absorbing transient injected faults with up to
+// ioRetries retries under jittered backoff; exhaustion degrades into a
+// typed ErrIO. Called with the pool mutex held (so the RNG is safe).
+func (p *Pager) retryIO(what string, id PageID, fn func() error) error {
+	var err error
+	for attempt := 0; attempt <= ioRetries; attempt++ {
+		if attempt > 0 {
+			p.retryBackoff(attempt)
+		}
+		if err = fn(); err == nil || !fault.IsTransient(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("storage: %s page %d: %w (last: %v)", what, id, ErrIO, err)
+}
+
+// retryBackoff sleeps briefly before a transient-I/O retry, with
+// deterministic seeded jitter so concurrent retriers do not align.
+func (p *Pager) retryBackoff(attempt int) {
+	base := time.Duration(attempt) * 50 * time.Microsecond
+	if base > time.Millisecond {
+		base = time.Millisecond
+	}
+	jitter := time.Duration(p.retryRNG.Int63n(int64(base)/2 + 1))
+	time.Sleep(base/2 + jitter)
+}
 
 // PageSize returns the page size in bytes.
 func (p *Pager) PageSize() int { return p.disk.PageSize() }
@@ -96,25 +152,30 @@ func (p *Pager) Fix(id PageID) (*Frame, error) {
 	if id == InvalidPage {
 		return nil, fmt.Errorf("storage: fix of invalid page")
 	}
+	// The mutex is released by defer so an injected crash panic from
+	// the disk layer unwinds without wedging the pool.
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	if f, ok := p.frames[id]; ok {
 		f.pin++
 		p.lru.MoveToFront(f.elem)
-		p.mu.Unlock()
 		return f, nil
 	}
 	if err := p.makeRoomLocked(); err != nil {
-		p.mu.Unlock()
 		return nil, err
 	}
 	f := &Frame{id: id, data: make(Page, p.disk.PageSize()), pin: 1}
 	f.elem = p.lru.PushFront(f)
 	p.frames[id] = f
 	// Hold the pool lock across the (simulated, fast) read so a second
-	// fixer cannot observe a half-loaded frame.
-	err := p.disk.Read(id, f.data)
-	p.mu.Unlock()
-	if err != nil {
+	// fixer cannot observe a half-loaded frame. Transient read faults
+	// are retried; on permanent failure the residency is undone so the
+	// pool never caches a half-loaded frame.
+	if err := p.retryIO("read", id, func() error {
+		return p.disk.Read(id, f.data)
+	}); err != nil {
+		delete(p.frames, id)
+		p.lru.Remove(f.elem)
 		return nil, err
 	}
 	return f, nil
@@ -150,6 +211,11 @@ func (p *Pager) makeRoomLocked() error {
 		f := e.Value.(*Frame)
 		if f.pin > 0 {
 			continue
+		}
+		if err := p.inj.Hit(fault.PagerEvict); err != nil {
+			// Transient eviction fault: degrade gracefully by letting
+			// the pool grow past capacity this once.
+			return nil
 		}
 		if f.dirty.Load() {
 			if err := p.flushFrameLocked(f, make(map[PageID]bool)); err != nil {
@@ -188,7 +254,7 @@ func (p *Pager) flushFrameLocked(f *Frame, visiting map[PageID]bool) error {
 	visiting[f.id] = true
 	defer delete(visiting, f.id)
 
-	for dep := range p.deps[f.id] {
+	for _, dep := range sortedDeps(p.deps[f.id]) {
 		df, ok := p.frames[dep]
 		if !ok || !df.dirty.Load() {
 			continue
@@ -204,16 +270,36 @@ func (p *Pager) flushFrameLocked(f *Frame, visiting map[PageID]bool) error {
 	img := make([]byte, len(f.data))
 	copy(img, f.data)
 	f.RUnlock()
-	if p.wal != nil {
-		if err := p.wal.FlushTo(lsn); err != nil {
+	if err := p.retryIO("flush", f.id, func() error {
+		if err := p.inj.Hit(fault.PagerFlush); err != nil {
 			return err
 		}
-	}
-	if err := p.disk.Write(f.id, img); err != nil {
+		if p.wal != nil {
+			if err := p.wal.FlushTo(lsn); err != nil {
+				return err
+			}
+		}
+		return p.disk.Write(f.id, img)
+	}); err != nil {
 		return err
 	}
 	f.dirty.Store(false)
 	return nil
+}
+
+// sortedDeps returns the dependency set in ascending page-id order so
+// flush cascades hit fault points in a reproducible sequence (Go map
+// iteration order would break sweep determinism).
+func sortedDeps(set map[PageID]struct{}) []PageID {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]PageID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // FlushPage forces page id (and its careful-write dependencies) to
@@ -230,12 +316,21 @@ func (p *Pager) FlushPage(id PageID) error {
 }
 
 // FlushAll forces every dirty frame to disk (checkpoint support).
+// Frames are flushed in ascending page-id order for determinism.
 func (p *Pager) FlushAll() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if !f.dirty.Load() {
-			continue
+	ids := make([]PageID, 0, len(p.frames))
+	for id, f := range p.frames {
+		if f.dirty.Load() {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f, ok := p.frames[id]
+		if !ok || !f.dirty.Load() {
+			continue // flushed as a dependency of an earlier frame
 		}
 		if err := p.flushFrameLocked(f, make(map[PageID]bool)); err != nil {
 			return err
@@ -291,32 +386,41 @@ func (p *Pager) AllocateAt(id PageID, typ PageType) (*Frame, error) {
 }
 
 func (p *Pager) fixFresh(id PageID, typ PageType) (*Frame, error) {
-	p.mu.Lock()
-	if f, ok := p.frames[id]; ok {
-		// A stale frame for a freed page can linger after recovery
-		// reads; reuse it. A pinned frame is a real allocation bug.
-		if f.pin > 0 {
-			p.mu.Unlock()
-			return nil, fmt.Errorf("storage: fresh page %d already resident and pinned", id)
+	// The locked section runs in a closure with a deferred unlock so an
+	// injected crash panic (eviction can flush, flush can fault) unwinds
+	// without wedging the pool.
+	f, reused, err := func() (*Frame, bool, error) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if f, ok := p.frames[id]; ok {
+			// A stale frame for a freed page can linger after recovery
+			// reads; reuse it. A pinned frame is a real allocation bug.
+			if f.pin > 0 {
+				return nil, false, fmt.Errorf("storage: fresh page %d already resident and pinned", id)
+			}
+			f.pin = 1
+			p.lru.MoveToFront(f.elem)
+			return f, true, nil
 		}
-		f.pin = 1
-		p.lru.MoveToFront(f.elem)
-		p.mu.Unlock()
+		if err := p.makeRoomLocked(); err != nil {
+			return nil, false, err
+		}
+		f := &Frame{id: id, data: make(Page, p.disk.PageSize()), pin: 1}
+		f.dirty.Store(true)
+		f.elem = p.lru.PushFront(f)
+		p.frames[id] = f
+		return f, false, nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+	if reused {
 		f.Lock()
 		FormatPage(f.data, typ, id)
 		f.Unlock()
 		f.dirty.Store(true)
 		return f, nil
 	}
-	if err := p.makeRoomLocked(); err != nil {
-		p.mu.Unlock()
-		return nil, err
-	}
-	f := &Frame{id: id, data: make(Page, p.disk.PageSize()), pin: 1}
-	f.dirty.Store(true)
-	f.elem = p.lru.PushFront(f)
-	p.frames[id] = f
-	p.mu.Unlock()
 	FormatPage(f.data, typ, id)
 	return f, nil
 }
@@ -329,29 +433,35 @@ func (p *Pager) fixFresh(id PageID, typ PageType) (*Frame, error) {
 // leave an unredoable pointer to a wiped page. Pass lsn 0 for
 // unlogged use.
 func (p *Pager) Deallocate(id PageID, lsn uint64) error {
-	p.mu.Lock()
-	if f, ok := p.frames[id]; ok {
+	if err := func() error {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		f, ok := p.frames[id]
+		if !ok {
+			p.free.Free(id)
+			return nil
+		}
 		if f.pin > 0 {
-			p.mu.Unlock()
 			return fmt.Errorf("storage: deallocate of pinned page %d", id)
 		}
 		// Flush the pages this one depends on (its copied-out contents).
-		for dep := range p.deps[id] {
+		for _, dep := range sortedDeps(p.deps[id]) {
 			df, ok := p.frames[dep]
 			if !ok || !df.dirty.Load() {
 				continue
 			}
 			if err := p.flushFrameLocked(df, make(map[PageID]bool)); err != nil {
-				p.mu.Unlock()
 				return err
 			}
 		}
 		delete(p.deps, id)
 		delete(p.frames, id)
 		p.lru.Remove(f.elem)
+		p.free.Free(id)
+		return nil
+	}(); err != nil {
+		return err
 	}
-	p.free.Free(id)
-	p.mu.Unlock()
 	if p.wal != nil && lsn != 0 {
 		if err := p.wal.FlushTo(lsn); err != nil {
 			return err

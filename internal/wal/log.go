@@ -3,8 +3,19 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/storage"
 )
+
+// logRetries bounds how many times a transient injected log-device
+// fault is retried before the log degrades (force: typed ErrIO) or
+// halts (append: fail-stop — a system that cannot write its log must
+// not keep running).
+const logRetries = 4
 
 // LSN is a log sequence number: the record's byte offset in the log
 // plus one, so 0 means "no LSN".
@@ -17,6 +28,10 @@ type Log struct {
 	mu      sync.Mutex
 	buf     []byte
 	flushed int // bytes durable
+	inj     *fault.Injector
+	// retryRNG jitters transient-fault backoff; only touched under mu,
+	// fixed seed for deterministic schedules under test.
+	retryRNG *rand.Rand
 
 	// forcedWrites counts explicit flush calls (group-commit modelling
 	// is out of scope; each Flush is one forced I/O for metrics).
@@ -25,7 +40,26 @@ type Log struct {
 
 // NewLog returns an empty log.
 func NewLog() *Log {
-	return &Log{}
+	return &Log{retryRNG: rand.New(rand.NewSource(0x109))}
+}
+
+// SetInjector installs the fault injector consulted at the wal.append
+// and wal.force fault points (nil disables injection).
+func (l *Log) SetInjector(in *fault.Injector) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inj = in
+}
+
+// retryBackoff sleeps briefly before a transient-fault retry with
+// deterministic seeded jitter. Called with l.mu held.
+func (l *Log) retryBackoff(attempt int) {
+	base := time.Duration(attempt) * 50 * time.Microsecond
+	if base > time.Millisecond {
+		base = time.Millisecond
+	}
+	jitter := time.Duration(l.retryRNG.Int63n(int64(base)/2 + 1))
+	time.Sleep(base/2 + jitter)
 }
 
 // Append encodes and appends r, returning its LSN. The record is not
@@ -34,6 +68,20 @@ func (l *Log) Append(r Record) LSN {
 	payload := Encode(r)
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// Append has no error return (30+ call sites rely on log writes
+	// succeeding), so transient faults are absorbed here; if the log
+	// device stays dead past the retry budget the system must halt —
+	// fail-stop is the only sound response to an unwritable log.
+	for attempt := 0; ; attempt++ {
+		err := l.inj.Hit(fault.WALAppend)
+		if err == nil {
+			break
+		}
+		if !fault.IsTransient(err) || attempt >= logRetries {
+			panic(fault.FailStop(fault.WALAppend))
+		}
+		l.retryBackoff(attempt + 1)
+	}
 	lsn := LSN(len(l.buf)) + 1
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -65,10 +113,9 @@ func (l *Log) FlushTo(lsn LSN) error {
 	if start < l.flushed {
 		return nil // already durable
 	}
-	// Durability must cover the whole record at lsn; flushing the whole
-	// buffer models a single forced write of the log tail.
-	l.flushed = len(l.buf)
-	l.forcedWrites++
+	if err := l.forceLocked(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -76,18 +123,59 @@ func (l *Log) FlushTo(lsn LSN) error {
 func (l *Log) Flush() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.flushed != len(l.buf) {
-		l.flushed = len(l.buf)
-		l.forcedWrites++
+	if l.flushed == len(l.buf) {
+		return nil
 	}
-	return nil
+	return l.forceLocked()
 }
 
-// Crash discards all unflushed records.
+// forceLocked performs one forced write of the unflushed log tail,
+// consulting the wal.force fault point. A torn crash there leaves only
+// half of the tail durable (Crash truncates the ragged edge back to a
+// record boundary, as a real recovery scan would). Transient faults are
+// retried with jittered backoff; exhaustion degrades into storage.ErrIO.
+func (l *Log) forceLocked() error {
+	var err error
+	for attempt := 0; attempt <= logRetries; attempt++ {
+		if attempt > 0 {
+			l.retryBackoff(attempt)
+		}
+		err = l.inj.HitTorn(fault.WALForce, func() {
+			// Torn force: only the first half of the tail became durable.
+			l.flushed += (len(l.buf) - l.flushed) / 2
+		})
+		if err == nil {
+			// Durability must cover the whole record; flushing the whole
+			// buffer models a single forced write of the log tail.
+			l.flushed = len(l.buf)
+			l.forcedWrites++
+			return nil
+		}
+		if !fault.IsTransient(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("wal: force: %w (last: %v)", storage.ErrIO, err)
+}
+
+// Crash discards all unflushed records, then truncates any torn tail
+// back to the last complete record: a restart log scan stops at the
+// first record whose length prefix runs past the durable end, so bytes
+// of a half-forced record are unreadable garbage, not data.
 func (l *Log) Crash() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.buf = l.buf[:l.flushed]
+	off := 0
+	for off+4 <= len(l.buf) {
+		n := int(binary.LittleEndian.Uint32(l.buf[off:]))
+		if off+4+n > len(l.buf) {
+			break
+		}
+		off += 4 + n
+	}
+	l.buf = l.buf[:off]
+	l.flushed = off
 }
 
 // BytesAppended returns the total log volume generated (a primary
