@@ -8,6 +8,7 @@ package repro_test
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -390,6 +391,83 @@ func BenchmarkGetParallel(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// BenchmarkInsertParallel measures concurrent insert throughput on the
+// sharded pool + group-commit hot path. Each worker inserts from its
+// own key range so the contention is infrastructural (pool shards, log
+// tail, lock-manager), not key conflicts.
+func BenchmarkInsertParallel(b *testing.B) {
+	db, _ := repro.Open(repro.Options{PageSize: 4096})
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := int(worker.Add(1)) * 10_000_000
+		i := 0
+		for pb.Next() {
+			if err := db.Insert(workload.Key(base+i), workload.Value(i, 48)); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkMixedParallel measures a 80/20 read/write mix: the common
+// OLTP shape where reads ride the log-free fast path and writes share
+// forced log writes through group commit.
+func BenchmarkMixedParallel(b *testing.B) {
+	db, _ := repro.Open(repro.Options{PageSize: 4096})
+	const n = 20000
+	if err := workload.Load(db, n, 48, "random", 1); err != nil {
+		b.Fatal(err)
+	}
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := int(worker.Add(1)) * 10_000_000
+		i := 0
+		for pb.Next() {
+			if i%5 == 4 {
+				if err := db.Insert(workload.Key(base+i), workload.Value(i, 48)); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if _, err := db.Get(workload.Key(i % n)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkCommitGroup measures commit latency under concurrency, and
+// reports how many forced log writes the run needed per commit
+// (forces/op < 1 is group commit working).
+func BenchmarkCommitGroup(b *testing.B) {
+	db, _ := repro.Open(repro.Options{PageSize: 4096,
+		GroupCommitWindow: 200 * time.Microsecond})
+	var worker atomic.Int64
+	before := db.PerfCounters().Snapshot()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := int(worker.Add(1)) * 10_000_000
+		i := 0
+		for pb.Next() {
+			if err := db.Insert(workload.Key(base+i), workload.Value(i, 48)); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	after := db.PerfCounters().Snapshot()
+	forces := after[metrics.WALForcedWrites] - before[metrics.WALForcedWrites]
+	saved := after[metrics.WALForcesSaved] - before[metrics.WALForcesSaved]
+	if n := forces + saved; n > 0 {
+		b.ReportMetric(float64(forces)/float64(n), "forces/commit")
+	}
 }
 
 func BenchmarkScan100(b *testing.B) {

@@ -94,4 +94,7 @@ func dump(db *repro.DB) {
 	reads, writes, seeks := db.IOStats3()
 	fmt.Printf("\ndisk I/O        %d reads, %d writes, %d seeks\n", reads, writes, seeks)
 	fmt.Printf("log volume      %d bytes\n", db.LogBytes())
+
+	fmt.Println("\nconcurrent hot-path counters (pool shards, WAL group commit):")
+	fmt.Print(db.PerfCounters())
 }

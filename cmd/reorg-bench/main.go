@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	reorg-bench [-exp all|e1|e2|...|e9] [-records N] [-pagesize N]
+//	reorg-bench [-exp all|e1|e2|...|e10] [-records N] [-pagesize N]
 //	reorg-bench -sweep [-stride N] [-maxruns N]
 //
 // The -sweep mode runs experiment E5b instead: the exhaustive
@@ -28,12 +28,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1..e9")
+	exp := flag.String("exp", "all", "experiment to run: all, e1..e10")
 	records := flag.Int("records", 20000, "records loaded before sparsification")
 	pageSize := flag.Int("pagesize", 4096, "page size in bytes")
 	valueSize := flag.Int("valuesize", 48, "record value size in bytes")
 	seed := flag.Int64("seed", 42, "workload seed")
 	doSweep := flag.Bool("sweep", false, "run the E5b crash-schedule sweep and exit")
+	gcWindow := flag.Duration("gcwindow", 0, "e10: group-commit window (0 = coalesce in-flight only)")
 	stride := flag.Int("stride", 1, "sweep: crash at every stride-th hit")
 	maxRuns := flag.Int("maxruns", 0, "sweep: cap on crash runs (0 = all)")
 	flag.Parse()
@@ -112,6 +113,13 @@ func main() {
 			log.Fatalf("E9: %v", err)
 		}
 		_, _ = experiments.E9Table(rows).WriteTo(out)
+	}
+	if want("e10") {
+		rows, err := experiments.E10Scaling(p, []int{1, 2, 4, 8}, *gcWindow)
+		if err != nil {
+			log.Fatalf("E10: %v", err)
+		}
+		_, _ = experiments.E10Table(rows).WriteTo(out)
 	}
 	fmt.Fprintf(out, "\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
 }

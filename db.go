@@ -64,6 +64,11 @@ type Options struct {
 	PageSize int
 	// BufferPoolPages caps resident frames (0 = unbounded).
 	BufferPoolPages int
+	// GroupCommitWindow, when positive, makes a commit that must force
+	// the log wait this long first so concurrent commits coalesce into
+	// one forced write. Zero (the default) still coalesces commits that
+	// arrive while a force is in flight, but never delays a force.
+	GroupCommitWindow time.Duration
 	// FaultInjector, when set, is installed at the disk, WAL, pager and
 	// reorganizer fault points (see internal/fault). It survives
 	// Restart: recovery runs against the same injector, so sweeps must
@@ -115,6 +120,7 @@ func Open(opts Options) (*DB, error) {
 	db := &DB{inj: opts.FaultInjector}
 	db.log = wal.NewLog()
 	db.log.SetInjector(db.inj)
+	db.log.SetGroupCommitWindow(opts.GroupCommitWindow)
 	db.disk = storage.NewDisk(opts.PageSize)
 	db.disk.SetInjector(db.inj)
 	db.pager = storage.NewPager(db.disk, opts.BufferPoolPages, db.log)
@@ -133,11 +139,14 @@ func Open(opts Options) (*DB, error) {
 type Txn struct {
 	db    *DB
 	inner *txn.Txn
+	itxn  txn.Txn // inner points here; embedded to make Begin one allocation
 }
 
 // Begin starts a transaction.
 func (db *DB) Begin() *Txn {
-	return &Txn{db: db, inner: db.txns.Begin()}
+	t := &Txn{db: db}
+	t.inner = db.txns.BeginAt(&t.itxn)
+	return t
 }
 
 // ID returns the transaction id.
@@ -387,6 +396,29 @@ func (db *DB) LogBytes() int64 { return db.log.BytesAppended() }
 
 // LockStats exposes the lock manager's contention counters.
 func (db *DB) LockStats() *lock.Stats { return db.locks.Stats() }
+
+// PerfCounters snapshots the concurrent-hot-path counters: buffer-pool
+// shard traffic (hits, misses, CLOCK eviction work, shard-mutex
+// contention) and WAL group-commit effectiveness (forced writes
+// performed vs. saved, batch volume). All sources are atomics, so the
+// snapshot never contends with running transactions.
+func (db *DB) PerfCounters() *metrics.Counters {
+	c := metrics.New()
+	ps := db.pager.Stats()
+	c.Add(metrics.PoolShards, int64(db.pager.ShardCount()))
+	c.Add(metrics.PoolHits, ps.Hits.Load())
+	c.Add(metrics.PoolMisses, ps.Misses.Load())
+	c.Add(metrics.PoolEvictions, ps.Evictions.Load())
+	c.Add(metrics.PoolDirtyEvictions, ps.DirtyEvictions.Load())
+	c.Add(metrics.PoolEvictionScans, ps.EvictionScans.Load())
+	c.Add(metrics.PoolShardContention, ps.ShardContention.Load())
+	c.Add(metrics.WALBytesAppended, db.log.BytesAppended())
+	c.Add(metrics.WALForcedWrites, db.log.ForcedWrites())
+	c.Add(metrics.WALForcesSaved, db.log.ForcesSaved())
+	c.Add(metrics.WALGroupLeaders, db.log.GroupLeaders())
+	c.Add(metrics.WALBytesForced, db.log.BytesForced())
+	return c
+}
 
 // PageSize returns the database page size.
 func (db *DB) PageSize() int { return db.pager.PageSize() }

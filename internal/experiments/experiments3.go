@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	repro "repro"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// --- E10: concurrency scaling of the hot path (sharded pool + group commit) ---
+
+// E10Row is one scaling measurement: a fixed operation mix driven by
+// Clients goroutines against one database, with the hot-path counters
+// that explain the scaling (shard-mutex contention in the buffer pool,
+// forced log writes performed vs. saved by group commit).
+type E10Row struct {
+	Mix        string
+	Clients    int
+	Throughput float64
+	AvgLatency time.Duration
+	Commits    int64 // forced-write requests: forces performed + saved
+	Forces     int64 // forced log writes actually performed
+	Saved      int64 // forces absorbed by another commit's forced write
+	Contention int64 // shard-mutex acquisitions that had to block
+	Errors     int64
+}
+
+// E10Scaling drives read-mostly and balanced mixes at increasing client
+// counts and reports throughput next to the sharded-pool / group-commit
+// counters. window is the group-commit window (0 = leader/follower
+// coalescing only).
+func E10Scaling(p Params, clientCounts []int, window time.Duration) ([]E10Row, error) {
+	var rows []E10Row
+	mixes := []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"read-mostly", workload.ReadMostly},
+		{"balanced", workload.Balanced},
+	}
+	for _, m := range mixes {
+		for _, clients := range clientCounts {
+			db, err := repro.Open(repro.Options{PageSize: p.PageSize,
+				GroupCommitWindow: window})
+			if err != nil {
+				return nil, err
+			}
+			if err := workload.Load(db, p.Records, p.ValueSize, "random", p.Seed); err != nil {
+				return nil, err
+			}
+			before := db.PerfCounters().Snapshot()
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			var stats workload.ClientStats
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				stats = workload.RunClients(db, clients, 0, m.mix,
+					p.Records, p.ValueSize, stop)
+			}()
+			time.Sleep(300 * time.Millisecond)
+			close(stop)
+			wg.Wait()
+			if err := db.Check(); err != nil {
+				return nil, err
+			}
+			after := db.PerfCounters().Snapshot()
+			forces := after[metrics.WALForcedWrites] - before[metrics.WALForcedWrites]
+			saved := after[metrics.WALForcesSaved] - before[metrics.WALForcesSaved]
+			rows = append(rows, E10Row{Mix: m.name, Clients: clients,
+				Throughput: stats.Throughput(), AvgLatency: stats.AvgLatency(),
+				Commits: forces + saved, Forces: forces, Saved: saved,
+				Contention: after[metrics.PoolShardContention] - before[metrics.PoolShardContention],
+				Errors:     stats.Errors})
+		}
+	}
+	return rows, nil
+}
+
+// E10Table renders the scaling table.
+func E10Table(rows []E10Row) *Table {
+	t := &Table{Title: "E10: hot-path scaling (sharded pool, WAL group commit)",
+		Header: []string{"mix", "clients", "ops/s", "avg lat", "forces", "saved", "shard waits", "errors"}}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Mix, di(r.Clients),
+			f0(r.Throughput), ms(r.AvgLatency), d(r.Forces), d(r.Saved),
+			d(r.Contention), d(r.Errors)})
+	}
+	return t
+}

@@ -92,9 +92,94 @@ type waiter struct {
 	ch      chan error
 }
 
+// holderEntry records one owner's granted mode on a resource. Holders
+// are kept in a small slice rather than a map: a resource rarely has
+// more than a few concurrent holders, and linear scans beat map
+// hashing on the per-operation hot path.
+type holderEntry struct {
+	owner uint64
+	mode  Mode
+}
+
 type lockHead struct {
-	holders map[uint64]Mode
+	holders []holderEntry
 	queue   []*waiter
+}
+
+// holderMode returns owner's granted mode (None if absent).
+func (h *lockHead) holderMode(owner uint64) Mode {
+	for i := range h.holders {
+		if h.holders[i].owner == owner {
+			return h.holders[i].mode
+		}
+	}
+	return None
+}
+
+// setHolder grants or updates owner's mode.
+func (h *lockHead) setHolder(owner uint64, mode Mode) {
+	for i := range h.holders {
+		if h.holders[i].owner == owner {
+			h.holders[i].mode = mode
+			return
+		}
+	}
+	h.holders = append(h.holders, holderEntry{owner, mode})
+}
+
+// removeHolder drops owner's grant, reporting whether it was present.
+func (h *lockHead) removeHolder(owner uint64) bool {
+	for i := range h.holders {
+		if h.holders[i].owner == owner {
+			last := len(h.holders) - 1
+			h.holders[i] = h.holders[last]
+			h.holders = h.holders[:last]
+			return true
+		}
+	}
+	return false
+}
+
+// heldEntry is one (resource, mode) pair in an owner's held index.
+type heldEntry struct {
+	res  Resource
+	mode Mode
+}
+
+// ownerHeld is the per-owner lock index backing ReleaseAll; a slice for
+// the same reason as lockHead.holders (transactions hold few locks).
+type ownerHeld struct {
+	entries []heldEntry
+}
+
+func (oh *ownerHeld) get(res Resource) Mode {
+	for i := range oh.entries {
+		if oh.entries[i].res == res {
+			return oh.entries[i].mode
+		}
+	}
+	return None
+}
+
+func (oh *ownerHeld) set(res Resource, mode Mode) {
+	for i := range oh.entries {
+		if oh.entries[i].res == res {
+			oh.entries[i].mode = mode
+			return
+		}
+	}
+	oh.entries = append(oh.entries, heldEntry{res, mode})
+}
+
+func (oh *ownerHeld) remove(res Resource) {
+	for i := range oh.entries {
+		if oh.entries[i].res == res {
+			last := len(oh.entries) - 1
+			oh.entries[i] = oh.entries[last]
+			oh.entries = oh.entries[:last]
+			return
+		}
+	}
 }
 
 // Manager is the lock manager.
@@ -102,9 +187,17 @@ type Manager struct {
 	mu      sync.Mutex
 	table   map[Resource]*lockHead
 	reorg   map[uint64]bool
-	held    map[uint64]map[Resource]Mode // per-owner index for ReleaseAll
+	held    map[uint64]*ownerHeld // per-owner index for ReleaseAll
 	waiting map[uint64]*waiter
 	stats   Stats
+
+	// headPool and heldPool recycle the per-resource lock heads and
+	// per-owner held indexes. Both live exactly as long as a lock is
+	// held (a descent locks and unlocks a handful of pages, every
+	// transaction builds and drops a held index), so without reuse the
+	// lock manager dominates the allocation profile of the hot path.
+	headPool []*lockHead
+	heldPool []*ownerHeld
 
 	// Timeout is the watchdog on a single wait (default 10s).
 	Timeout time.Duration
@@ -115,7 +208,7 @@ func NewManager() *Manager {
 	return &Manager{
 		table:   make(map[Resource]*lockHead),
 		reorg:   make(map[uint64]bool),
-		held:    make(map[uint64]map[Resource]Mode),
+		held:    make(map[uint64]*ownerHeld),
 		waiting: make(map[uint64]*waiter),
 		Timeout: 10 * time.Second,
 	}
@@ -140,7 +233,10 @@ func (m *Manager) SetReorg(owner uint64, isReorg bool) {
 func (m *Manager) Held(owner uint64, res Resource) Mode {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.held[owner][res]
+	if oh := m.held[owner]; oh != nil {
+		return oh.get(res)
+	}
+	return None
 }
 
 // Lock acquires mode on res for owner, waiting if necessary.
@@ -159,11 +255,11 @@ func (m *Manager) LockOpts(owner uint64, res Resource, mode Mode, opt Opt) error
 	m.mu.Lock()
 	h := m.table[res]
 	if h == nil {
-		h = &lockHead{holders: make(map[uint64]Mode)}
+		h = m.newHeadLocked()
 		m.table[res] = h
 	}
 
-	cur := h.holders[owner]
+	cur := h.holderMode(owner)
 	if !opt.Instant && cur != None && Covers(cur, mode) {
 		m.mu.Unlock()
 		return nil // already held strongly enough
@@ -230,8 +326,8 @@ func (m *Manager) LockOpts(owner uint64, res Resource, mode Mode, opt Opt) error
 		default:
 			var holders []string
 			if h := m.table[res]; h != nil {
-				for o, md := range h.holders {
-					holders = append(holders, fmt.Sprintf("%d:%v", o, md))
+				for _, e := range h.holders {
+					holders = append(holders, fmt.Sprintf("%d:%v", e.owner, e.mode))
 				}
 				for _, q := range h.queue {
 					holders = append(holders, fmt.Sprintf("q%d:%v", q.owner, q.mode))
@@ -268,64 +364,118 @@ func (m *Manager) Downgrade(owner uint64, res Resource, to Mode) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	h := m.table[res]
-	if h == nil || h.holders[owner] == None {
+	if h == nil || h.holderMode(owner) == None {
 		return
 	}
 	m.setHeldLocked(h, owner, res, to)
 	m.wakeLocked(res, h)
 }
 
-// ReleaseAll drops every lock owner holds (end of transaction).
+// ReleaseAll drops every lock owner holds (end of transaction). The
+// held index is detached before any waiters are woken: a grant during
+// wakeLocked may allocate a held map from the pool, and the map being
+// iterated here must not be in that pool yet.
 func (m *Manager) ReleaseAll(owner uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for res := range m.held[owner] {
-		m.unlockLocked(owner, res)
+	oh := m.held[owner]
+	if oh == nil {
+		return
 	}
 	delete(m.held, owner)
+	for i := range oh.entries {
+		m.releaseResLocked(owner, oh.entries[i].res)
+	}
+	m.recycleHeldLocked(oh)
 }
 
 // HeldResources returns a snapshot of owner's locks.
 func (m *Manager) HeldResources(owner uint64) map[Resource]Mode {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make(map[Resource]Mode, len(m.held[owner]))
-	for r, md := range m.held[owner] {
-		out[r] = md
+	oh := m.held[owner]
+	if oh == nil {
+		return map[Resource]Mode{}
+	}
+	out := make(map[Resource]Mode, len(oh.entries))
+	for _, e := range oh.entries {
+		out[e.res] = e.mode
 	}
 	return out
 }
 
 // --- internals (all require m.mu) ---
 
-func (m *Manager) setHeldLocked(h *lockHead, owner uint64, res Resource, mode Mode) {
-	h.holders[owner] = mode
-	hm := m.held[owner]
-	if hm == nil {
-		hm = make(map[Resource]Mode)
-		m.held[owner] = hm
+const maxPooled = 1024
+
+// newHeadLocked returns a recycled (empty) lock head or a fresh one.
+func (m *Manager) newHeadLocked() *lockHead {
+	if n := len(m.headPool); n > 0 {
+		h := m.headPool[n-1]
+		m.headPool = m.headPool[:n-1]
+		return h
 	}
-	hm[res] = mode
+	return &lockHead{}
+}
+
+// recycleHeadLocked returns an empty lock head to the pool.
+func (m *Manager) recycleHeadLocked(h *lockHead) {
+	if len(m.headPool) < maxPooled {
+		h.holders = h.holders[:0]
+		h.queue = nil
+		m.headPool = append(m.headPool, h)
+	}
+}
+
+func (m *Manager) setHeldLocked(h *lockHead, owner uint64, res Resource, mode Mode) {
+	h.setHolder(owner, mode)
+	oh := m.held[owner]
+	if oh == nil {
+		if n := len(m.heldPool); n > 0 {
+			oh = m.heldPool[n-1]
+			m.heldPool = m.heldPool[:n-1]
+		} else {
+			oh = &ownerHeld{}
+		}
+		m.held[owner] = oh
+	}
+	oh.set(res, mode)
+}
+
+// recycleHeldLocked returns a detached per-owner held index to the pool.
+func (m *Manager) recycleHeldLocked(oh *ownerHeld) {
+	if oh != nil && len(m.heldPool) < maxPooled {
+		oh.entries = oh.entries[:0]
+		m.heldPool = append(m.heldPool, oh)
+	}
 }
 
 func (m *Manager) unlockLocked(owner uint64, res Resource) {
+	if oh := m.held[owner]; oh != nil {
+		oh.remove(res)
+		if len(oh.entries) == 0 {
+			delete(m.held, owner)
+			m.recycleHeldLocked(oh)
+		}
+	}
+	m.releaseResLocked(owner, res)
+}
+
+// releaseResLocked removes owner from res's lock head and wakes
+// waiters, without touching the per-owner held index (ReleaseAll
+// detaches that index wholesale).
+func (m *Manager) releaseResLocked(owner uint64, res Resource) {
 	h := m.table[res]
 	if h == nil {
 		return
 	}
-	if _, ok := h.holders[owner]; !ok {
+	if !h.removeHolder(owner) {
 		return
-	}
-	delete(h.holders, owner)
-	if hm := m.held[owner]; hm != nil {
-		delete(hm, res)
-		if len(hm) == 0 {
-			delete(m.held, owner)
-		}
 	}
 	m.wakeLocked(res, h)
 	if len(h.holders) == 0 && len(h.queue) == 0 {
 		delete(m.table, res)
+		m.recycleHeadLocked(h)
 	}
 }
 
@@ -336,11 +486,11 @@ func (m *Manager) grantableLocked(h *lockHead, owner uint64, mode Mode, upgrade 
 	if !upgrade && len(h.queue) > 0 {
 		return false
 	}
-	for o, held := range h.holders {
-		if o == owner {
+	for _, e := range h.holders {
+		if e.owner == owner {
 			continue
 		}
-		if !Compatible(held, mode) {
+		if !Compatible(e.mode, mode) {
 			return false
 		}
 	}
@@ -350,8 +500,8 @@ func (m *Manager) grantableLocked(h *lockHead, owner uint64, mode Mode, upgrade 
 // rxConflictLocked reports whether owner's conflict on h involves an RX
 // lock (held or queued ahead), triggering the forgo protocol.
 func (m *Manager) rxConflictLocked(h *lockHead, owner uint64) bool {
-	for o, held := range h.holders {
-		if o != owner && held == RX {
+	for _, e := range h.holders {
+		if e.owner != owner && e.mode == RX {
 			return true
 		}
 	}
@@ -374,7 +524,7 @@ func (m *Manager) wakeLocked(res Resource, h *lockHead) {
 		h.queue = h.queue[1:]
 		delete(m.waiting, w.owner)
 		if !w.instant {
-			cur := h.holders[w.owner]
+			cur := h.holderMode(w.owner)
 			m.setHeldLocked(h, w.owner, res, combine(cur, w.mode))
 		}
 		m.stats.Grants.Add(1)
@@ -384,11 +534,11 @@ func (m *Manager) wakeLocked(res Resource, h *lockHead) {
 
 // grantableHeadLocked checks the queue head against holders only.
 func (m *Manager) grantableHeadLocked(h *lockHead, w *waiter) bool {
-	for o, held := range h.holders {
-		if o == w.owner {
+	for _, e := range h.holders {
+		if e.owner == w.owner {
 			continue
 		}
-		if !Compatible(held, w.mode) {
+		if !Compatible(e.mode, w.mode) {
 			return false
 		}
 	}
@@ -441,9 +591,9 @@ func (m *Manager) detectLocked() *waiter {
 		if h == nil {
 			continue
 		}
-		for o, held := range h.holders {
-			if o != owner && !Compatible(held, w.mode) {
-				addEdge(owner, o)
+		for _, e := range h.holders {
+			if e.owner != owner && !Compatible(e.mode, w.mode) {
+				addEdge(owner, e.owner)
 			}
 		}
 		for _, q := range h.queue {

@@ -87,3 +87,20 @@ const (
 	BaselineTxns    = "baseline.txns"
 	BaselineOps     = "baseline.block.ops"
 )
+
+// Counter names for the concurrent hot path: buffer-pool sharding and
+// WAL group commit (surfaced by DB.PerfCounters and btree-inspect).
+const (
+	PoolShards          = "pool.shards"
+	PoolHits            = "pool.hits"
+	PoolMisses          = "pool.misses"
+	PoolEvictions       = "pool.evictions"
+	PoolDirtyEvictions  = "pool.evictions.dirty"
+	PoolEvictionScans   = "pool.eviction.scans"
+	PoolShardContention = "pool.shard.contention"
+	WALBytesAppended    = "wal.bytes.appended"
+	WALForcedWrites     = "wal.forced.writes"
+	WALForcesSaved      = "wal.forces.saved"
+	WALGroupLeaders     = "wal.group.leaders"
+	WALBytesForced      = "wal.bytes.forced"
+)

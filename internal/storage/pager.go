@@ -1,7 +1,6 @@
 package storage
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -22,6 +21,10 @@ var ErrIO = errors.New("storage: I/O failure (retry budget exhausted)")
 // before ErrIO surfaces.
 const ioRetries = 4
 
+// maxShards caps the shard fan-out of the page table. Shard count is a
+// power of two so the PageID hash reduces with a mask.
+const maxShards = 16
+
 // LogFlusher is the slice of the log manager the buffer pool needs for
 // the write-ahead rule: before a dirty page image reaches disk, the log
 // must be durable up to that page's pageLSN.
@@ -36,13 +39,36 @@ type Frame struct {
 	sync.RWMutex
 	id   PageID
 	data Page
-	pin  int
+	// pin counts fixes. It is atomic so Unfix never touches the shard
+	// mutex; 0→1 transitions only happen under the shard mutex (Fix,
+	// fixFresh), which is what eviction relies on when it selects an
+	// unpinned victim while holding that mutex.
+	pin atomic.Int32
 	// dirty is atomic so MarkDirty can run while the caller holds the
-	// frame latch without touching the pool mutex (the flusher holds
-	// the pool mutex and then latches frames; the reverse order would
-	// deadlock).
+	// frame latch without touching any pool lock (the flusher copies the
+	// page under the frame's read latch; taking a pool lock under a held
+	// frame latch would invert the lock order).
 	dirty atomic.Bool
-	elem  *list.Element
+	// loading is true while the initial disk read fills data. The loader
+	// holds the frame's write latch for the duration, so a second fixer
+	// that finds loading set waits on the read latch instead of spinning.
+	loading atomic.Bool
+	// loadErr is set (before the loader releases the write latch) when
+	// the initial read failed permanently; waiters observe it under the
+	// read latch.
+	loadErr error
+	// flushMu serialises writers of this frame's disk image: concurrent
+	// flushes of the same page could otherwise overtake each other and
+	// leave an older image on disk with the dirty bit already cleared.
+	flushMu sync.Mutex
+	// ref is the CLOCK reference bit; slot is the frame's position in
+	// its shard's clock ring. Both are guarded by the shard mutex.
+	ref  bool
+	slot int
+	// evicting marks a frame whose dirty image is being flushed by an
+	// evictor that has released the shard mutex; it keeps a second
+	// evictor from picking the same victim. Guarded by the shard mutex.
+	evicting bool
 }
 
 // ID returns the frame's page id.
@@ -52,42 +78,100 @@ func (f *Frame) ID() PageID { return f.id }
 // (read or write as appropriate) while touching them.
 func (f *Frame) Data() Page { return f.data }
 
+// PoolStats aggregates the buffer pool's concurrency counters: hit/miss
+// traffic, CLOCK eviction work, and how often a shard mutex was found
+// contended (a direct measure of what sharding buys on the hot path).
+type PoolStats struct {
+	Hits            atomic.Int64
+	Misses          atomic.Int64
+	Evictions       atomic.Int64
+	DirtyEvictions  atomic.Int64
+	EvictionScans   atomic.Int64 // clock-hand steps taken while hunting victims
+	ShardContention atomic.Int64 // shard mutex acquisitions that had to block
+}
+
+// shard is one slice of the page table: a map plus a CLOCK ring with
+// its own mutex, so fixes of unrelated pages never serialise.
+type shard struct {
+	mu     sync.Mutex
+	frames map[PageID]*Frame
+	ring   []*Frame // clock ring; nil entries are free slots
+	slots  []int    // free slot indices in ring
+	hand   int
+	cap    int // max resident frames in this shard (0 = unbounded)
+}
+
 // Pager is the buffer pool. It owns the free map and the careful-write
 // dependency graph and enforces the WAL rule on every flush/eviction.
+// The page table is sharded by PageID hash; the free map and dependency
+// graph sit under their own small locks so allocation and careful
+// writing never contend with page fixes.
 type Pager struct {
 	disk *Disk
 	wal  LogFlusher
 
-	mu       sync.Mutex
-	frames   map[PageID]*Frame
-	lru      *list.List // front = most recently used
-	capacity int
-	free     *FreeMap
-	inj      *fault.Injector
-	// retryRNG jitters the transient-I/O backoff; it is only touched
-	// under mu (every retry loop runs with the pool mutex held), and
-	// its fixed seed keeps retry schedules deterministic under test.
+	shards []*shard
+	mask   uint64
+
+	inj atomic.Pointer[fault.Injector]
+
+	// allocMu guards the free map (allocation is rare next to fixes).
+	allocMu sync.Mutex
+	free    *FreeMap
+
+	// depMu guards deps. deps[p] is the set of pages that must be stable
+	// on disk before p may be flushed or deallocated (Lomet–Tuttle
+	// careful writing).
+	depMu sync.Mutex
+	deps  map[PageID]map[PageID]struct{}
+
+	// rngMu guards retryRNG, which jitters the transient-I/O backoff;
+	// backoff runs with no pool locks held, so the RNG needs its own
+	// lock. Its fixed seed keeps retry schedules deterministic under
+	// test.
+	rngMu    sync.Mutex
 	retryRNG *rand.Rand
 
-	// deps[p] is the set of pages that must be stable on disk before p
-	// may be flushed or deallocated (Lomet–Tuttle careful writing).
-	deps map[PageID]map[PageID]struct{}
+	stats PoolStats
+}
+
+// shardCountFor picks a power-of-two shard count: wide for unbounded
+// pools, narrowing for small ones so per-shard capacity (and therefore
+// CLOCK eviction quality) stays sensible. A pool of n pages gets at
+// most n/4 shards.
+func shardCountFor(capacity int) int {
+	if capacity <= 0 {
+		return maxShards
+	}
+	n := 1
+	for n*2 <= capacity/4 && n*2 <= maxShards {
+		n *= 2
+	}
+	return n
 }
 
 // NewPager creates a buffer pool over disk with at most capacity
 // resident frames (0 means unbounded). wal may be nil for WAL-free use
 // (tests, scratch pools).
 func NewPager(disk *Disk, capacity int, wal LogFlusher) *Pager {
-	return &Pager{
+	n := shardCountFor(capacity)
+	p := &Pager{
 		disk:     disk,
 		wal:      wal,
-		frames:   make(map[PageID]*Frame),
-		lru:      list.New(),
-		capacity: capacity,
+		shards:   make([]*shard, n),
+		mask:     uint64(n - 1),
 		free:     NewFreeMap(),
 		retryRNG: rand.New(rand.NewSource(0x5eed)),
 		deps:     make(map[PageID]map[PageID]struct{}),
 	}
+	perShard := 0
+	if capacity > 0 {
+		perShard = (capacity + n - 1) / n
+	}
+	for i := range p.shards {
+		p.shards[i] = &shard{frames: make(map[PageID]*Frame), cap: perShard}
+	}
+	return p
 }
 
 // Disk returns the underlying simulated disk.
@@ -95,15 +179,85 @@ func (p *Pager) Disk() *Disk { return p.disk }
 
 // SetInjector installs the fault injector consulted at the pager.flush
 // and pager.evict fault points (nil disables injection).
-func (p *Pager) SetInjector(in *fault.Injector) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.inj = in
+func (p *Pager) SetInjector(in *fault.Injector) { p.inj.Store(in) }
+
+func (p *Pager) injector() *fault.Injector { return p.inj.Load() }
+
+// Stats exposes the pool's concurrency counters.
+func (p *Pager) Stats() *PoolStats { return &p.stats }
+
+// ShardCount reports the page-table fan-out (observability).
+func (p *Pager) ShardCount() int { return len(p.shards) }
+
+// shardFor hashes a page id onto its shard. The multiplicative hash
+// spreads both sequential and strided id patterns.
+func (p *Pager) shardFor(id PageID) *shard {
+	return p.shards[(uint64(id)*0x9E3779B97F4A7C15>>47)&p.mask]
+}
+
+// lock acquires the shard mutex, counting contended acquisitions.
+func (s *shard) lock(st *PoolStats) {
+	if s.mu.TryLock() {
+		return
+	}
+	st.ShardContention.Add(1)
+	s.mu.Lock()
+}
+
+// insert publishes f in the shard's table and clock ring. Caller holds
+// the shard mutex.
+func (s *shard) insert(f *Frame) {
+	s.frames[f.id] = f
+	if n := len(s.slots); n > 0 {
+		f.slot = s.slots[n-1]
+		s.slots = s.slots[:n-1]
+		s.ring[f.slot] = f
+	} else {
+		f.slot = len(s.ring)
+		s.ring = append(s.ring, f)
+	}
+	f.ref = true
+}
+
+// remove drops f from the shard's table and clock ring. Caller holds
+// the shard mutex.
+func (s *shard) remove(f *Frame) {
+	delete(s.frames, f.id)
+	s.ring[f.slot] = nil
+	s.slots = append(s.slots, f.slot)
+}
+
+// clockPick advances the clock hand to the next evictable frame
+// (unpinned, not mid-eviction, reference bit clear), clearing reference
+// bits as it sweeps. It returns nil when two full sweeps find nothing —
+// the caller grows the pool past capacity (the soft cap that keeps the
+// simulation robust when everything is pinned). Caller holds the shard
+// mutex.
+func (s *shard) clockPick(st *PoolStats) *Frame {
+	if len(s.ring) == 0 {
+		return nil
+	}
+	steps := 2 * len(s.ring)
+	for i := 0; i < steps; i++ {
+		f := s.ring[s.hand]
+		s.hand = (s.hand + 1) % len(s.ring)
+		st.EvictionScans.Add(1)
+		if f == nil || f.pin.Load() > 0 || f.evicting {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		return f
+	}
+	return nil
 }
 
 // retryIO runs fn, absorbing transient injected faults with up to
 // ioRetries retries under jittered backoff; exhaustion degrades into a
-// typed ErrIO. Called with the pool mutex held (so the RNG is safe).
+// typed ErrIO. Backoff sleeps run with no pool locks held, so a page
+// riding out a transient fault never stalls unrelated page traffic.
 func (p *Pager) retryIO(what string, id PageID, fn func() error) error {
 	var err error
 	for attempt := 0; attempt <= ioRetries; attempt++ {
@@ -124,7 +278,9 @@ func (p *Pager) retryBackoff(attempt int) {
 	if base > time.Millisecond {
 		base = time.Millisecond
 	}
+	p.rngMu.Lock()
 	jitter := time.Duration(p.retryRNG.Int63n(int64(base)/2 + 1))
+	p.rngMu.Unlock()
 	time.Sleep(base/2 + jitter)
 }
 
@@ -133,17 +289,26 @@ func (p *Pager) PageSize() int { return p.disk.PageSize() }
 
 // FreeMap exposes the allocation map for single-threaded use (restart,
 // tests). Concurrent queries must go through FirstFreeIn/IsFree, which
-// take the pool mutex.
+// take the allocation lock.
 func (p *Pager) FreeMap() *FreeMap {
 	return p.free
 }
 
 // FirstFreeIn returns the lowest free page id in the open interval
-// (lo, hi), or InvalidPage, under the pool mutex.
+// (lo, hi), or InvalidPage, under the allocation lock.
 func (p *Pager) FirstFreeIn(lo, hi PageID) PageID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
 	return p.free.FirstFreeIn(lo, hi)
+}
+
+// lookup returns the resident frame for id, or nil.
+func (p *Pager) lookup(id PageID) *Frame {
+	sh := p.shardFor(id)
+	sh.lock(&p.stats)
+	f := sh.frames[id]
+	sh.mu.Unlock()
+	return f
 }
 
 // Fix pins page id in the pool, reading it from disk on a miss, and
@@ -152,43 +317,71 @@ func (p *Pager) Fix(id PageID) (*Frame, error) {
 	if id == InvalidPage {
 		return nil, fmt.Errorf("storage: fix of invalid page")
 	}
-	// The mutex is released by defer so an injected crash panic from
-	// the disk layer unwinds without wedging the pool.
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[id]; ok {
-		f.pin++
-		p.lru.MoveToFront(f.elem)
+	sh := p.shardFor(id)
+	grow := false
+	for {
+		sh.lock(&p.stats)
+		if f, ok := sh.frames[id]; ok {
+			f.pin.Add(1)
+			f.ref = true
+			sh.mu.Unlock()
+			p.stats.Hits.Add(1)
+			if f.loading.Load() {
+				// A concurrent fixer is mid-read and holds the write
+				// latch; wait for it, then surface its failure if any.
+				f.RLock()
+				err := f.loadErr
+				f.RUnlock()
+				if err != nil {
+					f.pin.Add(-1)
+					return nil, err
+				}
+			}
+			return f, nil
+		}
+		if !grow {
+			held, g := p.makeRoom(sh)
+			if !held {
+				grow = g
+				continue // mutex was dropped; re-check the table
+			}
+		}
+		// Miss with room reserved: publish a loading frame under the
+		// write latch so a second fixer can pin it but must wait for the
+		// read to finish before seeing the bytes.
+		f := &Frame{id: id, data: make(Page, p.disk.PageSize())}
+		f.pin.Store(1)
+		f.loading.Store(true)
+		f.Lock()
+		sh.insert(f)
+		sh.mu.Unlock()
+		p.stats.Misses.Add(1)
+
+		// The read (and any transient-fault backoff) runs outside every
+		// pool lock; only this frame's write latch is held.
+		err := p.retryIO("read", id, func() error {
+			return p.disk.Read(id, f.data)
+		})
+		if err != nil {
+			sh.lock(&p.stats)
+			sh.remove(f)
+			sh.mu.Unlock()
+			f.loadErr = err
+			f.loading.Store(false)
+			f.Unlock()
+			return nil, err
+		}
+		f.loading.Store(false)
+		f.Unlock()
 		return f, nil
 	}
-	if err := p.makeRoomLocked(); err != nil {
-		return nil, err
-	}
-	f := &Frame{id: id, data: make(Page, p.disk.PageSize()), pin: 1}
-	f.elem = p.lru.PushFront(f)
-	p.frames[id] = f
-	// Hold the pool lock across the (simulated, fast) read so a second
-	// fixer cannot observe a half-loaded frame. Transient read faults
-	// are retried; on permanent failure the residency is undone so the
-	// pool never caches a half-loaded frame.
-	if err := p.retryIO("read", id, func() error {
-		return p.disk.Read(id, f.data)
-	}); err != nil {
-		delete(p.frames, id)
-		p.lru.Remove(f.elem)
-		return nil, err
-	}
-	return f, nil
 }
 
-// Unfix releases one pin on the frame.
+// Unfix releases one pin on the frame. It touches no pool lock.
 func (p *Pager) Unfix(f *Frame) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f.pin <= 0 {
+	if f.pin.Add(-1) < 0 {
 		panic(fmt.Sprintf("storage: unfix of unpinned page %d", f.id))
 	}
-	f.pin--
 }
 
 // MarkDirty records that the frame was modified under lsn. The caller
@@ -200,33 +393,47 @@ func (p *Pager) MarkDirty(f *Frame, lsn uint64) {
 	}
 }
 
-// makeRoomLocked evicts the least recently used unpinned frame if the
-// pool is at capacity. Pinned frames are skipped; if everything is
-// pinned the pool grows (a soft cap keeps the simulation robust).
-func (p *Pager) makeRoomLocked() error {
-	if p.capacity <= 0 || len(p.frames) < p.capacity {
-		return nil
+// makeRoom ensures the shard has room for one more frame, evicting a
+// CLOCK victim if the shard is at capacity. It is called with the
+// shard mutex held. held=true means the mutex is still held and the
+// caller may insert. held=false means the mutex was released for
+// eviction I/O (the fault point, a dirty-victim flush, and any backoff
+// sleeps all run unlocked, so a crash panic unwinds without wedging
+// the shard); the caller must re-check the page table. grow=true asks
+// the caller to insert past capacity this once — the graceful
+// degradation for a transient eviction fault or a flush failure.
+func (p *Pager) makeRoom(sh *shard) (held, grow bool) {
+	if sh.cap <= 0 || len(sh.frames) < sh.cap {
+		return true, false
 	}
-	for e := p.lru.Back(); e != nil; e = e.Prev() {
-		f := e.Value.(*Frame)
-		if f.pin > 0 {
-			continue
-		}
-		if err := p.inj.Hit(fault.PagerEvict); err != nil {
-			// Transient eviction fault: degrade gracefully by letting
-			// the pool grow past capacity this once.
-			return nil
-		}
-		if f.dirty.Load() {
-			if err := p.flushFrameLocked(f, make(map[PageID]bool)); err != nil {
-				return err
-			}
-		}
-		delete(p.frames, f.id)
-		p.lru.Remove(e)
-		return nil
+	f := sh.clockPick(&p.stats)
+	if f == nil {
+		return true, false // everything pinned: grow past capacity
 	}
-	return nil // all pinned: grow
+	// evicting keeps other evictors off the frame while the mutex is
+	// down; a concurrent Fix may still resurrect it, which the
+	// post-flush re-check honours.
+	f.evicting = true
+	sh.mu.Unlock()
+
+	var flushErr error
+	faulted := p.injector().Hit(fault.PagerEvict) != nil
+	if !faulted && f.dirty.Load() {
+		flushErr = p.flushFrame(f, make(map[PageID]bool))
+		if flushErr == nil {
+			p.stats.DirtyEvictions.Add(1)
+		}
+	}
+
+	sh.lock(&p.stats)
+	f.evicting = false
+	if !faulted && flushErr == nil &&
+		f.pin.Load() == 0 && !f.dirty.Load() && sh.frames[f.id] == f {
+		sh.remove(f)
+		p.stats.Evictions.Add(1)
+	}
+	sh.mu.Unlock()
+	return false, faulted || flushErr != nil
 }
 
 // AddWriteDep records that page must not reach disk (by flush or
@@ -234,8 +441,8 @@ func (p *Pager) makeRoomLocked() error {
 // careful-writing primitive: it lets MOVE log records carry only keys,
 // because the source page image cannot overtake the destination page.
 func (p *Pager) AddWriteDep(page, dependsOn PageID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.depMu.Lock()
+	defer p.depMu.Unlock()
 	s, ok := p.deps[page]
 	if !ok {
 		s = make(map[PageID]struct{})
@@ -244,34 +451,94 @@ func (p *Pager) AddWriteDep(page, dependsOn PageID) {
 	s[dependsOn] = struct{}{}
 }
 
-// flushFrameLocked writes the frame to disk, first flushing (in
-// dependency order) every page it carefully depends on, then the log up
-// to the frame's pageLSN. visiting guards against dependency cycles.
-func (p *Pager) flushFrameLocked(f *Frame, visiting map[PageID]bool) error {
+// snapshotDeps returns page's current dependency set in ascending order
+// (deterministic flush cascades for the crash sweep).
+func (p *Pager) snapshotDeps(page PageID) []PageID {
+	p.depMu.Lock()
+	defer p.depMu.Unlock()
+	return sortedDeps(p.deps[page])
+}
+
+// clearDep removes one satisfied dependency edge.
+func (p *Pager) clearDep(page, dep PageID) {
+	p.depMu.Lock()
+	defer p.depMu.Unlock()
+	if s, ok := p.deps[page]; ok {
+		delete(s, dep)
+		if len(s) == 0 {
+			delete(p.deps, page)
+		}
+	}
+}
+
+// hasDeps reports whether page still has unsatisfied dependencies.
+func (p *Pager) hasDeps(page PageID) bool {
+	p.depMu.Lock()
+	defer p.depMu.Unlock()
+	return len(p.deps[page]) > 0
+}
+
+// flushFrame writes the frame to disk, first flushing (in dependency
+// order) every page it carefully depends on, then the log up to the
+// frame's pageLSN. visiting guards against dependency cycles. It is
+// called with no shard mutex held; per-frame flushMu serialises
+// concurrent flushes of the same page so an older image can never
+// overtake a newer one on disk.
+func (p *Pager) flushFrame(f *Frame, visiting map[PageID]bool) error {
 	if visiting[f.id] {
 		return fmt.Errorf("storage: careful-write dependency cycle through page %d", f.id)
 	}
 	visiting[f.id] = true
 	defer delete(visiting, f.id)
 
-	for _, dep := range sortedDeps(p.deps[f.id]) {
-		df, ok := p.frames[dep]
-		if !ok || !df.dirty.Load() {
-			continue
+	f.flushMu.Lock()
+	defer f.flushMu.Unlock()
+
+	// Flush dependencies until none remain: a dependency registered
+	// while we were flushing the previous batch is picked up by the
+	// re-check, so the image copied below never depends on an unstable
+	// page.
+	for {
+		deps := p.snapshotDeps(f.id)
+		for _, dep := range deps {
+			df := p.lookup(dep)
+			if df != nil && df.dirty.Load() {
+				if err := p.flushFrame(df, visiting); err != nil {
+					return err
+				}
+			}
+			p.clearDep(f.id, dep)
 		}
-		if err := p.flushFrameLocked(df, visiting); err != nil {
-			return err
+		if !p.hasDeps(f.id) {
+			break
 		}
 	}
-	delete(p.deps, f.id)
 
+	if !f.dirty.Load() {
+		return nil
+	}
+	// A frame deallocated while we waited on flushMu must not be
+	// resurrected on disk by a late write (Deallocate removes the frame
+	// from its shard under this same flushMu).
+	sh := p.shardFor(f.id)
+	sh.lock(&p.stats)
+	resident := sh.frames[f.id] == f
+	sh.mu.Unlock()
+	if !resident {
+		return nil
+	}
+
+	// Copy the image under the read latch and clear dirty inside the
+	// latch: a writer that re-dirties the page afterwards re-sets the
+	// bit, so no update is ever lost to the flush.
 	f.RLock()
 	lsn := f.data.LSN()
-	img := make([]byte, len(f.data))
-	copy(img, f.data)
+	img := append([]byte(nil), f.data...)
+	f.dirty.Store(false)
 	f.RUnlock()
+
 	if err := p.retryIO("flush", f.id, func() error {
-		if err := p.inj.Hit(fault.PagerFlush); err != nil {
+		if err := p.injector().Hit(fault.PagerFlush); err != nil {
 			return err
 		}
 		if p.wal != nil {
@@ -281,9 +548,9 @@ func (p *Pager) flushFrameLocked(f *Frame, visiting map[PageID]bool) error {
 		}
 		return p.disk.Write(f.id, img)
 	}); err != nil {
+		f.dirty.Store(true)
 		return err
 	}
-	f.dirty.Store(false)
 	return nil
 }
 
@@ -306,33 +573,33 @@ func sortedDeps(set map[PageID]struct{}) []PageID {
 // disk. It is a no-op for clean or non-resident pages. The caller must
 // not hold the frame's latch.
 func (p *Pager) FlushPage(id PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[id]
-	if !ok || !f.dirty.Load() {
+	f := p.lookup(id)
+	if f == nil || !f.dirty.Load() {
 		return nil
 	}
-	return p.flushFrameLocked(f, make(map[PageID]bool))
+	return p.flushFrame(f, make(map[PageID]bool))
 }
 
 // FlushAll forces every dirty frame to disk (checkpoint support).
 // Frames are flushed in ascending page-id order for determinism.
 func (p *Pager) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	ids := make([]PageID, 0, len(p.frames))
-	for id, f := range p.frames {
-		if f.dirty.Load() {
-			ids = append(ids, id)
+	var ids []PageID
+	for _, sh := range p.shards {
+		sh.lock(&p.stats)
+		for id, f := range sh.frames {
+			if f.dirty.Load() {
+				ids = append(ids, id)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		f, ok := p.frames[id]
-		if !ok || !f.dirty.Load() {
+		f := p.lookup(id)
+		if f == nil || !f.dirty.Load() {
 			continue // flushed as a dependency of an earlier frame
 		}
-		if err := p.flushFrameLocked(f, make(map[PageID]bool)); err != nil {
+		if err := p.flushFrame(f, make(map[PageID]bool)); err != nil {
 			return err
 		}
 	}
@@ -343,18 +610,18 @@ func (p *Pager) FlushAll() error {
 // formatted frame for it. The allocation itself is volatile until the
 // caller logs it (or the page is flushed).
 func (p *Pager) Allocate(typ PageType) (*Frame, error) {
-	p.mu.Lock()
+	p.allocMu.Lock()
 	id := p.free.Allocate()
-	p.mu.Unlock()
+	p.allocMu.Unlock()
 	return p.fixFresh(id, typ)
 }
 
 // AllocateEnd reserves a page past the high-water mark (new-place
 // internal pages live in their own region, per §6 of the paper).
 func (p *Pager) AllocateEnd(typ PageType) (*Frame, error) {
-	p.mu.Lock()
+	p.allocMu.Lock()
 	id := p.free.AllocateEnd()
-	p.mu.Unlock()
+	p.allocMu.Unlock()
 	return p.fixFresh(id, typ)
 }
 
@@ -362,67 +629,65 @@ func (p *Pager) AllocateEnd(typ PageType) (*Frame, error) {
 // (lo, hi), returning nil (no error) when the interval has no free
 // page. This is Find-Free-Space's placement primitive.
 func (p *Pager) AllocateIn(lo, hi PageID, typ PageType) (*Frame, error) {
-	p.mu.Lock()
+	p.allocMu.Lock()
 	id := p.free.FirstFreeIn(lo, hi)
 	if id == InvalidPage {
-		p.mu.Unlock()
+		p.allocMu.Unlock()
 		return nil, nil
 	}
 	p.free.MarkAllocated(id)
-	p.mu.Unlock()
+	p.allocMu.Unlock()
 	return p.fixFresh(id, typ)
 }
 
 // AllocateAt reserves a specific free page id (recovery redo of an
 // allocation). It fails if the page is already in use.
 func (p *Pager) AllocateAt(id PageID, typ PageType) (*Frame, error) {
-	p.mu.Lock()
+	p.allocMu.Lock()
 	if !p.free.AllocateAt(id) {
-		p.mu.Unlock()
+		p.allocMu.Unlock()
 		return nil, fmt.Errorf("storage: page %d already allocated", id)
 	}
-	p.mu.Unlock()
+	p.allocMu.Unlock()
 	return p.fixFresh(id, typ)
 }
 
 func (p *Pager) fixFresh(id PageID, typ PageType) (*Frame, error) {
-	// The locked section runs in a closure with a deferred unlock so an
-	// injected crash panic (eviction can flush, flush can fault) unwinds
-	// without wedging the pool.
-	f, reused, err := func() (*Frame, bool, error) {
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		if f, ok := p.frames[id]; ok {
+	sh := p.shardFor(id)
+	grow := false
+	for {
+		sh.lock(&p.stats)
+		if f, ok := sh.frames[id]; ok {
 			// A stale frame for a freed page can linger after recovery
 			// reads; reuse it. A pinned frame is a real allocation bug.
-			if f.pin > 0 {
-				return nil, false, fmt.Errorf("storage: fresh page %d already resident and pinned", id)
+			if f.pin.Load() > 0 {
+				sh.mu.Unlock()
+				return nil, fmt.Errorf("storage: fresh page %d already resident and pinned", id)
 			}
-			f.pin = 1
-			p.lru.MoveToFront(f.elem)
-			return f, true, nil
+			f.pin.Add(1)
+			f.ref = true
+			sh.mu.Unlock()
+			f.Lock()
+			FormatPage(f.data, typ, id)
+			f.Unlock()
+			f.dirty.Store(true)
+			return f, nil
 		}
-		if err := p.makeRoomLocked(); err != nil {
-			return nil, false, err
+		if !grow {
+			held, g := p.makeRoom(sh)
+			if !held {
+				grow = g
+				continue
+			}
 		}
-		f := &Frame{id: id, data: make(Page, p.disk.PageSize()), pin: 1}
+		f := &Frame{id: id, data: make(Page, p.disk.PageSize())}
+		f.pin.Store(1)
 		f.dirty.Store(true)
-		f.elem = p.lru.PushFront(f)
-		p.frames[id] = f
-		return f, false, nil
-	}()
-	if err != nil {
-		return nil, err
-	}
-	if reused {
-		f.Lock()
 		FormatPage(f.data, typ, id)
-		f.Unlock()
-		f.dirty.Store(true)
+		sh.insert(f)
+		sh.mu.Unlock()
 		return f, nil
 	}
-	FormatPage(f.data, typ, id)
-	return f, nil
 }
 
 // Deallocate frees a page. Careful writing requires that pages whose
@@ -433,42 +698,58 @@ func (p *Pager) fixFresh(id PageID, typ PageType) (*Frame, error) {
 // leave an unredoable pointer to a wiped page. Pass lsn 0 for
 // unlogged use.
 func (p *Pager) Deallocate(id PageID, lsn uint64) error {
-	if err := func() error {
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		f, ok := p.frames[id]
-		if !ok {
-			p.free.Free(id)
-			return nil
-		}
-		if f.pin > 0 {
-			return fmt.Errorf("storage: deallocate of pinned page %d", id)
-		}
-		// Flush the pages this one depends on (its copied-out contents).
-		for _, dep := range sortedDeps(p.deps[id]) {
-			df, ok := p.frames[dep]
-			if !ok || !df.dirty.Load() {
-				continue
-			}
-			if err := p.flushFrameLocked(df, make(map[PageID]bool)); err != nil {
+	sh := p.shardFor(id)
+	sh.lock(&p.stats)
+	f := sh.frames[id]
+	if f != nil && f.pin.Load() > 0 {
+		sh.mu.Unlock()
+		return fmt.Errorf("storage: deallocate of pinned page %d", id)
+	}
+	sh.mu.Unlock()
+
+	// Flush the pages this one depends on (its copied-out contents).
+	for _, dep := range p.snapshotDeps(id) {
+		df := p.lookup(dep)
+		if df != nil && df.dirty.Load() {
+			if err := p.flushFrame(df, make(map[PageID]bool)); err != nil {
 				return err
 			}
 		}
-		delete(p.deps, id)
-		delete(p.frames, id)
-		p.lru.Remove(f.elem)
-		p.free.Free(id)
-		return nil
-	}(); err != nil {
-		return err
+		p.clearDep(id, dep)
 	}
+
+	if f != nil {
+		// flushMu fences any in-flight flush of the old image: once we
+		// hold it and the frame is out of the table, a late flusher's
+		// residency re-check makes its write a no-op.
+		f.flushMu.Lock()
+		sh.lock(&p.stats)
+		if sh.frames[id] == f {
+			if f.pin.Load() > 0 {
+				sh.mu.Unlock()
+				f.flushMu.Unlock()
+				return fmt.Errorf("storage: deallocate of pinned page %d", id)
+			}
+			sh.remove(f)
+		}
+		sh.mu.Unlock()
+		f.flushMu.Unlock()
+	}
+
 	if p.wal != nil && lsn != 0 {
 		if err := p.wal.FlushTo(lsn); err != nil {
 			return err
 		}
 	}
-	// Stamp the stable image as free so restart scans rebuild the map.
+	// Stamp the stable image as free (so restart scans rebuild the map)
+	// BEFORE releasing the id for reuse: once Free(id) runs, a
+	// concurrent Allocate may hand the id out and flush a fresh image,
+	// which a late MarkFree must not overwrite.
 	p.disk.MarkFree(id, lsn)
+
+	p.allocMu.Lock()
+	p.free.Free(id)
+	p.allocMu.Unlock()
 	return nil
 }
 
@@ -476,20 +757,28 @@ func (p *Pager) Deallocate(id PageID, lsn uint64) error {
 // dependency edge, and the volatile free map are lost. Only the disk
 // (and whatever log the owner flushed) survives.
 func (p *Pager) Crash() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.frames = make(map[PageID]*Frame)
-	p.lru = list.New()
+	for _, sh := range p.shards {
+		sh.lock(&p.stats)
+		sh.frames = make(map[PageID]*Frame)
+		sh.ring = nil
+		sh.slots = nil
+		sh.hand = 0
+		sh.mu.Unlock()
+	}
+	p.depMu.Lock()
 	p.deps = make(map[PageID]map[PageID]struct{})
+	p.depMu.Unlock()
+	p.allocMu.Lock()
 	p.free = NewFreeMap()
+	p.allocMu.Unlock()
 }
 
 // RebuildFreeMap reconstructs the allocation map from the stable page
 // headers (restart analysis).
 func (p *Pager) RebuildFreeMap() {
 	types := p.disk.ScanTypes()
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
 	p.free = NewFreeMap()
 	for i, t := range types {
 		if i == 0 {

@@ -32,6 +32,13 @@ type Txn struct {
 	mu      sync.Mutex
 	lastLSN uint64
 	status  Status
+	// begun is set once the begin record is in the log. Begin defers it
+	// to the first LogUpdate, so a read-only transaction writes no log
+	// records at all and its commit forces nothing — the dominant cost
+	// on the read hot path. Recovery is unaffected: restart analysis is
+	// a pure log scan, so a transaction that never logged is invisible
+	// to it (correctly — it has nothing to redo or undo).
+	begun bool
 }
 
 // Undoer applies the compensating operation for one logged update,
@@ -101,15 +108,22 @@ func (m *Manager) NextOwnerID() uint64 {
 	return id
 }
 
-// Begin starts a transaction and logs its begin record.
-func (m *Manager) Begin() *Txn {
+// Begin starts a transaction. The begin record is logged lazily, on
+// the first LogUpdate, so transactions that never write stay out of
+// the log entirely.
+func (m *Manager) Begin() *Txn { return m.BeginAt(new(Txn)) }
+
+// BeginAt initializes t (which must be zero-valued and unshared) as a
+// new transaction. It exists so callers that wrap Txn in their own
+// handle can embed it and pay one allocation per transaction instead
+// of two — Begin sits on the hot path of every client operation.
+func (m *Manager) BeginAt(t *Txn) *Txn {
 	m.mu.Lock()
-	id := m.nextID
+	t.id = m.nextID
+	t.mgr = m
 	m.nextID++
-	t := &Txn{id: id, mgr: m}
-	m.active[id] = t
+	m.active[t.id] = t
 	m.mu.Unlock()
-	t.lastLSN = m.log.Append(wal.TxnBegin{Txn: id})
 	return t
 }
 
@@ -118,7 +132,7 @@ func (m *Manager) Begin() *Txn {
 func (m *Manager) Resurrect(id, lastLSN uint64) *Txn {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	t := &Txn{id: id, mgr: m, lastLSN: lastLSN}
+	t := &Txn{id: id, mgr: m, lastLSN: lastLSN, begun: true}
 	m.active[id] = t
 	if id >= m.nextID {
 		m.nextID = id + 1
@@ -133,7 +147,13 @@ func (m *Manager) ActiveSnapshot() []wal.TxnInfo {
 	out := make([]wal.TxnInfo, 0, len(m.active))
 	for _, t := range m.active {
 		t.mu.Lock()
-		out = append(out, wal.TxnInfo{ID: t.id, LastLSN: t.lastLSN})
+		// A transaction that has not logged anything is invisible to
+		// restart analysis and must stay invisible to the checkpoint,
+		// or recovery would roll back (and log an end record for) a
+		// transaction that has no begin record.
+		if t.begun {
+			out = append(out, wal.TxnInfo{ID: t.id, LastLSN: t.lastLSN})
+		}
 		t.mu.Unlock()
 	}
 	return out
@@ -165,10 +185,15 @@ func (t *Txn) Status() Status {
 
 // LogUpdate appends an update record chained to this transaction and
 // returns its LSN. The caller applies the change to the page itself
-// (or uses pageops.Apply).
+// (or uses pageops.Apply). The first update also logs the deferred
+// begin record.
 func (t *Txn) LogUpdate(u wal.Update) uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if !t.begun {
+		t.begun = true
+		t.lastLSN = t.mgr.log.Append(wal.TxnBegin{Txn: t.id})
+	}
 	u.Txn = t.id
 	u.PrevLSN = t.lastLSN
 	lsn := t.mgr.log.Append(u)
@@ -192,12 +217,21 @@ func (t *Txn) Unlock(res lock.Resource) {
 	t.mgr.locks.Unlock(t.id, res)
 }
 
-// Commit logs the commit, forces the log, and releases all locks.
+// Commit logs the commit, forces the log, and releases all locks. A
+// transaction that never logged an update commits without touching
+// the log: there is nothing to make durable, so the begin/commit pair
+// and the forced write are all skipped.
 func (t *Txn) Commit() error {
 	t.mu.Lock()
 	if t.status != Active {
 		t.mu.Unlock()
 		return fmt.Errorf("txn %d: commit of %v transaction", t.id, t.status)
+	}
+	if !t.begun {
+		t.status = Committed
+		t.mu.Unlock()
+		t.finish()
+		return nil
 	}
 	lsn := t.mgr.log.Append(wal.TxnCommit{Txn: t.id, PrevLSN: t.lastLSN})
 	t.lastLSN = lsn
@@ -218,6 +252,12 @@ func (t *Txn) Abort() error {
 	if t.status != Active {
 		t.mu.Unlock()
 		return fmt.Errorf("txn %d: abort of %v transaction", t.id, t.status)
+	}
+	if !t.begun {
+		t.status = Aborted
+		t.mu.Unlock()
+		t.finish()
+		return nil
 	}
 	t.lastLSN = t.mgr.log.Append(wal.TxnAbort{Txn: t.id, PrevLSN: t.lastLSN})
 	cursor := t.lastLSN

@@ -31,11 +31,18 @@ func doInsert(t *testing.T, tx *Txn, pg *storage.Pager, page storage.PageID, key
 }
 
 func TestBeginCommitLifecycle(t *testing.T) {
-	m, _, log := newEnv(t)
+	m, pg, log := newEnv(t)
+	leaf, err := pg.Allocate(storage.PageLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := leaf.ID()
+	pg.Unfix(leaf)
 	tx := m.Begin()
 	if tx.ID() == 0 {
 		t.Fatal("txn id 0")
 	}
+	doInsert(t, tx, pg, id, "k", "v")
 	if got := len(m.ActiveSnapshot()); got != 1 {
 		t.Fatalf("active = %d", got)
 	}
@@ -115,6 +122,50 @@ func TestAbortUndoesUpdates(t *testing.T) {
 	v, ok := kv.LeafGet(f.Data(), []byte("keep"))
 	if !ok || string(v) != "v0" {
 		t.Errorf("committed record = %q,%v; want v0", v, ok)
+	}
+}
+
+// TestReadOnlyCommitLogsNothing covers the lazy-begin fast path: a
+// transaction that never logs an update must leave zero log records
+// (no begin/commit pair), force nothing, stay out of checkpoints, and
+// still release its locks at commit and abort.
+func TestReadOnlyCommitLogsNothing(t *testing.T) {
+	m, _, log := newEnv(t)
+	res := lock.PageRes(3)
+
+	tx := m.Begin()
+	if err := tx.Lock(res, lock.S); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.ActiveSnapshot()); got != 0 {
+		t.Fatalf("unlogged txn visible to checkpoint: active = %d", got)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := log.BytesAppended(); n != 0 {
+		t.Errorf("read-only commit appended %d log bytes", n)
+	}
+	if n := log.ForcedWrites(); n != 0 {
+		t.Errorf("read-only commit forced the log %d times", n)
+	}
+
+	tx2 := m.Begin()
+	if err := tx2.Lock(res, lock.X); err != nil {
+		t.Fatalf("lock not released by read-only commit: %v", err)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if n := log.BytesAppended(); n != 0 {
+		t.Errorf("read-only abort appended %d log bytes", n)
+	}
+	tx3 := m.Begin()
+	if err := tx3.Lock(res, lock.X); err != nil {
+		t.Fatalf("lock not released by read-only abort: %v", err)
+	}
+	if err := tx3.Commit(); err != nil {
+		t.Fatal(err)
 	}
 }
 

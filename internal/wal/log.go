@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
@@ -24,23 +25,50 @@ type LSN = uint64
 // Log is the append-only write-ahead log. Crash semantics: Crash()
 // discards everything past the flushed prefix, exactly what a real log
 // device guarantees.
+//
+// Concurrent FlushTo callers coalesce into one forced write (group
+// commit): the first becomes the leader and forces the whole tail;
+// the rest wait on a condition variable and usually find their LSN
+// durable when the leader finishes, saving a forced I/O each.
 type Log struct {
 	mu      sync.Mutex
+	cond    *sync.Cond // signalled when a forced write completes
 	buf     []byte
 	flushed int // bytes durable
-	inj     *fault.Injector
-	// retryRNG jitters transient-fault backoff; only touched under mu,
-	// fixed seed for deterministic schedules under test.
+
+	// forcing is true while a leader owns the force in progress;
+	// forceGen increments when it finishes, so waiters can tell "the
+	// force I saw" from a later one.
+	forcing  bool
+	forceGen uint64
+	// window is the optional group-commit window: a leader holds the
+	// force open this long (off the mutex) so trailing commits can pile
+	// into the same forced write. Zero keeps the force immediate, which
+	// also keeps the single-threaded fault-hit sequence identical for
+	// the crash sweep.
+	window time.Duration
+
+	inj *fault.Injector
+	// rngMu guards retryRNG: backoff sleeps run with mu released, so
+	// the RNG needs its own lock. Fixed seed keeps retry schedules
+	// deterministic under test.
+	rngMu    sync.Mutex
 	retryRNG *rand.Rand
 
-	// forcedWrites counts explicit flush calls (group-commit modelling
-	// is out of scope; each Flush is one forced I/O for metrics).
-	forcedWrites int64
+	// Counters are atomics so metrics scraping never takes the log
+	// mutex and never contends with commit.
+	bytesAppended atomic.Int64
+	forcedWrites  atomic.Int64
+	bytesForced   atomic.Int64
+	groupLeaders  atomic.Int64
+	forcesSaved   atomic.Int64 // waiters whose force was absorbed by a leader
 }
 
 // NewLog returns an empty log.
 func NewLog() *Log {
-	return &Log{retryRNG: rand.New(rand.NewSource(0x109))}
+	l := &Log{retryRNG: rand.New(rand.NewSource(0x109))}
+	l.cond = sync.NewCond(&l.mu)
+	return l
 }
 
 // SetInjector installs the fault injector consulted at the wal.append
@@ -51,14 +79,27 @@ func (l *Log) SetInjector(in *fault.Injector) {
 	l.inj = in
 }
 
+// SetGroupCommitWindow configures how long a commit leader waits (off
+// the mutex) before forcing, letting concurrent commits coalesce into
+// its forced write. Zero disables the wait; followers still coalesce
+// with an in-flight force.
+func (l *Log) SetGroupCommitWindow(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.window = d
+}
+
 // retryBackoff sleeps briefly before a transient-fault retry with
-// deterministic seeded jitter. Called with l.mu held.
+// deterministic seeded jitter. Called with l.mu released so a faulty
+// log device never stalls appenders.
 func (l *Log) retryBackoff(attempt int) {
 	base := time.Duration(attempt) * 50 * time.Microsecond
 	if base > time.Millisecond {
 		base = time.Millisecond
 	}
+	l.rngMu.Lock()
 	jitter := time.Duration(l.retryRNG.Int63n(int64(base)/2 + 1))
+	l.rngMu.Unlock()
 	time.Sleep(base/2 + jitter)
 }
 
@@ -80,13 +121,16 @@ func (l *Log) Append(r Record) LSN {
 		if !fault.IsTransient(err) || attempt >= logRetries {
 			panic(fault.FailStop(fault.WALAppend))
 		}
+		l.mu.Unlock()
 		l.retryBackoff(attempt + 1)
+		l.mu.Lock()
 	}
 	lsn := LSN(len(l.buf)) + 1
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	l.buf = append(l.buf, hdr[:]...)
 	l.buf = append(l.buf, payload...)
+	l.bytesAppended.Store(int64(len(l.buf)))
 	return lsn
 }
 
@@ -99,7 +143,8 @@ func (l *Log) Tail() LSN {
 }
 
 // FlushTo makes the log durable at least through the record starting at
-// lsn. It satisfies storage.LogFlusher.
+// lsn. It satisfies storage.LogFlusher. Concurrent callers coalesce:
+// see groupForce.
 func (l *Log) FlushTo(lsn LSN) error {
 	if lsn == 0 {
 		return nil
@@ -110,21 +155,57 @@ func (l *Log) FlushTo(lsn LSN) error {
 	if start > len(l.buf) {
 		return fmt.Errorf("wal: flush beyond tail (lsn %d, tail %d)", lsn, len(l.buf)+1)
 	}
-	if start < l.flushed {
-		return nil // already durable
-	}
-	if err := l.forceLocked(); err != nil {
-		return err
-	}
-	return nil
+	return l.groupForce(func() bool { return start < l.flushed })
 }
 
 // Flush forces the entire log.
 func (l *Log) Flush() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.flushed == len(l.buf) {
-		return nil
+	return l.groupForce(func() bool { return l.flushed == len(l.buf) })
+}
+
+// groupForce makes the log durable past the point described by done
+// (evaluated under l.mu), coalescing with any force already in flight:
+// if a leader is forcing, wait for it and re-check — a leader forces
+// the whole tail, so a waiter's LSN is usually covered and its forced
+// write saved. Otherwise become the leader. Called with l.mu held.
+func (l *Log) groupForce(done func() bool) error {
+	waited := false
+	for {
+		if done() {
+			if waited {
+				l.forcesSaved.Add(1)
+			}
+			return nil
+		}
+		if !l.forcing {
+			break
+		}
+		waited = true
+		gen := l.forceGen
+		for l.forcing && l.forceGen == gen {
+			l.cond.Wait()
+		}
+	}
+	l.forcing = true
+	l.groupLeaders.Add(1)
+	// The defer (not inline code) releases leadership so a crash panic
+	// out of the fault point cannot leave forcing set — a wedged flag
+	// would hang every later FlushTo on the restarted system's log.
+	defer func() {
+		l.forcing = false
+		l.forceGen++
+		l.cond.Broadcast()
+	}()
+	if l.window > 0 {
+		// Hold the force open so trailing commits append their records
+		// and ride this forced write. The sleep runs off the mutex:
+		// appenders keep appending, and new FlushTo callers see forcing
+		// and queue up as followers.
+		l.mu.Unlock()
+		time.Sleep(l.window)
+		l.mu.Lock()
 	}
 	return l.forceLocked()
 }
@@ -134,11 +215,15 @@ func (l *Log) Flush() error {
 // half of the tail durable (Crash truncates the ragged edge back to a
 // record boundary, as a real recovery scan would). Transient faults are
 // retried with jittered backoff; exhaustion degrades into storage.ErrIO.
+// Called with l.mu held (and the caller owning the forcing flag, which
+// is what lets the backoff sleep release the mutex safely).
 func (l *Log) forceLocked() error {
 	var err error
 	for attempt := 0; attempt <= logRetries; attempt++ {
 		if attempt > 0 {
+			l.mu.Unlock()
 			l.retryBackoff(attempt)
+			l.mu.Lock()
 		}
 		err = l.inj.HitTorn(fault.WALForce, func() {
 			// Torn force: only the first half of the tail became durable.
@@ -146,9 +231,12 @@ func (l *Log) forceLocked() error {
 		})
 		if err == nil {
 			// Durability must cover the whole record; flushing the whole
-			// buffer models a single forced write of the log tail.
+			// buffer models a single forced write of the log tail. Records
+			// appended while a leader waited out the window (or a backoff)
+			// ride along here — that is the group commit.
+			l.bytesForced.Add(int64(len(l.buf) - l.flushed))
 			l.flushed = len(l.buf)
-			l.forcedWrites++
+			l.forcedWrites.Add(1)
 			return nil
 		}
 		if !fault.IsTransient(err) {
@@ -176,23 +264,31 @@ func (l *Log) Crash() {
 	}
 	l.buf = l.buf[:off]
 	l.flushed = off
+	l.bytesAppended.Store(int64(len(l.buf)))
 }
 
 // BytesAppended returns the total log volume generated (a primary
 // metric in the paper: log size is "a significant factor in
-// reorganization methods").
-func (l *Log) BytesAppended() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return int64(len(l.buf))
-}
+// reorganization methods"). Lock-free: metrics scraping never contends
+// with commit.
+func (l *Log) BytesAppended() int64 { return l.bytesAppended.Load() }
 
-// ForcedWrites returns the number of explicit log forces.
-func (l *Log) ForcedWrites() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.forcedWrites
-}
+// ForcedWrites returns the number of forced log writes actually
+// performed. Lock-free.
+func (l *Log) ForcedWrites() int64 { return l.forcedWrites.Load() }
+
+// ForcesSaved returns the number of FlushTo/Flush calls that found
+// their LSN durable after waiting on another caller's forced write —
+// the forced I/Os group commit avoided. Lock-free.
+func (l *Log) ForcesSaved() int64 { return l.forcesSaved.Load() }
+
+// GroupLeaders returns the number of forced writes that were led on
+// behalf of a group (equal to ForcedWrites minus retries). Lock-free.
+func (l *Log) GroupLeaders() int64 { return l.groupLeaders.Load() }
+
+// BytesForced returns the total bytes covered by forced writes; divided
+// by ForcedWrites it gives the mean group-commit batch size. Lock-free.
+func (l *Log) BytesForced() int64 { return l.bytesForced.Load() }
 
 // Read decodes the record at lsn and returns it with the next record's
 // LSN.

@@ -7,13 +7,30 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// Key formats record key i (zero-padded so byte order == numeric order).
-func Key(i int) []byte { return []byte(fmt.Sprintf("user%08d", i)) }
+// Key formats record key i (zero-padded so byte order == numeric
+// order). Hand-rolled rather than fmt.Sprintf: the drivers call this
+// once per operation on the hot path, and Sprintf costs two extra
+// allocations plus reflection per key.
+func Key(i int) []byte {
+	var tmp [20]byte
+	digits := strconv.AppendInt(tmp[:0], int64(i), 10)
+	pad := 8 - len(digits)
+	if pad < 0 {
+		pad = 0
+	}
+	b := make([]byte, 0, 4+pad+len(digits))
+	b = append(b, "user"...)
+	for j := 0; j < pad; j++ {
+		b = append(b, '0')
+	}
+	return append(b, digits...)
+}
 
 // Value builds a payload of the given size for record i.
 func Value(i, size int) []byte {
