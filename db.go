@@ -343,6 +343,19 @@ func (db *DB) Checkpoint() error {
 	return db.log.FlushTo(lsn)
 }
 
+// Close shuts the database down cleanly: the log is forced, dirty
+// pages are flushed, and the buffer pool is verified quiescent — a pin
+// leaked anywhere in the session surfaces here as an error.
+func (db *DB) Close() error {
+	if err := db.log.Flush(); err != nil {
+		return err
+	}
+	if err := db.pager.FlushAll(); err != nil {
+		return err
+	}
+	return db.pager.Close()
+}
+
 // Crash simulates a system failure: all buffered pages and the
 // unforced log tail are lost; only the disk and the durable log
 // survive. Call Restart to recover.

@@ -1,0 +1,148 @@
+// Package analysis is a minimal, dependency-free clone of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer is a named
+// check with a Run function, a Pass hands it one type-checked package,
+// and Report emits a positioned Diagnostic.
+//
+// The repo cannot vendor x/tools (the build environment is offline),
+// so reorg-vet carries this ~150-line core instead. The surface is kept
+// deliberately close to the upstream API: if x/tools ever lands in the
+// module, each analyzer ports by changing only its import line.
+//
+// Suppression: a diagnostic is discarded when the source line it points
+// at (or the line above it) carries a comment of the form
+//
+//	//vet:allow(<analyzer>) -- <reason>
+//
+// The reason is mandatory by convention (the analyzers' fixtures assert
+// suppression works; reviewers police the prose). This is the moral
+// equivalent of //nolint with an enforced audit trail.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //vet:allow(name) suppression comments.
+	Name string
+	// Doc states the rule the analyzer enforces and its provenance
+	// (paper section or PR house rule).
+	Doc string
+	// Run executes the check against one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// diags accumulates reported diagnostics (suppressed ones removed
+	// in Finish).
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+var allowRe = regexp.MustCompile(`//vet:allow\(([a-z0-9_,]+)\)`)
+
+// allowedLines maps file -> line -> set of analyzer names suppressed on
+// that line. A //vet:allow comment suppresses findings on its own line
+// and, when it is the only thing on its line, on the line below (the
+// "annotation above the statement" style).
+func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	out := make(map[string]map[int]map[string]bool)
+	add := func(file string, line int, names []string) {
+		m := out[file]
+		if m == nil {
+			m = make(map[int]map[string]bool)
+			out[file] = m
+		}
+		s := m[line]
+		if s == nil {
+			s = make(map[string]bool)
+			m[line] = s
+		}
+		for _, n := range names {
+			s[n] = true
+		}
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				names := strings.Split(m[1], ",")
+				pos := fset.Position(c.Pos())
+				add(pos.Filename, pos.Line, names)
+				// A standalone annotation line also covers the next line.
+				add(pos.Filename, pos.Line+1, names)
+			}
+		}
+	}
+	return out
+}
+
+// Finish filters suppressed diagnostics and returns the rest, sorted
+// by position.
+func (p *Pass) Finish() []Diagnostic {
+	allowed := allowedLines(p.Fset, p.Files)
+	var out []Diagnostic
+	for _, d := range p.diags {
+		if s := allowed[d.Pos.Filename][d.Pos.Line]; s != nil && s[d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// Run executes a on pkg and returns its surviving diagnostics.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+	}
+	return pass.Finish(), nil
+}

@@ -1,0 +1,110 @@
+// Package atest runs an analyzer over a testdata fixture directory and
+// checks its diagnostics against `// want "regex"` comments, the same
+// contract as golang.org/x/tools/go/analysis/analysistest (which the
+// offline build cannot vendor).
+//
+// A fixture is one directory of .go files forming a single package.
+// Every line that should trigger a diagnostic carries a trailing
+// comment:
+//
+//	leak() // want `pinned by .*Fix is never released`
+//
+// The test fails on any unmatched expectation and on any unexpected
+// diagnostic, so fixtures double as precision tests: clean code in the
+// fixture asserts the analyzer stays quiet on it.
+package atest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// expectation is one `// want` comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				raw := m[1]
+				var pat string
+				if raw[0] == '`' {
+					pat = raw[1 : len(raw)-1]
+				} else {
+					var err error
+					pat, err = strconv.Unquote(raw)
+					if err != nil {
+						t.Fatalf("bad want string %s: %v", raw, err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", pat, err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// Run loads the fixture at dir, applies a, and verifies diagnostics
+// against the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := load.Dir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants := parseWants(t, pkg.Fset, pkg.Files)
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched %q", shortPath(w.file), w.line, w.re)
+		}
+	}
+}
+
+func shortPath(p string) string {
+	if i := strings.LastIndex(p, "testdata/"); i >= 0 {
+		return p[i:]
+	}
+	return p
+}

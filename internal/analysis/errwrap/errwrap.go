@@ -1,0 +1,194 @@
+// Package errwrap enforces the repo's typed-error discipline (PR 1:
+// storage.ErrIO and the lock/WAL sentinels are part of the API):
+//
+//   - sentinel errors (package-level `Err*` variables of type error)
+//     must be tested with errors.Is, never == or != — wrapped errors
+//     (fmt.Errorf with %w, the retry paths' ErrIO wrapping) break
+//     identity comparison silently;
+//   - fmt.Errorf calls that pass an error argument must wrap it with
+//     %w so callers can errors.Is/As through the chain (a secondary
+//     error may still be formatted with %v once a %w is present);
+//   - error text must not be string-matched: err.Error() compared to a
+//     literal or fed to strings.Contains/HasPrefix/HasSuffix is a
+//     refactor-hostile proxy for errors.Is.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errwrap check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "sentinel errors: wrap with %w, test with errors.Is, never == or string match",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, e)
+			case *ast.CallExpr:
+				checkErrorf(pass, e)
+				checkStringMatch(pass, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkComparison flags err == ErrSentinel / err != ErrSentinel.
+func checkComparison(pass *analysis.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	// err.Error() == "..." is string matching in comparison form.
+	if isErrorCall(pass, e.X) || isErrorCall(pass, e.Y) {
+		pass.Reportf(e.Pos(),
+			"comparing error text with %s; use errors.Is or a typed error", e.Op)
+		return
+	}
+	var sentinel string
+	for _, side := range []ast.Expr{e.X, e.Y} {
+		if name, ok := sentinelName(pass, side); ok {
+			sentinel = name
+		}
+	}
+	if sentinel == "" {
+		return
+	}
+	// The other side must be an error too (it is, if one side is a
+	// sentinel and this type-checks), and not nil.
+	if isNil(pass, e.X) || isNil(pass, e.Y) {
+		return
+	}
+	pass.Reportf(e.Pos(),
+		"comparison with sentinel %s breaks on wrapped errors; use errors.Is",
+		sentinel)
+}
+
+// sentinelName reports whether e denotes a package-level error
+// variable named Err*.
+func sentinelName(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || !strings.HasPrefix(v.Name(), "Err") {
+		return "", false
+	}
+	if !isErrorType(v.Type()) {
+		return "", false
+	}
+	// Package-level: parent scope is the package scope.
+	if v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v.Name(), true
+	}
+	return "", false
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// checkErrorf flags fmt.Errorf with an error argument but no %w verb.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "fmt" {
+		return
+	}
+	if _, isPkg := pass.TypesInfo.Uses[pkg].(*types.PkgName); !isPkg {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := constStringOf(pass, call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, a := range call.Args[1:] {
+		if tv, ok := pass.TypesInfo.Types[a]; ok && isErrorType(tv.Type) {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf formats an error without %%w: callers cannot errors.Is through it")
+			return
+		}
+	}
+}
+
+// checkStringMatch flags err.Error() string comparisons and
+// strings.Contains/HasPrefix/HasSuffix over error text.
+func checkStringMatch(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "strings" {
+		return
+	}
+	if _, isPkg := pass.TypesInfo.Uses[pkg].(*types.PkgName); !isPkg {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Contains", "HasPrefix", "HasSuffix", "EqualFold":
+	default:
+		return
+	}
+	for _, a := range call.Args {
+		if isErrorCall(pass, a) {
+			pass.Reportf(call.Pos(),
+				"string-matching error text (strings.%s over err.Error()); use errors.Is or a typed error",
+				sel.Sel.Name)
+			return
+		}
+	}
+}
+
+// isErrorCall reports whether e is a call of the Error() method on an
+// error value.
+func isErrorCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && isErrorType(tv.Type)
+}
+
+func constStringOf(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/errwrap"
+)
+
+func TestFixtures(t *testing.T) {
+	atest.Run(t, "testdata/src/errwrap", errwrap.Analyzer)
+}

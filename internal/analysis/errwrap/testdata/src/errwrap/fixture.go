@@ -1,0 +1,59 @@
+// Package errwrap is the analyzer fixture: a local sentinel plus each
+// forbidden error-handling shape, with the errors.Is forms shown clean.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrGone is the fixture's package-level sentinel.
+var ErrGone = errors.New("gone")
+
+// badCompare tests identity against the sentinel.
+func badCompare(err error) bool {
+	return err == ErrGone // want `comparison with sentinel ErrGone breaks on wrapped errors`
+}
+
+// badCompareNeq is the != form.
+func badCompareNeq(err error) bool {
+	return err != ErrGone // want `comparison with sentinel ErrGone breaks on wrapped errors`
+}
+
+// badWrap formats the cause with %v, severing the chain.
+func badWrap(err error) error {
+	return fmt.Errorf("op failed: %v", err) // want `fmt\.Errorf formats an error without %w`
+}
+
+// badText string-matches error text.
+func badText(err error) bool {
+	return strings.Contains(err.Error(), "gone") // want `string-matching error text`
+}
+
+// badTextCompare is string matching in comparison form.
+func badTextCompare(err error) bool {
+	return err.Error() == "gone" // want `comparing error text with ==`
+}
+
+// goodCompare uses errors.Is.
+func goodCompare(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+// goodWrap wraps with %w; a secondary %v is fine once %w is present.
+func goodWrap(err error) error {
+	return fmt.Errorf("op %v failed: %w", 7, err)
+}
+
+// goodNilCheck: nil comparisons are not sentinel comparisons.
+func goodNilCheck(err error) bool {
+	return err != nil
+}
+
+// goodSuppressed compares identity under an audited annotation (no
+// want comment: the suppression filters it).
+func goodSuppressed(err error) bool {
+	//vet:allow(errwrap) -- fixture: identity intended, never wrapped
+	return err == ErrGone
+}

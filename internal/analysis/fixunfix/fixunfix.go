@@ -1,0 +1,510 @@
+// Package fixunfix enforces the pager pin protocol (PR 1 house rule):
+// every frame obtained from Pager.Fix / Allocate* must be released by
+// Pager.Unfix on every path out of the acquiring function, unless the
+// frame escapes — is returned, stored, or handed bare to another
+// function, which transfers the release obligation to the receiver.
+//
+// Use classification: an identifier use of the frame variable is
+//
+//   - a release when it is an argument of an Unfix call;
+//   - neutral when it is the receiver of a selector (f.Data(),
+//     f.Lock(), f.ID()...) or a nil comparison — these neither release
+//     nor transfer the pin;
+//   - an escape otherwise (returned, assigned elsewhere, passed bare
+//     to a call, captured in a composite literal, sent on a channel,
+//     address taken).
+//
+// Two checks run per function scope (function literals are their own
+// scope):
+//
+//  1. Totality: a fixed frame with no release and no escape anywhere
+//     in the scope is a definite pin leak.
+//  2. Early-return paths: for fixes in straight-line code (not inside
+//     a loop), each return statement lexically after the fix must be
+//     preceded on its path by a release or escape. The
+//     `if err != nil { return ... }` guard on the fix's own error
+//     result is exempt: the frame is nil on that path.
+//
+// Fixes inside loops get only the totality check — re-fix/continue
+// patterns (the b-tree descent's forgo protocol) make lexical path
+// reasoning unsound there. Methods on Pager and Frame themselves are
+// exempt: the pool manages pin counts directly.
+package fixunfix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the fixunfix check.
+var Analyzer = &analysis.Analyzer{
+	Name: "fixunfix",
+	Doc:  "every Pager.Fix/Allocate result must be Unfixed or escape on all paths",
+	Run:  run,
+}
+
+// fixMethods are the pin-acquiring methods on Pager.
+var fixMethods = map[string]bool{
+	"Fix":         true,
+	"Allocate":    true,
+	"AllocateEnd": true,
+	"AllocateIn":  true,
+	"AllocateAt":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if recvIsPoolInternal(pass, fd) {
+				continue
+			}
+			for _, scope := range scopesIn(fd.Body) {
+				checkScope(pass, scope)
+			}
+		}
+	}
+	return nil
+}
+
+// recvIsPoolInternal reports whether fd is a method on Pager or Frame.
+func recvIsPoolInternal(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	name := namedTypeName(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type))
+	return name == "Pager" || name == "Frame"
+}
+
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// scopesIn returns body plus every function-literal body nested in it.
+func scopesIn(body *ast.BlockStmt) []*ast.BlockStmt {
+	scopes := []*ast.BlockStmt{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+			scopes = append(scopes, fl.Body)
+		}
+		return true
+	})
+	return scopes
+}
+
+// fixPoint is one pin-acquiring assignment.
+type fixPoint struct {
+	stmt   *ast.AssignStmt
+	frame  types.Object // the *Frame variable
+	errObj types.Object // the error result of the same assignment (may be nil)
+	method string
+	inLoop bool
+}
+
+// useKind classifies one identifier use of the frame variable.
+type useKind int
+
+const (
+	useNeutral useKind = iota
+	useRelease
+	useEscape
+)
+
+// useSites maps each frame-identifier use position to its kind.
+// Classification needs the parent node, so the walk carries it.
+func useSites(pass *analysis.Pass, root ast.Node, frame types.Object) map[token.Pos]useKind {
+	sites := make(map[token.Pos]useKind)
+	// First pass: idents that are arguments of Unfix calls.
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Unfix" {
+			for _, a := range call.Args {
+				if id, ok := a.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == frame {
+					sites[id.Pos()] = useRelease
+				}
+			}
+		}
+		return true
+	})
+	// Second pass: classify remaining uses by parent.
+	var walk func(parent, n ast.Node)
+	walk = func(parent, n ast.Node) {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == frame {
+			if _, done := sites[id.Pos()]; done {
+				return
+			}
+			switch p := parent.(type) {
+			case *ast.SelectorExpr:
+				if p.X == id {
+					sites[id.Pos()] = useNeutral
+					return
+				}
+			case *ast.BinaryExpr:
+				if p.Op == token.EQL || p.Op == token.NEQ {
+					sites[id.Pos()] = useNeutral
+					return
+				}
+			case *ast.AssignStmt:
+				for _, l := range p.Lhs {
+					if l == id {
+						sites[id.Pos()] = useNeutral // assignment target
+						return
+					}
+				}
+			}
+			sites[id.Pos()] = useEscape
+			return
+		}
+		children(n, func(c ast.Node) { walk(n, c) })
+	}
+	walk(nil, root)
+	return sites
+}
+
+// children invokes fn on n's immediate children.
+func children(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			fn(c)
+		}
+		return false
+	})
+}
+
+// checkScope analyzes one function body.
+func checkScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	points := collectFixPoints(pass, body)
+	for _, fp := range points {
+		if fp.frame == nil {
+			continue
+		}
+		sites := useSites(pass, body, fp.frame)
+		released, escaped := false, false
+		for _, k := range sites {
+			switch k {
+			case useRelease:
+				released = true
+			case useEscape:
+				escaped = true
+			}
+		}
+		if !released && !escaped {
+			pass.Reportf(fp.stmt.Pos(),
+				"frame %s pinned by %s is never Unfixed and never escapes (pin leak)",
+				fp.frame.Name(), fp.method)
+			continue
+		}
+		if !fp.inLoop {
+			checkReturnPaths(pass, body, fp, sites)
+		}
+	}
+}
+
+// collectFixPoints finds fix-like assignments whose statements belong
+// directly to body's scope (not to a nested function literal).
+func collectFixPoints(pass *analysis.Pass, body *ast.BlockStmt) []*fixPoint {
+	var points []*fixPoint
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return // separate scope
+		case *ast.ForStmt:
+			if s.Body != nil {
+				walk(s.Body, true)
+			}
+			return
+		case *ast.RangeStmt:
+			if s.Body != nil {
+				walk(s.Body, true)
+			}
+			return
+		case *ast.AssignStmt:
+			if fp := asFixPoint(pass, s); fp != nil {
+				fp.inLoop = inLoop
+				points = append(points, fp)
+			}
+		}
+		children(n, func(c ast.Node) { walk(c, inLoop) })
+	}
+	walk(body, false)
+	return points
+}
+
+// asFixPoint recognises `f, err := p.Fix(...)` shapes.
+func asFixPoint(pass *analysis.Pass, s *ast.AssignStmt) *fixPoint {
+	if len(s.Rhs) != 1 {
+		return nil
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !fixMethods[sel.Sel.Name] {
+		return nil
+	}
+	if namedTypeName(pass.TypesInfo.TypeOf(sel.X)) != "Pager" {
+		return nil
+	}
+	fp := &fixPoint{stmt: s, method: "Pager." + sel.Sel.Name}
+	if len(s.Lhs) >= 1 {
+		fp.frame = objOf(pass, s.Lhs[0])
+	}
+	if len(s.Lhs) >= 2 {
+		fp.errObj = objOf(pass, s.Lhs[1])
+	}
+	return fp
+}
+
+func objOf(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// --- early-return path analysis ---
+
+// pathCtx carries shared state for one fix point's path walk.
+type pathCtx struct {
+	pass  *analysis.Pass
+	fp    *fixPoint
+	sites map[token.Pos]useKind
+}
+
+// handled reports whether node contains a release or escape use.
+func (c *pathCtx) handled(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok {
+			if k, ok := c.sites[id.Pos()]; ok && k != useNeutral {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsErr reports whether e mentions the fix's error result.
+func (c *pathCtx) mentionsErr(e ast.Expr) bool {
+	if c.fp.errObj == nil || e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == c.fp.errObj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkReturnPaths walks the statements lexically after fp.stmt and
+// reports returns reachable without a release or escape. The walk
+// bails out (no report) on constructs it cannot reason about soundly:
+// loops, selects, labeled statements, goto/break/continue.
+func checkReturnPaths(pass *analysis.Pass, body *ast.BlockStmt, fp *fixPoint, sites map[token.Pos]useKind) {
+	chain := blockChainTo(body, fp.stmt)
+	if chain == nil {
+		return
+	}
+	c := &pathCtx{pass: pass, fp: fp, sites: sites}
+	released := false
+	for level := len(chain) - 1; level >= 0; level-- {
+		blk := chain[level].block
+		idx := chain[level].index
+		cont, rel := c.walkStmts(blk.List[idx+1:], released)
+		released = rel
+		if !cont {
+			return
+		}
+	}
+}
+
+type blockPos struct {
+	block *ast.BlockStmt
+	index int
+}
+
+// blockChainTo returns, outermost block first, the statement index on
+// the path from body down to the block directly holding target.
+func blockChainTo(body *ast.BlockStmt, target ast.Stmt) []blockPos {
+	var chain []blockPos
+	var find func(b *ast.BlockStmt) bool
+	find = func(b *ast.BlockStmt) bool {
+		for i, s := range b.List {
+			if s == target {
+				chain = append(chain, blockPos{b, i})
+				return true
+			}
+			if !containsNode(s, target) {
+				continue
+			}
+			chain = append(chain, blockPos{b, i})
+			found := false
+			ast.Inspect(s, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if inner, ok := n.(*ast.BlockStmt); ok {
+					if containsNode(inner, target) {
+						found = find(inner)
+						return false
+					}
+				}
+				return true
+			})
+			return found
+		}
+		return false
+	}
+	if !find(body) {
+		return nil
+	}
+	return chain
+}
+
+func containsNode(root, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// walkStmts scans a statement list. released is the path state on
+// entry; it returns (continue-to-lexical-successors, released-after).
+func (c *pathCtx) walkStmts(stmts []ast.Stmt, released bool) (bool, bool) {
+	for _, s := range stmts {
+		cont, rel := c.walkStmt(s, released)
+		released = rel
+		if !cont {
+			return false, released
+		}
+	}
+	return true, released
+}
+
+func (c *pathCtx) walkStmt(s ast.Stmt, released bool) (bool, bool) {
+	if released {
+		return false, true
+	}
+	switch n := s.(type) {
+	case *ast.ExprStmt, *ast.DeferStmt, *ast.GoStmt:
+		if c.handled(s) {
+			return false, true
+		}
+	case *ast.AssignStmt:
+		// Reassignment of the frame variable ends this fix point's
+		// obligation window (the new value is its own fix point).
+		for _, l := range n.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				if c.pass.TypesInfo.Uses[id] == c.fp.frame || c.pass.TypesInfo.Defs[id] == c.fp.frame {
+					return false, released
+				}
+			}
+		}
+		if c.handled(s) {
+			return false, true
+		}
+	case *ast.DeclStmt, *ast.SendStmt, *ast.IncDecStmt:
+		if c.handled(s) {
+			return false, true
+		}
+	case *ast.ReturnStmt:
+		if c.handled(n) {
+			return false, true // escapes via return
+		}
+		c.pass.Reportf(n.Pos(),
+			"return leaks frame %s pinned by %s at line %d (no Unfix on this path)",
+			c.fp.frame.Name(), c.fp.method,
+			c.pass.Fset.Position(c.fp.stmt.Pos()).Line)
+		return false, released
+	case *ast.IfStmt:
+		return c.walkIf(n, released)
+	case *ast.BlockStmt:
+		return c.walkStmts(n.List, released)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var clauses []ast.Stmt
+		if sw, ok := n.(*ast.SwitchStmt); ok {
+			clauses = sw.Body.List
+		} else {
+			clauses = n.(*ast.TypeSwitchStmt).Body.List
+		}
+		for _, cl := range clauses {
+			c.walkStmts(cl.(*ast.CaseClause).Body, released)
+		}
+		// Cases may or may not release; keep scanning with the entry
+		// state (misses are caught by the totality check).
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt, *ast.LabeledStmt,
+		*ast.BranchStmt:
+		// Out of scope for lexical path analysis.
+		return false, released
+	}
+	return true, released
+}
+
+// walkIf handles an if statement on the path.
+func (c *pathCtx) walkIf(n *ast.IfStmt, released bool) (bool, bool) {
+	// The guard on the fix's own error result is exempt: the frame is
+	// nil when the fix failed.
+	if c.mentionsErr(n.Cond) {
+		return true, released
+	}
+	if n.Init != nil {
+		cont, rel := c.walkStmt(n.Init, released)
+		released = rel
+		if !cont {
+			return false, released
+		}
+	}
+	_, bodyReleased := c.walkStmts(n.Body.List, released)
+	elseReleased := false
+	switch e := n.Else.(type) {
+	case *ast.BlockStmt:
+		_, elseReleased = c.walkStmts(e.List, released)
+	case *ast.IfStmt:
+		_, elseReleased = c.walkIf(e, released)
+	}
+	// With an else, one arm always runs: if both arms end released (or
+	// terminated after releasing), the continuation is covered. Without
+	// an else the fallthrough may bypass the body, so the entry state
+	// carries through.
+	if n.Else != nil && bodyReleased && elseReleased {
+		return false, true
+	}
+	return true, released
+}

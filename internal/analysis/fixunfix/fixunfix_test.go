@@ -1,0 +1,12 @@
+package fixunfix_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/fixunfix"
+)
+
+func TestFixtures(t *testing.T) {
+	atest.Run(t, "testdata/src/fixunfix", fixunfix.Analyzer)
+}

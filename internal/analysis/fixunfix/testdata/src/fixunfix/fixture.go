@@ -1,0 +1,104 @@
+// Package fixunfix is the analyzer fixture: local stubs mimic the
+// storage pool's Pager/Frame shapes (the analyzer matches by type
+// name), and each seeded violation carries a want comment.
+package fixunfix
+
+// Frame stubs the pool frame.
+type Frame struct{}
+
+// ID stubs the page id accessor.
+func (f *Frame) ID() int { return 0 }
+
+// Data stubs the page accessor.
+func (f *Frame) Data() []byte { return nil }
+
+// Pager stubs the buffer pool.
+type Pager struct{}
+
+// Fix stubs the pin-acquiring fix.
+func (p *Pager) Fix(id int) (*Frame, error) { return nil, nil }
+
+// Allocate stubs page allocation (also pins).
+func (p *Pager) Allocate(kind int) (*Frame, error) { return nil, nil }
+
+// Unfix stubs the release.
+func (p *Pager) Unfix(f *Frame) {}
+
+// leakTotal pins a frame and never releases it anywhere: the totality
+// check fires on the fix itself.
+func leakTotal(p *Pager) {
+	f, err := p.Fix(1) // want `frame f pinned by Pager\.Fix is never Unfixed and never escapes`
+	if err != nil {
+		return
+	}
+	_ = f.Data()
+}
+
+// leakReturn releases on the happy path but returns early without a
+// release: the path check fires on the return.
+func leakReturn(p *Pager, cond bool) error {
+	f, err := p.Fix(2)
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil // want `return leaks frame f pinned by Pager\.Fix`
+	}
+	p.Unfix(f)
+	return nil
+}
+
+// leakAllocateLoop pins inside a loop with no release: loops get the
+// totality check.
+func leakAllocateLoop(p *Pager) {
+	for i := 0; i < 3; i++ {
+		f, err := p.Allocate(i) // want `frame f pinned by Pager\.Allocate is never Unfixed and never escapes`
+		if err != nil {
+			return
+		}
+		_ = f.Data()
+	}
+}
+
+// cleanDefer is the canonical correct shape: deferred release right
+// after the error guard.
+func cleanDefer(p *Pager) error {
+	f, err := p.Fix(3)
+	if err != nil {
+		return err
+	}
+	defer p.Unfix(f)
+	_ = f.Data()
+	return nil
+}
+
+// cleanBranches releases on both arms of a guarded early return.
+func cleanBranches(p *Pager, cond bool) error {
+	f, err := p.Fix(4)
+	if err != nil {
+		return err
+	}
+	if cond {
+		p.Unfix(f)
+		return nil
+	}
+	p.Unfix(f)
+	return nil
+}
+
+// cleanEscape hands the pin to the caller: returning the frame
+// transfers the release obligation.
+func cleanEscape(p *Pager) (*Frame, error) {
+	f, err := p.Fix(5)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// cleanSuppressed leaks deliberately under an audited annotation; the
+// suppression keeps the diagnostic out (no want comment here).
+func cleanSuppressed(p *Pager) {
+	f, _ := p.Fix(6) //vet:allow(fixunfix) -- fixture: audited deliberate leak
+	_ = f.Data()
+}

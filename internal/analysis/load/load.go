@@ -1,0 +1,258 @@
+// Package load type-checks Go packages for reorg-vet without
+// golang.org/x/tools/go/packages (the build environment is offline, so
+// the dependency cannot be fetched). It leans on the Go toolchain
+// itself: `go list -deps -export -json` resolves every import to a
+// compiled export-data file in the build cache, and the standard
+// library's go/importer reads that export data back, so a full
+// types.Info is available from nothing but the stdlib.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Package is one parsed, type-checked package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listEntry is the slice of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// exportResolver maps import paths to export-data files, shelling out
+// to `go list -export` lazily for paths not seen yet (used by fixture
+// loading, where imports are discovered during type checking).
+type exportResolver struct {
+	dir string // working directory for go list (module root or below)
+
+	mu      sync.Mutex
+	entries map[string]*listEntry
+}
+
+func newResolver(dir string) *exportResolver {
+	return &exportResolver{dir: dir, entries: make(map[string]*listEntry)}
+}
+
+// goList runs `go list -deps -export -json` on patterns and merges the
+// results into the resolver, returning the entries in output order.
+func (r *exportResolver) goList(patterns ...string) ([]*listEntry, error) {
+	args := append([]string{"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Standard"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = r.dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	var out []*listEntry
+	dec := json.NewDecoder(&stdout)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding: %w", patterns, err)
+		}
+		ec := e
+		out = append(out, &ec)
+		r.mu.Lock()
+		r.entries[e.ImportPath] = &ec
+		r.mu.Unlock()
+	}
+	return out, nil
+}
+
+// lookup satisfies go/importer's gc-export lookup contract: return a
+// reader over the export data for path.
+func (r *exportResolver) lookup(path string) (io.ReadCloser, error) {
+	r.mu.Lock()
+	e := r.entries[path]
+	r.mu.Unlock()
+	if e == nil || e.Export == "" {
+		if _, err := r.goList(path); err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		e = r.entries[path]
+		r.mu.Unlock()
+	}
+	if e == nil || e.Export == "" {
+		return nil, fmt.Errorf("load: no export data for %q", path)
+	}
+	return os.Open(e.Export)
+}
+
+// parseFiles parses the named files (resolved against dir) with
+// comments retained.
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// check type-checks files as package path using the resolver's export
+// data for every import.
+func check(fset *token.FileSet, path string, files []*ast.File, r *exportResolver) (*types.Package, *types.Info, error) {
+	info := newInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", r.lookup),
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err)
+		},
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, nil, fmt.Errorf("load: type errors in %s: %w", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// Packages loads, parses and type-checks every package matched by
+// patterns (e.g. "./..."), run from dir. Packages outside the main
+// module (dependencies, stdlib) are resolved from export data only and
+// not returned.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	r := newResolver(dir)
+	entries, err := r.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	// -deps lists dependencies too; a second plain go list gives the
+	// exact target set the patterns matched.
+	targets, err := listTargets(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, e := range entries {
+		if e.Standard || !targets[e.ImportPath] {
+			continue
+		}
+		files, err := parseFiles(fset, e.Dir, e.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg, info, err := check(fset, e.ImportPath, files, r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			ImportPath: e.ImportPath,
+			Name:       e.Name,
+			Dir:        e.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      pkg,
+			Info:       info,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// listTargets resolves patterns to the exact set of matched import
+// paths (no deps).
+func listTargets(dir string, patterns []string) (map[string]bool, error) {
+	cmd := exec.Command("go", append([]string{"list"}, patterns...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	out := make(map[string]bool)
+	for _, line := range bytes.Fields(stdout.Bytes()) {
+		out[string(line)] = true
+	}
+	return out, nil
+}
+
+// Dir loads the single package rooted at dir (every *.go file in it),
+// type-checking against export data resolved lazily. This is the entry
+// point for analyzer test fixtures, which live under testdata/ where
+// go list does not reach.
+func Dir(dir string) (*Package, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	r := newResolver(dir)
+	path := files[0].Name.Name
+	pkg, info, err := check(fset, path, files, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: path,
+		Name:       files[0].Name.Name,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      pkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,68 @@
+package load
+
+import (
+	"go/ast"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// repoRoot walks up from this file to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Join(filepath.Dir(file), "..", "..", "..")
+}
+
+func TestPackagesTypechecksLockPackage(t *testing.T) {
+	pkgs, err := Packages(repoRoot(t), "./internal/lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Name != "lock" {
+		t.Fatalf("package name = %q, want lock", p.Name)
+	}
+	if p.Types == nil || p.Info == nil {
+		t.Fatal("missing type information")
+	}
+	// The compat matrix must be resolvable with a concrete type.
+	obj := p.Types.Scope().Lookup("compat")
+	if obj == nil {
+		t.Fatal("lock.compat not found in package scope")
+	}
+	if got := obj.Type().String(); got != "[8][8]bool" {
+		t.Fatalf("compat type = %s, want [8][8]bool", got)
+	}
+	// Uses/Defs must be populated for the analyzers.
+	var uses int
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] != nil {
+				uses++
+			}
+			return true
+		})
+	}
+	if uses == 0 {
+		t.Fatal("no identifier uses recorded")
+	}
+}
+
+func TestPackagesCrossPackageTypes(t *testing.T) {
+	// wal imports storage and fault; type-checking it exercises export
+	// data for module-internal dependencies.
+	pkgs, err := Packages(repoRoot(t), "./internal/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Name != "wal" {
+		t.Fatalf("unexpected packages: %+v", pkgs)
+	}
+}

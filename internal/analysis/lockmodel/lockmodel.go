@@ -1,0 +1,87 @@
+// Package lockmodel is the single source of truth for the paper's
+// Table 1 lock-compatibility matrix (R/RS/RX layered on IS/IX/S/X).
+// Two consumers keep the runtime from drifting away from the paper:
+//
+//   - the locktable analyzer (internal/analysis/locktable) checks that
+//     the composite literal `compat` in internal/lock/mode.go encodes
+//     exactly this matrix, at vet time;
+//   - TestTable1MatchesModel in internal/lock checks that the runtime
+//     Compatible function behaves as this matrix, at test time.
+//
+// The matrix is generated from the paper's rules rather than written
+// out, so each true cell is traceable to a sentence of the paper.
+package lockmodel
+
+// Mode ordinals. These mirror the iota order of internal/lock.Mode;
+// TestTable1MatchesModel pins the correspondence so the two cannot
+// diverge silently.
+const (
+	None = iota
+	IS
+	IX
+	S
+	X
+	R
+	RX
+	RS
+	NumModes
+)
+
+// ModeNames maps ordinals to display names for diagnostics.
+var ModeNames = [NumModes]string{"None", "IS", "IX", "S", "X", "R", "RX", "RS"}
+
+// Expected returns Table 1 as expected[granted][requested]: may a
+// request for `requested` be granted while a different owner holds
+// `granted`?
+func Expected() [NumModes][NumModes]bool {
+	var m [NumModes][NumModes]bool
+	grant := func(g, r int) { m[g][r] = true }
+
+	// Classical hierarchical locking (the IS/IX/S/X block of Table 1).
+	grant(IS, IS)
+	grant(IS, IX)
+	grant(IS, S)
+	grant(IX, IS)
+	grant(IX, IX)
+	grant(S, IS)
+	grant(S, S)
+
+	// R, the reorganizer's base-page read lock, "is compatible with S"
+	// in both directions (§4.1), and with itself.
+	grant(S, R)
+	grant(R, S)
+	grant(R, R)
+	// Blank cells of Table 1 ("won't be requested together by
+	// different requesters") are filled conservatively as incompatible,
+	// so R×IS and R×IX stay false.
+
+	// RS, the instant-duration wait-for-the-reorganizer request, is
+	// grantable while only intention modes are held; it conflicts with
+	// R (that is its purpose: block until the reorganizer's R/RX work
+	// on the page is finished) and with S/X/RX.
+	grant(IS, RS)
+	grant(IX, RS)
+
+	// X and RX are compatible with nothing: RX "conflicts with
+	// everything, and conflicting requesters forgo instead of waiting"
+	// (§4.1.2). RS is never granted, so its row stays empty.
+	return m
+}
+
+// RSNeverGranted reports the invariant that the RS row is all-false:
+// RS is request-only (instant duration), so no holder can ever be in
+// mode RS.
+func RSNeverGranted(m [NumModes][NumModes]bool) bool {
+	for r := 0; r < NumModes; r++ {
+		if m[RS][r] {
+			return false
+		}
+	}
+	return true
+}
+
+// RSymmetricWithS reports the documented symmetry Compatible(R,S) ==
+// Compatible(S,R) (both true in Table 1).
+func RSymmetricWithS(m [NumModes][NumModes]bool) bool {
+	return m[R][S] == m[S][R]
+}

@@ -1,0 +1,167 @@
+// Package locktable pins the lock manager's compatibility matrix to
+// the paper's Table 1. The runtime matrix is a composite literal
+// (internal/lock/mode.go, var compat) that a refactor could silently
+// corrupt; this analyzer decodes the literal cell by cell and compares
+// it against the generated model in internal/analysis/lockmodel, which
+// derives every true cell from a stated rule of the paper.
+//
+// It also re-checks two structural properties on the decoded literal:
+// the RS row must be empty (RS is instant-duration, never granted) and
+// R×S compatibility must be symmetric (documented in §4.1).
+//
+// The analyzer fires on any package named "lock" that declares a
+// `compat` array literal, so the fixture under testdata can seed a
+// corrupted matrix without touching the real one.
+package locktable
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lockmodel"
+)
+
+// Analyzer is the locktable check.
+var Analyzer = &analysis.Analyzer{
+	Name: "locktable",
+	Doc:  "the lock compatibility matrix must encode the paper's Table 1",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "lock" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "compat" || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					checkMatrix(pass, lit)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// decodeRow fills row from a composite literal of bools keyed by mode
+// constants.
+func decodeRow(pass *analysis.Pass, lit *ast.CompositeLit, row *[lockmodel.NumModes]bool) bool {
+	next := 0
+	for _, el := range lit.Elts {
+		idx := next
+		val := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			k, ok := constIntOf(pass, kv.Key)
+			if !ok {
+				return false
+			}
+			idx = k
+			val = kv.Value
+		}
+		b, ok := constBoolOf(pass, val)
+		if !ok {
+			return false
+		}
+		if idx < 0 || idx >= lockmodel.NumModes {
+			return false
+		}
+		row[idx] = b
+		next = idx + 1
+	}
+	return true
+}
+
+func checkMatrix(pass *analysis.Pass, lit *ast.CompositeLit) {
+	var got [lockmodel.NumModes][lockmodel.NumModes]bool
+	rowPos := make([]ast.Node, lockmodel.NumModes)
+	for i := range rowPos {
+		rowPos[i] = lit
+	}
+	next := 0
+	for _, el := range lit.Elts {
+		idx := next
+		val := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			k, ok := constIntOf(pass, kv.Key)
+			if !ok {
+				pass.Reportf(kv.Key.Pos(), "compat: row key is not a constant mode")
+				return
+			}
+			idx = k
+			val = kv.Value
+		}
+		inner, ok := val.(*ast.CompositeLit)
+		if !ok {
+			pass.Reportf(val.Pos(), "compat: row %s is not a composite literal", modeName(idx))
+			return
+		}
+		if idx < 0 || idx >= lockmodel.NumModes {
+			pass.Reportf(val.Pos(), "compat: row index %d out of range", idx)
+			return
+		}
+		if !decodeRow(pass, inner, &got[idx]) {
+			pass.Reportf(inner.Pos(), "compat: row %s has a non-constant cell", modeName(idx))
+			return
+		}
+		rowPos[idx] = inner
+		next = idx + 1
+	}
+
+	want := lockmodel.Expected()
+	for g := 0; g < lockmodel.NumModes; g++ {
+		for r := 0; r < lockmodel.NumModes; r++ {
+			if got[g][r] != want[g][r] {
+				pass.Reportf(rowPos[g].Pos(),
+					"compat[%s][%s] = %v, but Table 1 says %v",
+					modeName(g), modeName(r), got[g][r], want[g][r])
+			}
+		}
+	}
+	if !lockmodel.RSNeverGranted(got) {
+		pass.Reportf(lit.Pos(), "compat: RS row must be empty (RS is instant-duration, never granted)")
+	}
+	if !lockmodel.RSymmetricWithS(got) {
+		pass.Reportf(lit.Pos(), "compat: R/S compatibility must be symmetric (§4.1)")
+	}
+}
+
+func modeName(i int) string {
+	if i >= 0 && i < lockmodel.NumModes {
+		return lockmodel.ModeNames[i]
+	}
+	return "?"
+}
+
+func constIntOf(pass *analysis.Pass, e ast.Expr) (int, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return int(v), ok
+}
+
+func constBoolOf(pass *analysis.Pass, e ast.Expr) (bool, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Bool {
+		return false, false
+	}
+	return constant.BoolVal(tv.Value), true
+}

@@ -1,0 +1,12 @@
+package locktable_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/locktable"
+)
+
+func TestFixtures(t *testing.T) {
+	atest.Run(t, "testdata/src/locktable", locktable.Analyzer)
+}

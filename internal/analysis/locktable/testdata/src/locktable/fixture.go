@@ -1,0 +1,38 @@
+// Package lock is the locktable fixture: the analyzer fires on any
+// package named "lock" with a `compat` literal, so this corrupted copy
+// of Table 1 exercises the cell comparison and the structural checks
+// without touching the real matrix.
+package lock
+
+// Mode mirrors internal/lock.Mode's iota order.
+type Mode uint8
+
+// Lock modes in Table 1 order.
+const (
+	None Mode = iota
+	IS
+	IX
+	S
+	X
+	R
+	RX
+	RS
+)
+
+// compat seeds two deliberate corruptions: S×X granted (a classical
+// conflict) and R missing its S compatibility (breaking both the cell
+// check and the R/S symmetry invariant).
+var compat = [8][8]bool{ // want `compat: R/S compatibility must be symmetric`
+	IS: {IS: true, IX: true, S: true, RS: true},
+	IX: {IS: true, IX: true, RS: true},
+	S:  {IS: true, S: true, X: true, R: true}, // want `compat\[S\]\[X\] = true, but Table 1 says false`
+	X:  {},
+	R:  {R: true}, // want `compat\[R\]\[S\] = false, but Table 1 says true`
+	RX: {},
+}
+
+// Compatible keeps the matrix referenced so the fixture compiles
+// without an unused-variable diagnosis from vet-style tooling.
+func Compatible(granted, requested Mode) bool {
+	return compat[granted][requested]
+}

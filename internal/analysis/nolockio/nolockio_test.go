@@ -1,0 +1,12 @@
+package nolockio_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/nolockio"
+)
+
+func TestFixtures(t *testing.T) {
+	atest.Run(t, "testdata/src/nolockio", nolockio.Analyzer)
+}

@@ -1,0 +1,96 @@
+// Package nolockio is the analyzer fixture: stub Disk/Injector/Log
+// types carry the blocking method names the analyzer knows, and a pool
+// struct holds tracked (mu) and exempt (flushMu) mutexes.
+package nolockio
+
+import (
+	"sync"
+	"time"
+)
+
+// Injector stubs the fault-injection registry.
+type Injector struct{}
+
+// Hit stubs a fault point.
+func (i *Injector) Hit(p int) error { return nil }
+
+// Disk stubs the simulated disk.
+type Disk struct{}
+
+// Write stubs a page write.
+func (d *Disk) Write(id int, b []byte) error { return nil }
+
+// Log stubs the WAL.
+type Log struct{}
+
+// FlushTo stubs a log force.
+func (l *Log) FlushTo(lsn uint64) error { return nil }
+
+// pool mimics a buffer-pool shard with its tracked mutex, an exempt
+// flush mutex, and handles to the blocking subsystems.
+type pool struct {
+	mu      sync.Mutex
+	flushMu sync.Mutex
+	disk    *Disk
+	inj     *Injector
+	log     *Log
+}
+
+// badSleep sleeps with the shard mutex held.
+func (p *pool) badSleep() {
+	p.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep while holding p\.mu`
+	p.mu.Unlock()
+}
+
+// badWrite does disk I/O under the mutex; the deferred unlock never
+// closes the held region.
+func (p *pool) badWrite(b []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_ = p.disk.Write(1, b) // want `call to Disk\.Write while holding p\.mu`
+}
+
+// badFault hits a fault point under the mutex.
+func (p *pool) badFault() {
+	p.mu.Lock()
+	_ = p.inj.Hit(1) // want `call to Injector\.Hit while holding p\.mu`
+	p.mu.Unlock()
+}
+
+// badForce forces the log under the mutex.
+func (p *pool) badForce() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_ = p.log.FlushTo(10) // want `call to Log\.FlushTo while holding p\.mu`
+}
+
+// badLockedHelper declares via annotation that it runs with p.mu held.
+//
+//vet:holds(p.mu)
+func (p *pool) badLockedHelper(b []byte) {
+	_ = p.disk.Write(1, b) // want `call to Disk\.Write while holding p\.mu`
+}
+
+// goodUnlockFirst releases before the I/O.
+func (p *pool) goodUnlockFirst(b []byte) {
+	p.mu.Lock()
+	p.mu.Unlock()
+	_ = p.disk.Write(1, b)
+}
+
+// goodFlushMu holds only the exempt per-frame flush mutex.
+func (p *pool) goodFlushMu(b []byte) {
+	p.flushMu.Lock()
+	_ = p.disk.Write(1, b)
+	p.flushMu.Unlock()
+}
+
+// goodSuppressed holds the mutex across a write under an audited
+// annotation (no want comment: the suppression filters it).
+func (p *pool) goodSuppressed(b []byte) {
+	p.mu.Lock()
+	//vet:allow(nolockio) -- fixture: the mutex is the simulated device's own serialization
+	_ = p.disk.Write(1, b)
+	p.mu.Unlock()
+}

@@ -1,0 +1,61 @@
+// Package walrule is the analyzer fixture: stub Disk/Log types mimic
+// the storage and WAL shapes (matched by type name), with seeded
+// violations of the WAL rule.
+package walrule
+
+// Disk stubs the simulated disk.
+type Disk struct{}
+
+// Write stubs a stable page write.
+func (d *Disk) Write(id int, b []byte) error { return nil }
+
+// MarkFree stubs a stable free-map mutation.
+func (d *Disk) MarkFree(id int) error { return nil }
+
+// Log stubs the WAL.
+type Log struct{}
+
+// FlushTo stubs a log force up to an LSN.
+func (l *Log) FlushTo(lsn uint64) error { return nil }
+
+// Flush stubs a full log force.
+func (l *Log) Flush() error { return nil }
+
+// badWrite reaches stable storage without a log force.
+func badWrite(d *Disk, b []byte) {
+	_ = d.Write(1, b) // want `Disk\.Write without a preceding log force`
+}
+
+// badFree mutates the free map without a log force.
+func badFree(d *Disk) {
+	_ = d.MarkFree(2) // want `Disk\.MarkFree without a preceding log force`
+}
+
+// badOrder forces the log only after the write: order matters.
+func badOrder(d *Disk, l *Log, b []byte) {
+	_ = d.Write(3, b) // want `Disk\.Write without a preceding log force`
+	_ = l.FlushTo(10)
+}
+
+// goodWrite forces the log first.
+func goodWrite(d *Disk, l *Log, b []byte) {
+	_ = l.FlushTo(10)
+	_ = d.Write(1, b)
+}
+
+// goodClosure forces and writes inside the same retry closure, the
+// pager's flushFrame shape.
+func goodClosure(d *Disk, l *Log, b []byte) {
+	retry := func() {
+		_ = l.Flush()
+		_ = d.Write(1, b)
+	}
+	retry()
+}
+
+// goodSuppressed writes WAL-free under an audited annotation (no want
+// comment: the suppression filters it).
+func goodSuppressed(d *Disk, b []byte) {
+	//vet:allow(walrule) -- fixture: WAL-free scratch pool
+	_ = d.Write(1, b)
+}

@@ -1,0 +1,117 @@
+// Package walrule enforces the write-ahead-log rule behind forward
+// recovery (§5 of the paper; PR 1's recovery design): before a page
+// image reaches stable storage, the log must be durable up to that
+// page's pageLSN. Concretely: any function that calls Disk.Write or
+// Disk.MarkFree (the two stable-image mutations) must contain a call
+// to FlushTo (or Log.Flush) lexically preceding it — or be the Disk
+// implementation itself.
+//
+// The check is intraprocedural: a function that delegates page writes
+// to a flusher which enforces the rule (Pager.FlushPage -> flushFrame)
+// never calls Disk.Write directly and so is trivially clean. Functions
+// that legitimately write without a log force (WAL-free scratch pools)
+// carry a //vet:allow(walrule) annotation with the justification.
+package walrule
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the walrule check.
+var Analyzer = &analysis.Analyzer{
+	Name: "walrule",
+	Doc:  "stable-image writes must be dominated by a log force (WAL rule)",
+	Run:  run,
+}
+
+// stableWriters are Disk methods that mutate the stable image.
+var stableWriters = map[string]bool{"Write": true, "MarkFree": true}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if recvTypeName(pass, fd) == "Disk" {
+				continue // the disk implementation itself
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func recvTypeName(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	return namedTypeName(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type))
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Collect log forces and stable writes in source order. The whole
+	// body including closures is one region: the pager's flush runs its
+	// force and write inside the same retryIO closure.
+	var forces []token.Pos
+	var writes []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv := namedTypeName(pass.TypesInfo.TypeOf(sel.X))
+		switch sel.Sel.Name {
+		case "FlushTo":
+			forces = append(forces, call.Pos())
+		case "Flush":
+			if recv == "Log" {
+				forces = append(forces, call.Pos())
+			}
+		case "Write", "MarkFree":
+			if recv == "Disk" && stableWriters[sel.Sel.Name] {
+				writes = append(writes, call)
+			}
+		}
+		return true
+	})
+	for _, w := range writes {
+		if !precededByForce(forces, w.Pos()) {
+			sel := w.Fun.(*ast.SelectorExpr)
+			pass.Reportf(w.Pos(),
+				"Disk.%s without a preceding log force in this function (WAL rule: FlushTo before the page image reaches disk)",
+				sel.Sel.Name)
+		}
+	}
+}
+
+func precededByForce(forces []token.Pos, at token.Pos) bool {
+	for _, f := range forces {
+		if f < at {
+			return true
+		}
+	}
+	return false
+}
+
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package walrule_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/walrule"
+)
+
+func TestFixtures(t *testing.T) {
+	atest.Run(t, "testdata/src/walrule", walrule.Analyzer)
+}

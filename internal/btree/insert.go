@@ -108,7 +108,7 @@ func (t *Tree) insertSMO(tx *txn.Txn, u wal.Update) error {
 			}
 			u.Page = leaf.ID()
 			aerr := t.applyLogged(tx, leaf, u)
-			if aerr == storage.ErrPageFull {
+			if errors.Is(aerr, storage.ErrPageFull) {
 				target, serr := t.splitChild(tx, f, leaf, u.Key)
 				if serr != nil {
 					t.locks.Unlock(owner, pageRes(child))

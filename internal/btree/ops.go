@@ -1,6 +1,7 @@
 package btree
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/kv"
@@ -157,7 +158,7 @@ func (t *Tree) modify(tx *txn.Txn, u wal.Update) error {
 			return nil
 		}
 		t.pager.Unfix(leaf)
-		if err == storage.ErrPageFull {
+		if errors.Is(err, storage.ErrPageFull) {
 			smoErr := t.insertSMO(tx, u)
 			if smoErr == errRetryDescent {
 				continue

@@ -89,16 +89,22 @@ func Create(pager *storage.Pager, log *wal.Log, locks *lock.Manager, txns *txn.M
 	}
 	root, err := pager.Allocate(storage.PageInternal)
 	if err != nil {
+		pager.Unfix(anchor)
 		return nil, err
 	}
 	leaf, err := pager.Allocate(storage.PageLeaf)
 	if err != nil {
+		pager.Unfix(root)
+		pager.Unfix(anchor)
 		return nil, err
 	}
 	root.Lock()
 	root.Data().SetAux(1) // root level 1: a base page
 	if err := kv.IndexInsert(root.Data(), []byte{}, leaf.ID()); err != nil {
 		root.Unlock()
+		pager.Unfix(leaf)
+		pager.Unfix(root)
+		pager.Unfix(anchor)
 		return nil, err
 	}
 	root.Unlock()

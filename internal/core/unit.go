@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -24,7 +25,7 @@ func pageRes(id storage.PageID) lock.Resource {
 // retrying: it is always the deadlock victim (§4.1), so victimisation
 // during a descent just means "try again".
 func isTransient(err error) bool {
-	return err == lock.ErrDeadlock || err == lock.ErrTimeout
+	return errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrTimeout)
 }
 
 // retryBackoff sleeps briefly before the reorganizer retries after
@@ -77,7 +78,7 @@ func (r *Reorganizer) descendToBase(rootID storage.PageID, k []byte, mode lock.M
 // deadlock victimisation into errUnitAborted.
 func (r *Reorganizer) lockLeaf(id storage.PageID, mode lock.Mode) error {
 	err := r.tree.Locks().Lock(r.owner, pageRes(id), mode)
-	if err == lock.ErrDeadlock || err == lock.ErrTimeout {
+	if errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrTimeout) {
 		r.m.Add(metrics.UnitsDeadlocked, 1)
 		return errUnitAborted
 	}

@@ -389,7 +389,7 @@ func (s *script) verify() error {
 	}
 	v, err := s.db.Get(probeK)
 	if err != nil || !bytes.Equal(v, probeV) {
-		return fmt.Errorf("probe get: %v (val %q)", err, v)
+		return fmt.Errorf("probe get: %w (val %q)", err, v)
 	}
 	if err := s.db.Delete(probeK); err != nil {
 		return fmt.Errorf("probe delete: %w", err)

@@ -1,0 +1,40 @@
+//go:build !invariants
+
+// Package invariant is the runtime half of the reorg-vet suite: checks
+// too dynamic for static analysis (lock-order inversions across
+// goroutines, pin-count accounting across a pool's lifetime, the WAL
+// rule against the log's actual durable horizon) run live when the
+// repo is built with -tags invariants and compile to nothing
+// otherwise. Every entry point in this file is an empty function the
+// compiler inlines away; release builds pay zero cost.
+package invariant
+
+// Enabled reports whether the invariants build tag is active.
+const Enabled = false
+
+// Pins is per-pool pin accounting. The zero value is ready to use.
+type Pins struct{}
+
+// Inc records one pin on page.
+func (p *Pins) Inc(page uint64) {}
+
+// Dec records one unpin of page.
+func (p *Pins) Dec(page uint64) {}
+
+// Reset forgets all accounting (a simulated crash loses every pin).
+func (p *Pins) Reset() {}
+
+// Leaks returns the pages whose pin count is non-zero.
+func (p *Pins) Leaks() []uint64 { return nil }
+
+// LockAcquire records that the calling goroutine acquired a lock of
+// the given class.
+func LockAcquire(class string) {}
+
+// LockRelease records that the calling goroutine released a lock of
+// the given class.
+func LockRelease(class string) {}
+
+// AssertLSN checks the WAL rule: a page image may reach disk only when
+// the log is durable up to its pageLSN.
+func AssertLSN(pageLSN, durableLSN, page uint64) {}

@@ -1,0 +1,169 @@
+//go:build invariants
+
+// The invariants build: live lock-order tracking, pin accounting, and
+// WAL-rule assertions. See invariant_off.go for the package contract.
+package invariant
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Enabled reports whether the invariants build tag is active.
+const Enabled = true
+
+// Pins is per-pool pin accounting. The zero value is ready to use. It
+// shadows the frames' own pin counters with an independent ledger that
+// survives eviction, so a pin leaked on a since-evicted frame is still
+// visible at Close.
+type Pins struct {
+	mu     sync.Mutex
+	counts map[uint64]int
+}
+
+// Inc records one pin on page.
+func (p *Pins) Inc(page uint64) {
+	p.mu.Lock()
+	if p.counts == nil {
+		p.counts = make(map[uint64]int)
+	}
+	p.counts[page]++
+	p.mu.Unlock()
+}
+
+// Dec records one unpin of page.
+func (p *Pins) Dec(page uint64) {
+	p.mu.Lock()
+	if p.counts == nil {
+		p.counts = make(map[uint64]int)
+	}
+	p.counts[page]--
+	if p.counts[page] == 0 {
+		delete(p.counts, page)
+	}
+	p.mu.Unlock()
+}
+
+// Reset forgets all accounting (a simulated crash loses every pin).
+func (p *Pins) Reset() {
+	p.mu.Lock()
+	p.counts = nil
+	p.mu.Unlock()
+}
+
+// Leaks returns the pages whose pin count is non-zero, ascending.
+func (p *Pins) Leaks() []uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []uint64
+	for page, n := range p.counts {
+		if n != 0 {
+			out = append(out, page)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// The lock-order tracker: a process-wide graph of observed
+// acquisition edges between lock classes. Acquiring class B while
+// holding class A records the edge A→B; if B already reaches A in the
+// graph, two goroutines could interleave the two orders into a
+// deadlock, and the tracker panics at the acquisition that closed the
+// cycle. Same-class edges are exempt (per-instance locks of one class,
+// like the careful-write flush cascade, have their own ordering
+// arguments).
+var order = struct {
+	mu    sync.Mutex
+	held  map[uint64][]string        // goroutine id -> classes held, in order
+	edges map[string]map[string]bool // observed before-relation
+}{
+	held:  make(map[uint64][]string),
+	edges: make(map[string]map[string]bool),
+}
+
+// reachableLocked reports whether from reaches to in the edge graph.
+// Caller holds order.mu.
+func reachableLocked(from, to string, seen map[string]bool) bool {
+	if from == to {
+		return true
+	}
+	seen[from] = true
+	for next := range order.edges[from] {
+		if !seen[next] && reachableLocked(next, to, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// LockAcquire records that the calling goroutine acquired a lock of
+// the given class, panicking if the acquisition inverts an order
+// observed anywhere in the process.
+func LockAcquire(class string) {
+	g := gid()
+	order.mu.Lock()
+	defer order.mu.Unlock()
+	for _, h := range order.held[g] {
+		if h == class {
+			continue
+		}
+		if reachableLocked(class, h, map[string]bool{}) {
+			panic(fmt.Sprintf(
+				"invariant: lock-order inversion: acquiring %q while holding %q, but %q before %q was observed earlier",
+				class, h, class, h))
+		}
+		if order.edges[h] == nil {
+			order.edges[h] = make(map[string]bool)
+		}
+		order.edges[h][class] = true
+	}
+	order.held[g] = append(order.held[g], class)
+}
+
+// LockRelease records that the calling goroutine released a lock of
+// the given class (the most recent acquisition of that class).
+func LockRelease(class string) {
+	g := gid()
+	order.mu.Lock()
+	defer order.mu.Unlock()
+	s := order.held[g]
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == class {
+			order.held[g] = append(s[:i], s[i+1:]...)
+			break
+		}
+	}
+	if len(order.held[g]) == 0 {
+		delete(order.held, g)
+	}
+}
+
+// AssertLSN checks the WAL rule: a page image may reach disk only when
+// the log is durable up to its pageLSN.
+func AssertLSN(pageLSN, durableLSN, page uint64) {
+	if pageLSN > durableLSN {
+		panic(fmt.Sprintf(
+			"invariant: WAL rule violated: page %d image with pageLSN %d flushing while log durable only to %d",
+			page, pageLSN, durableLSN))
+	}
+}
+
+// gid parses the current goroutine id from the stack header
+// ("goroutine N [..."). Debug-build only; the allocation and parse are
+// far cheaper than the contention they help diagnose.
+func gid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

@@ -1,0 +1,70 @@
+//go:build invariants
+
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPinsLedger(t *testing.T) {
+	var p Pins
+	p.Inc(3)
+	p.Inc(3)
+	p.Inc(7)
+	p.Dec(3)
+	if got := p.Leaks(); len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("Leaks() = %v, want [3 7]", got)
+	}
+	p.Dec(3)
+	p.Dec(7)
+	if got := p.Leaks(); len(got) != 0 {
+		t.Fatalf("balanced ledger leaks %v", got)
+	}
+	p.Inc(9)
+	p.Reset()
+	if got := p.Leaks(); len(got) != 0 {
+		t.Fatalf("reset ledger leaks %v", got)
+	}
+}
+
+func TestLockOrderInversionPanics(t *testing.T) {
+	// Establish test.A before test.B, release, then acquire in the
+	// reverse order: the second acquisition closes the cycle.
+	LockAcquire("test.A")
+	LockAcquire("test.B")
+	LockRelease("test.B")
+	LockRelease("test.A")
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("reversed acquisition order did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "lock-order inversion") {
+			t.Fatalf("panic %v does not name the inversion", r)
+		}
+		LockRelease("test.B") // unwind tracker state for later tests
+	}()
+	LockAcquire("test.B")
+	LockAcquire("test.A")
+}
+
+func TestSameClassReentryAllowed(t *testing.T) {
+	// Per-instance locks of one class (the flush cascade) may nest.
+	LockAcquire("test.C")
+	LockAcquire("test.C")
+	LockRelease("test.C")
+	LockRelease("test.C")
+}
+
+func TestAssertLSNPanics(t *testing.T) {
+	AssertLSN(5, 5, 1) // durable exactly at pageLSN: fine
+	AssertLSN(4, 5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pageLSN ahead of durable LSN did not panic")
+		}
+	}()
+	AssertLSN(6, 5, 1)
+}

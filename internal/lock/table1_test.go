@@ -1,0 +1,72 @@
+package lock
+
+import (
+	"testing"
+
+	"repro/internal/analysis/lockmodel"
+)
+
+// TestModeOrdinalsMatchModel pins the correspondence between the
+// runtime Mode constants and the lockmodel ordinals: the locktable
+// analyzer and this package's tests index the same matrix positions,
+// so a reordering of either iota block must fail here.
+func TestModeOrdinalsMatchModel(t *testing.T) {
+	pairs := []struct {
+		mode Mode
+		ord  int
+	}{
+		{None, lockmodel.None}, {IS, lockmodel.IS}, {IX, lockmodel.IX},
+		{S, lockmodel.S}, {X, lockmodel.X}, {R, lockmodel.R},
+		{RX, lockmodel.RX}, {RS, lockmodel.RS},
+	}
+	if len(pairs) != lockmodel.NumModes {
+		t.Fatalf("model has %d modes, runtime has %d", lockmodel.NumModes, len(pairs))
+	}
+	for _, p := range pairs {
+		if int(p.mode) != p.ord {
+			t.Errorf("mode %s has ordinal %d, model says %d", p.mode, p.mode, p.ord)
+		}
+	}
+}
+
+// TestTable1MatchesModel drives Compatible over every (granted,
+// requested) pair and compares against the generated Table 1 — the
+// same model the locktable analyzer checks the compat literal against,
+// so the literal, the runtime behaviour, and the paper cannot drift
+// apart independently.
+func TestTable1MatchesModel(t *testing.T) {
+	want := lockmodel.Expected()
+	for g := 0; g < lockmodel.NumModes; g++ {
+		for r := 0; r < lockmodel.NumModes; r++ {
+			got := Compatible(Mode(g), Mode(r))
+			expect := want[g][r]
+			if Mode(g) == None {
+				// Nothing held: every request is grantable. The model
+				// leaves the None row false because Table 1 has no such
+				// row; the runtime short-circuits it.
+				expect = true
+			}
+			if got != expect {
+				t.Errorf("Compatible(%s, %s) = %v, Table 1 says %v",
+					Mode(g), Mode(r), got, expect)
+			}
+		}
+	}
+}
+
+// TestTable1StructuralInvariants re-checks the two prose constraints of
+// §4.1 against the runtime directly.
+func TestTable1StructuralInvariants(t *testing.T) {
+	for r := 0; r < lockmodel.NumModes; r++ {
+		if Compatible(RS, Mode(r)) {
+			t.Errorf("Compatible(RS, %s) = true; RS is instant-duration and never granted", Mode(r))
+		}
+	}
+	if Compatible(R, S) != Compatible(S, R) {
+		t.Errorf("R/S compatibility is asymmetric: Compatible(R,S)=%v Compatible(S,R)=%v",
+			Compatible(R, S), Compatible(S, R))
+	}
+	if !Compatible(R, S) {
+		t.Error("Compatible(R, S) = false; the paper states R is compatible with S")
+	}
+}

@@ -95,6 +95,7 @@ func (d *Disk) Read(id PageID, buf []byte) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	//vet:allow(nolockio) -- d.mu is the simulated device's own serialization; the fault point models the device itself
 	if err := d.inj.Hit(fault.DiskRead); err != nil {
 		return fmt.Errorf("storage: read page %d: %w", id, err)
 	}
@@ -129,6 +130,7 @@ func (d *Disk) Write(id PageID, data []byte) error {
 	}
 	// disk.write is tear-capable: a torn crash makes only the first
 	// half of the new image stable before the failure.
+	//vet:allow(nolockio) -- d.mu is the simulated device's own serialization; the fault point models the device itself
 	if err := d.inj.HitTorn(fault.DiskWrite, func() {
 		copy(d.pages[id][:d.pageSize/2], data[:d.pageSize/2])
 	}); err != nil {

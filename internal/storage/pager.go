@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/invariant"
 )
 
 // ErrIO reports a permanent I/O failure: every retry of a transient
@@ -132,6 +133,10 @@ type Pager struct {
 	rngMu    sync.Mutex
 	retryRNG *rand.Rand
 
+	// pins is the invariants-build pin ledger (a zero-cost empty struct
+	// in release builds); Close cross-checks it against the frames.
+	pins invariant.Pins
+
 	stats PoolStats
 }
 
@@ -198,10 +203,19 @@ func (p *Pager) shardFor(id PageID) *shard {
 // lock acquires the shard mutex, counting contended acquisitions.
 func (s *shard) lock(st *PoolStats) {
 	if s.mu.TryLock() {
+		invariant.LockAcquire("storage.shard")
 		return
 	}
 	st.ShardContention.Add(1)
 	s.mu.Lock()
+	invariant.LockAcquire("storage.shard")
+}
+
+// unlock releases the shard mutex (and, under the invariants build,
+// pops the lock-order tracker).
+func (s *shard) unlock() {
+	s.mu.Unlock()
+	invariant.LockRelease("storage.shard")
 }
 
 // insert publishes f in the shard's table and clock ring. Caller holds
@@ -298,7 +312,9 @@ func (p *Pager) FreeMap() *FreeMap {
 // (lo, hi), or InvalidPage, under the allocation lock.
 func (p *Pager) FirstFreeIn(lo, hi PageID) PageID {
 	p.allocMu.Lock()
+	invariant.LockAcquire("storage.alloc")
 	defer p.allocMu.Unlock()
+	defer invariant.LockRelease("storage.alloc")
 	return p.free.FirstFreeIn(lo, hi)
 }
 
@@ -307,7 +323,7 @@ func (p *Pager) lookup(id PageID) *Frame {
 	sh := p.shardFor(id)
 	sh.lock(&p.stats)
 	f := sh.frames[id]
-	sh.mu.Unlock()
+	sh.unlock()
 	return f
 }
 
@@ -323,8 +339,9 @@ func (p *Pager) Fix(id PageID) (*Frame, error) {
 		sh.lock(&p.stats)
 		if f, ok := sh.frames[id]; ok {
 			f.pin.Add(1)
+			p.pins.Inc(uint64(id))
 			f.ref = true
-			sh.mu.Unlock()
+			sh.unlock()
 			p.stats.Hits.Add(1)
 			if f.loading.Load() {
 				// A concurrent fixer is mid-read and holds the write
@@ -334,6 +351,7 @@ func (p *Pager) Fix(id PageID) (*Frame, error) {
 				f.RUnlock()
 				if err != nil {
 					f.pin.Add(-1)
+					p.pins.Dec(uint64(id))
 					return nil, err
 				}
 			}
@@ -351,10 +369,11 @@ func (p *Pager) Fix(id PageID) (*Frame, error) {
 		// read to finish before seeing the bytes.
 		f := &Frame{id: id, data: make(Page, p.disk.PageSize())}
 		f.pin.Store(1)
+		p.pins.Inc(uint64(id))
 		f.loading.Store(true)
 		f.Lock()
 		sh.insert(f)
-		sh.mu.Unlock()
+		sh.unlock()
 		p.stats.Misses.Add(1)
 
 		// The read (and any transient-fault backoff) runs outside every
@@ -365,7 +384,8 @@ func (p *Pager) Fix(id PageID) (*Frame, error) {
 		if err != nil {
 			sh.lock(&p.stats)
 			sh.remove(f)
-			sh.mu.Unlock()
+			sh.unlock()
+			p.pins.Dec(uint64(id))
 			f.loadErr = err
 			f.loading.Store(false)
 			f.Unlock()
@@ -382,6 +402,7 @@ func (p *Pager) Unfix(f *Frame) {
 	if f.pin.Add(-1) < 0 {
 		panic(fmt.Sprintf("storage: unfix of unpinned page %d", f.id))
 	}
+	p.pins.Dec(uint64(f.id))
 }
 
 // MarkDirty records that the frame was modified under lsn. The caller
@@ -414,7 +435,7 @@ func (p *Pager) makeRoom(sh *shard) (held, grow bool) {
 	// down; a concurrent Fix may still resurrect it, which the
 	// post-flush re-check honours.
 	f.evicting = true
-	sh.mu.Unlock()
+	sh.unlock()
 
 	var flushErr error
 	faulted := p.injector().Hit(fault.PagerEvict) != nil
@@ -432,7 +453,7 @@ func (p *Pager) makeRoom(sh *shard) (held, grow bool) {
 		sh.remove(f)
 		p.stats.Evictions.Add(1)
 	}
-	sh.mu.Unlock()
+	sh.unlock()
 	return false, faulted || flushErr != nil
 }
 
@@ -442,7 +463,9 @@ func (p *Pager) makeRoom(sh *shard) (held, grow bool) {
 // because the source page image cannot overtake the destination page.
 func (p *Pager) AddWriteDep(page, dependsOn PageID) {
 	p.depMu.Lock()
+	invariant.LockAcquire("storage.dep")
 	defer p.depMu.Unlock()
+	defer invariant.LockRelease("storage.dep")
 	s, ok := p.deps[page]
 	if !ok {
 		s = make(map[PageID]struct{})
@@ -455,14 +478,18 @@ func (p *Pager) AddWriteDep(page, dependsOn PageID) {
 // (deterministic flush cascades for the crash sweep).
 func (p *Pager) snapshotDeps(page PageID) []PageID {
 	p.depMu.Lock()
+	invariant.LockAcquire("storage.dep")
 	defer p.depMu.Unlock()
+	defer invariant.LockRelease("storage.dep")
 	return sortedDeps(p.deps[page])
 }
 
 // clearDep removes one satisfied dependency edge.
 func (p *Pager) clearDep(page, dep PageID) {
 	p.depMu.Lock()
+	invariant.LockAcquire("storage.dep")
 	defer p.depMu.Unlock()
+	defer invariant.LockRelease("storage.dep")
 	if s, ok := p.deps[page]; ok {
 		delete(s, dep)
 		if len(s) == 0 {
@@ -474,7 +501,9 @@ func (p *Pager) clearDep(page, dep PageID) {
 // hasDeps reports whether page still has unsatisfied dependencies.
 func (p *Pager) hasDeps(page PageID) bool {
 	p.depMu.Lock()
+	invariant.LockAcquire("storage.dep")
 	defer p.depMu.Unlock()
+	defer invariant.LockRelease("storage.dep")
 	return len(p.deps[page]) > 0
 }
 
@@ -523,7 +552,7 @@ func (p *Pager) flushFrame(f *Frame, visiting map[PageID]bool) error {
 	sh := p.shardFor(f.id)
 	sh.lock(&p.stats)
 	resident := sh.frames[f.id] == f
-	sh.mu.Unlock()
+	sh.unlock()
 	if !resident {
 		return nil
 	}
@@ -544,6 +573,11 @@ func (p *Pager) flushFrame(f *Frame, visiting map[PageID]bool) error {
 		if p.wal != nil {
 			if err := p.wal.FlushTo(lsn); err != nil {
 				return err
+			}
+			if invariant.Enabled {
+				if d, ok := p.wal.(interface{ DurableLSN() uint64 }); ok {
+					invariant.AssertLSN(lsn, d.DurableLSN(), uint64(f.id))
+				}
 			}
 		}
 		return p.disk.Write(f.id, img)
@@ -591,7 +625,7 @@ func (p *Pager) FlushAll() error {
 				ids = append(ids, id)
 			}
 		}
-		sh.mu.Unlock()
+		sh.unlock()
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
@@ -606,12 +640,45 @@ func (p *Pager) FlushAll() error {
 	return nil
 }
 
+// Close verifies the pool is quiescent: every pin taken must have been
+// released. It reports leaked pins as an error naming the pages, from
+// both the resident frames and (under the invariants build) the pin
+// ledger, which still remembers pins on frames that were since removed
+// from the table. Close does not flush; callers wanting durability run
+// FlushAll first.
+func (p *Pager) Close() error {
+	leaked := make(map[PageID]bool)
+	for _, sh := range p.shards {
+		sh.lock(&p.stats)
+		for id, f := range sh.frames {
+			if f.pin.Load() > 0 {
+				leaked[id] = true
+			}
+		}
+		sh.unlock()
+	}
+	for _, page := range p.pins.Leaks() {
+		leaked[PageID(page)] = true
+	}
+	if len(leaked) == 0 {
+		return nil
+	}
+	ids := make([]PageID, 0, len(leaked))
+	for id := range leaked {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return fmt.Errorf("storage: close with leaked pins on pages %v", ids)
+}
+
 // Allocate reserves the lowest free page id and returns a pinned,
 // formatted frame for it. The allocation itself is volatile until the
 // caller logs it (or the page is flushed).
 func (p *Pager) Allocate(typ PageType) (*Frame, error) {
 	p.allocMu.Lock()
+	invariant.LockAcquire("storage.alloc")
 	id := p.free.Allocate()
+	invariant.LockRelease("storage.alloc")
 	p.allocMu.Unlock()
 	return p.fixFresh(id, typ)
 }
@@ -620,7 +687,9 @@ func (p *Pager) Allocate(typ PageType) (*Frame, error) {
 // internal pages live in their own region, per §6 of the paper).
 func (p *Pager) AllocateEnd(typ PageType) (*Frame, error) {
 	p.allocMu.Lock()
+	invariant.LockAcquire("storage.alloc")
 	id := p.free.AllocateEnd()
+	invariant.LockRelease("storage.alloc")
 	p.allocMu.Unlock()
 	return p.fixFresh(id, typ)
 }
@@ -630,12 +699,15 @@ func (p *Pager) AllocateEnd(typ PageType) (*Frame, error) {
 // page. This is Find-Free-Space's placement primitive.
 func (p *Pager) AllocateIn(lo, hi PageID, typ PageType) (*Frame, error) {
 	p.allocMu.Lock()
+	invariant.LockAcquire("storage.alloc")
 	id := p.free.FirstFreeIn(lo, hi)
 	if id == InvalidPage {
+		invariant.LockRelease("storage.alloc")
 		p.allocMu.Unlock()
 		return nil, nil
 	}
 	p.free.MarkAllocated(id)
+	invariant.LockRelease("storage.alloc")
 	p.allocMu.Unlock()
 	return p.fixFresh(id, typ)
 }
@@ -644,10 +716,13 @@ func (p *Pager) AllocateIn(lo, hi PageID, typ PageType) (*Frame, error) {
 // allocation). It fails if the page is already in use.
 func (p *Pager) AllocateAt(id PageID, typ PageType) (*Frame, error) {
 	p.allocMu.Lock()
+	invariant.LockAcquire("storage.alloc")
 	if !p.free.AllocateAt(id) {
+		invariant.LockRelease("storage.alloc")
 		p.allocMu.Unlock()
 		return nil, fmt.Errorf("storage: page %d already allocated", id)
 	}
+	invariant.LockRelease("storage.alloc")
 	p.allocMu.Unlock()
 	return p.fixFresh(id, typ)
 }
@@ -661,12 +736,13 @@ func (p *Pager) fixFresh(id PageID, typ PageType) (*Frame, error) {
 			// A stale frame for a freed page can linger after recovery
 			// reads; reuse it. A pinned frame is a real allocation bug.
 			if f.pin.Load() > 0 {
-				sh.mu.Unlock()
+				sh.unlock()
 				return nil, fmt.Errorf("storage: fresh page %d already resident and pinned", id)
 			}
 			f.pin.Add(1)
+			p.pins.Inc(uint64(id))
 			f.ref = true
-			sh.mu.Unlock()
+			sh.unlock()
 			f.Lock()
 			FormatPage(f.data, typ, id)
 			f.Unlock()
@@ -682,10 +758,11 @@ func (p *Pager) fixFresh(id PageID, typ PageType) (*Frame, error) {
 		}
 		f := &Frame{id: id, data: make(Page, p.disk.PageSize())}
 		f.pin.Store(1)
+		p.pins.Inc(uint64(id))
 		f.dirty.Store(true)
 		FormatPage(f.data, typ, id)
 		sh.insert(f)
-		sh.mu.Unlock()
+		sh.unlock()
 		return f, nil
 	}
 }
@@ -702,10 +779,10 @@ func (p *Pager) Deallocate(id PageID, lsn uint64) error {
 	sh.lock(&p.stats)
 	f := sh.frames[id]
 	if f != nil && f.pin.Load() > 0 {
-		sh.mu.Unlock()
+		sh.unlock()
 		return fmt.Errorf("storage: deallocate of pinned page %d", id)
 	}
-	sh.mu.Unlock()
+	sh.unlock()
 
 	// Flush the pages this one depends on (its copied-out contents).
 	for _, dep := range p.snapshotDeps(id) {
@@ -726,13 +803,13 @@ func (p *Pager) Deallocate(id PageID, lsn uint64) error {
 		sh.lock(&p.stats)
 		if sh.frames[id] == f {
 			if f.pin.Load() > 0 {
-				sh.mu.Unlock()
+				sh.unlock()
 				f.flushMu.Unlock()
 				return fmt.Errorf("storage: deallocate of pinned page %d", id)
 			}
 			sh.remove(f)
 		}
-		sh.mu.Unlock()
+		sh.unlock()
 		f.flushMu.Unlock()
 	}
 
@@ -748,7 +825,9 @@ func (p *Pager) Deallocate(id PageID, lsn uint64) error {
 	p.disk.MarkFree(id, lsn)
 
 	p.allocMu.Lock()
+	invariant.LockAcquire("storage.alloc")
 	p.free.Free(id)
+	invariant.LockRelease("storage.alloc")
 	p.allocMu.Unlock()
 	return nil
 }
@@ -763,14 +842,19 @@ func (p *Pager) Crash() {
 		sh.ring = nil
 		sh.slots = nil
 		sh.hand = 0
-		sh.mu.Unlock()
+		sh.unlock()
 	}
 	p.depMu.Lock()
+	invariant.LockAcquire("storage.dep")
 	p.deps = make(map[PageID]map[PageID]struct{})
+	invariant.LockRelease("storage.dep")
 	p.depMu.Unlock()
 	p.allocMu.Lock()
+	invariant.LockAcquire("storage.alloc")
 	p.free = NewFreeMap()
+	invariant.LockRelease("storage.alloc")
 	p.allocMu.Unlock()
+	p.pins.Reset()
 }
 
 // RebuildFreeMap reconstructs the allocation map from the stable page
@@ -778,7 +862,9 @@ func (p *Pager) Crash() {
 func (p *Pager) RebuildFreeMap() {
 	types := p.disk.ScanTypes()
 	p.allocMu.Lock()
+	invariant.LockAcquire("storage.alloc")
 	defer p.allocMu.Unlock()
+	defer invariant.LockRelease("storage.alloc")
 	p.free = NewFreeMap()
 	for i, t := range types {
 		if i == 0 {

@@ -114,6 +114,7 @@ func (l *Log) Append(r Record) LSN {
 	// device stays dead past the retry budget the system must halt —
 	// fail-stop is the only sound response to an unwritable log.
 	for attempt := 0; ; attempt++ {
+		//vet:allow(nolockio) -- l.mu is the simulated log device's own serialization; crash faults panic and never return here
 		err := l.inj.Hit(fault.WALAppend)
 		if err == nil {
 			break
@@ -156,6 +157,16 @@ func (l *Log) FlushTo(lsn LSN) error {
 		return fmt.Errorf("wal: flush beyond tail (lsn %d, tail %d)", lsn, len(l.buf)+1)
 	}
 	return l.groupForce(func() bool { return start < l.flushed })
+}
+
+// DurableLSN returns the highest LSN known durable: every record whose
+// LSN is at most the result has reached stable storage (the same
+// predicate FlushTo waits on). The invariants build uses it to assert
+// the WAL rule on every page flush.
+func (l *Log) DurableLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return uint64(l.flushed)
 }
 
 // Flush forces the entire log.
@@ -225,6 +236,7 @@ func (l *Log) forceLocked() error {
 			l.retryBackoff(attempt)
 			l.mu.Lock()
 		}
+		//vet:allow(nolockio) -- l.mu is the simulated log device's own serialization; the fault point models the device itself
 		err = l.inj.HitTorn(fault.WALForce, func() {
 			// Torn force: only the first half of the tail became durable.
 			l.flushed += (len(l.buf) - l.flushed) / 2

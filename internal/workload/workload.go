@@ -5,12 +5,15 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/kv"
 )
 
 // Key formats record key i (zero-padded so byte order == numeric
@@ -168,9 +171,10 @@ func RunClients(s Store, clients int, opsPerClient int, mix Mix,
 				switch {
 				case p < mix.GetPct:
 					_, gerr := s.Get(Key(rng.Intn(keySpace)))
-					if gerr != nil && gerr.Error() != "" {
-						// missing keys are expected in sparse trees
-						err = nil
+					// Missing keys are expected in sparse trees; any
+					// other Get failure is a real error.
+					if gerr != nil && !errors.Is(gerr, kv.ErrNotFound) {
+						err = gerr
 					}
 				case p < mix.GetPct+mix.InsertPct:
 					id := int(freshKey.Add(1))

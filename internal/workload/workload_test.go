@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/kv"
 )
 
 // memStore is a thread-safe map implementing Store for generator tests.
@@ -40,7 +42,7 @@ func (s *memStore) Get(k []byte) ([]byte, error) {
 	defer s.mu.Unlock()
 	v, ok := s.m[string(k)]
 	if !ok {
-		return nil, fmt.Errorf("missing")
+		return nil, fmt.Errorf("get %q: %w", k, kv.ErrNotFound)
 	}
 	return v, nil
 }
