@@ -9,10 +9,18 @@
 //
 //	reorg-bench [-exp all|e1|e2|...|e10] [-records N] [-pagesize N]
 //	reorg-bench -sweep [-stride N] [-maxruns N]
+//	reorg-bench -check [-seed N] [-histories N] [-crashes N] [-crashhit N]
 //
 // The -sweep mode runs experiment E5b instead: the exhaustive
 // crash-schedule sweep over every fault-point hit of a scripted
 // reorganization (see internal/fault/sweep).
+//
+// The -check mode runs the deterministic property-check harness
+// (internal/check): a clean reorg-equivalence run with the structure
+// oracle at every pass boundary, a budget of random concurrent
+// histories verified for linearizability, and a spread of crash-point
+// equivalence schedules. Every failure prints a one-line repro command
+// whose flags match this binary exactly.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/experiments"
 	"repro/internal/fault/sweep"
 )
@@ -37,10 +46,21 @@ func main() {
 	gcWindow := flag.Duration("gcwindow", 0, "e10: group-commit window (0 = coalesce in-flight only)")
 	stride := flag.Int("stride", 1, "sweep: crash at every stride-th hit")
 	maxRuns := flag.Int("maxruns", 0, "sweep: cap on crash runs (0 = all)")
+	doCheck := flag.Bool("check", false, "run the property-check harness and exit")
+	histories := flag.Int("histories", 100, "check: random concurrent histories to verify (0 = none)")
+	crashes := flag.Int("crashes", 10, "check: crash-point equivalence schedules (0 = none)")
+	crashHit := flag.Int("crashhit", 0, "check: run one equivalence crash repro at this fault-point hit")
+	clients := flag.Int("clients", 0, "check: override derived history client count")
+	opsPer := flag.Int("ops", 0, "check: override derived history ops-per-client")
+	noShrink := flag.Bool("noshrink", false, "check: skip shrinking failing histories")
 	flag.Parse()
 
 	if *doSweep {
 		runSweep(*stride, *maxRuns)
+		return
+	}
+	if *doCheck {
+		runCheck(*seed, *histories, *crashes, *crashHit, *clients, *opsPer, !*noShrink)
 		return
 	}
 
@@ -122,6 +142,47 @@ func main() {
 		_, _ = experiments.E10Table(rows).WriteTo(out)
 	}
 	fmt.Fprintf(out, "\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runCheck executes the property-check harness. A crashhit > 0 runs a
+// single equivalence crash repro; otherwise the full smoke budget.
+// Exits non-zero on any violation, after printing the repro line.
+func runCheck(seed int64, histories, crashes, crashHit, clients, opsPer int, shrink bool) {
+	start := time.Now()
+	if crashHit > 0 {
+		res, err := check.Equiv(check.EquivConfig{Seed: seed, CrashHit: crashHit})
+		if err != nil {
+			log.Fatalf("check: crash repro (seed %d, hit %d): %v", seed, crashHit, err)
+		}
+		fmt.Printf("check: crash repro ok (seed %d, hit %d): crashed=%v restarts=%d side=%d records=%d (%v)\n",
+			seed, crashHit, res.Crashed, res.Restarts, res.SideApplied, res.Records,
+			time.Since(start).Round(time.Millisecond))
+		return
+	}
+	cfg := check.SmokeConfig{
+		Seed:           seed,
+		Histories:      histories,
+		CrashSchedules: crashes,
+		Shrink:         shrink,
+		HistoryClients: clients,
+		HistoryOps:     opsPer,
+		Logf:           log.Printf,
+	}
+	// Flag value 0 means "run none"; SmokeConfig uses negative for that
+	// (its zero value selects the default budget).
+	if histories == 0 {
+		cfg.Histories = -1
+	}
+	if crashes == 0 {
+		cfg.CrashSchedules = -1
+	}
+	res, err := check.Smoke(cfg)
+	if err != nil {
+		log.Fatalf("check: %v", err)
+	}
+	fmt.Printf("check: ok — %d histories linearizable, %d crash schedules equivalent (%d fault-point hits), %d side-file applies (%v)\n",
+		res.Histories, res.CrashRuns, res.Hits, res.SideApplied,
+		time.Since(start).Round(time.Millisecond))
 }
 
 // runSweep executes E5b: enumerate every fault-point hit in the

@@ -1,0 +1,497 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// EquivConfig shapes one equivalence experiment: the same seeded,
+// idempotent mutation program is executed on a database that
+// reorganizes mid-stream (optionally crashing at a chosen fault-point
+// hit and recovering forward) and on a reference database that never
+// reorganizes. Both must end with identical contents, and both must
+// satisfy the structure oracle.
+type EquivConfig struct {
+	Seed       int64
+	Records    int     // initial sequential load (default 240)
+	KeepEvery  int     // sparsify: keep every n-th key (default 3)
+	SegOps     int     // mutations per segment, 2 segments (default 40)
+	CatchupOps int     // mutations injected at pass3.built (default 10)
+	ValueSize  int     // value bytes (default 24)
+	PageSize   int     // page size (default 512)
+	BufferPool int     // resident frames, 0 = unbounded (default 8)
+	TargetFill float64 // reorganizer fill target (default 0.9)
+	// CrashHit > 0 arms a crash at exactly that post-Open fault-point
+	// hit of the reorganizing run; the run then restarts, recovers and
+	// resumes the program. Use EquivHits to learn the schedule size.
+	CrashHit int
+	Torn     bool
+}
+
+func (c EquivConfig) withDefaults() EquivConfig {
+	if c.Records <= 0 {
+		c.Records = 240
+	}
+	if c.KeepEvery <= 0 {
+		c.KeepEvery = 3
+	}
+	if c.SegOps <= 0 {
+		c.SegOps = 40
+	}
+	if c.CatchupOps <= 0 {
+		c.CatchupOps = 16
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 24
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = 512
+	}
+	if c.BufferPool < 0 {
+		c.BufferPool = 0
+	} else if c.BufferPool == 0 {
+		c.BufferPool = 8
+	}
+	if c.TargetFill <= 0 {
+		c.TargetFill = 0.9
+	}
+	return c
+}
+
+// EquivResult reports what one experiment did.
+type EquivResult struct {
+	Crashed     bool   // the armed crash fired
+	Restarts    int    // restarts performed (0 or 1)
+	SideApplied int64  // side-file entries replayed into the new tree
+	Records     int    // final record count (both databases)
+	CrashPoint  string // fault point the armed crash fired at
+	CrashStep   string // program step that was interrupted
+}
+
+// program is the pure, pre-generated op list: everything the run does
+// is derived from the seed BEFORE execution, so a crashed run can
+// resume by re-running its interrupted step — every mutation is an
+// idempotent upsert or a tolerant delete.
+type program struct {
+	cfg               EquivConfig
+	seg1, catch, seg2 []workload.Op
+}
+
+func buildProgram(cfg EquivConfig) *program {
+	keySpace := cfg.Records + cfg.Records/2 // headroom: puts create new keys
+	g := workload.NewOpGen(cfg.Seed, keySpace, workload.OpMix{PutPct: 55, DeletePct: 45})
+	p := &program{
+		cfg:   cfg,
+		seg1:  g.Take(cfg.SegOps),
+		catch: g.Take(cfg.CatchupOps),
+		seg2:  g.Take(cfg.SegOps),
+	}
+	// Remap the leading catch-up ops to fresh, ascending high keys: they
+	// all land in the tree's last leaf, and enough of them overflow one
+	// page no matter how empty the compaction remainder left it — so at
+	// least one split (a base change) is guaranteed to flow through the
+	// side file on every seed.
+	splitNeed := (cfg.PageSize-storage.HeaderSize)/(cfg.ValueSize+20) + 2
+	if splitNeed > len(p.catch) {
+		splitNeed = len(p.catch)
+	}
+	for i := 0; i < splitNeed; i++ {
+		p.catch[i].Kind = workload.OpPut
+		p.catch[i].Key = keySpace + i
+	}
+	return p
+}
+
+// applyOp executes one program op against a database. Put and Delete
+// are the only kinds the equivalence mix generates; both converge when
+// re-executed after a crash.
+func applyOp(db *repro.DB, op workload.Op, valueSize int) error {
+	key := workload.Key(op.Key)
+	switch op.Kind {
+	case workload.OpPut:
+		return put(db, key, ValueFor(op.Key, op.Gen, valueSize))
+	case workload.OpDelete:
+		if err := db.Delete(key); err != nil && !errors.Is(err, repro.ErrNotFound) {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("check: equivalence program op %v", op.Kind)
+	}
+}
+
+// model applies the whole program to a plain map — the ground truth
+// both databases must match.
+func (p *program) model() map[string]string {
+	m := make(map[string]string)
+	for i := 0; i < p.cfg.Records; i++ {
+		m[string(workload.Key(i))] = string(ValueFor(i, 0, p.cfg.ValueSize))
+	}
+	for i := 0; i < p.cfg.Records; i++ {
+		if i%p.cfg.KeepEvery != 0 {
+			delete(m, string(workload.Key(i)))
+		}
+	}
+	for _, seg := range [][]workload.Op{p.seg1, p.catch, p.seg2} {
+		for _, op := range seg {
+			k := string(workload.Key(op.Key))
+			switch op.Kind {
+			case workload.OpPut:
+				m[k] = string(ValueFor(op.Key, op.Gen, p.cfg.ValueSize))
+			case workload.OpDelete:
+				delete(m, k)
+			}
+		}
+	}
+	return m
+}
+
+// equivRun executes the program on one database, step by step. cursor
+// tracks consumed catch-up ops across crash/restart so each is applied
+// at least once and in order.
+type equivRun struct {
+	db     *repro.DB
+	prog   *program
+	cursor int
+	hits   int64 // post-Open fault-point hits consumed (enumeration)
+	result EquivResult
+}
+
+func (r *equivRun) load() error {
+	cfg := r.prog.cfg
+	for i := 0; i < cfg.Records; i++ {
+		if err := put(r.db, workload.Key(i), ValueFor(i, 0, cfg.ValueSize)); err != nil {
+			return fmt.Errorf("load %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (r *equivRun) sparsify() error {
+	cfg := r.prog.cfg
+	for i := 0; i < cfg.Records; i++ {
+		if i%cfg.KeepEvery == 0 {
+			continue
+		}
+		err := r.db.Delete(workload.Key(i))
+		if err != nil && !errors.Is(err, repro.ErrNotFound) {
+			return fmt.Errorf("sparsify %d: %w", i, err)
+		}
+	}
+	return r.db.Checkpoint()
+}
+
+func (r *equivRun) segment(ops []workload.Op) error {
+	for _, op := range ops {
+		if err := applyOp(r.db, op, r.prog.cfg.ValueSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyCatchup consumes catch-up ops from the shared cursor (from the
+// pass3.built hook on the reorganizing run; directly on the reference).
+func (r *equivRun) applyCatchup() error {
+	for r.cursor < len(r.prog.catch) {
+		op := r.prog.catch[r.cursor]
+		if err := applyOp(r.db, op, r.prog.cfg.ValueSize); err != nil {
+			return err
+		}
+		r.cursor++ // only after success: a crashed apply re-runs
+	}
+	return nil
+}
+
+// pass1 compacts and then audits: no adjacent pair under one base may
+// be mergeable.
+func (r *equivRun) pass1() error {
+	rcfg := r.reorgConfig()
+	if err := r.db.Reorganizer(rcfg).CompactLeaves(); err != nil {
+		return fmt.Errorf("pass1: %w", err)
+	}
+	rep := TreeWith(r.db, TreeOptions{MergeableFill: rcfg.TargetFill})
+	if err := rep.Err(); err != nil {
+		return fmt.Errorf("after pass1: %w", err)
+	}
+	return nil
+}
+
+// pass2 sorts leaves into disk key order and audits contiguity plus
+// the seek model.
+func (r *equivRun) pass2() error {
+	rcfg := r.reorgConfig()
+	if err := r.db.Reorganizer(rcfg).SwapLeaves(); err != nil {
+		return fmt.Errorf("pass2: %w", err)
+	}
+	rep := TreeWith(r.db, TreeOptions{
+		MergeableFill:    rcfg.TargetFill,
+		ExpectContiguous: true,
+	})
+	if err := rep.Err(); err != nil {
+		return fmt.Errorf("after pass2: %w", err)
+	}
+	return nil
+}
+
+// pass3 rebuilds the internal levels while the catch-up ops run from
+// the pass3.built hook — after every base has been read, so each one's
+// base change flows through the side file and the drain rounds.
+func (r *equivRun) pass3() error {
+	rcfg := r.reorgConfig()
+	var hookErr error
+	rcfg.OnEvent = func(stage string) error {
+		if stage != "pass3.built" {
+			return nil
+		}
+		if err := r.applyCatchup(); err != nil {
+			hookErr = err
+			return err
+		}
+		return nil
+	}
+	reorg := r.db.Reorganizer(rcfg)
+	if err := reorg.RebuildInternal(); err != nil {
+		if hookErr != nil {
+			return fmt.Errorf("pass3 catch-up: %w", hookErr)
+		}
+		return fmt.Errorf("pass3: %w", err)
+	}
+	r.result.SideApplied += reorg.Metrics().Get(metrics.Pass3SideApply)
+	return nil
+}
+
+func (r *equivRun) reorgConfig() repro.ReorgConfig {
+	rcfg := repro.DefaultReorgConfig()
+	rcfg.TargetFill = r.prog.cfg.TargetFill
+	return rcfg
+}
+
+// runReorg executes the program on a reorganizing database. When
+// cfg.CrashHit > 0, a crash is armed at that fault-point hit; the run
+// then crashes once, restarts (redo + forward recovery), re-runs the
+// interrupted step and finishes the program.
+func runReorg(cfg EquivConfig, prog *program, inj *fault.Injector) (*equivRun, error) {
+	db, err := repro.Open(repro.Options{
+		PageSize:        cfg.PageSize,
+		BufferPoolPages: cfg.BufferPool,
+		FaultInjector:   inj,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &equivRun{db: db, prog: prog}
+	startSeq := inj.Seq() // Open runs uninjected; hits index from here
+	if cfg.CrashHit > 0 {
+		inj.ArmCrashAtSeq(startSeq+int64(cfg.CrashHit), cfg.Torn)
+	}
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"load", r.load},
+		{"sparsify", r.sparsify},
+		{"seg1", func() error { return r.segment(prog.seg1) }},
+		{"pass1", r.pass1},
+		{"pass2", r.pass2},
+		{"pass3", r.pass3},
+		// Safety net: if recovery abandoned pass 3 after the hook had
+		// stopped firing, unconsumed catch-up ops are applied here.
+		{"catchup-rest", r.applyCatchup},
+		{"seg2", func() error { return r.segment(prog.seg2) }},
+	}
+	for i := 0; i < len(steps); {
+		crash, err := fault.Catch(steps[i].fn)
+		if err != nil {
+			return r, fmt.Errorf("step %s: %w", steps[i].name, err)
+		}
+		if crash != nil {
+			if r.result.Restarts > 0 {
+				return r, fmt.Errorf("step %s: second crash with injector disarmed", steps[i].name)
+			}
+			inj.Disarm() // recovery and the resumed program run clean
+			db.Crash()
+			if _, err := db.Restart(); err != nil {
+				return r, fmt.Errorf("restart after crash in %s: %w", steps[i].name, err)
+			}
+			r.result.Crashed = true
+			r.result.Restarts++
+			r.result.CrashPoint = crash.Point
+			r.result.CrashStep = steps[i].name
+			continue // idempotent: re-run the interrupted step
+		}
+		i++
+	}
+	r.hits = inj.Seq() - startSeq
+	return r, nil
+}
+
+// runReference executes the program without any reorganization.
+func runReference(cfg EquivConfig, prog *program) (*equivRun, error) {
+	db, err := repro.Open(repro.Options{
+		PageSize:        cfg.PageSize,
+		BufferPoolPages: cfg.BufferPool,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &equivRun{db: db, prog: prog}
+	for _, step := range []func() error{
+		r.load, r.sparsify,
+		func() error { return r.segment(prog.seg1) },
+		r.applyCatchup,
+		func() error { return r.segment(prog.seg2) },
+	} {
+		if err := step(); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+// collect reads a database's full contents.
+func collect(db *repro.DB) (map[string]string, error) {
+	keys, vals, err := db.Tree().CollectAll()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]string, len(keys))
+	for i := range keys {
+		m[string(keys[i])] = string(vals[i])
+	}
+	return m, nil
+}
+
+// diffContents returns a compact description of the first few
+// divergences between two content maps.
+func diffContents(wantName, gotName string, want, got map[string]string) error {
+	var diffs []string
+	keys := make(map[string]bool, len(want)+len(got))
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	ordered := make([]string, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+	for _, k := range ordered {
+		w, inW := want[k]
+		g, inG := got[k]
+		switch {
+		case inW && !inG:
+			diffs = append(diffs, fmt.Sprintf("key %q only in %s", k, wantName))
+		case !inW && inG:
+			diffs = append(diffs, fmt.Sprintf("key %q only in %s", k, gotName))
+		case w != g:
+			diffs = append(diffs, fmt.Sprintf("key %q: %s=%q %s=%q", k, wantName, w, gotName, g))
+		}
+		if len(diffs) >= 5 {
+			diffs = append(diffs, "...")
+			break
+		}
+	}
+	if len(diffs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("contents diverge (%d keys %s, %d keys %s):\n  %s",
+		len(want), wantName, len(got), gotName,
+		joinLines(diffs))
+}
+
+func joinLines(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += s
+	}
+	return out
+}
+
+// Equiv runs one equivalence experiment and returns its result, or an
+// error describing the first divergence or invariant violation.
+func Equiv(cfg EquivConfig) (*EquivResult, error) {
+	cfg = cfg.withDefaults()
+	prog := buildProgram(cfg)
+
+	inj := fault.New(cfg.Seed)
+	reorgRun, err := runReorg(cfg, prog, inj)
+	if err != nil {
+		return resultOf(reorgRun), fmt.Errorf("reorganizing run: %w", err)
+	}
+	if cfg.CrashHit > 0 && !reorgRun.result.Crashed {
+		// The schedule index lies past the run's hit count; the run
+		// completed clean, which is still a valid equivalence check.
+		reorgRun.result.Restarts = 0
+	}
+
+	refRun, err := runReference(cfg, prog)
+	if err != nil {
+		return resultOf(reorgRun), fmt.Errorf("reference run: %w", err)
+	}
+
+	want := prog.model()
+	gotReorg, err := collect(reorgRun.db)
+	if err != nil {
+		return resultOf(reorgRun), err
+	}
+	gotRef, err := collect(refRun.db)
+	if err != nil {
+		return resultOf(reorgRun), err
+	}
+	if err := diffContents("model", "reorganized", want, gotReorg); err != nil {
+		return resultOf(reorgRun), err
+	}
+	if err := diffContents("model", "reference", want, gotRef); err != nil {
+		return resultOf(reorgRun), err
+	}
+
+	// Both final trees must satisfy every unconditional invariant.
+	if rep := Tree(reorgRun.db); !rep.OK() {
+		return resultOf(reorgRun), fmt.Errorf("reorganized tree invariants: %w", rep.Err())
+	}
+	if rep := Tree(refRun.db); !rep.OK() {
+		return resultOf(reorgRun), fmt.Errorf("reference tree invariants: %w", rep.Err())
+	}
+
+	// A clean run with catch-up traffic must actually have exercised
+	// the side file — otherwise the suite silently stopped testing §7.2.
+	if cfg.CrashHit == 0 && cfg.CatchupOps > 0 && reorgRun.result.SideApplied == 0 {
+		return resultOf(reorgRun), fmt.Errorf(
+			"no side-file entries applied: catch-up ops did not reach the side file")
+	}
+	reorgRun.result.Records = len(gotReorg)
+	return resultOf(reorgRun), nil
+}
+
+func resultOf(r *equivRun) *EquivResult {
+	if r == nil {
+		return &EquivResult{}
+	}
+	return &r.result
+}
+
+// EquivHits enumerates the fault-point hit count of a clean
+// reorganizing run for cfg — crash schedules index into [1, hits].
+func EquivHits(cfg EquivConfig) (int, error) {
+	cfg = cfg.withDefaults()
+	cfg.CrashHit = 0
+	prog := buildProgram(cfg)
+	r, err := runReorg(cfg, prog, fault.New(cfg.Seed))
+	if err != nil {
+		return 0, fmt.Errorf("enumeration run: %w", err)
+	}
+	return int(r.hits), nil
+}

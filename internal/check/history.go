@@ -1,0 +1,258 @@
+package check
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// valueBase spreads write generations into disjoint value ids:
+// ValueFor(key, gen) is unique per (key, gen) as long as the key space
+// stays below it.
+const valueBase = 1_000_000
+
+// ValueFor derives the unique value written by generation gen on key.
+// Generation 0 is the initial load image.
+func ValueFor(key, gen, size int) []byte {
+	return workload.Value(gen*valueBase+key, size)
+}
+
+// ParseValue inverts ValueFor: it recovers (key, gen) from an observed
+// value so scan results can be traced back to the write that produced
+// them.
+func ParseValue(v []byte) (key, gen int, ok bool) {
+	if !bytes.HasPrefix(v, []byte("val-")) {
+		return 0, 0, false
+	}
+	rest := v[4:]
+	end := bytes.IndexByte(rest, '-')
+	if end < 0 {
+		return 0, 0, false
+	}
+	id, err := strconv.Atoi(string(rest[:end]))
+	if err != nil {
+		return 0, 0, false
+	}
+	return id % valueBase, id / valueBase, true
+}
+
+// ScanPair is one record observed by a range scan.
+type ScanPair struct {
+	Key int
+	Gen int
+}
+
+// Event is one completed operation in a concurrent history. Invoke and
+// Return are drawn from one logical clock: if a.Return < b.Invoke then
+// a really finished before b started, and any linearization must order
+// a first.
+type Event struct {
+	Client int
+	Op     workload.Op
+	Invoke int64
+	Return int64
+	// Err classifies the outcome: nil, repro.ErrNotFound or
+	// repro.ErrExists. Any other error fails the history outright.
+	Err error
+	// Got is the value a Get observed (nil on miss).
+	Got []byte
+	// Pairs are a scan's observations in arrival order.
+	Pairs []ScanPair
+	// BadPairs records scan values that did not parse as ValueFor
+	// output (corruption — never expected).
+	BadPairs int
+}
+
+// History is a thread-safe recorder for concurrent operation events.
+type History struct {
+	clock atomic.Int64
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// Begin stamps an invocation.
+func (h *History) Begin() int64 { return h.clock.Add(1) }
+
+// End stamps the response and records the event.
+func (h *History) End(ev Event) {
+	ev.Return = h.clock.Add(1)
+	h.mu.Lock()
+	h.events = append(h.events, ev)
+	h.mu.Unlock()
+}
+
+// Events returns the recorded events (after all clients stopped).
+func (h *History) Events() []Event { return h.events }
+
+// HistoryFrom wraps pre-built events (checker self-tests).
+func HistoryFrom(events []Event) *History { return &History{events: events} }
+
+// RunConfig shapes one recorded concurrent history.
+type RunConfig struct {
+	Seed         int64
+	Clients      int     // concurrent client goroutines (default 4)
+	OpsPerClient int     // operations each client runs (default 50)
+	KeySpace     int     // keys are drawn from [0, KeySpace) (default 64)
+	ValueSize    int     // bytes per value (default 24)
+	PageSize     int     // database page size (default 512)
+	Mix          *OpMix  // operation mix (default DefaultOpMix)
+	Reorganize   bool    // run a full reorganization concurrently
+	TargetFill   float64 // reorganizer fill target (default 0.9)
+}
+
+type OpMix = workload.OpMix
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.OpsPerClient <= 0 {
+		c.OpsPerClient = 50
+	}
+	if c.KeySpace <= 0 {
+		c.KeySpace = 64
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 24
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = 512
+	}
+	if c.Mix == nil {
+		m := workload.DefaultOpMix
+		c.Mix = &m
+	}
+	if c.TargetFill <= 0 {
+		c.TargetFill = 0.9
+	}
+	return c
+}
+
+// RunHistory opens a fresh database, preloads half the key space,
+// runs the seeded concurrent clients (optionally against a running
+// reorganization), and returns the recorded history together with the
+// database for post-hoc auditing. The op streams are deterministic in
+// Seed; the interleaving is not — linearizability must hold for every
+// interleaving, so a scheduler-dependent failure is still a real bug.
+func RunHistory(cfg RunConfig) (*History, *repro.DB, error) {
+	cfg = cfg.withDefaults()
+	db, err := repro.Open(repro.Options{PageSize: cfg.PageSize})
+	if err != nil {
+		return nil, nil, err
+	}
+	for k := 0; k < cfg.KeySpace; k += 2 {
+		if err := db.Insert(workload.Key(k), ValueFor(k, 0, cfg.ValueSize)); err != nil {
+			return nil, nil, fmt.Errorf("preload key %d: %w", k, err)
+		}
+	}
+
+	h := &History{}
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Clients+1)
+	for c := 0; c < cfg.Clients; c++ {
+		ops := workload.NewOpGen(cfg.Seed+int64(c)*7919, cfg.KeySpace, *cfg.Mix).
+			Take(cfg.OpsPerClient)
+		for i := range ops {
+			// Generations must be unique across the whole history, not
+			// just per client: the checker identifies values by them.
+			ops[i].Gen += c * (cfg.OpsPerClient + 1)
+		}
+		wg.Add(1)
+		go func(client int, ops []workload.Op) {
+			defer wg.Done()
+			for _, op := range ops {
+				if err := runOp(db, h, client, op, cfg.ValueSize); err != nil {
+					errs <- fmt.Errorf("client %d %v key %d: %w", client, op.Kind, op.Key, err)
+					return
+				}
+			}
+		}(c, ops)
+	}
+	if cfg.Reorganize {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rcfg := repro.DefaultReorgConfig()
+			rcfg.TargetFill = cfg.TargetFill
+			if _, err := db.Reorganize(rcfg); err != nil {
+				errs <- fmt.Errorf("reorganize: %w", err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return h, db, err
+	}
+	return h, db, nil
+}
+
+// runOp executes one generated operation and records its event.
+// Outcome errors (not-found, exists) are results, not failures.
+func runOp(db *repro.DB, h *History, client int, op workload.Op, valueSize int) error {
+	key := workload.Key(op.Key)
+	val := ValueFor(op.Key, op.Gen, valueSize)
+	ev := Event{Client: client, Op: op, Invoke: h.Begin()}
+	var err error
+	switch op.Kind {
+	case workload.OpInsert:
+		err = db.Insert(key, val)
+	case workload.OpUpdate:
+		err = db.Update(key, val)
+	case workload.OpDelete:
+		err = db.Delete(key)
+	case workload.OpPut:
+		err = put(db, key, val)
+	case workload.OpGet:
+		var got []byte
+		got, err = db.Get(key)
+		ev.Got = got
+	case workload.OpScan:
+		hi := workload.Key(op.Key + op.Span)
+		err = db.Scan(key, hi, func(k, v []byte) bool {
+			pk, gen, ok := ParseValue(v)
+			if !ok || !bytes.Equal(k, workload.Key(pk)) {
+				ev.BadPairs++
+				return true
+			}
+			ev.Pairs = append(ev.Pairs, ScanPair{Key: pk, Gen: gen})
+			return true
+		})
+	}
+	if err != nil && !errors.Is(err, repro.ErrNotFound) && !errors.Is(err, repro.ErrExists) {
+		return err
+	}
+	ev.Err = err
+	h.End(ev)
+	return nil
+}
+
+// put is the idempotent upsert: update-or-insert inside ONE
+// transaction, retried as a whole on deadlock/switch, so the recorded
+// event is a single atomic operation.
+func put(db *repro.DB, key, val []byte) error {
+	for i := 0; ; i++ {
+		t := db.Begin()
+		err := t.Update(key, val)
+		if errors.Is(err, repro.ErrNotFound) {
+			err = t.Insert(key, val)
+		}
+		if err == nil {
+			if err = t.Commit(); err == nil {
+				return nil
+			}
+		} else {
+			_ = t.Abort()
+		}
+		if !repro.IsRetryable(err) || i >= 100 {
+			return err
+		}
+	}
+}

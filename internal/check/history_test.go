@@ -1,0 +1,148 @@
+package check_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/check"
+	"repro/internal/workload"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	for _, tc := range [][2]int{{0, 0}, {7, 1}, {63, 999}, {999999, 12345}} {
+		v := check.ValueFor(tc[0], tc[1], 32)
+		k, g, ok := check.ParseValue(v)
+		if !ok || k != tc[0] || g != tc[1] {
+			t.Fatalf("ValueFor(%d,%d) -> %q -> (%d,%d,%v)", tc[0], tc[1], v, k, g, ok)
+		}
+	}
+}
+
+func TestHistorySingleClientLinearizable(t *testing.T) {
+	cfg := check.RunConfig{Seed: 42, Clients: 1, OpsPerClient: 200}
+	h, db, err := check.RunHistory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.Linearize(h, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if rep := check.Tree(db); !rep.OK() {
+		t.Fatalf("post-history tree flagged:\n%s", rep)
+	}
+}
+
+func TestHistoryConcurrentLinearizable(t *testing.T) {
+	cfg := check.RunConfig{Seed: 7, Clients: 6, OpsPerClient: 80}
+	h, _, err := check.RunHistory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.Linearize(h, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryLinearizableDuringReorg(t *testing.T) {
+	cfg := check.RunConfig{Seed: 11, Clients: 4, OpsPerClient: 100, Reorganize: true}
+	h, db, err := check.RunHistory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.Linearize(h, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if rep := check.Tree(db); !rep.OK() {
+		t.Fatalf("post-reorg tree flagged:\n%s", rep)
+	}
+}
+
+// The checker must reject impossible histories, not just accept real
+// ones. Key 1 starts absent (odd keys are not preloaded).
+func TestLinearizeRejectsFutureRead(t *testing.T) {
+	cfg := check.RunConfig{}
+	get := check.Event{
+		Client: 0,
+		Op:     workload.Op{Kind: workload.OpGet, Key: 1},
+		Invoke: 1, Return: 2,
+		Got: check.ValueFor(1, 5, 24),
+	}
+	ins := check.Event{
+		Client: 1,
+		Op:     workload.Op{Kind: workload.OpInsert, Key: 1, Gen: 5},
+		Invoke: 3, Return: 4,
+	}
+	h := check.HistoryFrom([]check.Event{get, ins})
+	err := check.Linearize(h, cfg)
+	if err == nil || !strings.Contains(err.Error(), "not linearizable") {
+		t.Fatalf("future read accepted: %v", err)
+	}
+}
+
+func TestLinearizeRejectsLostUpdate(t *testing.T) {
+	cfg := check.RunConfig{}
+	// Sequential on key 1: insert gen 1, delete ok, then a get that
+	// still observes gen 1 — a lost delete.
+	evs := []check.Event{
+		{Op: workload.Op{Kind: workload.OpInsert, Key: 1, Gen: 1}, Invoke: 1, Return: 2},
+		{Op: workload.Op{Kind: workload.OpDelete, Key: 1}, Invoke: 3, Return: 4},
+		{Op: workload.Op{Kind: workload.OpGet, Key: 1}, Invoke: 5, Return: 6,
+			Got: check.ValueFor(1, 1, 24)},
+	}
+	err := check.Linearize(check.HistoryFrom(evs), cfg)
+	if err == nil || !strings.Contains(err.Error(), "not linearizable") {
+		t.Fatalf("lost delete accepted: %v", err)
+	}
+}
+
+func TestLinearizeAcceptsOverlapEitherOrder(t *testing.T) {
+	cfg := check.RunConfig{}
+	// Two overlapping ops on key 1: the get may run before the insert
+	// (not-found) even though its response comes later.
+	evs := []check.Event{
+		{Op: workload.Op{Kind: workload.OpInsert, Key: 1, Gen: 1}, Invoke: 1, Return: 3},
+		{Op: workload.Op{Kind: workload.OpGet, Key: 1}, Invoke: 2, Return: 4,
+			Err: repro.ErrNotFound},
+	}
+	if err := check.Linearize(check.HistoryFrom(evs), cfg); err != nil {
+		t.Fatal(err)
+	}
+	// And the same overlap where the get sees the insert.
+	evs[1].Err = nil
+	evs[1].Got = check.ValueFor(1, 1, 24)
+	if err := check.Linearize(check.HistoryFrom(evs), cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearizeRejectsBadScan(t *testing.T) {
+	cfg := check.RunConfig{}
+	evs := []check.Event{
+		{Op: workload.Op{Kind: workload.OpScan, Key: 0, Span: 10}, Invoke: 1, Return: 2,
+			Pairs: []check.ScanPair{{Key: 4, Gen: 0}, {Key: 2, Gen: 0}}},
+	}
+	err := check.Linearize(check.HistoryFrom(evs), cfg)
+	if err == nil || !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("out-of-order scan accepted: %v", err)
+	}
+	evs[0].Pairs = []check.ScanPair{{Key: 3, Gen: 99}}
+	err = check.Linearize(check.HistoryFrom(evs), cfg)
+	if err == nil || !strings.Contains(err.Error(), "never written") {
+		t.Fatalf("phantom scan value accepted: %v", err)
+	}
+}
+
+func TestHistoryDeterministicStreams(t *testing.T) {
+	a := workload.NewOpGen(99, 64, workload.DefaultOpMix).Take(50)
+	b := workload.NewOpGen(99, 64, workload.DefaultOpMix).Take(50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs across same-seed generators: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if bytes.Equal(check.ValueFor(1, 1, 24), check.ValueFor(1, 2, 24)) {
+		t.Fatal("distinct generations produced identical values")
+	}
+}

@@ -1,0 +1,251 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// Linearize verifies that a recorded history is linearizable against a
+// per-key register model. Point operations on distinct keys commute, so
+// the history is partitioned by key and each key checked independently
+// (P-compositionality) with the Wing & Gong search, memoized on the
+// (linearized-set, register-state) configuration.
+//
+// Scans are validated separately and more weakly (scan.go's rules):
+// they are excluded from the per-key search, because a multi-key range
+// scan under record-level locking is not serializable against single-
+// record writers in this system — the paper's reorganizer only promises
+// record-level consistency for them.
+func Linearize(h *History, cfg RunConfig) error {
+	cfg = cfg.withDefaults()
+	byKey := make(map[int][]Event)
+	for _, ev := range h.Events() {
+		if ev.Op.Kind == workload.OpScan {
+			continue
+		}
+		byKey[ev.Op.Key] = append(byKey[ev.Op.Key], ev)
+	}
+	keys := make([]int, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		if err := linearizeKey(k, byKey[k], cfg); err != nil {
+			return err
+		}
+	}
+	return checkScans(h, cfg)
+}
+
+// register states: the value identity a key can hold. stateAbsent and
+// stateInitial are fixed; state i >= 0 means "the value written by
+// ops[i]".
+const (
+	stateAbsent  = -1
+	stateInitial = -2
+)
+
+// linearizeKey searches for a legal total order of one key's
+// operations. n is small in practice (ops spread over the key space),
+// so the exponential worst case never bites; the memo bounds repeated
+// configurations.
+func linearizeKey(key int, events []Event, cfg RunConfig) error {
+	sort.Slice(events, func(i, j int) bool { return events[i].Invoke < events[j].Invoke })
+	n := len(events)
+	if n == 0 {
+		return nil
+	}
+	if n > 63 {
+		// The bitmask memo covers 63 ops per key; histories that size
+		// should shrink the key space instead.
+		return fmt.Errorf("check: %d ops on key %d exceeds the checker's per-key limit", n, key)
+	}
+
+	// initial state: even keys are preloaded with generation 0.
+	initial := stateAbsent
+	if key%2 == 0 {
+		initial = stateInitial
+	}
+
+	// got[i] classifies what a Get observed: a state constant, or the
+	// writing op's index once we match the generation below.
+	got := make([]int, n)
+	genToOp := make(map[int]int, n)
+	for i, ev := range events {
+		if isWrite(ev.Op.Kind) {
+			genToOp[ev.Op.Gen] = i
+		}
+	}
+	for i, ev := range events {
+		got[i] = stateAbsent
+		if ev.Op.Kind != workload.OpGet || ev.Got == nil {
+			continue
+		}
+		pk, gen, ok := ParseValue(ev.Got)
+		if !ok || pk != key {
+			return fmt.Errorf("check: get on key %d observed foreign value %q (seed repro follows)", key, ev.Got)
+		}
+		if gen == 0 {
+			got[i] = stateInitial
+			continue
+		}
+		w, ok := genToOp[gen]
+		if !ok {
+			return fmt.Errorf("check: get on key %d observed value of unknown generation %d", key, gen)
+		}
+		got[i] = w
+	}
+
+	type config struct {
+		mask  uint64
+		state int
+	}
+	seen := make(map[config]bool)
+	full := uint64(1)<<n - 1
+
+	// step returns (newState, legal) for linearizing op i in state s.
+	step := func(i, s int) (int, bool) {
+		ev := events[i]
+		present := s != stateAbsent
+		switch ev.Op.Kind {
+		case workload.OpGet:
+			if ev.Err != nil { // not-found
+				return s, !present
+			}
+			return s, present && got[i] == s
+		case workload.OpInsert:
+			if ev.Err != nil { // exists
+				return s, present
+			}
+			return i, !present
+		case workload.OpUpdate:
+			if ev.Err != nil { // not-found
+				return s, !present
+			}
+			return i, present
+		case workload.OpDelete:
+			if ev.Err != nil { // not-found
+				return s, !present
+			}
+			return stateAbsent, present
+		case workload.OpPut:
+			return i, true
+		}
+		return s, false
+	}
+
+	var dfs func(mask uint64, state int) bool
+	dfs = func(mask uint64, state int) bool {
+		if mask == full {
+			return true
+		}
+		c := config{mask, state}
+		if seen[c] {
+			return false
+		}
+		seen[c] = true
+		// minimal candidates: ops not yet linearized whose invocation
+		// precedes every unlinearized response.
+		minRet := int64(1) << 62
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 && events[i].Return < minRet {
+				minRet = events[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 || events[i].Invoke > minRet {
+				continue
+			}
+			if ns, ok := step(i, state); ok {
+				if dfs(mask|1<<i, ns) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	if !dfs(0, initial) {
+		return fmt.Errorf("check: history not linearizable on key %d:\n%s",
+			key, formatKeyHistory(key, events))
+	}
+	return nil
+}
+
+func isWrite(k workload.OpKind) bool {
+	switch k {
+	case workload.OpPut, workload.OpInsert, workload.OpUpdate:
+		return true
+	}
+	return false
+}
+
+func formatKeyHistory(key int, events []Event) string {
+	out := ""
+	for _, ev := range events {
+		res := "ok"
+		switch {
+		case errors.Is(ev.Err, repro.ErrNotFound):
+			res = "notfound"
+		case errors.Is(ev.Err, repro.ErrExists):
+			res = "exists"
+		}
+		if ev.Op.Kind == workload.OpGet && ev.Err == nil {
+			if _, gen, ok := ParseValue(ev.Got); ok {
+				res = fmt.Sprintf("gen%d", gen)
+			}
+		}
+		out += fmt.Sprintf("  [%d,%d] client %d %v(key=%d gen=%d) -> %s\n",
+			ev.Invoke, ev.Return, ev.Client, ev.Op.Kind, key, ev.Op.Gen, res)
+	}
+	return out
+}
+
+// checkScans validates range scans with the relaxed record-consistency
+// rules: keys strictly increasing and inside the requested range, every
+// observed value produced by a real write (or the initial load) on that
+// key, and no undecodable values.
+func checkScans(h *History, cfg RunConfig) error {
+	// every (key, gen) a write op issued, plus the initial load
+	written := make(map[[2]int]bool)
+	for k := 0; k < cfg.KeySpace; k += 2 {
+		written[[2]int{k, 0}] = true
+	}
+	for _, ev := range h.Events() {
+		if isWrite(ev.Op.Kind) && ev.Err == nil {
+			written[[2]int{ev.Op.Key, ev.Op.Gen}] = true
+		}
+	}
+	for _, ev := range h.Events() {
+		if ev.Op.Kind != workload.OpScan {
+			continue
+		}
+		if ev.BadPairs > 0 {
+			return fmt.Errorf("check: scan by client %d observed %d undecodable values",
+				ev.Client, ev.BadPairs)
+		}
+		lo, hi := ev.Op.Key, ev.Op.Key+ev.Op.Span
+		last := -1
+		for _, p := range ev.Pairs {
+			if p.Key < lo || p.Key > hi {
+				return fmt.Errorf("check: scan [%d,%d] by client %d returned key %d outside the range",
+					lo, hi, ev.Client, p.Key)
+			}
+			if p.Key <= last {
+				return fmt.Errorf("check: scan [%d,%d] by client %d returned key %d out of order (after %d)",
+					lo, hi, ev.Client, p.Key, last)
+			}
+			last = p.Key
+			if !written[[2]int{p.Key, p.Gen}] {
+				return fmt.Errorf("check: scan [%d,%d] by client %d observed key %d gen %d never written",
+					lo, hi, ev.Client, p.Key, p.Gen)
+			}
+		}
+	}
+	return nil
+}

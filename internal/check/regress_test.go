@@ -1,0 +1,45 @@
+package check
+
+import "testing"
+
+// TestEquivRegressionPass3CleanupLeaks pins crash schedules that once
+// leaked pages during pass-3 cleanup, caught by the oracle's
+// freemap-leak check. Two distinct bugs, both fixed together:
+//
+//   - The side-file chain was destroyed AFTER the reorg bit was
+//     cleared in the anchor, so a crash mid-destroy left allocated
+//     side-file pages with no breadcrumb for recovery to find them
+//     (seeds 101 and 999).
+//
+//   - Old internal pages were deallocated parents-first, so a crash
+//     mid-discard freed the old root and orphaned its still-allocated
+//     descendants from recovery's re-walk (seed 20260805, which leaked
+//     five internal pages at once).
+//
+// The hits land inside the "pass3" step, in the cleanup tail after the
+// root switch. Repro for any of these:
+//
+//	reorg-bench -check -seed <seed> -crashhit <hit>
+func TestEquivRegressionPass3CleanupLeaks(t *testing.T) {
+	cases := []struct {
+		seed int64
+		hit  int
+		bug  string
+	}{
+		{101, 3083, "side-file chain leak"},
+		{999, 3178, "side-file chain leak"},
+		{20260805, 3104, "old-internal subtree leak"},
+	}
+	for _, c := range cases {
+		res, err := Equiv(EquivConfig{Seed: c.seed, CrashHit: c.hit})
+		if err != nil {
+			t.Errorf("seed %d hit %d (%s): %v\nrepro: reorg-bench -check -seed %d -crashhit %d",
+				c.seed, c.hit, c.bug, err, c.seed, c.hit)
+			continue
+		}
+		if !res.Crashed {
+			t.Errorf("seed %d hit %d (%s): schedule no longer crashes; re-pin the hit",
+				c.seed, c.hit, c.bug)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Package check is the standing correctness harness: a structure
+// oracle that audits every paper-level invariant of the on-disk tree,
+// a linearizability checker for concurrent histories, and an
+// equivalence suite that proves a reorganized tree serves the same
+// contents as an unreorganized one — across crashes and forward
+// recovery. Every randomized entry point is seeded and prints a
+// one-line repro command on failure.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// Violation is one broken invariant found by the structure oracle.
+type Violation struct {
+	// Rule names the invariant (stable identifiers, e.g. "wal-rule",
+	// "key-order", "chain", "mergeable", "freemap-drift").
+	Rule string
+	// Page is the page the violation anchors to (0 when global).
+	Page storage.PageID
+	// Msg is the human-readable detail.
+	Msg string
+}
+
+func (v Violation) String() string {
+	if v.Page != 0 {
+		return fmt.Sprintf("[%s] page %d: %s", v.Rule, v.Page, v.Msg)
+	}
+	return fmt.Sprintf("[%s] %s", v.Rule, v.Msg)
+}
+
+// Report collects violations so one oracle run surfaces every broken
+// invariant at once instead of failing fast on the first.
+type Report struct {
+	Violations []Violation
+}
+
+// Add records a violation.
+func (r *Report) Add(rule string, page storage.PageID, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{
+		Rule: rule, Page: page, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// OK reports whether no invariant was violated.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when the report is clean, otherwise an error listing
+// every violation.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("check: %d invariant violation(s):\n%s",
+		len(r.Violations), r.String())
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	for i, v := range r.Violations {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString("  ")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}

@@ -308,14 +308,18 @@ func (r *Reorganizer) RebuildInternal() error {
 		return err
 	}
 
+	// Reclaim the side file BEFORE clearing the reorg bit: the anchor's
+	// bit and side-file head are how restart finds an interrupted
+	// cleanup, so they must outlive every page this reclaims. (The hook
+	// is inert already: post-switch it answers ErrSwitched.)
+	if err := sf.Destroy(); err != nil {
+		return err
+	}
 	if err := r.tree.SetReorgBit(false, storage.InvalidPage); err != nil {
 		return err
 	}
 	r.tree.SetReorgHook(nil)
 	r.pass3.finish()
-	if err := sf.Destroy(); err != nil {
-		return err
-	}
 	locks.Unlock(owner, lock.SideFileRes())
 	locks.Unlock(owner, lock.TreeRes(oldEpoch))
 	return nil
@@ -400,9 +404,12 @@ func (r *Reorganizer) discardOldInternals(oldRoot storage.PageID) error {
 	if err := walk(oldRoot); err != nil {
 		return err
 	}
-	for _, id := range internals {
-		lsn := r.tree.Log().Append(wal.Dealloc{Page: id})
-		if err := pg.Deallocate(id, lsn); err != nil {
+	// Free children before parents (reverse of the pre-order walk): a
+	// crash mid-loop then leaves the still-allocated pages as a connected
+	// subtree under oldRoot, which restart's re-walk can find and finish.
+	for i := len(internals) - 1; i >= 0; i-- {
+		lsn := r.tree.Log().Append(wal.Dealloc{Page: internals[i]})
+		if err := pg.Deallocate(internals[i], lsn); err != nil {
 			return err
 		}
 		r.m.Add(metrics.PagesFreed, 1)

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestSideFileVisibleImmediatelyAfterSwitch pins §7.2/§7.4: updates
+// captured by the side file while the new internal levels are being
+// built must be queryable through the new root the moment the atomic
+// switch completes — checked from inside the "pass3.switched" event,
+// before the reorganizer discards the old internals or tears down the
+// hook, so nothing later in the pass can mask a miss.
+func TestSideFileVisibleImmediatelyAfterSwitch(t *testing.T) {
+	e := newEnv(t, 1024)
+	makeSparse(t, e, 3000, 3)
+
+	// High keys beyond the loaded space: they all route to the last
+	// leaf, so enough of them force splits whose base-page entries must
+	// flow through the side file (the build has already passed every
+	// base by then).
+	const firstHot, hotCount = 900000, 60
+	hotKey := func(i int) []byte { return key(firstHot + i) }
+
+	var r *Reorganizer
+	var switchedChecked bool
+	var checkErr error
+	cfg := DefaultConfig()
+	cfg.OnEvent = func(stage string) error {
+		switch stage {
+		case "pass3.built":
+			for i := 0; i < hotCount; i++ {
+				tx := e.txns.Begin()
+				if err := e.tree.Insert(tx, hotKey(i), val(firstHot+i)); err != nil {
+					_ = e.tree.Abort(tx)
+					return fmt.Errorf("hot insert %d: %w", i, err)
+				}
+				if err := e.tree.Commit(tx); err != nil {
+					return fmt.Errorf("hot commit %d: %w", i, err)
+				}
+			}
+		case "pass3.switched":
+			// The root just flipped. Every side-file-routed insert must
+			// already be visible to a fresh transaction.
+			switchedChecked = true
+			for i := 0; i < hotCount; i++ {
+				tx := e.txns.Begin()
+				v, ok, err := e.tree.Get(tx, hotKey(i))
+				if err != nil {
+					_ = e.tree.Abort(tx)
+					checkErr = fmt.Errorf("hot key %d right after switch: %w", i, err)
+					return nil
+				}
+				if !ok || string(v) != string(val(firstHot+i)) {
+					_ = e.tree.Abort(tx)
+					checkErr = fmt.Errorf("hot key %d invisible right after switch (ok=%v v=%q)",
+						i, ok, v)
+					return nil
+				}
+				if err := e.tree.Commit(tx); err != nil {
+					checkErr = err
+					return nil
+				}
+			}
+		}
+		return nil
+	}
+	r = New(e.tree, cfg)
+	if err := r.RebuildInternal(); err != nil {
+		t.Fatal(err)
+	}
+	if !switchedChecked {
+		t.Fatal("pass 3 finished without switching the root")
+	}
+	if checkErr != nil {
+		t.Fatal(checkErr)
+	}
+	if n := r.Metrics().Get(metrics.Pass3SideApply); n == 0 {
+		t.Fatal("no base change flowed through the side file; the test exercised nothing")
+	}
+	if err := e.tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// The hot records also survive the rest of the pass (old-internal
+	// reclamation, side-file destroy).
+	for i := 0; i < hotCount; i++ {
+		tx := e.txns.Begin()
+		v, ok, err := e.tree.Get(tx, hotKey(i))
+		if err != nil || !ok || string(v) != string(val(firstHot+i)) {
+			t.Fatalf("hot key %d after pass 3: ok=%v v=%q err=%v", i, ok, v, err)
+		}
+		if err := e.tree.Commit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -372,9 +372,11 @@ func discardTree(pager *storage.Pager, log *wal.Log, root storage.PageID) error 
 	if err := walk(root); err != nil {
 		return err
 	}
-	for _, id := range internals {
-		lsn := log.Append(wal.Dealloc{Page: id})
-		if err := pager.Deallocate(id, lsn); err != nil {
+	// Children before parents, mirroring the reorganizer's own discard:
+	// the undiscarded remainder always stays reachable from root.
+	for i := len(internals) - 1; i >= 0; i-- {
+		lsn := log.Append(wal.Dealloc{Page: internals[i]})
+		if err := pager.Deallocate(internals[i], lsn); err != nil {
 			return err
 		}
 	}

@@ -289,22 +289,35 @@ func (s *SideFile) Destroy() error {
 	return DestroyChain(s.pager, s.log, head)
 }
 
-// DestroyChain deallocates a side-file chain starting at head.
+// DestroyChain deallocates a side-file chain starting at head. Pages
+// are freed tail-first so that a crash mid-destroy leaves a valid
+// prefix chain hanging off the anchor's side-file pointer — restart
+// re-walks it and frees the rest. The walk stops at the first page
+// that is no longer typed as a side-file page (already freed, and
+// possibly reused, by an interrupted earlier destroy).
 func DestroyChain(pager *storage.Pager, log *wal.Log, head storage.PageID) error {
+	var chain []storage.PageID
 	for id := head; id != storage.InvalidPage; {
 		f, err := pager.Fix(id)
 		if err != nil {
 			return err
 		}
 		f.RLock()
+		typ := f.Data().Type()
 		next := f.Data().Next()
 		f.RUnlock()
 		pager.Unfix(f)
-		lsn := log.Append(wal.Dealloc{Page: id})
-		if err := pager.Deallocate(id, lsn); err != nil {
+		if typ != storage.PageSideFile {
+			break
+		}
+		chain = append(chain, id)
+		id = next
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		lsn := log.Append(wal.Dealloc{Page: chain[i]})
+		if err := pager.Deallocate(chain[i], lsn); err != nil {
 			return err
 		}
-		id = next
 	}
 	return nil
 }

@@ -1,0 +1,120 @@
+package workload
+
+import "math/rand"
+
+// OpKind is one operation of a generated stream.
+type OpKind int
+
+// Generated operation kinds. OpPut is an idempotent upsert (the
+// equivalence suite re-executes the operation in flight at a crash, so
+// its mutations must converge to the same state when applied twice);
+// OpInsert and OpUpdate are the strict variants whose ErrExists /
+// ErrNotFound outcomes the linearizability checker verifies.
+const (
+	OpPut OpKind = iota
+	OpInsert
+	OpUpdate
+	OpDelete
+	OpGet
+	OpScan
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "put"
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	case OpGet:
+		return "get"
+	case OpScan:
+		return "scan"
+	default:
+		return "op?"
+	}
+}
+
+// Op is one drawn operation. Key indexes the Key/Value helpers; Gen is
+// a stream-unique write generation so every written value is distinct
+// (the history checkers disambiguate linearization points by value);
+// Span is the scan width in keys.
+type Op struct {
+	Kind OpKind
+	Key  int
+	Gen  int
+	Span int
+}
+
+// OpMix weights the generator in percent; the remainder up to 100 is
+// OpGet. Strict inserts/updates/deletes on a small key space produce
+// the ErrExists/ErrNotFound outcomes worth checking.
+type OpMix struct {
+	PutPct    int
+	InsertPct int
+	UpdatePct int
+	DeletePct int
+	ScanPct   int
+}
+
+// DefaultOpMix exercises every operation with reads dominating.
+var DefaultOpMix = OpMix{PutPct: 15, InsertPct: 10, UpdatePct: 10,
+	DeletePct: 10, ScanPct: 5}
+
+// MutationOpMix is mutation-heavy (equivalence suite: state must
+// actually change between phases for reorganization to matter).
+var MutationOpMix = OpMix{PutPct: 40, InsertPct: 0, UpdatePct: 0,
+	DeletePct: 25, ScanPct: 5}
+
+// OpGen is a deterministic operation generator: the same seed yields
+// the same stream, independent of how the stream is consumed.
+type OpGen struct {
+	rng      *rand.Rand
+	keySpace int
+	mix      OpMix
+	n        int
+}
+
+// NewOpGen seeds a generator over keys [0, keySpace).
+func NewOpGen(seed int64, keySpace int, mix OpMix) *OpGen {
+	if keySpace < 1 {
+		keySpace = 1
+	}
+	return &OpGen{rng: rand.New(rand.NewSource(seed)), keySpace: keySpace, mix: mix}
+}
+
+// Next draws one operation.
+func (g *OpGen) Next() Op {
+	g.n++
+	op := Op{Key: g.rng.Intn(g.keySpace), Gen: g.n}
+	p := g.rng.Intn(100)
+	m := g.mix
+	switch {
+	case p < m.PutPct:
+		op.Kind = OpPut
+	case p < m.PutPct+m.InsertPct:
+		op.Kind = OpInsert
+	case p < m.PutPct+m.InsertPct+m.UpdatePct:
+		op.Kind = OpUpdate
+	case p < m.PutPct+m.InsertPct+m.UpdatePct+m.DeletePct:
+		op.Kind = OpDelete
+	case p < m.PutPct+m.InsertPct+m.UpdatePct+m.DeletePct+m.ScanPct:
+		op.Kind = OpScan
+		op.Span = 1 + g.rng.Intn(g.keySpace/2+1)
+	default:
+		op.Kind = OpGet
+	}
+	return op
+}
+
+// Take draws the next n operations.
+func (g *OpGen) Take(n int) []Op {
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
