@@ -8,22 +8,31 @@
 // Usage:
 //
 //	reorg-bench [-exp all|e1|e2|...|e10] [-records N] [-pagesize N]
-//	reorg-bench -sweep [-stride N] [-maxruns N]
-//	reorg-bench -check [-seed N] [-histories N] [-crashes N] [-crashhit N]
+//	reorg-bench -sweep [-stride N] [-maxruns N] [-backend mem|file] [-dir D]
+//	reorg-bench -check [-seed N] [-histories N] [-crashes N] [-crashhit N] [-backend mem|file]
+//	reorg-bench -bench6 [-benchout BENCH_PR6.json]
 //
 // The -sweep mode runs experiment E5b instead: the exhaustive
 // crash-schedule sweep over every fault-point hit of a scripted
-// reorganization (see internal/fault/sweep).
+// reorganization (see internal/fault/sweep). With -backend file each
+// crash run executes against the file-backed page store and segmented
+// WAL in a fresh directory under -dir (a temp dir by default).
 //
 // The -check mode runs the deterministic property-check harness
 // (internal/check): a clean reorg-equivalence run with the structure
 // oracle at every pass boundary, a budget of random concurrent
 // histories verified for linearizability, and a spread of crash-point
 // equivalence schedules. Every failure prints a one-line repro command
-// whose flags match this binary exactly.
+// whose flags match this binary exactly. -backend file moves the
+// equivalence and crash-schedule legs onto the file backend.
+//
+// The -bench6 mode runs an identical load/checkpoint/reorganize/scan
+// workload on both the in-memory and file backends and writes the
+// timings plus media counters side by side as JSON (BENCH_PR6.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -31,9 +40,11 @@ import (
 	"strings"
 	"time"
 
+	repro "repro"
 	"repro/internal/check"
 	"repro/internal/experiments"
 	"repro/internal/fault/sweep"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -53,14 +64,29 @@ func main() {
 	clients := flag.Int("clients", 0, "check: override derived history client count")
 	opsPer := flag.Int("ops", 0, "check: override derived history ops-per-client")
 	noShrink := flag.Bool("noshrink", false, "check: skip shrinking failing histories")
+	backend := flag.String("backend", "mem", "sweep/check: storage backend (mem or file)")
+	dir := flag.String("dir", "", "file backend: parent directory for run directories (default: system temp)")
+	walSeg := flag.Int64("walseg", 0, "file backend: WAL segment size in bytes (0 = default)")
+	doBench := flag.Bool("bench6", false, "run the mem-vs-file backend comparison and exit")
+	benchOut := flag.String("benchout", "BENCH_PR6.json", "bench6: output JSON path")
 	flag.Parse()
 
+	switch *backend {
+	case "mem", "file":
+	default:
+		log.Fatalf("unknown backend %q (want mem or file)", *backend)
+	}
+
+	if *doBench {
+		runBench(*records, *valueSize, *pageSize, *seed, *walSeg, *benchOut)
+		return
+	}
 	if *doSweep {
-		runSweep(*stride, *maxRuns)
+		runSweep(*stride, *maxRuns, *backend, *dir, *walSeg)
 		return
 	}
 	if *doCheck {
-		runCheck(*seed, *histories, *crashes, *crashHit, *clients, *opsPer, !*noShrink)
+		runCheck(*seed, *histories, *crashes, *crashHit, *clients, *opsPer, !*noShrink, *backend, *dir)
 		return
 	}
 
@@ -144,13 +170,32 @@ func main() {
 	fmt.Fprintf(out, "\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
 }
 
+// checkDir resolves the file-backend parent directory for -check: the
+// harness puts each run in a fresh subdirectory of the returned path.
+// An empty return means the in-memory backend.
+func checkDir(backend, dir string) (string, func()) {
+	if backend != "file" {
+		return "", func() {}
+	}
+	if dir != "" {
+		return dir, func() {}
+	}
+	tmp, err := os.MkdirTemp("", "reorg-check-")
+	if err != nil {
+		log.Fatalf("check: temp dir: %v", err)
+	}
+	return tmp, func() { _ = os.RemoveAll(tmp) }
+}
+
 // runCheck executes the property-check harness. A crashhit > 0 runs a
 // single equivalence crash repro; otherwise the full smoke budget.
 // Exits non-zero on any violation, after printing the repro line.
-func runCheck(seed int64, histories, crashes, crashHit, clients, opsPer int, shrink bool) {
+func runCheck(seed int64, histories, crashes, crashHit, clients, opsPer int, shrink bool, backend, dir string) {
 	start := time.Now()
+	runDir, cleanup := checkDir(backend, dir)
+	defer cleanup()
 	if crashHit > 0 {
-		res, err := check.Equiv(check.EquivConfig{Seed: seed, CrashHit: crashHit})
+		res, err := check.Equiv(check.EquivConfig{Seed: seed, CrashHit: crashHit, Dir: runDir})
 		if err != nil {
 			log.Fatalf("check: crash repro (seed %d, hit %d): %v", seed, crashHit, err)
 		}
@@ -164,6 +209,7 @@ func runCheck(seed int64, histories, crashes, crashHit, clients, opsPer int, shr
 		Histories:      histories,
 		CrashSchedules: crashes,
 		Shrink:         shrink,
+		Dir:            runDir,
 		HistoryClients: clients,
 		HistoryOps:     opsPer,
 		Logf:           log.Printf,
@@ -187,12 +233,15 @@ func runCheck(seed int64, histories, crashes, crashHit, clients, opsPer int, shr
 
 // runSweep executes E5b: enumerate every fault-point hit in the
 // scripted workload, then crash at each one and verify recovery.
-func runSweep(stride, maxRuns int) {
+func runSweep(stride, maxRuns int, backend, dir string, walSeg int64) {
 	start := time.Now()
 	res, err := sweep.Run(sweep.Config{
-		Stride:  stride,
-		MaxRuns: maxRuns,
-		Torn:    true,
+		Stride:          stride,
+		MaxRuns:         maxRuns,
+		Torn:            true,
+		Backend:         backend,
+		Dir:             dir,
+		WALSegmentBytes: walSeg,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
@@ -200,7 +249,8 @@ func runSweep(stride, maxRuns int) {
 	if err != nil {
 		log.Fatalf("sweep: %v", err)
 	}
-	fmt.Printf("\nE5b crash-schedule sweep (%v)\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\nE5b crash-schedule sweep [%s backend] (%v)\n",
+		backend, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("  fault-point hits enumerated  %d\n", res.TotalHits)
 	fmt.Printf("  distinct fault points        %d\n", len(res.Points))
 	fmt.Printf("  crash runs verified          %d\n", res.CrashRuns)
@@ -211,4 +261,118 @@ func runSweep(stride, maxRuns int) {
 	for _, p := range res.Points {
 		fmt.Printf("    %s\n", p)
 	}
+}
+
+// benchRow is one backend's column in the BENCH_PR6.json comparison.
+type benchRow struct {
+	Backend      string           `json:"backend"`
+	LoadMS       float64          `json:"load_ms"`
+	CheckpointMS float64          `json:"checkpoint_ms"`
+	ReorgMS      float64          `json:"reorg_ms"`
+	ScanMS       float64          `json:"scan_ms"`
+	CloseMS      float64          `json:"close_ms"`
+	ScannedRecs  int              `json:"scanned_records"`
+	DiskReads    int64            `json:"disk_reads"`
+	DiskWrites   int64            `json:"disk_writes"`
+	Counters     map[string]int64 `json:"counters"`
+}
+
+// benchReport is the top-level BENCH_PR6.json document.
+type benchReport struct {
+	Generated string     `json:"generated"`
+	Records   int        `json:"records"`
+	ValueSize int        `json:"value_size"`
+	PageSize  int        `json:"page_size"`
+	Seed      int64      `json:"seed"`
+	Backends  []benchRow `json:"backends"`
+}
+
+// benchOne runs the fixed load/checkpoint/reorganize/scan workload on
+// one backend and returns its timing and counter column.
+func benchOne(backend string, records, valueSize, pageSize int, seed, walSeg int64) benchRow {
+	row := benchRow{Backend: backend}
+	opts := repro.Options{PageSize: pageSize}
+	if backend == "file" {
+		tmp, err := os.MkdirTemp("", "reorg-bench6-")
+		if err != nil {
+			log.Fatalf("bench6: temp dir: %v", err)
+		}
+		defer os.RemoveAll(tmp)
+		opts.Dir = tmp
+		opts.WALSegmentBytes = walSeg
+	}
+	db, err := repro.Open(opts)
+	if err != nil {
+		log.Fatalf("bench6 [%s]: open: %v", backend, err)
+	}
+
+	t0 := time.Now()
+	if err := workload.Load(db, records, valueSize, "random", seed); err != nil {
+		log.Fatalf("bench6 [%s]: load: %v", backend, err)
+	}
+	row.LoadMS = msSince(t0)
+
+	t0 = time.Now()
+	if err := db.Checkpoint(); err != nil {
+		log.Fatalf("bench6 [%s]: checkpoint: %v", backend, err)
+	}
+	row.CheckpointMS = msSince(t0)
+
+	t0 = time.Now()
+	if _, err := db.Reorganize(repro.DefaultReorgConfig()); err != nil {
+		log.Fatalf("bench6 [%s]: reorganize: %v", backend, err)
+	}
+	row.ReorgMS = msSince(t0)
+
+	t0 = time.Now()
+	if err := db.Scan(nil, nil, func(key, val []byte) bool {
+		row.ScannedRecs++
+		return true
+	}); err != nil {
+		log.Fatalf("bench6 [%s]: scan: %v", backend, err)
+	}
+	row.ScanMS = msSince(t0)
+
+	row.DiskReads, row.DiskWrites = db.IOStats()
+	row.Counters = db.PerfCounters().Snapshot()
+
+	t0 = time.Now()
+	if err := db.Close(); err != nil {
+		log.Fatalf("bench6 [%s]: close: %v", backend, err)
+	}
+	row.CloseMS = msSince(t0)
+	return row
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}
+
+// runBench executes the same workload on both backends and writes the
+// side-by-side comparison as JSON.
+func runBench(records, valueSize, pageSize int, seed, walSeg int64, outPath string) {
+	rep := benchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Records:   records,
+		ValueSize: valueSize,
+		PageSize:  pageSize,
+		Seed:      seed,
+	}
+	for _, backend := range []string{"mem", "file"} {
+		fmt.Printf("bench6: running %s backend (%d records)...\n", backend, records)
+		row := benchOne(backend, records, valueSize, pageSize, seed, walSeg)
+		rep.Backends = append(rep.Backends, row)
+		fmt.Printf("bench6: %-4s load=%.1fms checkpoint=%.1fms reorg=%.1fms scan=%.1fms close=%.1fms bytesWritten=%d fsyncs=%d\n",
+			backend, row.LoadMS, row.CheckpointMS, row.ReorgMS, row.ScanMS, row.CloseMS,
+			row.Counters["disk.bytes.written"], row.Counters["disk.fsyncs"]+row.Counters["wal.fsyncs"])
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("bench6: marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		log.Fatalf("bench6: write %s: %v", outPath, err)
+	}
+	fmt.Printf("bench6: wrote %s\n", outPath)
 }

@@ -22,6 +22,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -64,6 +66,16 @@ type Options struct {
 	PageSize int
 	// BufferPoolPages caps resident frames (0 = unbounded).
 	BufferPoolPages int
+	// Dir, when non-empty, selects the file backend: pages live in
+	// Dir/pages.db (checksummed page frames, real fsync) and the WAL in
+	// Dir/wal/ as rotated segment files. Opening a directory that
+	// already holds a database runs crash recovery against its files
+	// and resumes it. Empty Dir (the default) keeps everything in
+	// memory with simulated crash semantics.
+	Dir string
+	// WALSegmentBytes overrides the WAL segment rotation threshold
+	// (file backend only; default wal.DefaultSegmentBytes).
+	WALSegmentBytes int64
 	// GroupCommitWindow, when positive, makes a commit that must force
 	// the log wait this long first so concurrent commits coalesce into
 	// one forced write. Zero (the default) still coalesces commits that
@@ -79,6 +91,20 @@ type Options struct {
 // ErrIO re-exports the typed permanent I/O error surfaced after the
 // storage layer's transient-fault retry budget is exhausted.
 var ErrIO = storage.ErrIO
+
+// Typed corruption errors from the file backend, re-exported so
+// callers can errors.Is-match them without importing the internals.
+var (
+	// ErrCorruptPage reports a page image whose on-disk checksum or
+	// self-identification failed (torn write, bit rot).
+	ErrCorruptPage = storage.ErrCorruptPage
+	// ErrWALCorrupt reports mid-stream WAL damage recovery cannot
+	// classify as a clean torn tail.
+	ErrWALCorrupt = wal.ErrWALCorrupt
+	// ErrShortWrite reports a write the OS accepted but did not
+	// complete.
+	ErrShortWrite = storage.ErrShortWrite
+)
 
 // ReorgConfig re-exports the reorganizer configuration.
 type ReorgConfig = core.Config
@@ -102,7 +128,7 @@ type TreeStats = btree.Stats
 // DB is one database instance over a simulated disk.
 type DB struct {
 	mu    sync.Mutex
-	disk  *storage.Disk
+	disk  storage.Disk
 	pager *storage.Pager
 	log   *wal.Log
 	locks *lock.Manager
@@ -112,23 +138,62 @@ type DB struct {
 	inj   *fault.Injector
 }
 
-// Open creates a fresh database.
+// Open creates a fresh database (Options.Dir empty), or opens — and,
+// if needed, crash-recovers — the file-backed database in Options.Dir.
 func Open(opts Options) (*DB, error) {
 	if opts.PageSize == 0 {
 		opts.PageSize = storage.DefaultPageSize
 	}
 	db := &DB{inj: opts.FaultInjector}
-	db.log = wal.NewLog()
+	existing := false
+	if opts.Dir == "" {
+		db.log = wal.NewLog()
+		db.disk = storage.NewDisk(opts.PageSize)
+	} else {
+		walDir := filepath.Join(opts.Dir, "wal")
+		if err := os.MkdirAll(walDir, 0o755); err != nil {
+			return nil, fmt.Errorf("repro: open %s: %w", opts.Dir, err)
+		}
+		log, err := wal.OpenSegmentedLog(walDir, wal.SegmentOptions{SegmentBytes: opts.WALSegmentBytes})
+		if err != nil {
+			return nil, err
+		}
+		disk, err := storage.OpenFileDisk(filepath.Join(opts.Dir, "pages.db"), opts.PageSize)
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+		db.log = log
+		db.disk = disk
+		// Any stable page beyond the reserved page 0 means a database
+		// already lives here: recover it instead of formatting over it.
+		existing = disk.NumPages() > 1
+	}
 	db.log.SetInjector(db.inj)
 	db.log.SetGroupCommitWindow(opts.GroupCommitWindow)
-	db.disk = storage.NewDisk(opts.PageSize)
 	db.disk.SetInjector(db.inj)
+	if existing {
+		res, err := recovery.Restart(db.disk, db.log)
+		if err != nil {
+			_ = db.log.Close()
+			_ = db.disk.Close()
+			return nil, err
+		}
+		db.pager = res.Pager
+		db.pager.SetInjector(db.inj)
+		db.locks = res.Locks
+		db.txns = res.Txns
+		db.tree = res.Tree
+		return db, nil
+	}
 	db.pager = storage.NewPager(db.disk, opts.BufferPoolPages, db.log)
 	db.pager.SetInjector(db.inj)
 	db.locks = lock.NewManager()
 	db.txns = txn.NewManager(db.log, db.locks, db.pager)
 	tree, err := btree.Create(db.pager, db.log, db.locks, db.txns)
 	if err != nil {
+		_ = db.pager.Close()
+		_ = db.log.Close()
 		return nil, err
 	}
 	db.tree = tree
@@ -323,7 +388,12 @@ func (db *DB) Tree() *btree.Tree { return db.tree }
 // --- durability and crash simulation ---
 
 // Checkpoint flushes all dirty pages and logs a sharp checkpoint (the
-// reorg table included when a reorganization is running).
+// reorg table included when a reorganization is running). A quiescent
+// checkpoint — no active transactions, no reorganization in flight —
+// additionally applies WAL retention on the file backend: recovery
+// never reads below such a checkpoint (no loser undo chain and no
+// unit BEGIN can reach under it), so segments wholly below it are
+// deleted.
 func (db *DB) Checkpoint() error {
 	if err := db.pager.FlushAll(); err != nil {
 		return err
@@ -333,27 +403,36 @@ func (db *DB) Checkpoint() error {
 		NextTxnID:  db.txns.NextID(),
 	}
 	db.mu.Lock()
-	if db.reorg != nil {
+	reorging := db.reorg != nil
+	if reorging {
 		cp.Reorg = db.reorg.TableSnapshot()
 		cp.Pass3 = db.reorg.Pass3Snapshot()
 		cp.NextUnit = db.reorg.NextUnit()
 	}
 	db.mu.Unlock()
 	lsn := db.log.Append(cp)
-	return db.log.FlushTo(lsn)
+	if err := db.log.FlushTo(lsn); err != nil {
+		return err
+	}
+	if !reorging && len(cp.ActiveTxns) == 0 {
+		return db.log.TruncateBelow(lsn)
+	}
+	return nil
 }
 
 // Close shuts the database down cleanly: the log is forced, dirty
-// pages are flushed, and the buffer pool is verified quiescent — a pin
-// leaked anywhere in the session surfaces here as an error.
+// pages are flushed, the buffer pool is verified quiescent — a pin
+// leaked anywhere in the session surfaces here as an error — and every
+// file handle is released. The handle-closing steps run even when an
+// earlier step failed (a read-only directory must not leak
+// descriptors); all failures are joined into the returned error.
 func (db *DB) Close() error {
-	if err := db.log.Flush(); err != nil {
-		return err
+	flushErr := db.log.Flush()
+	var pageErr error
+	if flushErr == nil {
+		pageErr = db.pager.FlushAll()
 	}
-	if err := db.pager.FlushAll(); err != nil {
-		return err
-	}
-	return db.pager.Close()
+	return errors.Join(flushErr, pageErr, db.pager.Close(), db.log.Close())
 }
 
 // Crash simulates a system failure: all buffered pages and the
@@ -430,6 +509,15 @@ func (db *DB) PerfCounters() *metrics.Counters {
 	c.Add(metrics.WALForcesSaved, db.log.ForcesSaved())
 	c.Add(metrics.WALGroupLeaders, db.log.GroupLeaders())
 	c.Add(metrics.WALBytesForced, db.log.BytesForced())
+	br, bw, fs := db.disk.Stats().Bytes()
+	c.Add(metrics.DiskBytesRead, br)
+	c.Add(metrics.DiskBytesWritten, bw)
+	c.Add(metrics.DiskFsyncs, fs)
+	c.Add(metrics.WALFsyncs, db.log.Fsyncs())
+	sc, sd, sl := db.log.SegmentCounts()
+	c.Add(metrics.WALSegsCreated, sc)
+	c.Add(metrics.WALSegsDeleted, sd)
+	c.Add(metrics.WALSegsLive, sl)
 	return c
 }
 

@@ -57,3 +57,34 @@ func goodSuppressed(err error) bool {
 	//vet:allow(errwrap) -- fixture: identity intended, never wrapped
 	return err == ErrGone
 }
+
+// ErrCorrupt mirrors the storage corruption sentinels
+// (storage.ErrCorruptPage, wal.ErrWALCorrupt, storage.ErrShortWrite):
+// always surfaced wrapped with location context.
+var ErrCorrupt = errors.New("corrupt")
+
+// goodCorruptWrap is the canonical corruption report: sentinel wrapped
+// with the damaged location, still matchable by errors.Is.
+func goodCorruptWrap(pageID uint32, wantCRC, gotCRC uint32) error {
+	return fmt.Errorf("page %d: checksum mismatch (want %08x, got %08x): %w",
+		pageID, wantCRC, gotCRC, ErrCorrupt)
+}
+
+// goodDeepIs matches through two wrap layers, the shape recovery sees
+// when a corrupt page surfaces through the pager.
+func goodDeepIs(pageID uint32) bool {
+	err := fmt.Errorf("read page %d: %w", pageID, goodCorruptWrap(pageID, 1, 2))
+	return errors.Is(err, ErrCorrupt)
+}
+
+// badCorruptCompare identity-compares the wrapped corruption error;
+// it is never == the sentinel once wrapped.
+func badCorruptCompare(pageID uint32) bool {
+	return goodCorruptWrap(pageID, 1, 2) == ErrCorrupt // want `comparison with sentinel ErrCorrupt breaks on wrapped errors`
+}
+
+// badCorruptRewrap re-reports a corruption error with %v, so callers
+// can no longer distinguish torn pages from other failures.
+func badCorruptRewrap(err error) error {
+	return fmt.Errorf("recovery aborted: %v", err) // want `fmt\.Errorf formats an error without %w`
+}

@@ -3,6 +3,7 @@ package check
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 
 	"repro"
@@ -33,6 +34,10 @@ type EquivConfig struct {
 	// resumes the program. Use EquivHits to learn the schedule size.
 	CrashHit int
 	Torn     bool
+	// Dir, when non-empty, runs both databases on the file backend,
+	// each in a fresh directory created under Dir (real page file +
+	// WAL segments; crashes recover by re-scanning them).
+	Dir string
 }
 
 func (c EquivConfig) withDefaults() EquivConfig {
@@ -158,10 +163,51 @@ func (p *program) model() map[string]string {
 // at least once and in order.
 type equivRun struct {
 	db     *repro.DB
+	dir    string // file-backend run directory ("" = in-memory)
 	prog   *program
 	cursor int
 	hits   int64 // post-Open fault-point hits consumed (enumeration)
 	result EquivResult
+}
+
+// openEquivDB opens one run's database on the configured backend.
+func openEquivDB(cfg EquivConfig, inj *fault.Injector) (*repro.DB, string, error) {
+	opts := repro.Options{
+		PageSize:        cfg.PageSize,
+		BufferPoolPages: cfg.BufferPool,
+		FaultInjector:   inj,
+	}
+	var dir string
+	if cfg.Dir != "" {
+		var err error
+		dir, err = os.MkdirTemp(cfg.Dir, "equiv-")
+		if err != nil {
+			return nil, "", fmt.Errorf("check: equivalence run dir: %w", err)
+		}
+		opts.Dir = dir
+	}
+	db, err := repro.Open(opts)
+	if err != nil {
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+		return nil, "", err
+	}
+	return db, dir, nil
+}
+
+// close releases the run's database (file handles matter: a smoke run
+// performs dozens of these) and removes its directory. Nil-safe.
+func (r *equivRun) close() {
+	if r == nil {
+		return
+	}
+	if r.db != nil {
+		_ = r.db.Close()
+	}
+	if r.dir != "" {
+		_ = os.RemoveAll(r.dir)
+	}
 }
 
 func (r *equivRun) load() error {
@@ -279,15 +325,11 @@ func (r *equivRun) reorgConfig() repro.ReorgConfig {
 // then crashes once, restarts (redo + forward recovery), re-runs the
 // interrupted step and finishes the program.
 func runReorg(cfg EquivConfig, prog *program, inj *fault.Injector) (*equivRun, error) {
-	db, err := repro.Open(repro.Options{
-		PageSize:        cfg.PageSize,
-		BufferPoolPages: cfg.BufferPool,
-		FaultInjector:   inj,
-	})
+	db, dir, err := openEquivDB(cfg, inj)
 	if err != nil {
 		return nil, err
 	}
-	r := &equivRun{db: db, prog: prog}
+	r := &equivRun{db: db, dir: dir, prog: prog}
 	startSeq := inj.Seq() // Open runs uninjected; hits index from here
 	if cfg.CrashHit > 0 {
 		inj.ArmCrashAtSeq(startSeq+int64(cfg.CrashHit), cfg.Torn)
@@ -335,14 +377,11 @@ func runReorg(cfg EquivConfig, prog *program, inj *fault.Injector) (*equivRun, e
 
 // runReference executes the program without any reorganization.
 func runReference(cfg EquivConfig, prog *program) (*equivRun, error) {
-	db, err := repro.Open(repro.Options{
-		PageSize:        cfg.PageSize,
-		BufferPoolPages: cfg.BufferPool,
-	})
+	db, dir, err := openEquivDB(cfg, nil)
 	if err != nil {
 		return nil, err
 	}
-	r := &equivRun{db: db, prog: prog}
+	r := &equivRun{db: db, dir: dir, prog: prog}
 	for _, step := range []func() error{
 		r.load, r.sparsify,
 		func() error { return r.segment(prog.seg1) },
@@ -428,6 +467,7 @@ func Equiv(cfg EquivConfig) (*EquivResult, error) {
 
 	inj := fault.New(cfg.Seed)
 	reorgRun, err := runReorg(cfg, prog, inj)
+	defer reorgRun.close()
 	if err != nil {
 		return resultOf(reorgRun), fmt.Errorf("reorganizing run: %w", err)
 	}
@@ -438,6 +478,7 @@ func Equiv(cfg EquivConfig) (*EquivResult, error) {
 	}
 
 	refRun, err := runReference(cfg, prog)
+	defer refRun.close()
 	if err != nil {
 		return resultOf(reorgRun), fmt.Errorf("reference run: %w", err)
 	}
@@ -490,6 +531,7 @@ func EquivHits(cfg EquivConfig) (int, error) {
 	cfg.CrashHit = 0
 	prog := buildProgram(cfg)
 	r, err := runReorg(cfg, prog, fault.New(cfg.Seed))
+	defer r.close()
 	if err != nil {
 		return 0, fmt.Errorf("enumeration run: %w", err)
 	}

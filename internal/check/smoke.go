@@ -20,6 +20,10 @@ type SmokeConfig struct {
 	// Shrink, when a history fails, re-runs smaller variants to find a
 	// tighter repro (bounded work).
 	Shrink bool
+	// Dir, when non-empty, runs the equivalence and crash-schedule legs
+	// on the file backend, each run in a fresh directory under Dir.
+	// (Histories stay in-memory: they probe concurrency, not media.)
+	Dir string
 	// Logf receives progress output (nil = silent).
 	Logf func(format string, args ...any)
 
@@ -129,7 +133,7 @@ func Smoke(cfg SmokeConfig) (*SmokeResult, error) {
 	}
 
 	// --- clean equivalence + structure oracle on every pass boundary
-	eq, err := Equiv(EquivConfig{Seed: cfg.Seed})
+	eq, err := Equiv(EquivConfig{Seed: cfg.Seed, Dir: cfg.Dir})
 	if err != nil {
 		return res, fmt.Errorf("%w\nrepro: reorg-bench -check -seed %d -histories 0 -crashes 0",
 			err, cfg.Seed)
@@ -168,7 +172,7 @@ func Smoke(cfg SmokeConfig) (*SmokeResult, error) {
 
 	// --- crash-point equivalence schedules
 	if cfg.CrashSchedules > 0 {
-		hits, err := EquivHits(EquivConfig{Seed: cfg.Seed})
+		hits, err := EquivHits(EquivConfig{Seed: cfg.Seed, Dir: cfg.Dir})
 		if err != nil {
 			return res, fmt.Errorf("%w\nrepro: reorg-bench -check -seed %d -histories 0 -crashes 0",
 				err, cfg.Seed)
@@ -180,7 +184,7 @@ func Smoke(cfg SmokeConfig) (*SmokeResult, error) {
 		}
 		for j := 0; j < cfg.CrashSchedules; j++ {
 			hit := 1 + j*(hits-1)/denom
-			if _, err := Equiv(EquivConfig{Seed: cfg.Seed, CrashHit: hit}); err != nil {
+			if _, err := Equiv(EquivConfig{Seed: cfg.Seed, CrashHit: hit, Dir: cfg.Dir}); err != nil {
 				return res, fmt.Errorf("crash schedule %d/%d (hit %d of %d): %w\nrepro: reorg-bench -check -seed %d -histories 0 -crashes 0 -crashhit %d",
 					j+1, cfg.CrashSchedules, hit, hits, err, cfg.Seed, hit)
 			}

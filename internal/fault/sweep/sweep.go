@@ -32,6 +32,7 @@ package sweep
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"sort"
 
 	"repro"
@@ -67,6 +68,17 @@ type Config struct {
 	Torn bool
 	// MaxRuns caps the number of crash runs (0 = unlimited).
 	MaxRuns int
+	// Backend selects the storage backend: "mem" (default) or "file".
+	// The file backend gives every run a fresh directory under Dir, so
+	// each crash recovers against real page and segment files.
+	Backend string
+	// Dir is the parent directory for file-backend run directories
+	// (default: the OS temp dir).
+	Dir string
+	// WALSegmentBytes overrides the file backend's WAL rotation
+	// threshold (0 keeps the default); small values make the sweep
+	// cross segment boundaries constantly.
+	WALSegmentBytes int64
 	// Logf receives progress output (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -92,6 +104,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Stride <= 0 {
 		c.Stride = 1
+	}
+	if c.Backend == "" {
+		c.Backend = "mem"
 	}
 	return c
 }
@@ -126,6 +141,8 @@ type op struct {
 type script struct {
 	cfg Config
 	db  *repro.DB
+	// dir is the run's database directory (file backend; "" for mem).
+	dir string
 	// model holds exactly the committed (acknowledged) records.
 	model map[string]string
 	// pending is the mutation in flight; at a crash it is ambiguous
@@ -134,15 +151,39 @@ type script struct {
 }
 
 func newScript(cfg Config, inj *fault.Injector) (*script, error) {
-	db, err := repro.Open(repro.Options{
+	opts := repro.Options{
 		PageSize:        cfg.PageSize,
 		BufferPoolPages: cfg.BufferPool,
 		FaultInjector:   inj,
-	})
+		WALSegmentBytes: cfg.WALSegmentBytes,
+	}
+	var dir string
+	if cfg.Backend == "file" {
+		var err error
+		dir, err = os.MkdirTemp(cfg.Dir, "sweep-run-")
+		if err != nil {
+			return nil, fmt.Errorf("sweep: run dir: %w", err)
+		}
+		opts.Dir = dir
+	}
+	db, err := repro.Open(opts)
 	if err != nil {
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
 		return nil, err
 	}
-	return &script{cfg: cfg, db: db, model: make(map[string]string)}, nil
+	return &script{cfg: cfg, db: db, dir: dir, model: make(map[string]string)}, nil
+}
+
+// cleanup closes the run's database (releasing file descriptors — a
+// sweep performs hundreds of runs) and deletes its directory. Errors
+// are discarded: the run's verdict has already been decided.
+func (s *script) cleanup() {
+	_ = s.db.Close()
+	if s.dir != "" {
+		_ = os.RemoveAll(s.dir)
+	}
 }
 
 func (s *script) key(i int) string { return string(workload.Key(i)) }
@@ -407,6 +448,7 @@ func Enumerate(cfg Config) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer s.cleanup()
 	inj.StartTrace()
 	if err := s.run(); err != nil {
 		return nil, fmt.Errorf("enumeration run: %w", err)
@@ -464,6 +506,10 @@ func runOne(cfg Config, hit int, torn bool, res *Result) error {
 	if err != nil {
 		return fmt.Errorf("open: %w", err)
 	}
+	defer func() {
+		inj.Disarm() // cleanup's Close must not trip a still-armed crash
+		s.cleanup()
+	}()
 	inj.ArmCrashAtSeq(inj.Seq()+int64(hit), torn)
 	crash, err := fault.Catch(s.run)
 	if err != nil {

@@ -104,3 +104,16 @@ const (
 	WALGroupLeaders     = "wal.group.leaders"
 	WALBytesForced      = "wal.bytes.forced"
 )
+
+// Counter names for real media traffic (file backend; all zero on the
+// in-memory backend except disk.bytes.*, which count simulated
+// transfers). These are the write-amplification inputs.
+const (
+	DiskBytesRead    = "disk.bytes.read"
+	DiskBytesWritten = "disk.bytes.written"
+	DiskFsyncs       = "disk.fsyncs"
+	WALFsyncs        = "wal.fsyncs"
+	WALSegsCreated   = "wal.segments.created"
+	WALSegsDeleted   = "wal.segments.deleted"
+	WALSegsLive      = "wal.segments.live"
+)

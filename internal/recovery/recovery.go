@@ -67,7 +67,7 @@ type unitState struct {
 // Restart recovers the database from the stable disk and the durable
 // prefix of the log. The caller must have invoked log.Crash() (or be
 // reusing a freshly read log).
-func Restart(disk *storage.Disk, log *wal.Log) (*Result, error) {
+func Restart(disk storage.Disk, log *wal.Log) (*Result, error) {
 	res := &Result{}
 	pager := storage.NewPager(disk, 0, log)
 	locks := lock.NewManager()

@@ -15,7 +15,7 @@ import (
 )
 
 type env struct {
-	disk  *storage.Disk
+	disk  *storage.MemDisk
 	pager *storage.Pager
 	log   *wal.Log
 	locks *lock.Manager

@@ -8,14 +8,20 @@ import (
 	"repro/internal/fault"
 )
 
-// IOStats counts physical page transfers against the simulated disk.
+// IOStats counts physical page transfers against stable storage.
 // Seeks counts non-sequential reads (the head movement a range scan
 // pays when key-adjacent leaves are not disk-adjacent — what pass 2
-// eliminates).
+// eliminates). BytesRead/BytesWritten count real media traffic
+// (including per-page frame headers on the file backend) so
+// write-amplification can be computed honestly; Fsyncs counts forced
+// media flushes (always zero on the in-memory backend).
 type IOStats struct {
-	Reads  atomic.Int64
-	Writes atomic.Int64
-	Seeks  atomic.Int64
+	Reads        atomic.Int64
+	Writes       atomic.Int64
+	Seeks        atomic.Int64
+	BytesRead    atomic.Int64
+	BytesWritten atomic.Int64
+	Fsyncs       atomic.Int64
 }
 
 // Snapshot returns the current counter values.
@@ -30,9 +36,55 @@ func (s *IOStats) Snapshot3() (reads, writes, seeks int64) {
 	return s.Reads.Load(), s.Writes.Load(), s.Seeks.Load()
 }
 
-// Disk is the simulated stable storage: an array of page images plus
-// I/O accounting. Only what has been written here survives a crash.
-type Disk struct {
+// Bytes returns the media byte counters: bytes read, bytes written and
+// fsyncs issued.
+func (s *IOStats) Bytes() (read, written, fsyncs int64) {
+	return s.BytesRead.Load(), s.BytesWritten.Load(), s.Fsyncs.Load()
+}
+
+// Disk is stable storage: whatever Write (and MarkFree) has made
+// stable survives a crash; buffered frames do not. Two implementations
+// exist: MemDisk, the in-memory simulation the tests and experiments
+// default to, and FileDisk, a real page file with checksummed page
+// frames and fsync.
+type Disk interface {
+	// PageSize returns the page size in bytes.
+	PageSize() int
+	// SetInjector installs the fault injector consulted at the
+	// disk.read and disk.write fault points (nil disables injection).
+	SetInjector(in *fault.Injector)
+	// Stats exposes the I/O counters.
+	Stats() *IOStats
+	// NumPages returns the current extent in pages, including the
+	// reserved page 0.
+	NumPages() int
+	// Read copies the stable image of page id into buf. A page never
+	// written reads as a zeroed (PageFree) image. A stable image that
+	// fails its integrity check surfaces ErrCorruptPage (file backend).
+	Read(id PageID, buf []byte) error
+	// Write makes the page image stable (crash-surviving).
+	Write(id PageID, data []byte) error
+	// MarkFree stamps the stable image of id as a free page without
+	// charging data I/O: freeing is an allocation-bitmap update in a
+	// real system, not a page transfer. The free image carries lsn so
+	// redo can order deallocation against later reuse of the page.
+	MarkFree(id PageID, lsn uint64)
+	// ScanTypes reads the header type of every page without charging
+	// I/O; it is used to rebuild the free map at restart (a real system
+	// would keep an allocation bitmap; the scan stands in for reading
+	// it).
+	ScanTypes() []PageType
+	// Sync forces all stable images to media (fsync on the file
+	// backend; a no-op in memory).
+	Sync() error
+	// Close releases any underlying file handles. Idempotent.
+	Close() error
+}
+
+// MemDisk is the simulated stable storage: an array of page images
+// plus I/O accounting. Only what has been written here survives a
+// simulated crash.
+type MemDisk struct {
 	pageSize int
 
 	mu       sync.Mutex
@@ -43,42 +95,42 @@ type Disk struct {
 	stats IOStats
 }
 
-// NewDisk creates a disk with the given page size. Page 0 exists but is
-// never used (InvalidPage).
-func NewDisk(pageSize int) *Disk {
+// NewDisk creates an in-memory disk with the given page size. Page 0
+// exists but is never used (InvalidPage).
+func NewDisk(pageSize int) *MemDisk {
 	if pageSize < MinPageSize {
 		panic(fmt.Sprintf("storage: page size %d below minimum %d", pageSize, MinPageSize))
 	}
-	return &Disk{
+	return &MemDisk{
 		pageSize: pageSize,
 		pages:    make([][]byte, 1), // page 0 reserved
 	}
 }
 
 // PageSize returns the disk's page size in bytes.
-func (d *Disk) PageSize() int { return d.pageSize }
+func (d *MemDisk) PageSize() int { return d.pageSize }
 
 // SetInjector installs the fault injector consulted at the disk.read
 // and disk.write fault points (nil disables injection).
-func (d *Disk) SetInjector(in *fault.Injector) {
+func (d *MemDisk) SetInjector(in *fault.Injector) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.inj = in
 }
 
 // Stats exposes the I/O counters.
-func (d *Disk) Stats() *IOStats { return &d.stats }
+func (d *MemDisk) Stats() *IOStats { return &d.stats }
 
 // NumPages returns the current extent of the disk in pages, including
 // the reserved page 0.
-func (d *Disk) NumPages() int {
+func (d *MemDisk) NumPages() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.pages)
 }
 
 // ensure grows the disk so that id is addressable.
-func (d *Disk) ensure(id PageID) {
+func (d *MemDisk) ensure(id PageID) {
 	for PageID(len(d.pages)) <= id {
 		d.pages = append(d.pages, nil)
 	}
@@ -86,7 +138,7 @@ func (d *Disk) ensure(id PageID) {
 
 // Read copies the stable image of page id into buf. Reading a page that
 // was never written yields a zeroed (PageFree) image.
-func (d *Disk) Read(id PageID, buf []byte) error {
+func (d *MemDisk) Read(id PageID, buf []byte) error {
 	if id == InvalidPage {
 		return fmt.Errorf("storage: read of invalid page")
 	}
@@ -100,6 +152,7 @@ func (d *Disk) Read(id PageID, buf []byte) error {
 		return fmt.Errorf("storage: read page %d: %w", id, err)
 	}
 	d.stats.Reads.Add(1)
+	d.stats.BytesRead.Add(int64(d.pageSize))
 	if id != d.lastRead+1 {
 		d.stats.Seeks.Add(1)
 	}
@@ -115,7 +168,7 @@ func (d *Disk) Read(id PageID, buf []byte) error {
 }
 
 // Write makes the page image stable (crash-surviving).
-func (d *Disk) Write(id PageID, data []byte) error {
+func (d *MemDisk) Write(id PageID, data []byte) error {
 	if id == InvalidPage {
 		return fmt.Errorf("storage: write of invalid page")
 	}
@@ -137,15 +190,15 @@ func (d *Disk) Write(id PageID, data []byte) error {
 		return fmt.Errorf("storage: write page %d: %w", id, err)
 	}
 	d.stats.Writes.Add(1)
+	d.stats.BytesWritten.Add(int64(d.pageSize))
 	copy(d.pages[id], data)
 	return nil
 }
 
 // MarkFree stamps the stable image of id as a free page without
-// charging data I/O: freeing is an allocation-bitmap update in a real
-// system, not a page transfer. The free image carries lsn so redo can
-// order deallocation against later reuse of the page.
-func (d *Disk) MarkFree(id PageID, lsn uint64) {
+// charging data I/O. The free image carries lsn so redo can order
+// deallocation against later reuse of the page.
+func (d *MemDisk) MarkFree(id PageID, lsn uint64) {
 	if id == InvalidPage {
 		return
 	}
@@ -159,10 +212,8 @@ func (d *Disk) MarkFree(id PageID, lsn uint64) {
 	Page(d.pages[id]).SetLSN(lsn)
 }
 
-// ScanTypes reads the header type of every page without charging I/O;
-// it is used to rebuild the free map at restart (a real system would
-// keep an allocation bitmap; the scan stands in for reading it).
-func (d *Disk) ScanTypes() []PageType {
+// ScanTypes reads the header type of every page without charging I/O.
+func (d *MemDisk) ScanTypes() []PageType {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	out := make([]PageType, len(d.pages))
@@ -175,3 +226,9 @@ func (d *Disk) ScanTypes() []PageType {
 	}
 	return out
 }
+
+// Sync is a no-op: memory is this backend's "media".
+func (d *MemDisk) Sync() error { return nil }
+
+// Close is a no-op; the in-memory disk holds no handles.
+func (d *MemDisk) Close() error { return nil }

@@ -1,16 +1,23 @@
 // Package storage provides the page-level substrate the reorganization
-// algorithms run on: fixed-size pages with a common header, a simulated
-// disk with crash semantics and I/O accounting, a buffer pool that
+// algorithms run on: fixed-size pages with a common header, stable
+// storage with crash semantics and I/O accounting, a buffer pool that
 // enforces the write-ahead-log rule and Lomet–Tuttle careful-write
 // ordering, and a free-space map supporting the paper's
 // Find-Free-Space placement heuristic.
 //
-// The disk is an in-memory array of page images. Crash semantics are
-// exact: only page images that were explicitly flushed (and the flushed
-// prefix of the log) survive a Crash; everything held in buffer-pool
-// frames is lost. This is the property the paper's recovery and
-// careful-writing arguments depend on, so the simulation preserves the
-// behaviour the paper's testbed provided.
+// Stable storage is the Disk interface, with two implementations.
+// MemDisk is an in-memory array of page images with exact crash
+// semantics: only page images that were explicitly flushed (and the
+// flushed prefix of the log) survive a Crash; everything held in
+// buffer-pool frames is lost. This is the property the paper's
+// recovery and careful-writing arguments depend on, so the simulation
+// preserves the behaviour the paper's testbed provided. FileDisk is a
+// real page file: each page slot carries a CRC32C frame header
+// (checksum, page-id echo, pageLSN echo) so a torn or rotted image is
+// detected on read as a typed ErrCorruptPage — never a panic or a
+// silently wrong answer — and Sync issues a real fsync, which the
+// pager uses as the careful-write barrier between dependency flushes
+// and the dependent page's own write.
 //
 // I/O accounting (IOStats) follows a simple single-arm seek model: the
 // disk remembers the id of the last page read, and a read of any page

@@ -108,7 +108,7 @@ type shard struct {
 // graph sit under their own small locks so allocation and careful
 // writing never contend with page fixes.
 type Pager struct {
-	disk *Disk
+	disk Disk
 	wal  LogFlusher
 
 	shards []*shard
@@ -158,7 +158,7 @@ func shardCountFor(capacity int) int {
 // NewPager creates a buffer pool over disk with at most capacity
 // resident frames (0 means unbounded). wal may be nil for WAL-free use
 // (tests, scratch pools).
-func NewPager(disk *Disk, capacity int, wal LogFlusher) *Pager {
+func NewPager(disk Disk, capacity int, wal LogFlusher) *Pager {
 	n := shardCountFor(capacity)
 	p := &Pager{
 		disk:     disk,
@@ -179,8 +179,8 @@ func NewPager(disk *Disk, capacity int, wal LogFlusher) *Pager {
 	return p
 }
 
-// Disk returns the underlying simulated disk.
-func (p *Pager) Disk() *Disk { return p.disk }
+// Disk returns the underlying stable-storage backend.
+func (p *Pager) Disk() Disk { return p.disk }
 
 // SetInjector installs the fault injector consulted at the pager.flush
 // and pager.evict fault points (nil disables injection).
@@ -527,6 +527,7 @@ func (p *Pager) flushFrame(f *Frame, visiting map[PageID]bool) error {
 	// while we were flushing the previous batch is picked up by the
 	// re-check, so the image copied below never depends on an unstable
 	// page.
+	depsFlushed := false
 	for {
 		deps := p.snapshotDeps(f.id)
 		for _, dep := range deps {
@@ -535,11 +536,21 @@ func (p *Pager) flushFrame(f *Frame, visiting map[PageID]bool) error {
 				if err := p.flushFrame(df, visiting); err != nil {
 					return err
 				}
+				depsFlushed = true
 			}
 			p.clearDep(f.id, dep)
 		}
 		if !p.hasDeps(f.id) {
 			break
+		}
+	}
+	if depsFlushed {
+		// Careful-write barrier: the OS may reorder file writes across a
+		// power failure, so the dependency images must be forced to media
+		// before this page's image may land (no-op on the in-memory
+		// backend, where Write is already stable).
+		if err := p.disk.Sync(); err != nil {
+			return err
 		}
 	}
 
@@ -640,12 +651,12 @@ func (p *Pager) FlushAll() error {
 	return nil
 }
 
-// Close verifies the pool is quiescent: every pin taken must have been
-// released. It reports leaked pins as an error naming the pages, from
-// both the resident frames and (under the invariants build) the pin
-// ledger, which still remembers pins on frames that were since removed
-// from the table. Close does not flush; callers wanting durability run
-// FlushAll first.
+// Close verifies the pool is quiescent (every pin taken must have been
+// released), then syncs and closes the disk backend. The sync and close
+// run even when pins leaked, so a buggy shutdown path still releases
+// file descriptors deterministically; all failures are joined into the
+// returned error. Close does not flush dirty frames; callers wanting
+// their contents durable run FlushAll first.
 func (p *Pager) Close() error {
 	leaked := make(map[PageID]bool)
 	for _, sh := range p.shards {
@@ -660,15 +671,16 @@ func (p *Pager) Close() error {
 	for _, page := range p.pins.Leaks() {
 		leaked[PageID(page)] = true
 	}
-	if len(leaked) == 0 {
-		return nil
+	var pinErr error
+	if len(leaked) > 0 {
+		ids := make([]PageID, 0, len(leaked))
+		for id := range leaked {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		pinErr = fmt.Errorf("storage: close with leaked pins on pages %v", ids)
 	}
-	ids := make([]PageID, 0, len(leaked))
-	for id := range leaked {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return fmt.Errorf("storage: close with leaked pins on pages %v", ids)
+	return errors.Join(pinErr, p.disk.Sync(), p.disk.Close())
 }
 
 // Allocate reserves the lowest free page id and returns a pinned,
@@ -785,14 +797,23 @@ func (p *Pager) Deallocate(id PageID, lsn uint64) error {
 	sh.unlock()
 
 	// Flush the pages this one depends on (its copied-out contents).
+	depsFlushed := false
 	for _, dep := range p.snapshotDeps(id) {
 		df := p.lookup(dep)
 		if df != nil && df.dirty.Load() {
 			if err := p.flushFrame(df, make(map[PageID]bool)); err != nil {
 				return err
 			}
+			depsFlushed = true
 		}
 		p.clearDep(id, dep)
+	}
+	if depsFlushed {
+		// Careful-write barrier: the copied-out contents must be on media
+		// before the stable image is stamped free.
+		if err := p.disk.Sync(); err != nil {
+			return err
+		}
 	}
 
 	if f != nil {

@@ -34,7 +34,20 @@ type Log struct {
 	mu      sync.Mutex
 	cond    *sync.Cond // signalled when a forced write completes
 	buf     []byte
-	flushed int // bytes durable
+	flushed int // bytes durable (relative to base)
+
+	// base is the byte offset of buf[0] in the whole record stream:
+	// LSNs are stream offsets plus one, so the record at buf[i] has LSN
+	// base+i+1. base is zero for the in-memory device and advances on
+	// the file device when retention drops whole segments.
+	base uint64
+	// seg is the file device (nil for the in-memory log). All its
+	// methods run under l.mu.
+	seg *SegmentedLog
+	// crashErr records a corruption error from a Crash-time re-scan of
+	// the segment directory; Crash cannot return it, so reads surface
+	// it instead.
+	crashErr error
 
 	// forcing is true while a leader owns the force in progress;
 	// forceGen increments when it finishes, so waiters can tell "the
@@ -64,11 +77,34 @@ type Log struct {
 	forcesSaved   atomic.Int64 // waiters whose force was absorbed by a leader
 }
 
-// NewLog returns an empty log.
+// NewLog returns an empty in-memory log.
 func NewLog() *Log {
 	l := &Log{retryRNG: rand.New(rand.NewSource(0x109))}
 	l.cond = sync.NewCond(&l.mu)
 	return l
+}
+
+// OpenSegmentedLog opens (creating if needed) a file-backed log over
+// the segment files in dir, running recovery first: segments are
+// scanned in creation order, a ragged tail in the newest segment is
+// truncated as a torn write, and mid-stream damage fails with
+// ErrWALCorrupt. The returned log's durable prefix is exactly what the
+// scan accepted.
+func OpenSegmentedLog(dir string, opts SegmentOptions) (*Log, error) {
+	seg, base, buf, err := recoverDir(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		retryRNG: rand.New(rand.NewSource(0x109)),
+		seg:      seg,
+		base:     base,
+		buf:      buf,
+		flushed:  len(buf),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	l.bytesAppended.Store(int64(base) + int64(len(buf)))
+	return l, nil
 }
 
 // SetInjector installs the fault injector consulted at the wal.append
@@ -126,12 +162,12 @@ func (l *Log) Append(r Record) LSN {
 		l.retryBackoff(attempt + 1)
 		l.mu.Lock()
 	}
-	lsn := LSN(len(l.buf)) + 1
+	lsn := l.base + LSN(len(l.buf)) + 1
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	l.buf = append(l.buf, hdr[:]...)
 	l.buf = append(l.buf, payload...)
-	l.bytesAppended.Store(int64(len(l.buf)))
+	l.bytesAppended.Store(int64(l.base) + int64(len(l.buf)))
 	return lsn
 }
 
@@ -140,7 +176,7 @@ func (l *Log) Append(r Record) LSN {
 func (l *Log) Tail() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return LSN(len(l.buf)) + 1
+	return l.base + LSN(len(l.buf)) + 1
 }
 
 // FlushTo makes the log durable at least through the record starting at
@@ -152,9 +188,12 @@ func (l *Log) FlushTo(lsn LSN) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	start := int(lsn - 1)
+	if lsn <= l.base {
+		return nil // below the retained base: durable by construction
+	}
+	start := int(lsn - 1 - l.base)
 	if start > len(l.buf) {
-		return fmt.Errorf("wal: flush beyond tail (lsn %d, tail %d)", lsn, len(l.buf)+1)
+		return fmt.Errorf("wal: flush beyond tail (lsn %d, tail %d)", lsn, l.base+LSN(len(l.buf))+1)
 	}
 	return l.groupForce(func() bool { return start < l.flushed })
 }
@@ -166,7 +205,7 @@ func (l *Log) FlushTo(lsn LSN) error {
 func (l *Log) DurableLSN() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return uint64(l.flushed)
+	return l.base + uint64(l.flushed)
 }
 
 // Flush forces the entire log.
@@ -239,9 +278,24 @@ func (l *Log) forceLocked() error {
 		//vet:allow(nolockio) -- l.mu is the simulated log device's own serialization; the fault point models the device itself
 		err = l.inj.HitTorn(fault.WALForce, func() {
 			// Torn force: only the first half of the tail became durable.
-			l.flushed += (len(l.buf) - l.flushed) / 2
+			if l.seg != nil {
+				// Write half of the framed tail to the real segment (the
+				// crash panic follows; the re-scan truncates the ragged
+				// edge back to a record boundary).
+				l.seg.tornForce(l.buf[l.flushed:], l.base+uint64(l.flushed)+1)
+			} else {
+				l.flushed += (len(l.buf) - l.flushed) / 2
+			}
 		})
 		if err == nil {
+			if l.seg != nil {
+				// Real device: frame and fsync the tail (rotating between
+				// records as segments fill). A write/sync failure here is a
+				// log-device failure and fails the force outright.
+				if werr := l.seg.force(l.buf[l.flushed:], l.base+uint64(l.flushed)+1); werr != nil {
+					return werr
+				}
+			}
 			// Durability must cover the whole record; flushing the whole
 			// buffer models a single forced write of the log tail. Records
 			// appended while a leader waited out the window (or a backoff)
@@ -262,9 +316,31 @@ func (l *Log) forceLocked() error {
 // back to the last complete record: a restart log scan stops at the
 // first record whose length prefix runs past the durable end, so bytes
 // of a half-forced record are unreadable garbage, not data.
+//
+// On the file device, Crash is the simulated restart of the log
+// manager: the in-memory state is thrown away and rebuilt by re-running
+// the segment-directory recovery scan, which is also what truncates a
+// half-forced (torn) tail on real media. A scan failure (deliberate
+// corruption) is remembered and surfaced from the next read.
 func (l *Log) Crash() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.seg != nil {
+		opts := SegmentOptions{SegmentBytes: l.seg.segBytes, FragmentBytes: l.seg.fragBytes}
+		dir := l.seg.dir
+		_ = l.seg.close()
+		seg, base, buf, err := recoverDir(dir, opts)
+		if err != nil {
+			l.crashErr = err
+			l.buf = nil
+			l.flushed = 0
+			return
+		}
+		l.seg, l.base, l.buf, l.flushed = seg, base, buf, len(buf)
+		l.crashErr = nil
+		l.bytesAppended.Store(int64(l.base) + int64(len(l.buf)))
+		return
+	}
 	l.buf = l.buf[:l.flushed]
 	off := 0
 	for off+4 <= len(l.buf) {
@@ -277,6 +353,65 @@ func (l *Log) Crash() {
 	l.buf = l.buf[:off]
 	l.flushed = off
 	l.bytesAppended.Store(int64(len(l.buf)))
+}
+
+// Close releases the file device's segment handle (a no-op for the
+// in-memory log). It does not force: callers wanting the tail durable
+// run Flush first.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seg == nil {
+		return nil
+	}
+	return l.seg.close()
+}
+
+// TruncateBelow applies log retention: every segment wholly below
+// horizon is deleted and the in-memory stream trimmed to match. The
+// caller (checkpoint) must guarantee nothing below horizon will ever
+// be read again — no active transaction's undo chain and no in-flight
+// reorganization unit may reach below it. No-op on the in-memory log.
+func (l *Log) TruncateBelow(horizon LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seg == nil || horizon <= l.base {
+		return nil
+	}
+	newBase, err := l.seg.retain(horizon)
+	if err != nil {
+		return err
+	}
+	if newBase-1 > l.base {
+		drop := int(newBase - 1 - l.base)
+		l.buf = append([]byte(nil), l.buf[drop:]...)
+		l.flushed -= drop
+		l.base = newBase - 1
+	}
+	return nil
+}
+
+// Fsyncs returns the number of fsyncs the file device has issued
+// (zero for the in-memory log).
+func (l *Log) Fsyncs() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seg == nil {
+		return 0
+	}
+	return l.seg.fsyncs
+}
+
+// SegmentCounts returns the file device's lifetime segment counters:
+// segments created, segments deleted by retention, and segments
+// currently live (all zero for the in-memory log).
+func (l *Log) SegmentCounts() (created, deleted, live int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seg == nil {
+		return 0, 0, 0
+	}
+	return l.seg.segmentsCreated, l.seg.segmentsDeleted, int64(len(l.seg.segments))
 }
 
 // BytesAppended returns the total log volume generated (a primary
@@ -314,7 +449,13 @@ func (l *Log) readLocked(lsn LSN) (Record, LSN, error) {
 	if lsn == 0 {
 		return nil, 0, fmt.Errorf("wal: read of LSN 0")
 	}
-	off := int(lsn - 1)
+	if l.crashErr != nil {
+		return nil, 0, l.crashErr
+	}
+	if lsn <= l.base {
+		return nil, 0, fmt.Errorf("wal: LSN %d below retained base %d", lsn, l.base)
+	}
+	off := int(lsn - 1 - l.base)
 	if off+4 > len(l.buf) {
 		return nil, 0, fmt.Errorf("wal: LSN %d past tail", lsn)
 	}
@@ -326,20 +467,28 @@ func (l *Log) readLocked(lsn LSN) (Record, LSN, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	return r, LSN(off+4+n) + 1, nil
+	return r, l.base + LSN(off+4+n) + 1, nil
 }
 
 // Iterate calls fn for every record with LSN >= from, in order. fn
 // returning a non-nil error stops iteration and is returned.
 func (l *Log) Iterate(from LSN, fn func(lsn LSN, r Record) error) error {
-	if from == 0 {
-		from = 1
+	l.mu.Lock()
+	if l.crashErr != nil {
+		l.mu.Unlock()
+		return l.crashErr
 	}
+	if from <= l.base {
+		// Records below the retained base were deleted by retention; the
+		// stream logically starts at base+1.
+		from = l.base + 1
+	}
+	l.mu.Unlock()
 	for {
 		l.mu.Lock()
-		end := len(l.buf)
+		end := l.base + LSN(len(l.buf))
 		l.mu.Unlock()
-		if int(from-1) >= end {
+		if from-1 >= end {
 			return nil
 		}
 		r, next, err := l.Read(from)

@@ -1,0 +1,527 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ErrWALCorrupt reports log damage recovery cannot classify as a torn
+// tail: a record frame in the middle of the stream (more log follows
+// it) whose CRC, length, or fragment sequencing is wrong. A torn tail
+// is silently truncated — that is what a crash mid-force legitimately
+// leaves behind — but mid-stream corruption means stable storage lied,
+// and replaying past it could apply garbage, so recovery refuses.
+var ErrWALCorrupt = errors.New("wal: corrupt log record (mid-stream)")
+
+// castagnoli is the CRC32C table for WAL record frames (same
+// polynomial as the page-frame checksums in internal/storage).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// On-disk segment layout. A segment file is named
+// <created-unixnano>-<seq>.wal (zero-padded, so lexical order is
+// creation order) and starts with a 32-byte header:
+//
+//	off  size  field
+//	  0     8  magic "RBTWSEG1"
+//	  8     4  format version (little-endian, currently 1)
+//	 12     4  reserved (zero)
+//	 16     8  firstLSN — LSN of the first record in this segment
+//	 24     8  creation time (unix nanoseconds)
+//
+// followed by record frames:
+//
+//	off  size  field
+//	  0     4  CRC32C over [type, payload]
+//	  4     4  payload length
+//	  8     1  type (full / first / middle / last)
+//	  9     n  payload
+//
+// A logical record larger than FragmentBytes is split into a
+// first/middle.../last fragment chain; the chain never spans a
+// rotation (rotation happens only between logical records), so
+// reassembly is purely sequential within one segment.
+const (
+	segHeaderSize = 32
+	recFrameSize  = 9
+	segMagic      = "RBTWSEG1"
+	segVersion    = 1
+	segSuffix     = ".wal"
+
+	recFull   = 1
+	recFirst  = 2
+	recMiddle = 3
+	recLast   = 4
+)
+
+// DefaultSegmentBytes is the rotation threshold: a segment that has
+// grown past it is closed and a new one opened before the next record.
+const DefaultSegmentBytes = 1 << 20
+
+// DefaultFragmentBytes caps a single frame's payload; larger logical
+// records are written as fragment chains (KevoDB uses the same 32 KiB
+// block discipline).
+const DefaultFragmentBytes = 32 << 10
+
+// SegmentOptions configures the file-backed log device.
+type SegmentOptions struct {
+	// SegmentBytes is the rotation threshold (DefaultSegmentBytes if 0).
+	SegmentBytes int64
+	// FragmentBytes caps one frame's payload (DefaultFragmentBytes if 0).
+	FragmentBytes int
+}
+
+// segmentInfo is the in-memory index entry for one on-disk segment.
+type segmentInfo struct {
+	name     string
+	firstLSN uint64
+	created  int64
+}
+
+// SegmentedLog is the file device behind a Log: timestamped segment
+// files with per-record CRC frames, size-based rotation, torn-tail
+// truncation on recovery, and retention. It has no locking of its own —
+// every method runs under the owning Log's mutex.
+type SegmentedLog struct {
+	dir       string
+	segBytes  int64
+	fragBytes int
+
+	segments []segmentInfo // oldest first; last entry is the open segment
+	cur      *os.File
+	curSize  int64
+	seq      uint64
+
+	fsyncs          int64
+	segmentsCreated int64
+	segmentsDeleted int64
+}
+
+func (s *SegmentedLog) segPath(name string) string { return filepath.Join(s.dir, name) }
+
+// syncDir fsyncs the segment directory so a just-created or
+// just-deleted name survives a crash.
+func (s *SegmentedLog) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// createSegment opens a fresh segment whose first record will carry
+// firstLSN, makes it the current segment, and syncs the directory.
+func (s *SegmentedLog) createSegment(firstLSN uint64) error {
+	s.seq++
+	created := time.Now().UnixNano()
+	name := fmt.Sprintf("%020d-%08d%s", created, s.seq, segSuffix)
+	f, err := os.OpenFile(s.segPath(name), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	hdr := make([]byte, segHeaderSize)
+	copy(hdr, segMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], segVersion)
+	binary.LittleEndian.PutUint64(hdr[16:], firstLSN)
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(created))
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	s.fsyncs++
+	if err := s.syncDir(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync segment dir: %w", err)
+	}
+	if s.cur != nil {
+		if err := s.cur.Close(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: close rotated segment: %w", err)
+		}
+	}
+	s.cur = f
+	s.curSize = segHeaderSize
+	s.segments = append(s.segments, segmentInfo{name: name, firstLSN: firstLSN, created: created})
+	s.segmentsCreated++
+	return nil
+}
+
+// frame encodes one record frame (type + payload) into dst.
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
+	var hdr [recFrameSize]byte
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	hdr[8] = typ
+	crc := crc32.Checksum(hdr[8:9], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[:4], crc)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// frameRecord encodes one logical record payload as a frame chain,
+// fragmenting at fragBytes.
+func (s *SegmentedLog) frameRecord(dst, payload []byte) []byte {
+	if len(payload) <= s.fragBytes {
+		return appendFrame(dst, recFull, payload)
+	}
+	first := true
+	for len(payload) > s.fragBytes {
+		typ := byte(recMiddle)
+		if first {
+			typ = recFirst
+			first = false
+		}
+		dst = appendFrame(dst, typ, payload[:s.fragBytes])
+		payload = payload[s.fragBytes:]
+	}
+	return appendFrame(dst, recLast, payload)
+}
+
+// force durably appends the unflushed log tail. tail is a sequence of
+// complete in-memory records ([len u32][payload]); startLSN is the LSN
+// of the first. Rotation happens between logical records; every
+// segment the force touched is fsynced before force returns.
+func (s *SegmentedLog) force(tail []byte, startLSN uint64) error {
+	if len(tail) == 0 {
+		return nil
+	}
+	var pending []byte
+	off := 0
+	for off < len(tail) {
+		n := int(binary.LittleEndian.Uint32(tail[off:]))
+		payload := tail[off+4 : off+4+n]
+		if s.curSize+int64(len(pending)) >= s.segBytes {
+			// Rotate: flush and fsync what this force already framed into
+			// the full segment, then open a new one for the next record.
+			if err := s.writeOut(pending); err != nil {
+				return err
+			}
+			pending = pending[:0]
+			if err := s.sync(); err != nil {
+				return err
+			}
+			if err := s.createSegment(startLSN + uint64(off)); err != nil {
+				return err
+			}
+		}
+		pending = s.frameRecord(pending, payload)
+		off += 4 + n
+	}
+	if err := s.writeOut(pending); err != nil {
+		return err
+	}
+	return s.sync()
+}
+
+// writeOut appends framed bytes to the current segment.
+func (s *SegmentedLog) writeOut(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	n, err := s.cur.WriteAt(b, s.curSize)
+	if err != nil {
+		return fmt.Errorf("wal: segment write: %w", err)
+	}
+	if n < len(b) {
+		return fmt.Errorf("wal: segment write: %d of %d bytes: short write", n, len(b))
+	}
+	s.curSize += int64(n)
+	return nil
+}
+
+// sync fsyncs the current segment.
+func (s *SegmentedLog) sync() error {
+	if err := s.cur.Sync(); err != nil {
+		return fmt.Errorf("wal: segment sync: %w", err)
+	}
+	s.fsyncs++
+	return nil
+}
+
+// tornForce models a crash in the middle of a forced write: only the
+// first half of the framed tail reaches the current segment (ragged —
+// it can end mid-frame or mid-fragment-chain), and it is synced so the
+// partial bytes genuinely survive. The caller panics with the crash
+// fault right after; recovery's scan classifies the ragged edge as a
+// torn tail and truncates it.
+func (s *SegmentedLog) tornForce(tail []byte, startLSN uint64) {
+	var framed []byte
+	off := 0
+	for off < len(tail) {
+		n := int(binary.LittleEndian.Uint32(tail[off:]))
+		framed = s.frameRecord(framed, tail[off+4:off+4+n])
+		off += 4 + n
+	}
+	half := framed[:len(framed)/2]
+	if len(half) == 0 {
+		return
+	}
+	if _, err := s.cur.WriteAt(half, s.curSize); err == nil {
+		_ = s.cur.Sync()
+	}
+	// curSize is deliberately not advanced: the process is about to die
+	// (crash panic); the re-scan rebuilds all device state from disk.
+}
+
+// retain deletes every segment whose entire contents lie strictly
+// below horizon (every record in segment i is below segment i+1's
+// firstLSN). The current segment is never deleted. It returns the
+// firstLSN of the oldest retained segment — the new retained base.
+func (s *SegmentedLog) retain(horizon uint64) (newBase uint64, err error) {
+	drop := 0
+	for drop < len(s.segments)-1 && s.segments[drop+1].firstLSN <= horizon {
+		drop++
+	}
+	for i := 0; i < drop; i++ {
+		if err := os.Remove(s.segPath(s.segments[i].name)); err != nil {
+			return s.segments[0].firstLSN, fmt.Errorf("wal: retention: %w", err)
+		}
+		s.segmentsDeleted++
+	}
+	if drop > 0 {
+		s.segments = append([]segmentInfo(nil), s.segments[drop:]...)
+		if err := s.syncDir(); err != nil {
+			return s.segments[0].firstLSN, fmt.Errorf("wal: retention: %w", err)
+		}
+	}
+	return s.segments[0].firstLSN, nil
+}
+
+// close releases the current segment handle (idempotent).
+func (s *SegmentedLog) close() error {
+	if s.cur == nil {
+		return nil
+	}
+	err := s.cur.Close()
+	s.cur = nil
+	if err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	return nil
+}
+
+// listSegments returns the directory's segment files in name
+// (= creation) order.
+func listSegments(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), segSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// scanResult is what recovering one segment yields.
+type scanResult struct {
+	records  [][]byte // reassembled logical record payloads
+	goodSize int64    // file offset just past the last good frame
+	torn     bool     // a ragged tail was found (only legal in the last segment)
+}
+
+// scanSegment reads one segment's frames, reassembling fragment
+// chains. last says whether this is the newest segment: only there may
+// a bad tail be classified as a torn write. The classification rule:
+// a frame that runs past EOF, or a trailing region that cannot be a
+// complete frame, or an unfinished fragment chain at EOF is a torn
+// tail (truncate); a complete frame with a bad CRC — or any damage
+// with more log after it — is ErrWALCorrupt.
+func scanSegment(path string, last bool) (segmentInfo, scanResult, error) {
+	var info segmentInfo
+	var res scanResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return info, res, fmt.Errorf("wal: scan %s: %w", filepath.Base(path), err)
+	}
+	if len(data) < segHeaderSize || string(data[:8]) != segMagic {
+		return info, res, fmt.Errorf("wal: scan %s: bad segment header: %w", filepath.Base(path), ErrWALCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != segVersion {
+		return info, res, fmt.Errorf("wal: scan %s: segment version %d unsupported", filepath.Base(path), v)
+	}
+	info.name = filepath.Base(path)
+	info.firstLSN = binary.LittleEndian.Uint64(data[16:])
+	info.created = int64(binary.LittleEndian.Uint64(data[24:]))
+
+	// fragStart is the file offset of the first frame of the fragment
+	// chain being reassembled; a torn chain truncates back to it.
+	off := int64(segHeaderSize)
+	fragStart := int64(-1)
+	var frag []byte
+	res.goodSize = off
+
+	tornAt := func(at int64) (segmentInfo, scanResult, error) {
+		if !last {
+			return info, res, fmt.Errorf("wal: scan %s: damaged record at offset %d in non-final segment: %w",
+				info.name, at, ErrWALCorrupt)
+		}
+		res.torn = true
+		return info, res, nil
+	}
+
+	for off < int64(len(data)) {
+		if off+recFrameSize > int64(len(data)) {
+			return tornAt(off)
+		}
+		wantCRC := binary.LittleEndian.Uint32(data[off:])
+		n := int64(binary.LittleEndian.Uint32(data[off+4:]))
+		typ := data[off+8]
+		end := off + recFrameSize + n
+		if end > int64(len(data)) {
+			return tornAt(off)
+		}
+		crc := crc32.Checksum(data[off+8:off+9], castagnoli)
+		crc = crc32.Update(crc, castagnoli, data[off+recFrameSize:end])
+		if crc != wantCRC {
+			if last && end == int64(len(data)) {
+				// Bad CRC on the very last frame: the classic torn sector
+				// run at the tail of the newest segment — truncate.
+				return tornAt(off)
+			}
+			return info, res, fmt.Errorf("wal: scan %s: frame CRC %08x != %08x at offset %d: %w",
+				info.name, wantCRC, crc, off, ErrWALCorrupt)
+		}
+		payload := data[off+recFrameSize : end]
+		switch typ {
+		case recFull:
+			if fragStart >= 0 {
+				return info, res, fmt.Errorf("wal: scan %s: full frame inside fragment chain at offset %d: %w",
+					info.name, off, ErrWALCorrupt)
+			}
+			res.records = append(res.records, append([]byte(nil), payload...))
+		case recFirst:
+			if fragStart >= 0 {
+				return info, res, fmt.Errorf("wal: scan %s: nested fragment chain at offset %d: %w",
+					info.name, off, ErrWALCorrupt)
+			}
+			fragStart = off
+			frag = append([]byte(nil), payload...)
+		case recMiddle, recLast:
+			if fragStart < 0 {
+				return info, res, fmt.Errorf("wal: scan %s: orphan fragment at offset %d: %w",
+					info.name, off, ErrWALCorrupt)
+			}
+			frag = append(frag, payload...)
+			if typ == recLast {
+				res.records = append(res.records, frag)
+				fragStart = -1
+				frag = nil
+			}
+		default:
+			return info, res, fmt.Errorf("wal: scan %s: unknown frame type %d at offset %d: %w",
+				info.name, typ, off, ErrWALCorrupt)
+		}
+		off = end
+		if fragStart < 0 {
+			res.goodSize = off
+		}
+	}
+	if fragStart >= 0 {
+		// Unfinished fragment chain at EOF: a force died between
+		// fragments. Truncate back to the chain's first frame.
+		return tornAt(fragStart)
+	}
+	return info, res, nil
+}
+
+// recoverDir scans dir's segments in creation order, truncating a torn
+// tail in the newest segment and rebuilding the in-memory record
+// stream. It returns the device (with the newest segment reopened for
+// appending), the stream's base (LSN of the first retained byte minus
+// one), and the concatenated [len][payload] stream.
+func recoverDir(dir string, opts SegmentOptions) (*SegmentedLog, uint64, []byte, error) {
+	s := &SegmentedLog{
+		dir:       dir,
+		segBytes:  opts.SegmentBytes,
+		fragBytes: opts.FragmentBytes,
+	}
+	if s.segBytes <= segHeaderSize {
+		s.segBytes = DefaultSegmentBytes
+	}
+	if s.fragBytes <= 0 {
+		s.fragBytes = DefaultFragmentBytes
+	}
+	names, err := listSegments(dir)
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	if len(names) == 0 {
+		if err := s.createSegment(1); err != nil {
+			return nil, 0, nil, err
+		}
+		return s, 0, nil, nil
+	}
+
+	var (
+		base uint64
+		buf  []byte
+	)
+	for i, name := range names {
+		info, res, err := scanSegment(filepath.Join(dir, name), i == len(names)-1)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		// seq continues past every name ever used so a new segment's name
+		// sorts after all existing ones.
+		var ts uint64
+		var seq uint64
+		if _, serr := fmt.Sscanf(name, "%d-%d.wal", &ts, &seq); serr == nil && seq > s.seq {
+			s.seq = seq
+		}
+		if i == 0 {
+			base = info.firstLSN - 1
+		} else if want := base + uint64(len(buf)) + 1; info.firstLSN != want {
+			return nil, 0, nil, fmt.Errorf("wal: segment %s firstLSN %d != expected %d (gap or overlap): %w",
+				name, info.firstLSN, want, ErrWALCorrupt)
+		}
+		for _, payload := range res.records {
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+			buf = append(buf, hdr[:]...)
+			buf = append(buf, payload...)
+		}
+		s.segments = append(s.segments, info)
+		if i == len(names)-1 {
+			f, ferr := os.OpenFile(filepath.Join(dir, name), os.O_RDWR, 0o644)
+			if ferr != nil {
+				return nil, 0, nil, fmt.Errorf("wal: reopen segment: %w", ferr)
+			}
+			if res.torn {
+				// Physically truncate the ragged tail so later appends
+				// never interleave with garbage.
+				if terr := f.Truncate(res.goodSize); terr != nil {
+					f.Close()
+					return nil, 0, nil, fmt.Errorf("wal: truncate torn tail: %w", terr)
+				}
+				if serr := f.Sync(); serr != nil {
+					f.Close()
+					return nil, 0, nil, fmt.Errorf("wal: truncate torn tail: %w", serr)
+				}
+				s.fsyncs++
+			}
+			s.cur = f
+			s.curSize = res.goodSize
+		}
+	}
+	return s, base, buf, nil
+}
