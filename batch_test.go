@@ -1,0 +1,148 @@
+package repro_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	repro "repro"
+	"repro/internal/check"
+	"repro/internal/workload"
+)
+
+func TestInsertBatchBasic(t *testing.T) {
+	db, err := repro.Open(repro.Options{PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	perm := rand.New(rand.NewSource(3)).Perm(n)
+	for i, j := range perm {
+		keys[i] = workload.Key(j)
+		vals[i] = workload.Value(j, 40)
+	}
+	if err := db.InsertBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		v, err := db.Get(keys[i])
+		if err != nil {
+			t.Fatalf("get %q: %v", keys[i], err)
+		}
+		if !bytes.Equal(v, vals[i]) {
+			t.Fatalf("get %q: wrong value", keys[i])
+		}
+	}
+	if cnt, err := db.Count(nil, nil); err != nil || cnt != n {
+		t.Fatalf("count = %d, %v; want %d", cnt, err, n)
+	}
+	if rep := check.Tree(db); !rep.OK() {
+		t.Fatalf("after batch load:\n%s", rep)
+	}
+}
+
+func TestInsertBatchDuplicates(t *testing.T) {
+	db, _ := repro.Open(repro.Options{PageSize: 1024})
+	// Duplicate inside the batch: rejected before anything is applied.
+	err := db.InsertBatch(
+		[][]byte{[]byte("a"), []byte("b"), []byte("a")},
+		[][]byte{[]byte("1"), []byte("2"), []byte("3")})
+	if !errors.Is(err, repro.ErrExists) {
+		t.Fatalf("in-batch duplicate err = %v", err)
+	}
+	if n, _ := db.Count(nil, nil); n != 0 {
+		t.Fatalf("rejected batch left %d records", n)
+	}
+	// Duplicate against the tree: the auto-commit wrapper aborts, so
+	// nothing from the batch survives.
+	if err := db.Insert([]byte("m"), []byte("0")); err != nil {
+		t.Fatal(err)
+	}
+	err = db.InsertBatch(
+		[][]byte{[]byte("k"), []byte("m"), []byte("z")},
+		[][]byte{[]byte("1"), []byte("2"), []byte("3")})
+	if !errors.Is(err, repro.ErrExists) {
+		t.Fatalf("tree duplicate err = %v", err)
+	}
+	if n, _ := db.Count(nil, nil); n != 1 {
+		t.Fatalf("failed batch not rolled back: %d records", n)
+	}
+}
+
+func TestInsertBatchTxnAbort(t *testing.T) {
+	db, _ := repro.Open(repro.Options{PageSize: 1024})
+	tx := db.Begin()
+	keys := make([][]byte, 100)
+	vals := make([][]byte, 100)
+	for i := range keys {
+		keys[i] = workload.Key(i)
+		vals[i] = workload.Value(i, 30)
+	}
+	if err := tx.InsertBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.Count(nil, nil); n != 0 {
+		t.Fatalf("aborted batch left %d records", n)
+	}
+	if rep := check.Tree(db); !rep.OK() {
+		t.Fatalf("after aborted batch:\n%s", rep)
+	}
+}
+
+// TestInsertBatchConcurrent runs batched writers against point readers
+// and single-record writers; the result must be exactly the union of
+// the disjoint batches.
+func TestInsertBatchConcurrent(t *testing.T) {
+	db, _ := repro.Open(repro.Options{PageSize: 1024})
+	const writers, per = 4, 300
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys := make([][]byte, per)
+			vals := make([][]byte, per)
+			perm := rand.New(rand.NewSource(int64(w))).Perm(per)
+			for i, j := range perm {
+				id := w*per + j
+				keys[i] = workload.Key(id)
+				vals[i] = workload.Value(id, 24)
+			}
+			// Interleave batches with single inserts above the batch
+			// key space to mix the two write paths.
+			half := per / 2
+			if err := db.InsertBatch(keys[:half], vals[:half]); err != nil {
+				errs <- err
+				return
+			}
+			single := writers*per + w
+			if err := db.Insert(workload.Key(single), workload.Value(single, 24)); err != nil {
+				errs <- err
+				return
+			}
+			if err := db.InsertBatch(keys[half:], vals[half:]); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	want := writers*per + writers
+	if n, _ := db.Count(nil, nil); n != want {
+		t.Fatalf("count = %d, want %d", n, want)
+	}
+	if rep := check.Tree(db); !rep.OK() {
+		t.Fatalf("after concurrent batches:\n%s", rep)
+	}
+}

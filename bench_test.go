@@ -361,6 +361,26 @@ func BenchmarkInsert(b *testing.B) {
 	}
 }
 
+// BenchmarkInsertBatch measures batched inserts (one transaction, one
+// descent per leaf run) against the record-at-a-time path above; ns/op
+// is per record, so the ratio to BenchmarkInsert is the batch win.
+func BenchmarkInsertBatch(b *testing.B) {
+	const batch = 256
+	db, _ := repro.Open(repro.Options{PageSize: 4096})
+	keys := make([][]byte, batch)
+	vals := make([][]byte, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for j := 0; j < batch; j++ {
+			keys[j] = workload.Key(i + j)
+			vals[j] = workload.Value(i+j, 48)
+		}
+		if err := db.InsertBatch(keys, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkGet(b *testing.B) {
 	db, _ := repro.Open(repro.Options{PageSize: 4096})
 	const n = 20000

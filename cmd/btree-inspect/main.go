@@ -24,6 +24,8 @@ import (
 	"strings"
 
 	repro "repro"
+	"repro/internal/kv"
+	"repro/internal/storage"
 	"repro/internal/workload"
 )
 
@@ -125,10 +127,94 @@ func dump(db *repro.DB) {
 	}
 	fmt.Println(b.String())
 
+	dumpLevels(db)
+
 	reads, writes, seeks := db.IOStats3()
 	fmt.Printf("\ndisk I/O        %d reads, %d writes, %d seeks\n", reads, writes, seeks)
 	fmt.Printf("log volume      %d bytes\n", db.LogBytes())
 
 	fmt.Println("\nperf counters (pool shards, WAL group commit, media I/O):")
 	fmt.Print(db.PerfCounters())
+}
+
+// dumpLevels walks the internal levels top-down and prints, per level,
+// the page count, average fan-out, average separator length, and how
+// many bytes prefix truncation saved versus posting each child's full
+// low key (the v2 layout stores the shortest prefix that still routes;
+// see DESIGN.md §12).
+func dumpLevels(db *repro.DB) {
+	t := db.Tree()
+	pg := t.Pager()
+	rootID, _ := t.Root()
+
+	// firstKey returns the lowest key stored in a page (entry key for
+	// internal pages, record key for leaves).
+	firstKey := func(id storage.PageID) []byte {
+		f, err := pg.Fix(id)
+		if err != nil {
+			return nil
+		}
+		defer pg.Unfix(f)
+		p := f.Data()
+		if p.NumSlots() == 0 {
+			return nil
+		}
+		return append([]byte(nil), kv.SlotKey(p, 0)...)
+	}
+
+	fmt.Println("\ninternal levels (separator truncation vs child low keys):")
+	fmt.Printf("  %-5s %6s %8s %8s %10s %10s\n",
+		"level", "pages", "entries", "fan-out", "sep-bytes", "saved")
+	level := []storage.PageID{rootID}
+	for len(level) > 0 {
+		var next []storage.PageID
+		var lvl uint32
+		pages, entries, sepBytes, saved := 0, 0, 0, 0
+		for _, id := range level {
+			f, err := pg.Fix(id)
+			if err != nil {
+				log.Fatalf("inspect: fix %d: %v", id, err)
+			}
+			p := f.Data()
+			if p.Type() != storage.PageInternal {
+				pg.Unfix(f)
+				next = nil
+				pages = 0
+				break
+			}
+			lvl = p.Aux()
+			pages++
+			n := p.NumSlots()
+			entries += n
+			children := make([]storage.PageID, 0, n)
+			for i := 0; i < n; i++ {
+				k, c := kv.DecodeIndexCell(p.Cell(i))
+				sepBytes += len(k)
+				children = append(children, c)
+				// Slot 0 carries the inherited low mark (often ""), not
+				// a posted separator; only i>0 entries were truncated.
+				if i > 0 {
+					if low := firstKey(c); len(low) > len(k) {
+						saved += len(low) - len(k)
+					}
+				}
+			}
+			pg.Unfix(f)
+			next = append(next, children...)
+		}
+		if pages == 0 {
+			break
+		}
+		avgFan := 0.0
+		avgSep := 0.0
+		if pages > 0 {
+			avgFan = float64(entries) / float64(pages)
+		}
+		if entries > 0 {
+			avgSep = float64(sepBytes) / float64(entries)
+		}
+		fmt.Printf("  %-5d %6d %8d %8.1f %10.1f %10d\n",
+			lvl, pages, entries, avgFan, avgSep, saved)
+		level = next
+	}
 }

@@ -11,6 +11,7 @@
 //	reorg-bench -sweep [-stride N] [-maxruns N] [-backend mem|file] [-dir D]
 //	reorg-bench -check [-seed N] [-histories N] [-crashes N] [-crashhit N] [-backend mem|file]
 //	reorg-bench -bench6 [-benchout BENCH_PR6.json]
+//	reorg-bench -bench7 [-bench7out BENCH_PR7.json]
 //
 // The -sweep mode runs experiment E5b instead: the exhaustive
 // crash-schedule sweep over every fault-point hit of a scripted
@@ -29,6 +30,11 @@
 // The -bench6 mode runs an identical load/checkpoint/reorganize/scan
 // workload on both the in-memory and file backends and writes the
 // timings plus media counters side by side as JSON (BENCH_PR6.json).
+//
+// The -bench7 mode measures the node-layout hot paths — record-at-a-
+// time insert, 256-record batched insert, and random point gets — on
+// both backends, and writes BENCH_PR7.json with speedups against the
+// BENCH_PR2.json baseline when that file is present.
 package main
 
 import (
@@ -36,7 +42,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -69,6 +77,8 @@ func main() {
 	walSeg := flag.Int64("walseg", 0, "file backend: WAL segment size in bytes (0 = default)")
 	doBench := flag.Bool("bench6", false, "run the mem-vs-file backend comparison and exit")
 	benchOut := flag.String("benchout", "BENCH_PR6.json", "bench6: output JSON path")
+	doBench7 := flag.Bool("bench7", false, "run the node-layout hot-path benchmark and exit")
+	bench7Out := flag.String("bench7out", "BENCH_PR7.json", "bench7: output JSON path")
 	flag.Parse()
 
 	switch *backend {
@@ -79,6 +89,10 @@ func main() {
 
 	if *doBench {
 		runBench(*records, *valueSize, *pageSize, *seed, *walSeg, *benchOut)
+		return
+	}
+	if *doBench7 {
+		runBench7(*records, *valueSize, *pageSize, *seed, *walSeg, *bench7Out)
 		return
 	}
 	if *doSweep {
@@ -375,4 +389,171 @@ func runBench(records, valueSize, pageSize int, seed, walSeg int64, outPath stri
 		log.Fatalf("bench6: write %s: %v", outPath, err)
 	}
 	fmt.Printf("bench6: wrote %s\n", outPath)
+}
+
+// bench7Row is one backend's column in the BENCH_PR7.json hot-path
+// comparison (the node-layout rework: prefix slots, truncated
+// separators, batched inserts).
+type bench7Row struct {
+	Backend        string  `json:"backend"`
+	InsertNsPerOp  float64 `json:"insert_ns_per_op"`
+	BatchNsPerOp   float64 `json:"batch_insert_ns_per_op"`
+	GetNsPerOp     float64 `json:"get_ns_per_op"`
+	BatchSpeedup   float64 `json:"batch_speedup_vs_insert"`
+	LeafPages      int     `json:"leaf_pages"`
+	InternalPages  int     `json:"internal_pages"`
+	AvgLeafFillPct float64 `json:"avg_leaf_fill_pct"`
+}
+
+// bench7Report is the top-level BENCH_PR7.json document. The pr2
+// block echoes the "after" figures of BENCH_PR2.json (if present next
+// to the output path) so the speedup this PR claims is measured
+// against the last recorded baseline on the same machine.
+type bench7Report struct {
+	Generated        string      `json:"generated"`
+	Records          int         `json:"records"`
+	ValueSize        int         `json:"value_size"`
+	PageSize         int         `json:"page_size"`
+	Seed             int64       `json:"seed"`
+	Methodology      string      `json:"methodology"`
+	Backends         []bench7Row `json:"backends"`
+	PR2InsertNs      float64     `json:"pr2_insert_ns_per_op,omitempty"`
+	PR2GetNs         float64     `json:"pr2_get_ns_per_op,omitempty"`
+	InsertSpeedupPR2 float64     `json:"insert_speedup_vs_pr2,omitempty"`
+	GetSpeedupPR2    float64     `json:"get_speedup_vs_pr2,omitempty"`
+}
+
+// bench7One measures the three hot paths on one backend: record-at-a-
+// time insert, batched insert (256-record batches), and point gets over
+// the loaded tree.
+func bench7One(backend string, records, valueSize, pageSize int, seed, walSeg int64) bench7Row {
+	row := bench7Row{Backend: backend}
+	open := func(tag string) (*repro.DB, func()) {
+		opts := repro.Options{PageSize: pageSize}
+		cleanup := func() {}
+		if backend == "file" {
+			tmp, err := os.MkdirTemp("", "reorg-bench7-")
+			if err != nil {
+				log.Fatalf("bench7: temp dir: %v", err)
+			}
+			cleanup = func() { os.RemoveAll(tmp) }
+			opts.Dir = tmp
+			opts.WALSegmentBytes = walSeg
+		}
+		db, err := repro.Open(opts)
+		if err != nil {
+			log.Fatalf("bench7 [%s]: open %s: %v", backend, tag, err)
+		}
+		return db, cleanup
+	}
+
+	// Record-at-a-time inserts.
+	db, cleanup := open("insert")
+	t0 := time.Now()
+	for i := 0; i < records; i++ {
+		if err := db.Insert(workload.Key(i), workload.Value(i, valueSize)); err != nil {
+			log.Fatalf("bench7 [%s]: insert: %v", backend, err)
+		}
+	}
+	row.InsertNsPerOp = float64(time.Since(t0)) / float64(records)
+	if err := db.Close(); err != nil {
+		log.Fatalf("bench7 [%s]: close: %v", backend, err)
+	}
+	cleanup()
+
+	// Batched inserts, 256 records per call (the workload.Load batch).
+	db, cleanup = open("batch")
+	const batch = 256
+	keys := make([][]byte, 0, batch)
+	vals := make([][]byte, 0, batch)
+	t0 = time.Now()
+	for lo := 0; lo < records; lo += batch {
+		keys, vals = keys[:0], vals[:0]
+		for i := lo; i < lo+batch && i < records; i++ {
+			keys = append(keys, workload.Key(i))
+			vals = append(vals, workload.Value(i, valueSize))
+		}
+		if err := db.InsertBatch(keys, vals); err != nil {
+			log.Fatalf("bench7 [%s]: batch insert: %v", backend, err)
+		}
+	}
+	row.BatchNsPerOp = float64(time.Since(t0)) / float64(records)
+	if row.BatchNsPerOp > 0 {
+		row.BatchSpeedup = row.InsertNsPerOp / row.BatchNsPerOp
+	}
+
+	// Point gets over the batch-loaded tree, pseudo-random order.
+	const gets = 200000
+	rng := rand.New(rand.NewSource(seed))
+	t0 = time.Now()
+	for i := 0; i < gets; i++ {
+		if _, err := db.Get(workload.Key(rng.Intn(records))); err != nil {
+			log.Fatalf("bench7 [%s]: get: %v", backend, err)
+		}
+	}
+	row.GetNsPerOp = float64(time.Since(t0)) / float64(gets)
+
+	stats, err := db.GatherStats()
+	if err != nil {
+		log.Fatalf("bench7 [%s]: stats: %v", backend, err)
+	}
+	row.LeafPages = stats.LeafPages
+	row.InternalPages = stats.InternalPages
+	row.AvgLeafFillPct = stats.AvgLeafFill * 100
+	if err := db.Close(); err != nil {
+		log.Fatalf("bench7 [%s]: close: %v", backend, err)
+	}
+	cleanup()
+	return row
+}
+
+// runBench7 measures the hot paths on both backends and writes the
+// comparison as JSON, pulling the PR2 baseline in for the speedup
+// figures when BENCH_PR2.json sits next to the output path.
+func runBench7(records, valueSize, pageSize int, seed, walSeg int64, outPath string) {
+	rep := bench7Report{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Records:     records,
+		ValueSize:   valueSize,
+		PageSize:    pageSize,
+		Seed:        seed,
+		Methodology: "wall-clock over full runs; insert/batch ns are per record over the whole load, gets are 200k random points over the loaded tree",
+	}
+	for _, backend := range []string{"mem", "file"} {
+		fmt.Printf("bench7: running %s backend (%d records)...\n", backend, records)
+		row := bench7One(backend, records, valueSize, pageSize, seed, walSeg)
+		rep.Backends = append(rep.Backends, row)
+		fmt.Printf("bench7: %-4s insert=%.0fns/op batch=%.0fns/op (%.2fx) get=%.0fns/op leaves=%d internals=%d fill=%.1f%%\n",
+			backend, row.InsertNsPerOp, row.BatchNsPerOp, row.BatchSpeedup,
+			row.GetNsPerOp, row.LeafPages, row.InternalPages, row.AvgLeafFillPct)
+	}
+	if pr2, err := os.ReadFile(filepath.Join(filepath.Dir(outPath), "BENCH_PR2.json")); err == nil {
+		var doc struct {
+			After map[string]struct {
+				NsPerOp float64 `json:"ns_per_op"`
+			} `json:"after"`
+		}
+		if json.Unmarshal(pr2, &doc) == nil {
+			rep.PR2InsertNs = doc.After["BenchmarkInsert-8"].NsPerOp
+			rep.PR2GetNs = doc.After["BenchmarkGet-8"].NsPerOp
+			mem := rep.Backends[0]
+			if rep.PR2InsertNs > 0 && mem.InsertNsPerOp > 0 {
+				rep.InsertSpeedupPR2 = rep.PR2InsertNs / mem.InsertNsPerOp
+			}
+			if rep.PR2GetNs > 0 && mem.GetNsPerOp > 0 {
+				rep.GetSpeedupPR2 = rep.PR2GetNs / mem.GetNsPerOp
+			}
+			fmt.Printf("bench7: vs PR2 baseline insert %.2fx, get %.2fx\n",
+				rep.InsertSpeedupPR2, rep.GetSpeedupPR2)
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("bench7: marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		log.Fatalf("bench7: write %s: %v", outPath, err)
+	}
+	fmt.Printf("bench7: wrote %s\n", outPath)
 }

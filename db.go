@@ -234,6 +234,15 @@ func (t *Txn) Get(key []byte) ([]byte, error) {
 	return v, nil
 }
 
+// InsertBatch adds many records through shared descents: the batch is
+// applied in key order, one leaf latch and log sequence per run of
+// consecutive keys. Duplicates (in the batch or the tree) fail with
+// ErrExists; on error, already-applied records remain until the
+// transaction aborts.
+func (t *Txn) InsertBatch(keys, vals [][]byte) error {
+	return t.db.tree.InsertBatch(t.inner, keys, vals)
+}
+
 // Update replaces an existing record's value.
 func (t *Txn) Update(key, val []byte) error {
 	return t.db.tree.Update(t.inner, key, val)
@@ -271,6 +280,10 @@ func (db *DB) auto(fn func(t *Txn) error) error {
 			} else if !IsRetryable(cerr) {
 				return cerr
 			} else {
+				// A retryable commit failure (deferred-free conflict)
+				// leaves the transaction active: roll it back so its
+				// locks don't outlive this attempt.
+				_ = t.Abort()
 				last = cerr
 			}
 			backoff(i)
@@ -330,6 +343,13 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		return err
 	})
 	return out, err
+}
+
+// InsertBatch adds many records in one transaction, amortising tree
+// descents and leaf latching across runs of consecutive keys. The
+// batch commits or rolls back atomically.
+func (db *DB) InsertBatch(keys, vals [][]byte) error {
+	return db.auto(func(t *Txn) error { return t.InsertBatch(keys, vals) })
 }
 
 // Update replaces a record in its own transaction.
@@ -432,6 +452,7 @@ func (db *DB) Close() error {
 	if flushErr == nil {
 		pageErr = db.pager.FlushAll()
 	}
+	db.tree.Close() // drop the cached root pin before the pool's leak check
 	return errors.Join(flushErr, pageErr, db.pager.Close(), db.log.Close())
 }
 

@@ -273,7 +273,7 @@ func (r *Reorganizer) findMergeablePair() (storage.PageID, int, error) {
 				if err != nil {
 					return false, err
 				}
-				used[i] = cf.Data().UsedBytes() + 4*cf.Data().NumSlots()
+				used[i] = cf.Data().UsedBytes() + storage.SlotSize*cf.Data().NumSlots()
 				pg.Unfix(cf)
 			}
 			for i := 0; i+1 < len(children); i++ {

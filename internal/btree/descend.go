@@ -29,7 +29,7 @@ func (t *Tree) descendToLeaf(owner uint64, key []byte, leafMode lock.Mode) (base
 	if err := t.locks.Lock(owner, pageRes(cur), lock.S); err != nil {
 		return nil, nil, err
 	}
-	f, err := t.pager.Fix(cur)
+	f, err := t.fixRoot(cur)
 	if err != nil {
 		t.locks.Unlock(owner, pageRes(cur))
 		return nil, nil, err
@@ -127,7 +127,7 @@ func (t *Tree) descendToBaseFrom(owner uint64, rootID storage.PageID, key []byte
 	if err := t.locks.Lock(owner, pageRes(cur), lock.S); err != nil {
 		return nil, err
 	}
-	f, err := t.pager.Fix(cur)
+	f, err := t.fixRoot(cur)
 	if err != nil {
 		t.locks.Unlock(owner, pageRes(cur))
 		return nil, err

@@ -18,7 +18,7 @@ var errRetryDescent = errors.New("btree: retry descent")
 
 // maxIndexEntry is the largest index cell (key + child + slot
 // bookkeeping) a node must be able to absorb to be considered safe.
-const maxIndexEntry = 2 + kv.MaxKeySize + 4 + 4
+const maxIndexEntry = 2 + kv.MaxKeySize + 4 + storage.SlotSize
 
 // nodeFull reports whether an internal node cannot take one more
 // maximum-size entry (the Bayer–Schkolnick "unsafe node" test; the
@@ -182,7 +182,18 @@ func (t *Tree) splitChild(tx *txn.Txn, parent, child *storage.Frame, key []byte)
 		return nil, fmt.Errorf("btree: cannot split page %d with %d cells", child.ID(), n)
 	}
 	mid := n / 2
-	sep := append([]byte(nil), kv.SlotKey(cp, mid)...)
+	// For leaf splits the posted separator only needs to route: anything
+	// in (left's last key, right's first key] works, and both boundary
+	// keys are on the page, so store the shortest such prefix. Internal
+	// entries carry subtree low bounds — the left subtree's keys extend
+	// up to the right entry's exact key, so internal splits must post it
+	// untruncated (it is itself a separator born at a leaf split).
+	var sep []byte
+	if isLeaf {
+		sep = kv.Separator(kv.SlotKey(cp, mid-1), kv.SlotKey(cp, mid))
+	} else {
+		sep = append([]byte(nil), kv.SlotKey(cp, mid)...)
+	}
 	moved := make([][]byte, 0, n-mid)
 	for i := mid; i < n; i++ {
 		moved = append(moved, append([]byte(nil), cp.Cell(i)...))
@@ -336,6 +347,8 @@ func (t *Tree) splitRoot(root *storage.Frame) error {
 		return fmt.Errorf("btree: cannot split root with %d cells", n)
 	}
 	mid := n / 2
+	// The root is internal: its entry keys are subtree low bounds, so
+	// the middle key moves up untruncated (see splitChild).
 	sep := append([]byte(nil), kv.SlotKey(p, mid)...)
 	low := make([][]byte, 0, mid)
 	hi := make([][]byte, 0, n-mid)

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/kv"
 	"repro/internal/lock"
-	"repro/internal/pageops"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -37,23 +36,25 @@ func (t *Tree) applyLogged(tx *txn.Txn, f *storage.Frame, u wal.Update) error {
 	f.Lock()
 	defer f.Unlock()
 	p := f.Data()
+	// Validation finds the slot once; the apply below reuses it instead
+	// of re-searching through pageops.ApplyToPage (redo keeps using that
+	// path, where no validated slot exists).
+	slot, found := kv.Search(p, u.Key)
 	switch u.Op {
 	case wal.OpInsert:
-		if _, found := kv.Search(p, u.Key); found {
+		if found {
 			return fmt.Errorf("btree: insert %q: %w", u.Key, kv.ErrExists)
 		}
 		if p.FreeSpace() < 2+len(u.Key)+len(u.NewVal) {
 			return storage.ErrPageFull
 		}
 	case wal.OpDelete:
-		slot, found := kv.Search(p, u.Key)
 		if !found {
 			return fmt.Errorf("btree: delete %q: %w", u.Key, kv.ErrNotFound)
 		}
 		_, old := kv.DecodeLeafCell(p.Cell(slot))
 		u.OldVal = append([]byte(nil), old...)
 	case wal.OpReplace:
-		slot, found := kv.Search(p, u.Key)
 		if !found {
 			return fmt.Errorf("btree: replace %q: %w", u.Key, kv.ErrNotFound)
 		}
@@ -66,7 +67,16 @@ func (t *Tree) applyLogged(tx *txn.Txn, f *storage.Frame, u wal.Update) error {
 		return fmt.Errorf("btree: applyLogged does not handle %v", u.Op)
 	}
 	lsn := tx.LogUpdate(u)
-	if err := pageops.ApplyToPage(p, u.Op, u.Key, u.NewVal); err != nil {
+	var err error
+	switch u.Op {
+	case wal.OpInsert:
+		err = p.InsertCell(slot, kv.EncodeLeafCell(u.Key, u.NewVal))
+	case wal.OpDelete:
+		err = p.DeleteCell(slot)
+	case wal.OpReplace:
+		err = p.ReplaceCell(slot, kv.EncodeLeafCell(u.Key, u.NewVal))
+	}
+	if err != nil {
 		// Validation above makes this unreachable; fail loudly if not.
 		panic(fmt.Sprintf("btree: logged op failed to apply: %v", err))
 	}

@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/kv"
 	"repro/internal/lock"
@@ -60,6 +61,13 @@ var ErrSwitched = fmt.Errorf("btree: tree switched during update")
 // ErrTreeEmpty is returned by lookups on a tree with no records.
 var ErrTreeEmpty = fmt.Errorf("btree: tree is empty")
 
+// rootRef is one consistent (root, epoch) snapshot, published through
+// Tree.rootSnap.
+type rootRef struct {
+	root  storage.PageID
+	epoch uint64
+}
+
 // Tree is the primary-index B+-tree.
 type Tree struct {
 	pager *storage.Pager
@@ -73,6 +81,19 @@ type Tree struct {
 	reorgBit bool
 	sideFile storage.PageID
 	hook     ReorgHook
+
+	// rootSnap mirrors (root, epoch) for lock-free reads: Root() runs
+	// at least twice per operation (the epoch-stable tree lock), and a
+	// mutex there is measurable on the read hot path. Writers update it
+	// under t.mu; the pointer swap publishes both fields atomically.
+	rootSnap atomic.Pointer[rootRef]
+
+	// rootFrame holds the current root's buffer frame, kept pinned by
+	// the tree so every descent can skip the pager's shard mutex and
+	// page-table probe. The pin also makes the frame unevictable, so
+	// the cached pointer can never go stale; root switches re-point it
+	// under the switch protocol. Close releases the pin.
+	rootFrame atomic.Pointer[storage.Frame]
 
 	// deferred free-at-empty leaves per transaction (processed at
 	// commit, see delete.go).
@@ -113,6 +134,7 @@ func Create(pager *storage.Pager, log *wal.Log, locks *lock.Manager, txns *txn.M
 
 	t := &Tree{pager: pager, log: log, locks: locks, txns: txns,
 		root: root.ID(), epoch: 1, deferredKeys: make(map[uint64][]freeHint)}
+	t.rootSnap.Store(&rootRef{root: t.root, epoch: t.epoch})
 	anchor.Lock()
 	t.writeAnchorLocked(anchor.Data())
 	anchor.Unlock()
@@ -125,6 +147,7 @@ func Create(pager *storage.Pager, log *wal.Log, locks *lock.Manager, txns *txn.M
 		return nil, err
 	}
 	txns.SetUndoer(t)
+	t.cacheRoot(t.root)
 	return t, nil
 }
 
@@ -139,13 +162,19 @@ func Open(pager *storage.Pager, log *wal.Log, locks *lock.Manager, txns *txn.Man
 	if p.Type() != storage.PageAnchor {
 		return nil, fmt.Errorf("btree: page %d is %v, not an anchor", AnchorPage, p.Type())
 	}
+	if v := p.Version(); v != storage.PageFormatVersion {
+		return nil, fmt.Errorf("btree: anchor written as page format v%d, this build reads v%d: %w",
+			v, storage.PageFormatVersion, storage.ErrPageVersion)
+	}
 	t := &Tree{pager: pager, log: log, locks: locks, txns: txns,
 		deferredKeys: make(map[uint64][]freeHint)}
 	t.root = storage.PageID(binary.LittleEndian.Uint32(p[anchorRoot:]))
 	t.epoch = binary.LittleEndian.Uint64(p[anchorEpoch:])
 	t.reorgBit = p[anchorReorgBit] != 0
 	t.sideFile = storage.PageID(binary.LittleEndian.Uint32(p[anchorSideFile:]))
+	t.rootSnap.Store(&rootRef{root: t.root, epoch: t.epoch})
 	txns.SetUndoer(t)
+	t.cacheRoot(t.root)
 	return t, nil
 }
 
@@ -183,9 +212,8 @@ func (t *Tree) flushAnchor() error {
 // Root returns the current root page and tree-lock epoch as one
 // consistent snapshot.
 func (t *Tree) Root() (storage.PageID, uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.root, t.epoch
+	r := t.rootSnap.Load()
+	return r.root, r.epoch
 }
 
 // ReorgState returns the reorganization bit and side-file head.
@@ -224,8 +252,46 @@ func (t *Tree) SwitchRoot(newRoot storage.PageID, newEpoch uint64) error {
 	t.mu.Lock()
 	t.root = newRoot
 	t.epoch = newEpoch
+	t.rootSnap.Store(&rootRef{root: newRoot, epoch: newEpoch})
 	t.mu.Unlock()
+	t.cacheRoot(newRoot)
 	return t.flushAnchor()
+}
+
+// cacheRoot re-points the pinned root-frame cache at id. Best-effort:
+// on a Fix error the cache is left empty and descents fall back to the
+// pager. The new frame is published before the old pin drops, so a
+// concurrent fixRoot sees either frame pinned.
+func (t *Tree) cacheRoot(id storage.PageID) {
+	nf, err := t.pager.Fix(id)
+	if err != nil {
+		nf = nil
+	}
+	old := t.rootFrame.Swap(nf)
+	if old != nil {
+		t.pager.Unfix(old)
+	}
+}
+
+// fixRoot fixes the root page for a descent, taking an extra pin on
+// the cached frame when it matches id. TryRepin fails only if the
+// cached pin was dropped concurrently, in which case the pager slow
+// path is correct.
+func (t *Tree) fixRoot(id storage.PageID) (*storage.Frame, error) {
+	if f := t.rootFrame.Load(); f != nil && f.ID() == id {
+		if t.pager.TryRepin(f) {
+			return f, nil
+		}
+	}
+	return t.pager.Fix(id)
+}
+
+// Close releases the tree's cached root pin. It must run before the
+// pager is closed: Pager.Close treats any remaining pin as a leak.
+func (t *Tree) Close() {
+	if f := t.rootFrame.Swap(nil); f != nil {
+		t.pager.Unfix(f)
+	}
 }
 
 // Pager returns the buffer pool (the reorganizer shares it).
@@ -286,7 +352,7 @@ func (t *Tree) applyAt(u wal.Update, lsn uint64) error {
 // MaxValueSize bounds record values so a record always fits in a
 // fraction of a page (splits can then always make room).
 func (t *Tree) MaxValueSize() int {
-	return (t.pager.PageSize()-storage.HeaderSize)/4 - kv.MaxKeySize - 8
+	return (t.pager.PageSize()-storage.HeaderSize)/4 - kv.MaxKeySize - 2 - storage.SlotSize
 }
 
 // ValidateRecord checks key/value size limits.

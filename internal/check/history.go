@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro"
 	"repro/internal/workload"
@@ -248,11 +249,19 @@ func put(db *repro.DB, key, val []byte) error {
 			if err = t.Commit(); err == nil {
 				return nil
 			}
+			// A failed commit leaves the transaction active; roll it
+			// back so its locks don't outlive this attempt.
+			_ = t.Abort()
 		} else {
 			_ = t.Abort()
 		}
 		if !repro.IsRetryable(err) || i >= 100 {
 			return err
+		}
+		// Back off so the retries don't all land inside one reorganizer
+		// switch window (under -race a window outlasts a tight loop).
+		if i > 0 {
+			time.Sleep(time.Duration(i) * 50 * time.Microsecond)
 		}
 	}
 }

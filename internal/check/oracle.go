@@ -115,6 +115,13 @@ func TreeWith(db *repro.DB, opts TreeOptions) *Report {
 		if err := kv.Verify(p); err != nil {
 			rep.Add("key-order", id, "%v", err)
 		}
+		if p.Version() != storage.PageFormatVersion {
+			rep.Add("page-version", id, "format v%d, want v%d",
+				p.Version(), storage.PageFormatVersion)
+		}
+		if err := p.CheckSlots(); err != nil {
+			rep.Add("slot-dir", id, "%v", err)
+		}
 		if p.Type() == storage.PageLeaf {
 			if level != 0 {
 				rep.Add("level", id, "leaf at expected level %d", level)
@@ -132,7 +139,7 @@ func TreeWith(db *repro.DB, opts TreeOptions) *Report {
 			}
 			leaves = append(leaves, leafInfo{
 				id: id, base: base,
-				payload: p.UsedBytes() + 4*p.NumSlots(),
+				payload: p.UsedBytes() + storage.SlotSize*p.NumSlots(),
 			})
 			pager.Unfix(f)
 			return

@@ -1,0 +1,138 @@
+package check_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro"
+	"repro/internal/check"
+)
+
+// adversarialKeys builds key sets chosen to stress prefix-augmented
+// slots and truncated separators: long shared stems, keys that are
+// proper prefixes of one another, divergence at every depth, and pairs
+// differing only in their final byte.
+func adversarialKeys() [][]byte {
+	var keys [][]byte
+	add := func(s string) { keys = append(keys, []byte(s)) }
+	// Prefix chains: each key is a prefix of the next.
+	for _, stem := range []string{"a", "user", "zzzz"} {
+		k := stem
+		for i := 0; i < 12; i++ {
+			add(k)
+			k += "x"
+		}
+	}
+	// Long shared stem with divergence only in the tail.
+	for i := 0; i < 300; i++ {
+		add(fmt.Sprintf("user%08d", i*7))
+	}
+	// Same stem, then a second level of shared structure.
+	for i := 0; i < 100; i++ {
+		add(fmt.Sprintf("user%08d/sub%04d", 42, i))
+	}
+	// Adjacent keys differing in the last byte only.
+	for i := 0; i < 50; i++ {
+		add(fmt.Sprintf("tail%040d", i))
+	}
+	// Divergence at byte 0.
+	for c := byte('b'); c < 'k'; c++ {
+		add(string([]byte{c}) + "-key")
+	}
+	return keys
+}
+
+// TestSeparatorTruncationAdversarial loads adversarial shared-prefix
+// keys through enough splits to exercise truncated separators at every
+// level, then checks structure (oracle), point lookups and scan order,
+// including after deletions and a full reorganization.
+func TestSeparatorTruncationAdversarial(t *testing.T) {
+	keys := adversarialKeys()
+	db, err := repro.Open(repro.Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	order := rng.Perm(len(keys))
+	val := func(k []byte) []byte {
+		// Distinct per key but short enough for the small page size.
+		h := uint32(2166136261)
+		for _, b := range k {
+			h = (h ^ uint32(b)) * 16777619
+		}
+		return []byte(fmt.Sprintf("v:%08x", h))
+	}
+	for _, i := range order {
+		if err := db.Insert(keys[i], val(keys[i])); err != nil {
+			t.Fatalf("insert %q: %v", keys[i], err)
+		}
+	}
+	if rep := check.Tree(db); !rep.OK() {
+		t.Fatalf("after adversarial load:\n%s", rep)
+	}
+
+	verify := func(stage string, want [][]byte) {
+		t.Helper()
+		for _, k := range want {
+			v, err := db.Get(k)
+			if err != nil {
+				t.Fatalf("%s: get %q: %v", stage, k, err)
+			}
+			if !bytes.Equal(v, val(k)) {
+				t.Fatalf("%s: get %q: wrong value %q", stage, k, v)
+			}
+		}
+		var got [][]byte
+		err := db.Scan(nil, nil, func(k, _ []byte) bool {
+			got = append(got, append([]byte(nil), k...))
+			return true
+		})
+		if err != nil {
+			t.Fatalf("%s: scan: %v", stage, err)
+		}
+		sorted := make([][]byte, len(want))
+		copy(sorted, want)
+		sort.Slice(sorted, func(a, b int) bool { return bytes.Compare(sorted[a], sorted[b]) < 0 })
+		if len(got) != len(sorted) {
+			t.Fatalf("%s: scan returned %d keys, want %d", stage, len(got), len(sorted))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], sorted[i]) {
+				t.Fatalf("%s: scan key %d = %q, want %q", stage, i, got[i], sorted[i])
+			}
+		}
+	}
+	verify("loaded", keys)
+
+	// Delete a pseudo-random half, making pages sparse and key bounds
+	// ragged, then reorganize and re-verify.
+	var kept [][]byte
+	for i, k := range keys {
+		if i%2 == 0 {
+			if err := db.Delete(k); err != nil {
+				t.Fatalf("delete %q: %v", k, err)
+			}
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	if rep := check.Tree(db); !rep.OK() {
+		t.Fatalf("after deletions:\n%s", rep)
+	}
+	verify("sparse", kept)
+
+	if _, err := db.Reorganize(repro.DefaultReorgConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if rep := check.Tree(db); !rep.OK() {
+		t.Fatalf("after reorganization:\n%s", rep)
+	}
+	verify("reorganized", kept)
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

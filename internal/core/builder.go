@@ -80,7 +80,7 @@ func (b *builder) pastFill(f *storage.Frame, cellLen int) bool {
 	}
 	usable := len(p) - storage.HeaderSize
 	budget := int(float64(usable) * b.fill)
-	return usedPayload(p)+cellLen+4 > budget || p.FreeSpace() < cellLen
+	return usedPayload(p)+cellLen+storage.SlotSize > budget || p.FreeSpace() < cellLen
 }
 
 // closeLevel finishes the current page at level, promoting its (low

@@ -92,7 +92,7 @@ func (r *Reorganizer) unlock(id storage.PageID) {
 // usedPayload is the byte budget a leaf's records consume in a
 // destination page (cells plus slot entries).
 func usedPayload(p storage.Page) int {
-	return p.UsedBytes() + 4*p.NumSlots()
+	return p.UsedBytes() + storage.SlotSize*p.NumSlots()
 }
 
 // logUpd appends a system update record and applies it (side-pointer

@@ -241,7 +241,7 @@ func (s *script) run() error {
 		step++
 	}
 	for i := 0; i < n; i++ {
-		if err := s.insert(i * step % n, 0); err != nil {
+		if err := s.insert(i*step%n, 0); err != nil {
 			return err
 		}
 	}

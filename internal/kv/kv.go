@@ -9,7 +9,6 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"repro/internal/storage"
 )
@@ -64,15 +63,104 @@ func SlotKey(p storage.Page, i int) []byte {
 	return CellKey(p.Type(), p.Cell(i))
 }
 
+// Below this many remaining slots the prefix binary search switches to
+// a linear sweep over the slot directory: the entries are contiguous
+// 8-byte records, so a short scan beats the branch mispredictions of
+// the final bisection steps.
+const linearCutoff = 8
+
 // Search finds key in the key-ordered page p. It returns the slot where
 // key is (found = true) or where it would be inserted (found = false).
+//
+// The hot path never decodes cells: it bisects the contiguous slot
+// directory comparing stored uint32 key prefixes (taken at the page's
+// PrefixSkip) and touches key bytes only on prefix ties. Keys that
+// diverge from the page's shared stem inside the skip region cannot use
+// the prefix order; they resolve in O(1) (above the stem: past the end)
+// or with a short full-compare scan over the leading short-key region
+// (below the stem: at most the stem-prefix keys, typically just the ""
+// low mark).
 func Search(p storage.Page, key []byte) (slot int, found bool) {
 	n := p.NumSlots()
-	slot = sort.Search(n, func(i int) bool {
-		return Compare(SlotKey(p, i), key) >= 0
-	})
-	found = slot < n && Compare(SlotKey(p, slot), key) == 0
-	return slot, found
+	if n == 0 {
+		return 0, false
+	}
+	skip := p.PrefixSkip()
+	if skip > 0 {
+		last := SlotKey(p, n-1)
+		if len(last) < skip {
+			// Deletions can strand a header skip longer than every
+			// remaining key; all stored prefixes are zero then, which
+			// is exactly their value at the clamped skip.
+			skip = len(last)
+		}
+		m := len(key)
+		if m > skip {
+			m = skip
+		}
+		if c := bytes.Compare(key[:m], last[:m]); c > 0 {
+			return n, false // above every stem-sharing key
+		} else if c < 0 || m < skip {
+			// Below the stem (or a proper prefix of it): the key lands
+			// in the short-key region at the front of the page.
+			for i := 0; i < n; i++ {
+				switch c := Compare(SlotKey(p, i), key); {
+				case c < 0:
+					continue
+				case c > 0:
+					return i, false
+				default:
+					return i, true
+				}
+			}
+			return n, false
+		}
+	}
+	target := storage.KeyPrefix(key, skip)
+	lo, hi := 0, n
+	for hi-lo > linearCutoff {
+		mid := int(uint(lo+hi) >> 1)
+		if pre := p.SlotPrefix(mid); pre < target {
+			lo = mid + 1
+		} else if pre > target {
+			hi = mid
+		} else if c := Compare(SlotKey(p, mid), key); c < 0 {
+			lo = mid + 1
+		} else if c > 0 {
+			hi = mid
+		} else {
+			return mid, true
+		}
+	}
+	for ; lo < hi; lo++ {
+		if pre := p.SlotPrefix(lo); pre < target {
+			continue
+		} else if pre > target {
+			return lo, false
+		}
+		if c := Compare(SlotKey(p, lo), key); c >= 0 {
+			return lo, c == 0
+		}
+	}
+	return lo, false
+}
+
+// Separator returns the shortest key s with left < s <= right, where
+// left < right: the minimal prefix of right that still separates the
+// two. Internal pages store separators, not full keys, so truncation
+// raises fan-out and shrinks split/MOVE log records. The result is
+// freshly allocated and safe to retain.
+func Separator(left, right []byte) []byte {
+	i := 0
+	for i < len(left) && i < len(right) && left[i] == right[i] {
+		i++
+	}
+	if i < len(right) {
+		return append([]byte(nil), right[:i+1]...)
+	}
+	// right <= left: caller violated the precondition; fall back to a
+	// copy of right rather than fabricating an out-of-range key.
+	return append([]byte(nil), right...)
 }
 
 // ChildFor returns the child pointer an internal page routes key to:

@@ -1,0 +1,158 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestSeparator(t *testing.T) {
+	cases := []struct {
+		left, right, want string
+	}{
+		{"user00000001", "user00000002", "user00000002"},
+		{"user00001999", "user00002000", "user00002"},
+		{"abc", "abd", "abd"},
+		{"abc", "b", "b"},
+		{"a", "zzzz", "z"},
+		{"", "b", "b"},
+		{"ab", "abc", "abc"},
+		{"user", "userx", "userx"},
+	}
+	for _, c := range cases {
+		got := Separator([]byte(c.left), []byte(c.right))
+		if string(got) != c.want {
+			t.Errorf("Separator(%q, %q) = %q, want %q", c.left, c.right, got, c.want)
+		}
+		if Compare([]byte(c.left), got) >= 0 {
+			t.Errorf("Separator(%q, %q) = %q not above left", c.left, c.right, got)
+		}
+		if Compare(got, []byte(c.right)) > 0 {
+			t.Errorf("Separator(%q, %q) = %q above right", c.left, c.right, got)
+		}
+	}
+	// Violated precondition falls back to right unchanged.
+	if got := Separator([]byte("b"), []byte("b")); string(got) != "b" {
+		t.Errorf("equal inputs: got %q", got)
+	}
+}
+
+// searchRef is the pre-prefix reference implementation of Search.
+func searchRef(p storage.Page, key []byte) (int, bool) {
+	n := p.NumSlots()
+	slot := sort.Search(n, func(i int) bool {
+		return Compare(SlotKey(p, i), key) >= 0
+	})
+	return slot, slot < n && Compare(SlotKey(p, slot), key) == 0
+}
+
+// TestSearchMatchesReference drives the prefix-hybrid Search against
+// the linear reference over pages with adversarial key shapes: shared
+// stems, short stem-prefix keys (including ""), and probes above,
+// below, inside and between every stored key.
+func TestSearchMatchesReference(t *testing.T) {
+	keysets := [][][]byte{
+		{},
+		{[]byte("")},
+		{[]byte(""), []byte("user00000005")},
+		{[]byte("user")},
+		{[]byte("user00000001"), []byte("user00000002"), []byte("user00000003")},
+		{[]byte(""), []byte("u"), []byte("us"), []byte("user"), []byte("user0"), []byte("user00000009")},
+		{[]byte("a"), []byte("zz01"), []byte("zz02"), []byte("zz03")},
+	}
+	// A large stem-sharing set to exercise the binary-search path.
+	var big [][]byte
+	for i := 0; i < 200; i++ {
+		big = append(big, []byte(fmt.Sprintf("user%08d", i*3)))
+	}
+	keysets = append(keysets, big)
+
+	for si, keys := range keysets {
+		p := leafPage(16384)
+		for _, k := range keys {
+			if err := LeafInsert(p, k, []byte("v")); err != nil {
+				t.Fatalf("set %d: insert %q: %v", si, k, err)
+			}
+		}
+		var probes [][]byte
+		probes = append(probes, []byte(""), []byte("a"), []byte("zzzzzz"), []byte("user"), []byte("uses"), []byte("usdr"))
+		for _, k := range keys {
+			probes = append(probes, k, append(append([]byte(nil), k...), 0), append([]byte(nil), k[:len(k)/2]...))
+		}
+		for _, probe := range probes {
+			ws, wf := searchRef(p, probe)
+			gs, gf := Search(p, probe)
+			if gs != ws || gf != wf {
+				t.Fatalf("set %d: Search(%q) = (%d,%v), want (%d,%v)", si, probe, gs, gf, ws, wf)
+			}
+		}
+	}
+}
+
+// TestSearchRandomized cross-checks Search against the reference under
+// random inserts/deletes with mixed stem and divergent keys.
+func TestSearchRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	p := leafPage(8192)
+	present := map[string]bool{}
+	keyFor := func() []byte {
+		switch rng.Intn(8) {
+		case 0:
+			return []byte("")
+		case 1:
+			return []byte("user")[:rng.Intn(5)]
+		case 2:
+			return []byte(fmt.Sprintf("zz%03d", rng.Intn(100)))
+		default:
+			return []byte(fmt.Sprintf("user%08d", rng.Intn(300)))
+		}
+	}
+	for step := 0; step < 30000; step++ {
+		k := keyFor()
+		switch {
+		case rng.Intn(3) > 0 && !present[string(k)]:
+			if err := LeafInsert(p, k, []byte("v")); err == nil {
+				present[string(k)] = true
+			} else if !bytes.Contains([]byte(err.Error()), []byte("full")) {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		case present[string(k)]:
+			if err := LeafDelete(p, k); err != nil {
+				t.Fatalf("step %d: delete %q: %v", step, k, err)
+			}
+			delete(present, string(k))
+		}
+		probe := keyFor()
+		ws, wf := searchRef(p, probe)
+		gs, gf := Search(p, probe)
+		if gs != ws || gf != wf {
+			t.Fatalf("step %d: Search(%q) = (%d,%v), want (%d,%v) [n=%d skip=%d]",
+				step, probe, gs, gf, ws, wf, p.NumSlots(), p.PrefixSkip())
+		}
+	}
+	if err := p.CheckSlots(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkKVSearch measures the prefix-hybrid slot search on a full
+// page of stem-sharing keys — the shape every descent step probes.
+func BenchmarkKVSearch(b *testing.B) {
+	p := leafPage(4096)
+	var keys [][]byte
+	for i := 0; ; i++ {
+		k := []byte(fmt.Sprintf("user%08d", i*3))
+		if err := LeafInsert(p, k, []byte("0123456789abcdef")); err != nil {
+			break
+		}
+		keys = append(keys, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Search(p, keys[i%len(keys)])
+	}
+}

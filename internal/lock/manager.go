@@ -182,14 +182,126 @@ func (oh *ownerHeld) remove(res Resource) {
 	}
 }
 
+// resSlot is one entry of the manager's open-addressing lock table.
+type resSlot struct {
+	head *lockHead // nil => empty slot
+	res  Resource
+}
+
+// resTable maps Resource -> *lockHead with linear probing and
+// backward-shift deletion. Every lock and unlock goes through it, and
+// the churn (a descent inserts and deletes a head per page touched)
+// makes the generic map's hashing and tombstone management the largest
+// single cost on the read hot path; an inlineable probe over a
+// power-of-two slot array is several times cheaper.
+type resTable struct {
+	slots []resSlot
+	mask  uint64
+	n     int
+}
+
+// resHash mixes a resource into a probe start. IDs are sequential
+// (page ids, txn ids), so a multiplicative mix spreads them; Space sits
+// in the top byte to separate the name spaces before mixing.
+func resHash(r Resource) uint64 {
+	h := r.ID ^ uint64(r.Space)<<56
+	h *= 0x9E3779B97F4A7C15
+	return h ^ h>>29
+}
+
+func newResTable() *resTable {
+	return &resTable{slots: make([]resSlot, 256), mask: 255}
+}
+
+func (t *resTable) get(res Resource) *lockHead {
+	for i := resHash(res) & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if s.head == nil {
+			return nil
+		}
+		if s.res == res {
+			return s.head
+		}
+	}
+}
+
+func (t *resTable) put(res Resource, h *lockHead) {
+	if uint64(t.n+1)*4 > uint64(len(t.slots))*3 {
+		t.grow()
+	}
+	for i := resHash(res) & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if s.head == nil {
+			s.res, s.head = res, h
+			t.n++
+			return
+		}
+		if s.res == res {
+			s.head = h
+			return
+		}
+	}
+}
+
+func (t *resTable) grow() {
+	old := t.slots
+	t.slots = make([]resSlot, 2*len(old))
+	t.mask = uint64(len(t.slots) - 1)
+	t.n = 0
+	for i := range old {
+		if old[i].head != nil {
+			t.put(old[i].res, old[i].head)
+		}
+	}
+}
+
+// del removes res, shifting later probe-chain entries back so lookups
+// never need tombstones.
+func (t *resTable) del(res Resource) {
+	i := resHash(res) & t.mask
+	for {
+		s := &t.slots[i]
+		if s.head == nil {
+			return
+		}
+		if s.res == res {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	j := i
+	for {
+		j = (j + 1) & t.mask
+		if t.slots[j].head == nil {
+			break
+		}
+		// The entry at j may fill i iff its ideal slot is cyclically at
+		// or before i (probe distance from its home to j reaches past i).
+		k := resHash(t.slots[j].res) & t.mask
+		if (j-k)&t.mask >= (j-i)&t.mask {
+			t.slots[i] = t.slots[j]
+			i = j
+		}
+	}
+	t.slots[i] = resSlot{}
+	t.n--
+}
+
 // Manager is the lock manager.
 type Manager struct {
-	mu      sync.Mutex
-	table   map[Resource]*lockHead
-	reorg   map[uint64]bool
-	held    map[uint64]*ownerHeld // per-owner index for ReleaseAll
-	waiting map[uint64]*waiter
-	stats   Stats
+	mu       sync.Mutex
+	table    *resTable
+	reorg    map[uint64]bool
+	aborting map[uint64]bool
+	held     map[uint64]*ownerHeld // per-owner index for ReleaseAll
+	waiting  map[uint64]*waiter
+	stats    Stats
+
+	// heldOwner/heldCache memoise the last m.held lookup: an operation
+	// takes several locks for one owner back to back, so under m.mu a
+	// one-entry cache hits almost always and skips the map.
+	heldOwner uint64
+	heldCache *ownerHeld
 
 	// headPool and heldPool recycle the per-resource lock heads and
 	// per-owner held indexes. Both live exactly as long as a lock is
@@ -206,11 +318,12 @@ type Manager struct {
 // NewManager returns an empty lock manager.
 func NewManager() *Manager {
 	return &Manager{
-		table:   make(map[Resource]*lockHead),
-		reorg:   make(map[uint64]bool),
-		held:    make(map[uint64]*ownerHeld),
-		waiting: make(map[uint64]*waiter),
-		Timeout: 10 * time.Second,
+		table:    newResTable(),
+		reorg:    make(map[uint64]bool),
+		aborting: make(map[uint64]bool),
+		held:     make(map[uint64]*ownerHeld),
+		waiting:  make(map[uint64]*waiter),
+		Timeout:  10 * time.Second,
 	}
 }
 
@@ -226,6 +339,23 @@ func (m *Manager) SetReorg(owner uint64, isReorg bool) {
 		m.reorg[owner] = true
 	} else {
 		delete(m.reorg, owner)
+	}
+}
+
+// SetAborting flags owner as rolling back. A rollback must run to
+// completion — its locks cannot be released until the undo is done, so
+// victimising it would leave them held forever — and the detector
+// therefore prefers any forward-running owner in the cycle. A cycle
+// can always offer one: an undo descent only ever waits on X page
+// locks, which only forward operations (SMOs) hold. The flag is
+// cleared by ReleaseAll at end of transaction.
+func (m *Manager) SetAborting(owner uint64, isAborting bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if isAborting {
+		m.aborting[owner] = true
+	} else {
+		delete(m.aborting, owner)
 	}
 }
 
@@ -253,10 +383,10 @@ func (m *Manager) LockInstant(owner uint64, res Resource, mode Mode) error {
 // LockOpts acquires mode on res for owner under the given options.
 func (m *Manager) LockOpts(owner uint64, res Resource, mode Mode, opt Opt) error {
 	m.mu.Lock()
-	h := m.table[res]
+	h := m.table.get(res)
 	if h == nil {
 		h = m.newHeadLocked()
-		m.table[res] = h
+		m.table.put(res, h)
 	}
 
 	cur := h.holderMode(owner)
@@ -325,7 +455,7 @@ func (m *Manager) LockOpts(owner uint64, res Resource, mode Mode, opt Opt) error
 		case err = <-w.ch:
 		default:
 			var holders []string
-			if h := m.table[res]; h != nil {
+			if h := m.table.get(res); h != nil {
 				for _, e := range h.holders {
 					holders = append(holders, fmt.Sprintf("%d:%v", e.owner, e.mode))
 				}
@@ -363,7 +493,7 @@ func (m *Manager) Unlock(owner uint64, res Resource) {
 func (m *Manager) Downgrade(owner uint64, res Resource, to Mode) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	h := m.table[res]
+	h := m.table.get(res)
 	if h == nil || h.holderMode(owner) == None {
 		return
 	}
@@ -378,11 +508,12 @@ func (m *Manager) Downgrade(owner uint64, res Resource, to Mode) {
 func (m *Manager) ReleaseAll(owner uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	oh := m.held[owner]
+	delete(m.aborting, owner)
+	oh := m.heldOf(owner)
 	if oh == nil {
 		return
 	}
-	delete(m.held, owner)
+	m.dropHeldLocked(owner)
 	for i := range oh.entries {
 		m.releaseResLocked(owner, oh.entries[i].res)
 	}
@@ -427,9 +558,30 @@ func (m *Manager) recycleHeadLocked(h *lockHead) {
 	}
 }
 
+// heldOf returns owner's held index through the one-entry cache (nil
+// if owner holds nothing). Requires m.mu.
+func (m *Manager) heldOf(owner uint64) *ownerHeld {
+	if m.heldCache != nil && m.heldOwner == owner {
+		return m.heldCache
+	}
+	oh := m.held[owner]
+	if oh != nil {
+		m.heldOwner, m.heldCache = owner, oh
+	}
+	return oh
+}
+
+// dropHeldLocked removes owner's held index from the map and cache.
+func (m *Manager) dropHeldLocked(owner uint64) {
+	delete(m.held, owner)
+	if m.heldOwner == owner {
+		m.heldCache = nil
+	}
+}
+
 func (m *Manager) setHeldLocked(h *lockHead, owner uint64, res Resource, mode Mode) {
 	h.setHolder(owner, mode)
-	oh := m.held[owner]
+	oh := m.heldOf(owner)
 	if oh == nil {
 		if n := len(m.heldPool); n > 0 {
 			oh = m.heldPool[n-1]
@@ -438,6 +590,7 @@ func (m *Manager) setHeldLocked(h *lockHead, owner uint64, res Resource, mode Mo
 			oh = &ownerHeld{}
 		}
 		m.held[owner] = oh
+		m.heldOwner, m.heldCache = owner, oh
 	}
 	oh.set(res, mode)
 }
@@ -451,10 +604,10 @@ func (m *Manager) recycleHeldLocked(oh *ownerHeld) {
 }
 
 func (m *Manager) unlockLocked(owner uint64, res Resource) {
-	if oh := m.held[owner]; oh != nil {
+	if oh := m.heldOf(owner); oh != nil {
 		oh.remove(res)
 		if len(oh.entries) == 0 {
-			delete(m.held, owner)
+			m.dropHeldLocked(owner)
 			m.recycleHeldLocked(oh)
 		}
 	}
@@ -465,7 +618,7 @@ func (m *Manager) unlockLocked(owner uint64, res Resource) {
 // waiters, without touching the per-owner held index (ReleaseAll
 // detaches that index wholesale).
 func (m *Manager) releaseResLocked(owner uint64, res Resource) {
-	h := m.table[res]
+	h := m.table.get(res)
 	if h == nil {
 		return
 	}
@@ -474,7 +627,7 @@ func (m *Manager) releaseResLocked(owner uint64, res Resource) {
 	}
 	m.wakeLocked(res, h)
 	if len(h.holders) == 0 && len(h.queue) == 0 {
-		delete(m.table, res)
+		m.table.del(res)
 		m.recycleHeadLocked(h)
 	}
 }
@@ -546,7 +699,7 @@ func (m *Manager) grantableHeadLocked(h *lockHead, w *waiter) bool {
 }
 
 func (m *Manager) removeWaiterLocked(w *waiter) {
-	h := m.table[w.res]
+	h := m.table.get(w.res)
 	if h == nil {
 		return
 	}
@@ -587,7 +740,7 @@ func (m *Manager) detectLocked() *waiter {
 		s[to] = true
 	}
 	for owner, w := range m.waiting {
-		h := m.table[w.res]
+		h := m.table.get(w.res)
 		if h == nil {
 			continue
 		}
@@ -656,6 +809,19 @@ func (m *Manager) detectLocked() *waiter {
 		}
 	}
 	if !found {
+		for _, o := range cycle {
+			if m.waiting[o] == nil || m.aborting[o] {
+				continue
+			}
+			if !found || o > victim {
+				victim, found = o, true
+			}
+		}
+	}
+	if !found {
+		// Every waiting member is rolling back (should be unreachable:
+		// undo waits only on forward-held X locks); victimise the
+		// youngest rather than leave the cycle undetected.
 		for _, o := range cycle {
 			if m.waiting[o] == nil {
 				continue

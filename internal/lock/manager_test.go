@@ -301,6 +301,38 @@ func TestDeadlockAmongUsersPicksYoungest(t *testing.T) {
 	}
 }
 
+func TestDeadlockSparesAbortingOwner(t *testing.T) {
+	// Owner 2 is younger (would normally be the victim) but is rolling
+	// back: the detector must victimise the forward-running owner 1
+	// instead, so the rollback's undo descent can finish and release
+	// the locks it holds.
+	m := NewManager()
+	a, b := PageRes(60), PageRes(61)
+	if err := m.Lock(1, a, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, b, X); err != nil {
+		t.Fatal(err)
+	}
+	m.SetAborting(2, true)
+	abortDone := make(chan error, 1)
+	go func() { abortDone <- m.Lock(2, a, S) }() // undo descent wait
+	time.Sleep(20 * time.Millisecond)
+	err := m.Lock(1, b, X) // forward op closes the cycle
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("forward owner lock error = %v, want ErrDeadlock", err)
+	}
+	m.ReleaseAll(1)
+	if err := <-abortDone; err != nil {
+		t.Fatalf("aborting owner's wait = %v, want grant", err)
+	}
+	m.ReleaseAll(2)
+	// ReleaseAll clears the flag: owner 2 is victimisable again.
+	if m.aborting[2] {
+		t.Error("aborting flag survived ReleaseAll")
+	}
+}
+
 func TestReleaseAllWakesWaiters(t *testing.T) {
 	m := NewManager()
 	res1, res2 := PageRes(50), PageRes(51)

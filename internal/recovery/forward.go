@@ -262,11 +262,22 @@ func completeSwap(pg *storage.Pager, log *wal.Log, u *unitState) error {
 				}
 				return hi == nil || bytes.Compare(lm, hi) < 0
 			}
+			// Both members can qualify when the entry is the last on its
+			// base page: hi is unknown there, but the entry's true range
+			// ends at the next separator in the level, and the content
+			// belonging to that later separator has the larger low mark —
+			// so the smaller qualifying low mark is the one this entry
+			// routes to.
 			correct := c
+			var correctLow []byte
 			for _, page := range members {
-				if inRange(lowMarks[page]) {
+				lm := lowMarks[page]
+				if !inRange(lm) {
+					continue
+				}
+				if correctLow == nil || bytes.Compare(lm, correctLow) < 0 {
 					correct = page
-					break
+					correctLow = lm
 				}
 			}
 			if correct != c {

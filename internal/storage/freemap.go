@@ -1,27 +1,81 @@
 package storage
 
-import "sort"
+import "math/bits"
 
 // FreeMap tracks which page ids are allocated. The paper's
 // Find-Free-Space heuristic needs ordered queries ("first free page
-// after L and before C"), so the map keeps a sorted view of free ids
-// below the high-water mark.
+// after L and before C"), so allocation state lives in a bitset indexed
+// by page id: ordered scans walk 64 ids per word, and point queries are
+// a bit test. A hint tracks the lowest id that might be free so the
+// common Allocate on a dense extent is O(1) instead of a scan from 1.
 //
 // FreeMap is not safe for concurrent use; the Pager serialises access.
 type FreeMap struct {
-	allocated map[PageID]bool
-	highWater PageID // one past the largest id ever allocated
+	words     []uint64 // bit set => allocated
+	highWater PageID   // one past the largest id ever allocated
+	freeHint  PageID   // no id below this is free
 }
 
 // NewFreeMap returns an empty free map. Page 0 is permanently reserved.
 func NewFreeMap() *FreeMap {
-	return &FreeMap{allocated: map[PageID]bool{0: true}, highWater: 1}
+	f := &FreeMap{highWater: 1, freeHint: 1}
+	f.set(0)
+	return f
+}
+
+func (f *FreeMap) set(id PageID) {
+	w := int(id >> 6)
+	for w >= len(f.words) {
+		f.words = append(f.words, 0)
+	}
+	f.words[w] |= 1 << (id & 63)
+}
+
+func (f *FreeMap) clear(id PageID) {
+	w := int(id >> 6)
+	if w < len(f.words) {
+		f.words[w] &^= 1 << (id & 63)
+	}
+}
+
+func (f *FreeMap) isSet(id PageID) bool {
+	w := int(id >> 6)
+	return w < len(f.words) && f.words[w]&(1<<(id&63)) != 0
+}
+
+// scanFree returns the lowest free id in [from, limit), or InvalidPage.
+// Wholly-allocated words are skipped 64 ids at a time.
+func (f *FreeMap) scanFree(from, limit PageID) PageID {
+	if limit > f.highWater {
+		limit = f.highWater
+	}
+	for id := from; id < limit; {
+		w := int(id >> 6)
+		if w >= len(f.words) {
+			return id // beyond the bitset: never allocated
+		}
+		// Mask off bits below id, then look for the first zero bit.
+		free := ^f.words[w] &^ (1<<(id&63) - 1)
+		if free == 0 {
+			id = PageID(w+1) << 6
+			continue
+		}
+		id = PageID(w)<<6 + PageID(bits.TrailingZeros64(free))
+		if id >= limit {
+			return InvalidPage
+		}
+		return id
+	}
+	return InvalidPage
 }
 
 // MarkAllocated records id as in use (used when rebuilding from a disk
 // scan at restart).
 func (f *FreeMap) MarkAllocated(id PageID) {
-	f.allocated[id] = true
+	f.set(id)
+	if id == f.freeHint {
+		f.freeHint = id + 1
+	}
 	if id >= f.highWater {
 		f.highWater = id + 1
 	}
@@ -30,22 +84,20 @@ func (f *FreeMap) MarkAllocated(id PageID) {
 // Allocate returns the lowest free page id, extending the disk extent
 // if no freed page exists.
 func (f *FreeMap) Allocate() PageID {
-	for id := PageID(1); id < f.highWater; id++ {
-		if !f.allocated[id] {
-			f.allocated[id] = true
-			return id
-		}
+	id := f.scanFree(f.freeHint, f.highWater)
+	if id == InvalidPage {
+		id = f.highWater
+		f.highWater = id + 1
 	}
-	id := f.highWater
-	f.allocated[id] = true
-	f.highWater = id + 1
+	f.set(id)
+	f.freeHint = id + 1
 	return id
 }
 
 // AllocateAt marks a specific id allocated, returning false if it was
 // already in use.
 func (f *FreeMap) AllocateAt(id PageID) bool {
-	if f.allocated[id] {
+	if f.isSet(id) {
 		return false
 	}
 	f.MarkAllocated(id)
@@ -57,8 +109,11 @@ func (f *FreeMap) AllocateAt(id PageID) bool {
 // so the new index pages never collide with the leaf area.
 func (f *FreeMap) AllocateEnd() PageID {
 	id := f.highWater
-	f.allocated[id] = true
+	f.set(id)
 	f.highWater = id + 1
+	if id == f.freeHint {
+		f.freeHint = id + 1
+	}
 	return id
 }
 
@@ -71,12 +126,7 @@ func (f *FreeMap) FirstFreeIn(lo, hi PageID) PageID {
 	if start < 1 {
 		start = 1
 	}
-	for id := start; id < hi && id < f.highWater; id++ {
-		if !f.allocated[id] {
-			return id
-		}
-	}
-	return InvalidPage
+	return f.scanFree(start, hi)
 }
 
 // Free releases id for reuse.
@@ -84,23 +134,23 @@ func (f *FreeMap) Free(id PageID) {
 	if id == InvalidPage {
 		return
 	}
-	delete(f.allocated, id)
+	f.clear(id)
+	if id < f.freeHint {
+		f.freeHint = id
+	}
 }
 
 // IsAllocated reports whether id is in use.
 func (f *FreeMap) IsAllocated(id PageID) bool {
-	return f.allocated[id]
+	return f.isSet(id)
 }
 
 // FreeIDs returns all free ids below the high-water mark, sorted.
 func (f *FreeMap) FreeIDs() []PageID {
 	var out []PageID
-	for id := PageID(1); id < f.highWater; id++ {
-		if !f.allocated[id] {
-			out = append(out, id)
-		}
+	for id := f.scanFree(1, f.highWater); id != InvalidPage; id = f.scanFree(id+1, f.highWater) {
+		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -59,27 +59,54 @@ func (t PageType) String() string {
 //	  4    4 id (self-identifying, for consistency checks)
 //	  8    8 pageLSN
 //	 16    2 freeStart (first free byte of the cell area)
-//	 18    2 unused (alignment)
+//	 18    1 format version (PageFormatVersion; 0 on pre-versioned pages)
+//	 19    1 prefixSkip (shared key-prefix bytes elided from slot prefixes)
 //	 20    4 next (side pointer / chain)
 //	 24    4 prev (side pointer / chain)
 //	 28    4 aux  (page-type specific: tree level for internal pages)
+//	 32    2 usedBytes (live cell payload; maintained by Insert/Delete/...)
+//	 34    6 reserved
 const (
 	// HeaderSize is the number of bytes reserved at the start of every
 	// page for the common header.
-	HeaderSize = 32
+	HeaderSize = 40
 
-	offType      = 0
-	offNSlots    = 2
-	offID        = 4
-	offLSN       = 8
-	offFreeStart = 16
-	offNext      = 20
-	offPrev      = 24
-	offAux       = 28
+	offType       = 0
+	offNSlots     = 2
+	offID         = 4
+	offLSN        = 8
+	offFreeStart  = 16
+	offVersion    = 18
+	offPrefixSkip = 19
+	offNext       = 20
+	offPrev       = 24
+	offAux        = 28
+	offUsed       = 32
 
-	// slotSize is the size of one slot-directory entry (offset, length).
-	slotSize = 4
+	// SlotSize is the size of one slot-directory entry: a 2-byte cell
+	// offset, a 2-byte cell length, and a 4-byte key prefix used by the
+	// intra-node search fast path. Exported for byte-budget accounting
+	// (fill factors, payload estimates) outside this package.
+	SlotSize = 8
+
+	// slotSize is the internal alias used by the slotted layout.
+	slotSize = SlotSize
+
+	// PageFormatVersion is stamped into every formatted page. Version 2
+	// introduced the 8-byte prefix-augmented slot directory, the
+	// usedBytes header field and the prefixSkip byte; pages written by
+	// earlier builds read back version 0 and are rejected at open.
+	PageFormatVersion = 2
+
+	// maxPrefixSkip caps the stored shared-prefix length (one byte).
+	maxPrefixSkip = 255
 )
+
+// ErrPageVersion reports a page written in an incompatible on-disk
+// format (e.g. a file-backed database created before the v2 slot
+// directory). There is no in-place upgrade path: dump with the old
+// binary and reload.
+var ErrPageVersion = fmt.Errorf("storage: incompatible page format version")
 
 // MinPageSize is the smallest page size the slotted layout supports.
 // Tiny pages are useful in tests to force deep trees.
@@ -101,6 +128,7 @@ func FormatPage(p Page, typ PageType, id PageID) {
 	p.SetType(typ)
 	p.SetID(id)
 	p.SetFreeStart(HeaderSize)
+	p[offVersion] = PageFormatVersion
 }
 
 // Type returns the page type from the header.
@@ -153,6 +181,16 @@ func (p Page) SetFreeStart(v int) {
 	binary.LittleEndian.PutUint16(p[offFreeStart:], uint16(v))
 }
 
+// Version returns the on-disk format version the page was written with
+// (0 for pages from pre-versioned builds).
+func (p Page) Version() int { return int(p[offVersion]) }
+
+// PrefixSkip returns the number of leading key bytes shared by every
+// key on the page and elided from the stored slot prefixes.
+func (p Page) PrefixSkip() int { return int(p[offPrefixSkip]) }
+
+func (p Page) setPrefixSkip(s int) { p[offPrefixSkip] = byte(s) }
+
 // Next returns the forward side pointer (leaf chain) or next page in a
 // page list.
 func (p Page) Next() PageID {
@@ -183,4 +221,19 @@ func (p Page) Aux() uint32 {
 // SetAux stores the auxiliary word.
 func (p Page) SetAux(v uint32) {
 	binary.LittleEndian.PutUint32(p[offAux:], v)
+}
+
+// UsedBytes returns the number of payload bytes consumed by live cells
+// (excluding header and slot directory). It is maintained incrementally
+// by the cell operations, so reading it is O(1).
+func (p Page) UsedBytes() int {
+	return int(binary.LittleEndian.Uint16(p[offUsed:]))
+}
+
+func (p Page) setUsedBytes(v int) {
+	binary.LittleEndian.PutUint16(p[offUsed:], uint16(v))
+}
+
+func (p Page) addUsedBytes(delta int) {
+	p.setUsedBytes(p.UsedBytes() + delta)
 }

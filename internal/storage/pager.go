@@ -405,6 +405,25 @@ func (p *Pager) Unfix(f *Frame) {
 	p.pins.Dec(uint64(f.id))
 }
 
+// TryRepin takes an additional pin on f iff it is currently pinned.
+// A frame with a pin can never be evicted, so success means f is still
+// the live frame for its page; failure means the last pin was dropped
+// (and the frame possibly evicted) and the caller must go through Fix.
+// It skips the shard mutex and page-table probe of Fix; hot
+// single-page caches (the tree's root frame) use it on every descent.
+func (p *Pager) TryRepin(f *Frame) bool {
+	for {
+		n := f.pin.Load()
+		if n <= 0 {
+			return false
+		}
+		if f.pin.CompareAndSwap(n, n+1) {
+			p.pins.Inc(uint64(f.id))
+			return true
+		}
+	}
+}
+
 // MarkDirty records that the frame was modified under lsn. The caller
 // must hold the frame's write latch.
 func (p *Pager) MarkDirty(f *Frame, lsn uint64) {

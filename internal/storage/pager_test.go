@@ -1,16 +1,22 @@
 package storage
 
 import (
+	"sync"
 	"testing"
 )
 
 // fakeWAL records the highest LSN it was asked to make durable.
+// Concurrent evictions flush frames from several goroutines at once,
+// so the fake needs the same thread-safety a real log has.
 type fakeWAL struct {
+	mu        sync.Mutex
 	flushedTo uint64
 	calls     int
 }
 
 func (w *fakeWAL) FlushTo(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	w.calls++
 	if lsn > w.flushedTo {
 		w.flushedTo = lsn

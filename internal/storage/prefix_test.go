@@ -1,0 +1,193 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// kvCell builds a cell with the shared `u16 keyLen | key | payload`
+// leading layout that the prefix bookkeeping assumes.
+func kvCell(key string, payload int) []byte {
+	cell := make([]byte, 2+len(key)+payload)
+	binary.LittleEndian.PutUint16(cell, uint16(len(key)))
+	copy(cell[2:], key)
+	for i := 0; i < payload; i++ {
+		cell[2+len(key)+i] = byte(i)
+	}
+	return cell
+}
+
+func TestKeyPrefixOrder(t *testing.T) {
+	keys := [][]byte{
+		nil, {}, []byte("a"), []byte("ab"), []byte("abc"), []byte("abcd"),
+		[]byte("abcde"), []byte("abd"), []byte("b"), []byte("user00000001"),
+		[]byte("user00000002"), []byte("user99999999"), []byte("uses"),
+		{0x00}, {0x00, 0x01}, {0xff, 0xff, 0xff, 0xff, 0xff},
+	}
+	for _, skip := range []int{0, 1, 2, 4, 7} {
+		for _, a := range keys {
+			for _, b := range keys {
+				pa, pb := KeyPrefix(a, skip), KeyPrefix(b, skip)
+				// Weak order: a < b must imply P(a) <= P(b) when both
+				// share the first skip bytes (the page invariant).
+				la, lb := a, b
+				if len(la) > skip {
+					la = la[:skip]
+				}
+				if len(lb) > skip {
+					lb = lb[:skip]
+				}
+				if !bytes.Equal(la, lb) {
+					continue
+				}
+				if bytes.Compare(a, b) < 0 && pa > pb {
+					t.Fatalf("skip %d: %q < %q but prefix %#x > %#x", skip, a, b, pa, pb)
+				}
+			}
+		}
+	}
+}
+
+func TestCellKeyBytesClamp(t *testing.T) {
+	if got := CellKeyBytes(nil); got != nil {
+		t.Fatalf("nil cell: got %q", got)
+	}
+	if got := CellKeyBytes([]byte{7}); got != nil {
+		t.Fatalf("1-byte cell: got %q", got)
+	}
+	// keyLen larger than the cell clamps instead of panicking.
+	bad := []byte{0xff, 0xff, 'x', 'y'}
+	if got := CellKeyBytes(bad); string(got) != "xy" {
+		t.Fatalf("overlong keyLen: got %q", got)
+	}
+	cell := kvCell("hello", 3)
+	if got := CellKeyBytes(cell); string(got) != "hello" {
+		t.Fatalf("well-formed cell: got %q", got)
+	}
+}
+
+// TestPrefixModel drives random sorted Insert/Delete/Replace/Compact
+// traffic with kv-shaped cells against a sorted-slice model, checking
+// CheckSlots (prefix + usedBytes consistency) and cell round-trips
+// after every mutation. Key sets deliberately mix a long shared stem
+// ("user…"), short stem-prefix keys (including the "" low mark) and
+// divergent keys to force skip rebuilds.
+func TestPrefixModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keyFor := func() string {
+		switch rng.Intn(10) {
+		case 0:
+			return "" // tree low-mark key
+		case 1:
+			return "user" // proper prefix of the stem
+		case 2:
+			return fmt.Sprintf("user%04d", rng.Intn(50)) // shorter stem key
+		case 3:
+			return fmt.Sprintf("zz%02d", rng.Intn(50)) // diverges at byte 0
+		default:
+			return fmt.Sprintf("user%08d", rng.Intn(500))
+		}
+	}
+	p := make(Page, 1024)
+	FormatPage(p, PageLeaf, 3)
+	var model [][]byte // sorted cells
+
+	find := func(key []byte) (int, bool) {
+		i := sort.Search(len(model), func(i int) bool {
+			return bytes.Compare(CellKeyBytes(model[i]), key) >= 0
+		})
+		return i, i < len(model) && bytes.Equal(CellKeyBytes(model[i]), key)
+	}
+
+	for step := 0; step < 20000; step++ {
+		key := []byte(keyFor())
+		switch op := rng.Intn(10); {
+		case op < 6: // insert or replace
+			cell := kvCell(string(key), rng.Intn(20))
+			i, ok := find(key)
+			if ok {
+				if err := p.ReplaceCell(i, cell); err == ErrPageFull {
+					continue
+				} else if err != nil {
+					t.Fatalf("step %d replace: %v", step, err)
+				}
+				model[i] = cell
+			} else {
+				if err := p.InsertCell(i, cell); err == ErrPageFull {
+					continue
+				} else if err != nil {
+					t.Fatalf("step %d insert: %v", step, err)
+				}
+				model = append(model, nil)
+				copy(model[i+1:], model[i:])
+				model[i] = cell
+			}
+		case op < 9: // delete
+			if len(model) == 0 {
+				continue
+			}
+			i := rng.Intn(len(model))
+			if err := p.DeleteCell(i); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+			model = append(model[:i], model[i+1:]...)
+		default:
+			p.Compact()
+		}
+		if err := p.CheckSlots(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if p.NumSlots() != len(model) {
+			t.Fatalf("step %d: %d slots, model %d", step, p.NumSlots(), len(model))
+		}
+	}
+	for i, want := range model {
+		if got := p.Cell(i); !bytes.Equal(got, want) {
+			t.Fatalf("final cell %d: got %q want %q", i, got, want)
+		}
+	}
+}
+
+// TestTruncateCellsUsed checks usedBytes maintenance through truncation.
+func TestTruncateCellsUsed(t *testing.T) {
+	p := make(Page, 512)
+	FormatPage(p, PageInternal, 9)
+	total := 0
+	for i := 0; i < 8; i++ {
+		c := kvCell(fmt.Sprintf("user%08d", i), i)
+		if err := p.InsertCell(i, c); err != nil {
+			t.Fatal(err)
+		}
+		total += len(c)
+	}
+	if p.UsedBytes() != total {
+		t.Fatalf("used %d want %d", p.UsedBytes(), total)
+	}
+	p.TruncateCells(3)
+	if p.NumSlots() != 3 {
+		t.Fatalf("slots %d", p.NumSlots())
+	}
+	if err := p.CheckSlots(); err != nil {
+		t.Fatal(err)
+	}
+	p.TruncateCells(0)
+	if p.UsedBytes() != 0 {
+		t.Fatalf("used %d after full truncate", p.UsedBytes())
+	}
+}
+
+func TestFormatPageVersion(t *testing.T) {
+	p := make(Page, MinPageSize)
+	FormatPage(p, PageLeaf, 1)
+	if p.Version() != PageFormatVersion {
+		t.Fatalf("version %d want %d", p.Version(), PageFormatVersion)
+	}
+	var old Page = make([]byte, MinPageSize)
+	if old.Version() != 0 {
+		t.Fatalf("zero page version %d want 0", old.Version())
+	}
+}

@@ -1,15 +1,31 @@
 package storage
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Slotted-page cell management. Cells grow forward from the header;
 // the slot directory grows backward from the end of the page. Slot i
-// occupies the 4 bytes at len(p)-slotSize*(i+1): a 2-byte cell offset
-// followed by a 2-byte cell length. Slots are kept in logical (key)
-// order by the callers; this file only maintains the physical layout.
+// occupies the 8 bytes at len(p)-slotSize*(i+1): a 2-byte cell offset,
+// a 2-byte cell length, and a 4-byte key prefix. Slots are kept in
+// logical (key) order by the callers; this file maintains the physical
+// layout and the prefix/used-bytes bookkeeping.
+//
+// Every cell stored in this system starts with `u16 keyLen | key`
+// (leaf, index and side-file cells all share that leading layout), so
+// the slot prefix can be derived here without knowing the cell kind.
+// The prefix is the 4 key bytes starting at the page's PrefixSkip
+// (zero-padded), packed so that uint32 comparison matches
+// bytes.Compare on the underlying key bytes. PrefixSkip is the length
+// of the prefix shared by every key on the page — without it, keysets
+// with a long common stem (e.g. "user00001234"-style keys) would tie
+// on every probe and the prefix fast path would never discriminate.
+// Keys shorter than PrefixSkip are tolerated when they are a prefix of
+// the shared stem (the tree's "" low-mark entry is the common case);
+// they sort before every stem-sharing key and store a zero prefix.
 
 // ErrPageFull is returned when a cell does not fit in the page.
 var ErrPageFull = errors.New("storage: page full")
@@ -25,12 +41,138 @@ func (p Page) slot(i int) (off, length int) {
 	return off, length
 }
 
-func (p Page) setSlot(i, off, length int) {
+func (p Page) setSlot(i, off, length int, prefix uint32) {
 	pos := p.slotPos(i)
 	p[pos] = byte(off)
 	p[pos+1] = byte(off >> 8)
 	p[pos+2] = byte(length)
 	p[pos+3] = byte(length >> 8)
+	binary.LittleEndian.PutUint32(p[pos+4:], prefix)
+}
+
+// setSlotOff rewrites only the cell offset, preserving length and
+// prefix (Compact relocates cells without changing their identity).
+func (p Page) setSlotOff(i, off int) {
+	pos := p.slotPos(i)
+	p[pos] = byte(off)
+	p[pos+1] = byte(off >> 8)
+}
+
+func (p Page) setSlotPrefix(i int, prefix uint32) {
+	binary.LittleEndian.PutUint32(p[p.slotPos(i)+4:], prefix)
+}
+
+// SlotPrefix returns the stored 4-byte key prefix of slot i, packed so
+// that uint32 order agrees with key byte order at the page's
+// PrefixSkip. Equal prefixes mean the caller must fall back to a full
+// key comparison.
+func (p Page) SlotPrefix(i int) uint32 {
+	return binary.LittleEndian.Uint32(p[p.slotPos(i)+4:])
+}
+
+// CellKeyBytes extracts the key from a cell using the shared
+// `u16 keyLen | key` leading layout. Malformed cells (tests insert
+// arbitrary bytes) clamp rather than panic; their "keys" only feed
+// prefix bookkeeping, which has no semantic weight on non-kv pages.
+func CellKeyBytes(cell []byte) []byte {
+	if len(cell) < 2 {
+		return nil
+	}
+	kl := int(binary.LittleEndian.Uint16(cell))
+	if kl > len(cell)-2 {
+		kl = len(cell) - 2
+	}
+	return cell[2 : 2+kl]
+}
+
+// KeyPrefix packs the 4 key bytes at offset skip (zero-padded) into a
+// uint32 whose numeric order matches the lexicographic order of the
+// key suffixes. Keys shorter than skip pack to 0.
+func KeyPrefix(key []byte, skip int) uint32 {
+	var pre uint32
+	if skip >= len(key) {
+		return 0
+	}
+	tail := key[skip:]
+	switch {
+	case len(tail) >= 4:
+		pre = uint32(tail[0])<<24 | uint32(tail[1])<<16 | uint32(tail[2])<<8 | uint32(tail[3])
+	case len(tail) == 3:
+		pre = uint32(tail[0])<<24 | uint32(tail[1])<<16 | uint32(tail[2])<<8
+	case len(tail) == 2:
+		pre = uint32(tail[0])<<24 | uint32(tail[1])<<16
+	case len(tail) == 1:
+		pre = uint32(tail[0]) << 24
+	}
+	return pre
+}
+
+// commonLen returns the length of the longest common prefix of a and b.
+func commonLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// pagePrefix returns the page's effective shared key stem: the header
+// PrefixSkip clamped to the last key's length. The last (maximal) key
+// always carries the full stem when any key does; if even it is
+// shorter, every key on the page is a prefix of the stem and all
+// stored prefixes are zero, which stays consistent at the clamped
+// skip.
+func (p Page) pagePrefix() (stem []byte, skip int) {
+	last := CellKeyBytes(p.Cell(p.NumSlots() - 1))
+	skip = p.PrefixSkip()
+	if len(last) < skip {
+		skip = len(last)
+	}
+	return last[:skip], skip
+}
+
+// maintainPrefixOnInsert updates the page's PrefixSkip for an incoming
+// key, rebuilding stored slot prefixes when the shared stem shrinks.
+// It returns the skip at which the new key's prefix must be computed.
+// Called before the slot directory is shifted.
+func (p Page) maintainPrefixOnInsert(key []byte) int {
+	n := p.NumSlots()
+	if n == 0 {
+		s := len(key)
+		if s > maxPrefixSkip {
+			s = maxPrefixSkip
+		}
+		p.setPrefixSkip(s)
+		return s
+	}
+	stem, s := p.pagePrefix()
+	cl := commonLen(key, stem)
+	if cl < s && cl < len(key) {
+		// The new key diverges from the stem inside the skip region:
+		// shrink the skip and recompute every stored prefix. Rare —
+		// only boundary keys shorten a page's common prefix.
+		p.rebuildPrefixes(cl)
+		return cl
+	}
+	if s < p.PrefixSkip() {
+		// Normalise a stale (over-long) skip left behind by deletions,
+		// so the header skip always matches the stored prefixes.
+		p.setPrefixSkip(s)
+	}
+	return s
+}
+
+// rebuildPrefixes recomputes every slot prefix at the new skip.
+func (p Page) rebuildPrefixes(skip int) {
+	n := p.NumSlots()
+	for i := 0; i < n; i++ {
+		p.setSlotPrefix(i, KeyPrefix(CellKeyBytes(p.Cell(i)), skip))
+	}
+	p.setPrefixSkip(skip)
 }
 
 // Cell returns the bytes of cell i. The returned slice aliases the
@@ -50,18 +192,6 @@ func (p Page) FreeSpace() int {
 		return 0
 	}
 	return free
-}
-
-// UsedBytes returns the number of payload bytes consumed by live cells
-// (excluding header and slot directory). It is the basis for
-// fill-factor accounting.
-func (p Page) UsedBytes() int {
-	total := 0
-	for i := 0; i < p.NumSlots(); i++ {
-		_, length := p.slot(i)
-		total += length
-	}
-	return total
 }
 
 // FillFactor returns the fraction of the usable cell area occupied by
@@ -93,6 +223,8 @@ func (p Page) InsertCell(i int, cell []byte) error {
 			return ErrPageFull
 		}
 	}
+	key := CellKeyBytes(cell)
+	skip := p.maintainPrefixOnInsert(key)
 	// Shift slot entries i..n-1 toward the page start (each moves down
 	// by slotSize in address, which is "up" one slot index).
 	if n > i {
@@ -103,8 +235,9 @@ func (p Page) InsertCell(i int, cell []byte) error {
 	off := p.FreeStart()
 	copy(p[off:], cell)
 	p.setNumSlots(n + 1)
-	p.setSlot(i, off, len(cell))
+	p.setSlot(i, off, len(cell), KeyPrefix(key, skip))
 	p.SetFreeStart(off + len(cell))
+	p.addUsedBytes(len(cell))
 	return nil
 }
 
@@ -125,12 +258,14 @@ func (p Page) DeleteCell(i int) error {
 	if i < 0 || i >= n {
 		return fmt.Errorf("storage: delete slot %d out of range [0,%d)", i, n)
 	}
+	_, length := p.slot(i)
 	if n-1 > i {
 		src := p.slotPos(n - 1)
 		dst := p.slotPos(n - 2)
 		copy(p[dst:], p[src:src+(n-1-i)*slotSize])
 	}
 	p.setNumSlots(n - 1)
+	p.addUsedBytes(-length)
 	return nil
 }
 
@@ -143,38 +278,53 @@ func (p Page) ReplaceCell(i int, cell []byte) error {
 	}
 	off, length := p.slot(i)
 	if len(cell) <= length {
+		key := CellKeyBytes(cell)
+		skip := p.maintainPrefixOnInsert(key)
 		copy(p[off:], cell)
-		p.setSlot(i, off, len(cell))
+		p.setSlot(i, off, len(cell), KeyPrefix(key, skip))
+		p.addUsedBytes(len(cell) - length)
 		return nil
+	}
+	// Growing: re-insert after deleting the old cell. Check space up
+	// front so a full page leaves the slot untouched (delete frees the
+	// old payload; the freed directory entry covers the re-insert's).
+	// Unclamped free, since FreeSpace floors at zero on packed pages.
+	free := len(p) - HeaderSize - p.UsedBytes() - slotSize*(n+1)
+	if free+length+slotSize < len(cell) {
+		return ErrPageFull
 	}
 	if err := p.DeleteCell(i); err != nil {
 		return err
 	}
-	if err := p.InsertCell(i, cell); err != nil {
-		// Undo is not possible cheaply; callers treat ErrPageFull from
-		// ReplaceCell as a page-level failure and restructure.
-		return err
-	}
-	return nil
+	return p.InsertCell(i, cell)
+}
+
+// compactPool recycles the Compact scratch buffer: Compact runs inside
+// page-locked insert paths, where a per-call allocation is pure
+// overhead.
+var compactPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, DefaultPageSize)
+		return &b
+	},
 }
 
 // Compact rewrites the cell area so all live cells are contiguous from
-// HeaderSize, reclaiming garbage left by deletions.
+// HeaderSize, reclaiming garbage left by deletions. Slot lengths and
+// prefixes are untouched; only offsets move.
 func (p Page) Compact() {
 	n := p.NumSlots()
-	type ent struct{ off, length int }
-	cells := make([]ent, n)
-	scratch := make([]byte, 0, p.FreeStart()-HeaderSize)
+	bufp := compactPool.Get().(*[]byte)
+	scratch := (*bufp)[:0]
 	for i := 0; i < n; i++ {
 		off, length := p.slot(i)
-		cells[i] = ent{len(scratch), length}
+		p.setSlotOff(i, HeaderSize+len(scratch))
 		scratch = append(scratch, p[off:off+length]...)
 	}
 	copy(p[HeaderSize:], scratch)
-	for i := 0; i < n; i++ {
-		p.setSlot(i, HeaderSize+cells[i].off, cells[i].length)
-	}
 	p.SetFreeStart(HeaderSize + len(scratch))
+	*bufp = scratch[:0]
+	compactPool.Put(bufp)
 }
 
 // TruncateCells removes all cells from slot i onward.
@@ -183,5 +333,61 @@ func (p Page) TruncateCells(i int) {
 	if i < 0 || i > n {
 		return
 	}
+	removed := 0
+	for j := i; j < n; j++ {
+		_, length := p.slot(j)
+		removed += length
+	}
 	p.setNumSlots(i)
+	p.addUsedBytes(-removed)
+}
+
+// CheckSlots audits the slot directory's derived state: the usedBytes
+// header field against a recomputation, every slot's bounds, the
+// shared-stem invariant, and every stored prefix against the key bytes
+// at the header skip. The structure oracle and the invariants build
+// call this; it is O(page).
+func (p Page) CheckSlots() error {
+	n := p.NumSlots()
+	if n == 0 {
+		if u := p.UsedBytes(); u != 0 {
+			return fmt.Errorf("storage: page %d empty but usedBytes = %d", p.ID(), u)
+		}
+		return nil
+	}
+	dirStart := len(p) - slotSize*n
+	used := 0
+	for i := 0; i < n; i++ {
+		off, length := p.slot(i)
+		if off < HeaderSize || off+length > dirStart {
+			return fmt.Errorf("storage: page %d slot %d [%d,%d) outside cell area [%d,%d)",
+				p.ID(), i, off, off+length, HeaderSize, dirStart)
+		}
+		used += length
+	}
+	if used != p.UsedBytes() {
+		return fmt.Errorf("storage: page %d usedBytes = %d, slots sum to %d",
+			p.ID(), p.UsedBytes(), used)
+	}
+	skip := p.PrefixSkip()
+	last := CellKeyBytes(p.Cell(n - 1))
+	for i := 0; i < n; i++ {
+		key := CellKeyBytes(p.Cell(i))
+		if want, got := KeyPrefix(key, skip), p.SlotPrefix(i); got != want {
+			return fmt.Errorf("storage: page %d slot %d prefix %#x, want %#x (skip %d)",
+				p.ID(), i, got, want, skip)
+		}
+		limit := skip
+		if len(key) < limit {
+			limit = len(key)
+		}
+		if len(last) < limit {
+			limit = len(last)
+		}
+		if commonLen(key, last) < limit {
+			return fmt.Errorf("storage: page %d slot %d key %q diverges from stem %q inside skip %d",
+				p.ID(), i, key, last, skip)
+		}
+	}
+	return nil
 }

@@ -8,6 +8,7 @@ package txn
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/lock"
 	"repro/internal/pageops"
@@ -51,13 +52,22 @@ type Undoer interface {
 
 // Manager creates transactions and tracks the active set (for
 // checkpoints and restart analysis).
+//
+// Registration in the active set is lazy, like the begin record: a
+// transaction enters the map on its first LogUpdate. A transaction
+// that never logs is invisible to checkpoints and restart analysis
+// anyway (ActiveSnapshot filters on begun), so read-only operations
+// skip the manager mutex and map churn entirely.
 type Manager struct {
 	log   *wal.Log
 	locks *lock.Manager
 	pager *storage.Pager
 
+	// nextID is atomic so Begin (every client operation) allocates ids
+	// without taking mu.
+	nextID atomic.Uint64
+
 	mu     sync.Mutex
-	nextID uint64
 	active map[uint64]*Txn
 	undoer Undoer
 }
@@ -78,8 +88,10 @@ func (m *Manager) getUndoer() Undoer {
 // NewManager returns a transaction manager over the given log, lock
 // manager and buffer pool.
 func NewManager(log *wal.Log, locks *lock.Manager, pager *storage.Pager) *Manager {
-	return &Manager{log: log, locks: locks, pager: pager, nextID: 1,
+	m := &Manager{log: log, locks: locks, pager: pager,
 		active: make(map[uint64]*Txn)}
+	m.nextID.Store(1)
+	return m
 }
 
 // Locks returns the lock manager (shared with the tree and reorganizer).
@@ -91,21 +103,18 @@ func (m *Manager) Log() *wal.Log { return m.log }
 // SetNextID bumps the id generator (recovery restores it from the
 // checkpoint so restarted systems never reuse ids).
 func (m *Manager) SetNextID(id uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if id > m.nextID {
-		m.nextID = id
+	for {
+		cur := m.nextID.Load()
+		if id <= cur || m.nextID.CompareAndSwap(cur, id) {
+			return
+		}
 	}
 }
 
 // NextOwnerID hands out an id from the transaction id space without
 // creating a transaction (used by the reorganizer process).
 func (m *Manager) NextOwnerID() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	id := m.nextID
-	m.nextID++
-	return id
+	return m.nextID.Add(1) - 1
 }
 
 // Begin starts a transaction. The begin record is logged lazily, on
@@ -117,35 +126,37 @@ func (m *Manager) Begin() *Txn { return m.BeginAt(new(Txn)) }
 // new transaction. It exists so callers that wrap Txn in their own
 // handle can embed it and pay one allocation per transaction instead
 // of two — Begin sits on the hot path of every client operation.
+// Registration in the active set is deferred to the first LogUpdate.
 func (m *Manager) BeginAt(t *Txn) *Txn {
-	m.mu.Lock()
-	t.id = m.nextID
+	t.id = m.nextID.Add(1) - 1
 	t.mgr = m
-	m.nextID++
-	m.active[t.id] = t
-	m.mu.Unlock()
 	return t
 }
 
 // Resurrect recreates a loser transaction at restart so it can be
 // rolled back; lastLSN comes from restart analysis.
 func (m *Manager) Resurrect(id, lastLSN uint64) *Txn {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	t := &Txn{id: id, mgr: m, lastLSN: lastLSN, begun: true}
+	m.mu.Lock()
 	m.active[id] = t
-	if id >= m.nextID {
-		m.nextID = id + 1
-	}
+	m.mu.Unlock()
+	m.SetNextID(id + 1)
 	return t
 }
 
-// ActiveSnapshot lists active transactions for a checkpoint.
+// ActiveSnapshot lists active transactions for a checkpoint. The map
+// is copied before the per-transaction locks are taken: LogUpdate
+// registers a transaction while holding its own mutex, so holding m.mu
+// across t.mu here would invert that order.
 func (m *Manager) ActiveSnapshot() []wal.TxnInfo {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]wal.TxnInfo, 0, len(m.active))
+	txns := make([]*Txn, 0, len(m.active))
 	for _, t := range m.active {
+		txns = append(txns, t)
+	}
+	m.mu.Unlock()
+	out := make([]wal.TxnInfo, 0, len(txns))
+	for _, t := range txns {
 		t.mu.Lock()
 		// A transaction that has not logged anything is invisible to
 		// restart analysis and must stay invisible to the checkpoint,
@@ -160,11 +171,7 @@ func (m *Manager) ActiveSnapshot() []wal.TxnInfo {
 }
 
 // NextID returns the id the next Begin would use (checkpointed).
-func (m *Manager) NextID() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.nextID
-}
+func (m *Manager) NextID() uint64 { return m.nextID.Load() }
 
 // ID returns the transaction id (also its lock-owner id).
 func (t *Txn) ID() uint64 { return t.id }
@@ -192,6 +199,11 @@ func (t *Txn) LogUpdate(u wal.Update) uint64 {
 	defer t.mu.Unlock()
 	if !t.begun {
 		t.begun = true
+		// Deferred registration: the transaction becomes visible to
+		// checkpoints only once it has something in the log.
+		t.mgr.mu.Lock()
+		t.mgr.active[t.id] = t
+		t.mgr.mu.Unlock()
 		t.lastLSN = t.mgr.log.Append(wal.TxnBegin{Txn: t.id})
 	}
 	u.Txn = t.id
@@ -263,7 +275,13 @@ func (t *Txn) Abort() error {
 	cursor := t.lastLSN
 	t.mu.Unlock()
 
+	// The undo descents below take page locks and can join a deadlock
+	// cycle; the flag keeps the detector from victimising this rollback
+	// (a failed abort would strand every lock the transaction holds).
+	// ReleaseAll in finish clears it.
+	t.mgr.locks.SetAborting(t.id, true)
 	if err := t.undoFrom(cursor); err != nil {
+		t.mgr.locks.SetAborting(t.id, false)
 		return err
 	}
 
@@ -328,7 +346,12 @@ func (t *Txn) FinishRecovery() {
 
 func (t *Txn) finish() {
 	t.mgr.locks.ReleaseAll(t.id)
-	t.mgr.mu.Lock()
-	delete(t.mgr.active, t.id)
-	t.mgr.mu.Unlock()
+	t.mu.Lock()
+	begun := t.begun
+	t.mu.Unlock()
+	if begun {
+		t.mgr.mu.Lock()
+		delete(t.mgr.active, t.id)
+		t.mgr.mu.Unlock()
+	}
 }

@@ -163,6 +163,22 @@ func (l *Log) Append(r Record) LSN {
 		l.mu.Lock()
 	}
 	lsn := l.base + LSN(len(l.buf)) + 1
+	// Grow by doubling rather than append's ~1.25x large-slice policy:
+	// the in-memory device keeps the whole stream in one buffer, and at
+	// tens of megabytes the shallower growth schedule re-copies the full
+	// log often enough to dominate insert-heavy workloads.
+	if need := len(l.buf) + 4 + len(payload); need > cap(l.buf) {
+		newCap := 2 * cap(l.buf)
+		if newCap < need {
+			newCap = need
+		}
+		if newCap < 1<<16 {
+			newCap = 1 << 16
+		}
+		nb := make([]byte, len(l.buf), newCap)
+		copy(nb, l.buf)
+		l.buf = nb
+	}
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	l.buf = append(l.buf, hdr[:]...)

@@ -55,8 +55,20 @@ type Store interface {
 	Scan(lo, hi []byte, fn func(k, v []byte) bool) error
 }
 
+// BatchStore is the optional batched-insert extension of Store
+// (satisfied by *repro.DB). Load uses it when available.
+type BatchStore interface {
+	InsertBatch(keys, vals [][]byte) error
+}
+
+// loadBatchSize bounds one InsertBatch call during bulk loads (one
+// transaction's worth of record locks and log traffic).
+const loadBatchSize = 256
+
 // Load inserts records [0, n) with the given value size. Order
 // "seq" loads ascending (few splits of old pages), "random" shuffles.
+// Stores implementing BatchStore are loaded through batched inserts
+// with shared descents; others record by record.
 func Load(s Store, n, valueSize int, order string, seed int64) error {
 	idx := make([]int, n)
 	for i := range idx {
@@ -65,6 +77,24 @@ func Load(s Store, n, valueSize int, order string, seed int64) error {
 	if order == "random" {
 		rng := rand.New(rand.NewSource(seed))
 		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	}
+	if bs, ok := s.(BatchStore); ok {
+		for lo := 0; lo < n; lo += loadBatchSize {
+			hi := lo + loadBatchSize
+			if hi > n {
+				hi = n
+			}
+			keys := make([][]byte, 0, hi-lo)
+			vals := make([][]byte, 0, hi-lo)
+			for _, i := range idx[lo:hi] {
+				keys = append(keys, Key(i))
+				vals = append(vals, Value(i, valueSize))
+			}
+			if err := bs.InsertBatch(keys, vals); err != nil {
+				return fmt.Errorf("workload: batch load [%d,%d): %w", lo, hi, err)
+			}
+		}
+		return nil
 	}
 	for _, i := range idx {
 		if err := s.Insert(Key(i), Value(i, valueSize)); err != nil {
