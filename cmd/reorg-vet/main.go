@@ -1,33 +1,49 @@
 // Command reorg-vet is the repo's invariant checker: a multichecker of
-// five analyzers that machine-check the cross-cutting rules the
+// nine analyzers that machine-check the cross-cutting rules the
 // reorganizer's correctness rests on — the WAL rule behind forward
 // recovery, the paper's Table 1 lock-compatibility matrix, the pager
-// pin protocol, the no-mutex-across-I/O discipline, and the typed-error
-// contract.
+// pin protocol (interprocedural), the no-mutex-across-I/O discipline,
+// the typed-error contract, the static latch acquisition order, the
+// atomic-vs-plain field discipline, the allocation-free hot paths, and
+// the suppression comments themselves.
 //
 // Usage:
 //
 //	go run ./cmd/reorg-vet ./...
 //	go run ./cmd/reorg-vet -only fixunfix,walrule ./internal/storage
+//	go run ./cmd/reorg-vet -json ./...       # machine-readable findings
+//	go run ./cmd/reorg-vet -annotate ./...   # CI ::error annotations
 //
-// Exit status 1 when any diagnostic survives suppression. A site may
-// suppress a finding with an audited annotation on or above the line:
+// Exit status: 0 clean, 1 when any diagnostic survives suppression,
+// 2 on load or analyzer errors. A site may suppress a finding with an
+// audited annotation on or above the line:
 //
 //	//vet:allow(nolockio) -- the WAL fault point models the log device itself
 //
+// -json emits every diagnostic — suppressed ones carry
+// "suppressed": true — so the audit trail is machine-readable; the
+// exit code still reflects only unsuppressed findings.
+//
 // The analyzers run on the package's non-test sources, the same set a
-// release build compiles.
+// release build compiles. Per-package analyzers run package by
+// package; program-level analyzers (latchorder, atomicfield, hotalloc,
+// fixunfix) see the whole loaded module with its ssa IR and callgraph.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/allowaudit"
+	"repro/internal/analysis/atomicfield"
 	"repro/internal/analysis/errwrap"
 	"repro/internal/analysis/fixunfix"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/latchorder"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/locktable"
 	"repro/internal/analysis/nolockio"
@@ -40,22 +56,38 @@ var all = []*analysis.Analyzer{
 	walrule.Analyzer,
 	locktable.Analyzer,
 	errwrap.Analyzer,
+	latchorder.Analyzer,
+	atomicfield.Analyzer,
+	hotalloc.Analyzer,
+	allowaudit.Analyzer,
+}
+
+// jsonDiag is the -json wire form of one diagnostic.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array (includes suppressed findings)")
+	annotate := flag.Bool("annotate", false, "emit CI ::error annotations alongside plain diagnostics")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: reorg-vet [-only a,b] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: reorg-vet [-only a,b] [-json] [-annotate] [packages]\n\nanalyzers:\n")
 		for _, a := range all {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range all {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -93,18 +125,70 @@ func main() {
 		os.Exit(2)
 	}
 
-	failed := false
+	var diags []analysis.Diagnostic
+
+	// Per-package analyzers.
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if a.Run == nil {
+				continue
+			}
+			ds, err := analysis.RunAll(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "reorg-vet: %s: %v\n", pkg.ImportPath, err)
 				os.Exit(2)
 			}
-			for _, d := range diags {
-				fmt.Println(d)
-				failed = true
+			diags = append(diags, ds...)
+		}
+	}
+
+	// Program-level analyzers share one Program build.
+	var prog *analysis.Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = analysis.BuildProgram(pkgs)
+		}
+		ds, err := analysis.RunOnProgram(a, prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reorg-vet: %v\n", err)
+			os.Exit(2)
+		}
+		diags = append(diags, ds...)
+	}
+
+	failed := false
+	var out []jsonDiag
+	for _, d := range diags {
+		if !d.Suppressed {
+			failed = true
+			fmt.Println(d)
+			if *annotate {
+				fmt.Printf("::error file=%s,line=%d::%s: %s\n", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
 			}
+		}
+		if *asJSON {
+			out = append(out, jsonDiag{
+				File:       d.Pos.Filename,
+				Line:       d.Pos.Line,
+				Col:        d.Pos.Column,
+				Analyzer:   d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			})
+		}
+	}
+	if *asJSON {
+		if out == nil {
+			out = []jsonDiag{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "reorg-vet: %v\n", err)
+			os.Exit(2)
 		}
 	}
 	if failed {

@@ -1,0 +1,79 @@
+// Package allowaudit polices the suppression comments themselves.
+// Every //vet:allow(...) must (1) name only analyzers that actually
+// exist — a typo like //vet:allow(hotaloc) silently suppresses nothing
+// and the finding it meant to cover fails CI anyway, or worse, the
+// comment rots after an analyzer is renamed — and (2) carry a reason
+// after " -- ", because an unexplained suppression is indistinguishable
+// from a silenced bug. The analysis package drops findings on allow
+// lines mechanically; this analyzer is the audit trail's type-checker.
+package allowaudit
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Known lists every analyzer name a //vet:allow may cite. Keep in sync
+// with the registration table in cmd/reorg-vet.
+var Known = map[string]bool{
+	"fixunfix":    true,
+	"nolockio":    true,
+	"walrule":     true,
+	"locktable":   true,
+	"errwrap":     true,
+	"latchorder":  true,
+	"atomicfield": true,
+	"hotalloc":    true,
+	"allowaudit":  true,
+}
+
+// Analyzer is the allowaudit check.
+var Analyzer = &analysis.Analyzer{
+	Name: "allowaudit",
+	Doc:  "every //vet:allow names known analyzers and carries a ' -- reason'",
+	Run:  run,
+}
+
+var allowRe = regexp.MustCompile(`//vet:allow\(([^)]*)\)(.*)`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				check(pass, c)
+			}
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, c *ast.Comment) {
+	// Only suppression comments themselves — the comment starts with
+	// the marker. Prose and doc examples that merely mention
+	// //vet:allow mid-sentence are not annotations (and do not
+	// suppress anything in the analysis package either).
+	if !strings.HasPrefix(c.Text, "//vet:allow") {
+		return
+	}
+	m := allowRe.FindStringSubmatch(c.Text)
+	if m == nil {
+		pass.Reportf(c.Pos(), "malformed suppression %q: want //vet:allow(analyzer) -- reason", c.Text)
+		return
+	}
+	names, rest := m[1], m[2]
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			pass.Reportf(c.Pos(), "empty analyzer name in %q", c.Text)
+		} else if !Known[name] {
+			pass.Reportf(c.Pos(), "//vet:allow names unknown analyzer %q", name)
+		}
+	}
+	reason := strings.TrimPrefix(strings.TrimSpace(rest), "--")
+	if !strings.HasPrefix(strings.TrimSpace(rest), "--") || strings.TrimSpace(reason) == "" {
+		pass.Reportf(c.Pos(), "//vet:allow(%s) has no reason; append ' -- <why this is safe>'", names)
+	}
+}

@@ -1,0 +1,12 @@
+package allowaudit_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/allowaudit"
+	"repro/internal/analysis/atest"
+)
+
+func TestAllowaudit(t *testing.T) {
+	atest.Run(t, "testdata/src/allowaudit", allowaudit.Analyzer)
+}

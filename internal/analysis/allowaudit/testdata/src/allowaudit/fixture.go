@@ -1,0 +1,38 @@
+// Package allowfix is the allowaudit fixture: suppression comments in
+// every state of repair. Note the want markers ride INSIDE the audited
+// comments — a trailing `// want` after //vet:allow would itself read
+// as the reason text, so the expectations live in the same comment,
+// which the auditor treats as part of the reason where one exists.
+package allowfix
+
+// A well-formed suppression: known analyzer, " -- " reason. Quiet.
+//
+//vet:allow(hotalloc) -- fixture: a complete, audited annotation
+var wellFormed int
+
+// A multi-name suppression with every name known. Quiet.
+//
+//vet:allow(fixunfix,errwrap) -- fixture: one reason covering both
+var multiName int
+
+//vet:allow(hotaloc) -- typo drops an l // want `//vet:allow names unknown analyzer "hotaloc"`
+var typoName int
+
+//vet:allow(errwrap, bogus) -- one good, one bad // want `names unknown analyzer "bogus"`
+var mixedList int
+
+//vet:allow(walrule) // want `//vet:allow\(walrule\) has no reason; append ' -- <why this is safe>'`
+var noReason int
+
+//vet:allow(locktable) just prose, no dashes // want `has no reason`
+var wrongSeparator int
+
+//vet:allow() -- empty parens // want `empty analyzer name in`
+var emptyName int
+
+//vet:allow nolockio -- forgot the parens // want `malformed suppression`
+var malformed int
+
+// Prose that merely mentions //vet:allow(hotalloc) mid-sentence is not
+// an annotation; the auditor must not parse this paragraph. Quiet.
+var prose int

@@ -28,7 +28,11 @@ import (
 	"strings"
 )
 
-// Analyzer describes one invariant check.
+// Analyzer describes one invariant check. Exactly one of Run and
+// RunProgram is set: Run analyzers see one package at a time,
+// RunProgram analyzers see the whole loaded program (with its ssa IR
+// and callgraph) at once — the interprocedural checks latchorder,
+// hotalloc, atomicfield and fixunfix need cross-package call paths.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //vet:allow(name) suppression comments.
@@ -38,6 +42,8 @@ type Analyzer struct {
 	Doc string
 	// Run executes the check against one package.
 	Run func(*Pass) error
+	// RunProgram executes the check against the whole program.
+	RunProgram func(*ProgramPass) error
 }
 
 // Pass carries one type-checked package through an Analyzer's Run.
@@ -58,6 +64,11 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Suppressed marks a finding covered by a //vet:allow annotation.
+	// Finish drops suppressed diagnostics; FinishAll keeps them with
+	// the flag set, for machine-readable output that shows the audit
+	// trail.
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -99,6 +110,11 @@ func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]map
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				// Only comments that ARE the annotation count; prose
+				// mentioning //vet:allow mid-sentence does not suppress.
+				if !strings.HasPrefix(c.Text, "//vet:allow") {
+					continue
+				}
 				m := allowRe.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
@@ -114,14 +130,16 @@ func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]map
 	return out
 }
 
-// Finish filters suppressed diagnostics and returns the rest, sorted
-// by position.
-func (p *Pass) Finish() []Diagnostic {
-	allowed := allowedLines(p.Fset, p.Files)
+// finish marks suppressed diagnostics, sorts by position, and returns
+// either all diagnostics (keepSuppressed) or the surviving ones.
+func finish(diags []Diagnostic, allowed map[string]map[int]map[string]bool, keepSuppressed bool) []Diagnostic {
 	var out []Diagnostic
-	for _, d := range p.diags {
+	for _, d := range diags {
 		if s := allowed[d.Pos.Filename][d.Pos.Line]; s != nil && s[d.Analyzer] {
-			continue
+			if !keepSuppressed {
+				continue
+			}
+			d.Suppressed = true
 		}
 		out = append(out, d)
 	}
@@ -138,11 +156,42 @@ func (p *Pass) Finish() []Diagnostic {
 	return out
 }
 
+// Finish filters suppressed diagnostics and returns the rest, sorted
+// by position.
+func (p *Pass) Finish() []Diagnostic {
+	return finish(p.diags, allowedLines(p.Fset, p.Files), false)
+}
+
+// FinishAll returns every diagnostic sorted by position, suppressed
+// ones flagged rather than dropped.
+func (p *Pass) FinishAll() []Diagnostic {
+	return finish(p.diags, allowedLines(p.Fset, p.Files), true)
+}
+
 // Run executes a on pkg and returns its surviving diagnostics.
 func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	diags, err := RunAll(a, fset, files, pkg, info)
+	if err != nil {
+		return nil, err
+	}
+	return keepUnsuppressed(diags), nil
+}
+
+// RunAll is Run but keeps suppressed diagnostics, flagged.
+func RunAll(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
 	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 	}
-	return pass.Finish(), nil
+	return pass.FinishAll(), nil
+}
+
+func keepUnsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
 }

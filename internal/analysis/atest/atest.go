@@ -70,16 +70,32 @@ func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expecta
 }
 
 // Run loads the fixture at dir, applies a, and verifies diagnostics
-// against the fixture's want comments.
+// against the fixture's want comments. Program-level analyzers get the
+// fixture package wrapped in a single-package Program (ssa + callgraph
+// built the same way reorg-vet builds them).
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
 	pkg, err := load.Dir(dir)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
-	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	var diags []analysis.Diagnostic
+	if a.RunProgram != nil {
+		prog := analysis.BuildProgram([]*load.Package{pkg})
+		all, rerr := analysis.RunOnProgram(a, prog)
+		if rerr != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, dir, rerr)
+		}
+		for _, d := range all {
+			if !d.Suppressed {
+				diags = append(diags, d)
+			}
+		}
+	} else {
+		diags, err = analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+		}
 	}
 	wants := parseWants(t, pkg.Fset, pkg.Files)
 	for _, d := range diags {

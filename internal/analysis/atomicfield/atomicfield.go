@@ -1,0 +1,155 @@
+// Package atomicfield flags struct fields accessed both through
+// sync/atomic and by plain load or store anywhere in the program. A
+// field either belongs to the atomic world or the mutex/plain world;
+// mixing the two is a data race that -race only catches when a racy
+// schedule actually runs. The repo's own convention (PR 7) is typed
+// atomics (atomic.Int64, atomic.Pointer) precisely because they make
+// this mistake unrepresentable — this analyzer polices the remaining
+// places where a plain integer field meets an atomic.AddInt64.
+//
+// The check is program-wide: the atomic access and the plain access
+// are usually in different functions, often different packages (a
+// worker goroutine bumping a counter with atomic.AddInt64 while the
+// coordinator reads it bare after Wait). Each plain access of a field
+// that is also accessed atomically somewhere gets a diagnostic.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicfield check.
+var Analyzer = &analysis.Analyzer{
+	Name:       "atomicfield",
+	Doc:        "a struct field accessed via sync/atomic must never be accessed plainly",
+	RunProgram: run,
+}
+
+// access is one recorded field access.
+type access struct {
+	pos    token.Pos
+	atomic bool
+}
+
+func run(pass *analysis.ProgramPass) error {
+	accesses := make(map[string][]access) // field key -> accesses
+	firstAtomic := make(map[string]token.Position)
+
+	for _, pkg := range pass.Prog.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			// Selector positions already counted as atomic arguments.
+			atomicSel := make(map[*ast.SelectorExpr]bool)
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || u.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if key := fieldKey(info, sel); key != "" {
+						atomicSel[sel] = true
+						accesses[key] = append(accesses[key], access{pos: sel.Pos(), atomic: true})
+						if _, ok := firstAtomic[key]; !ok {
+							firstAtomic[key] = pass.Prog.Fset.Position(sel.Pos())
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicSel[sel] {
+					return true
+				}
+				if key := fieldKey(info, sel); key != "" {
+					accesses[key] = append(accesses[key], access{pos: sel.Pos()})
+				}
+				return true
+			})
+		}
+	}
+
+	for key, accs := range accesses {
+		hasAtomic := false
+		for _, a := range accs {
+			if a.atomic {
+				hasAtomic = true
+				break
+			}
+		}
+		if !hasAtomic {
+			continue
+		}
+		for _, a := range accs {
+			if a.atomic {
+				continue
+			}
+			pass.Reportf(a.pos,
+				"plain access to %s, which is accessed with sync/atomic (e.g. at %s); use a typed atomic or make every access atomic",
+				key, firstAtomic[key])
+		}
+	}
+	return nil
+}
+
+// isAtomicCall reports a call to a sync/atomic package function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldKey names a struct-field selection whose field type sync/atomic
+// operates on (sized integers, uintptr, unsafe.Pointer); other
+// selections return "". The key is position-independent and stable
+// across the export-data/source views of a package.
+func fieldKey(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	f, ok := s.Obj().(*types.Var)
+	if !ok || !atomicable(f.Type()) {
+		return ""
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + f.Name()
+}
+
+// atomicable reports whether sync/atomic's free functions can target
+// the type.
+func atomicable(t types.Type) bool {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32, types.Int64, types.Uint32, types.Uint64,
+			types.Uintptr, types.UnsafePointer:
+			return true
+		}
+	}
+	return false
+}

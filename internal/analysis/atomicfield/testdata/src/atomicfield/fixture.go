@@ -1,0 +1,59 @@
+// Package atomfix is the atomicfield fixture: structs that mix
+// sync/atomic and plain access to one field (flagged at every plain
+// access), next to fully-atomic and fully-plain fields that must stay
+// quiet.
+package atomfix
+
+import "sync/atomic"
+
+// Stats mixes the two worlds on ops: Inc uses atomic.AddInt64 while
+// Read and Write touch the field bare.
+type Stats struct {
+	ops   int64
+	clean int64
+	label string
+}
+
+// Inc is the atomic side of the race.
+func (s *Stats) Inc() { atomic.AddInt64(&s.ops, 1) }
+
+// Read loads the counter plainly: flagged.
+func (s *Stats) Read() int64 {
+	return s.ops // want `plain access to atomfix\.Stats\.ops, which is accessed with sync/atomic`
+}
+
+// Write stores plainly: flagged too — every plain access gets its own
+// diagnostic.
+func (s *Stats) Write(v int64) {
+	s.ops = v // want `plain access to atomfix\.Stats\.ops`
+}
+
+// Bump touches clean, which nothing accesses atomically: quiet.
+func (s *Stats) Bump() { s.clean++ }
+
+// Name reads a string field; not an atomicable kind, never tracked.
+func (s *Stats) Name() string { return s.label }
+
+// Gauge is disciplined: every access goes through sync/atomic, so the
+// analyzer stays quiet.
+type Gauge struct{ v uint32 }
+
+// Set stores atomically.
+func (g *Gauge) Set(x uint32) { atomic.StoreUint32(&g.v, x) }
+
+// Get loads atomically.
+func (g *Gauge) Get() uint32 { return atomic.LoadUint32(&g.v) }
+
+// Acc is the audited-exception case: workers bump n atomically, and
+// Final reads it bare after the joins — single-goroutine by
+// construction, suppressed with a reviewed annotation (no want here).
+type Acc struct{ n int64 }
+
+// Add is the worker-side atomic bump.
+func (a *Acc) Add() { atomic.AddInt64(&a.n, 1) }
+
+// Final is the post-join epilogue read.
+func (a *Acc) Final() int64 {
+	//vet:allow(atomicfield) -- fixture: read after every worker has joined
+	return a.n
+}

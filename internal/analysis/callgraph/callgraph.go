@@ -1,0 +1,189 @@
+// Package callgraph resolves call sites in the ssa IR to callee
+// functions, giving reorg-vet's interprocedural analyzers one shared
+// graph to traverse.
+//
+// Resolution is static where the language allows it and class-
+// hierarchy analysis (CHA) where it does not: a call through an
+// interface method edges to that method on every concrete type in the
+// loaded program that implements the interface (for this repo that is
+// small and precise — Disk resolves to MemDisk and FileDisk, the WAL's
+// LogFlusher to *wal.Log). A function literal is edged from its
+// creation site: literals here are either invoked inline or handed to
+// a retry/callback helper that invokes them before returning, so
+// charging them to the creating function is the conservative reading
+// for both lock-order and allocation analyses. Calls through
+// function-typed variables other than literals are not resolved (none
+// are load-bearing in this repo; the analyzers treat them as opaque).
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/ssa"
+)
+
+// Edge is one resolved call.
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	// Site is the Call/Defer/Go/MakeClosure instruction in the caller.
+	Site *ssa.Instr
+}
+
+// Node is one function in the graph.
+type Node struct {
+	Fn  *ssa.Function
+	Out []*Edge
+	In  []*Edge
+}
+
+// Graph is the program's callgraph.
+type Graph struct {
+	Prog  *ssa.Program
+	Nodes map[*ssa.Function]*Node
+
+	// sites maps each call-site instruction to its possible callees.
+	sites map[*ssa.Instr][]*ssa.Function
+}
+
+// NodeOf returns fn's node (creating it if absent).
+func (g *Graph) NodeOf(fn *ssa.Function) *Node {
+	n, ok := g.Nodes[fn]
+	if !ok {
+		n = &Node{Fn: fn}
+		g.Nodes[fn] = n
+	}
+	return n
+}
+
+// CalleesAt returns the functions the instruction may invoke (empty
+// for unresolved or out-of-program calls).
+func (g *Graph) CalleesAt(site *ssa.Instr) []*ssa.Function {
+	return g.sites[site]
+}
+
+// Build constructs the callgraph for prog.
+func Build(prog *ssa.Program) *Graph {
+	g := &Graph{
+		Prog:  prog,
+		Nodes: make(map[*ssa.Function]*Node),
+		sites: make(map[*ssa.Instr][]*ssa.Function),
+	}
+	cha := newCHA(prog)
+	for _, fn := range prog.Funcs {
+		g.NodeOf(fn)
+		for _, blk := range fn.Blocks {
+			for _, in := range blk.Instrs {
+				switch in.Kind {
+				case ssa.Call, ssa.Defer, ssa.Go:
+					for _, callee := range resolve(prog, cha, fn, in.Call) {
+						g.addEdge(fn, callee, in)
+					}
+				case ssa.MakeClosure:
+					g.addEdge(fn, in.Lit, in)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func (g *Graph) addEdge(caller, callee *ssa.Function, site *ssa.Instr) {
+	e := &Edge{Caller: g.NodeOf(caller), Callee: g.NodeOf(callee), Site: site}
+	e.Caller.Out = append(e.Caller.Out, e)
+	e.Callee.In = append(e.Callee.In, e)
+	g.sites[site] = append(g.sites[site], callee)
+}
+
+// resolve returns the in-program functions a call expression may
+// invoke.
+func resolve(prog *ssa.Program, cha *chaIndex, caller *ssa.Function, call *ast.CallExpr) []*ssa.Function {
+	if call == nil {
+		return nil
+	}
+	info := caller.Pkg.Info
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Func); ok {
+			if fn := prog.FuncOf(obj); fn != nil {
+				return []*ssa.Function{fn}
+			}
+		}
+	case *ast.SelectorExpr:
+		obj, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		// A method call on an interface dispatches dynamically: CHA.
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv()) {
+				return cha.implementations(sel.Recv(), obj.Name())
+			}
+		}
+		if fn := prog.FuncOf(obj); fn != nil {
+			return []*ssa.Function{fn}
+		}
+	}
+	return nil
+}
+
+// chaIndex supports class-hierarchy resolution: every named concrete
+// type in the program, with its method set.
+type chaIndex struct {
+	prog  *ssa.Program
+	named []types.Type // T and *T for every named concrete type
+}
+
+func newCHA(prog *ssa.Program) *chaIndex {
+	idx := &chaIndex{prog: prog}
+	seen := make(map[*types.TypeName]bool)
+	for _, fn := range prog.Funcs {
+		if fn.Pkg == nil || fn.Pkg.Types == nil {
+			continue
+		}
+		scope := fn.Pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() || seen[tn] {
+				continue
+			}
+			seen[tn] = true
+			t := tn.Type()
+			if types.IsInterface(t) {
+				continue
+			}
+			idx.named = append(idx.named, t, types.NewPointer(t))
+		}
+	}
+	return idx
+}
+
+// implementations returns the in-program methods named name on every
+// concrete type that implements iface.
+func (idx *chaIndex) implementations(iface types.Type, name string) []*ssa.Function {
+	it, ok := iface.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*ssa.Function
+	seen := make(map[*ssa.Function]bool)
+	for _, t := range idx.named {
+		if !types.Implements(t, it) {
+			continue
+		}
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			m := ms.At(i)
+			f, ok := m.Obj().(*types.Func)
+			if !ok || f.Name() != name {
+				continue
+			}
+			if fn := idx.prog.FuncOf(f); fn != nil && !seen[fn] {
+				seen[fn] = true
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}

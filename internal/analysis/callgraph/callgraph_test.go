@@ -1,0 +1,122 @@
+package callgraph_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/ssa"
+)
+
+func buildFixture(t *testing.T) (*ssa.Program, *callgraph.Graph) {
+	t.Helper()
+	pkg, err := load.Dir("testdata/src/callgraph")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	prog := ssa.Build([]*load.Package{pkg})
+	return prog, callgraph.Build(prog)
+}
+
+func fnByName(t *testing.T, prog *ssa.Program, name string) *ssa.Function {
+	t.Helper()
+	for _, f := range prog.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("no function %q in program", name)
+	return nil
+}
+
+// calleesOf collects the names of every callee reachable from sites of
+// the given kind inside fn.
+func calleesOf(g *callgraph.Graph, fn *ssa.Function, kind ssa.Kind) []string {
+	var out []string
+	for _, blk := range fn.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Kind != kind {
+				continue
+			}
+			if in.Kind == ssa.MakeClosure {
+				out = append(out, in.Lit.Name)
+				continue
+			}
+			for _, c := range g.CalleesAt(in) {
+				out = append(out, c.Name)
+			}
+		}
+	}
+	return out
+}
+
+func contains(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestStaticResolution checks a plain call and a return-embedded call
+// both edge to their single static callee.
+func TestStaticResolution(t *testing.T) {
+	prog, g := buildFixture(t)
+	fix := fnByName(t, prog, "cgfix.(*pool).fix")
+	callees := calleesOf(g, fix, ssa.Call)
+	if !contains(callees, "cgfix.direct") {
+		t.Errorf("fix's call resolves to %v, want cgfix.direct", callees)
+	}
+}
+
+// TestInterfaceDispatch checks CHA: the call through Disk edges to the
+// Read method on every implementing concrete type, and only those.
+func TestInterfaceDispatch(t *testing.T) {
+	prog, g := buildFixture(t)
+	ti := fnByName(t, prog, "cgfix.throughIface")
+	callees := calleesOf(g, ti, ssa.Call)
+	if !contains(callees, "cgfix.memDisk.Read") || !contains(callees, "cgfix.fileDisk.Read") {
+		t.Errorf("interface call resolves to %v, want both Read methods", callees)
+	}
+	for _, c := range callees {
+		if !strings.HasSuffix(c, ".Read") {
+			t.Errorf("interface call resolved to non-Read callee %s", c)
+		}
+	}
+}
+
+// TestSiteKinds checks go, defer and closure sites all get edges.
+func TestSiteKinds(t *testing.T) {
+	prog, g := buildFixture(t)
+	launch := fnByName(t, prog, "cgfix.launch")
+	if got := calleesOf(g, launch, ssa.Go); !contains(got, "cgfix.(*pool).fix") {
+		t.Errorf("go site resolves to %v, want cgfix.(*pool).fix", got)
+	}
+	if got := calleesOf(g, launch, ssa.Defer); !contains(got, "cgfix.direct") {
+		t.Errorf("defer site resolves to %v, want cgfix.direct", got)
+	}
+	if got := calleesOf(g, launch, ssa.MakeClosure); !contains(got, "cgfix.launch$1") {
+		t.Errorf("closure site yields %v, want cgfix.launch$1", got)
+	}
+}
+
+// TestNodeEdges checks the In/Out edge lists agree with the site map:
+// direct is called from fix, launch's defer, and launch's closure.
+func TestNodeEdges(t *testing.T) {
+	prog, g := buildFixture(t)
+	direct := fnByName(t, prog, "cgfix.direct")
+	node := g.NodeOf(direct)
+	if len(node.In) < 3 {
+		t.Errorf("direct has %d incoming edges, want at least 3", len(node.In))
+	}
+	for _, e := range node.In {
+		if e.Callee.Fn != direct {
+			t.Errorf("incoming edge's callee is %s, want direct", e.Callee.Fn.Name)
+		}
+		if e.Site == nil {
+			t.Error("edge has no site instruction")
+		}
+	}
+}

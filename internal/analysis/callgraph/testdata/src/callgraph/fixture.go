@@ -1,0 +1,34 @@
+// Package cgfix exercises callgraph resolution: direct calls, method
+// calls, interface dispatch (CHA), and go/defer/closure sites.
+package cgfix
+
+// Disk is the dynamic-dispatch case; both concrete types below
+// implement it, so a call through the interface edges to both Reads.
+type Disk interface{ Read() int }
+
+type memDisk struct{}
+
+func (memDisk) Read() int { return 1 }
+
+type fileDisk struct{}
+
+func (fileDisk) Read() int { return 2 }
+
+// direct is the static-call target.
+func direct() int { return 3 }
+
+type pool struct{}
+
+// fix calls direct through a return-embedded expression.
+func (p *pool) fix() int { return direct() }
+
+// throughIface dispatches on the interface.
+func throughIface(d Disk) int { return d.Read() }
+
+// launch exercises the go, defer and closure site kinds.
+func launch(p *pool) {
+	go p.fix()
+	defer direct()
+	f := func() { direct() }
+	f()
+}

@@ -1,33 +1,38 @@
 // Package fixunfix enforces the pager pin protocol (PR 1 house rule):
 // every frame obtained from Pager.Fix / Allocate* must be released by
-// Pager.Unfix on every path out of the acquiring function, unless the
-// frame escapes — is returned, stored, or handed bare to another
-// function, which transfers the release obligation to the receiver.
+// Pager.Unfix on every path out of the acquiring function, unless
+// custody genuinely transfers — the frame is returned, stored into a
+// structure, or handed to a helper that itself releases or stores it.
 //
-// Use classification: an identifier use of the frame variable is
+// v2 is interprocedural. A whole-program fixed point computes, for
+// every function in the module, a may-summary:
 //
-//   - a release when it is an argument of an Unfix call;
-//   - neutral when it is the receiver of a selector (f.Data(),
-//     f.Lock(), f.ID()...) or a nil comparison — these neither release
-//     nor transfer the pin;
-//   - an escape otherwise (returned, assigned elsewhere, passed bare
-//     to a call, captured in a composite literal, sent on a channel,
-//     address taken).
+//   - pinned:   result indices that carry a freshly pinned frame
+//     (seeded by Pager.Fix/Allocate* result 0, propagated through
+//     helpers that return those results);
+//   - releases: parameter indices the function eventually passes to
+//     Pager.Unfix, directly or through further helpers;
+//   - stores:   parameter indices the function stores into a field,
+//     slice, map, channel or closure — custody leaves the caller.
 //
-// Two checks run per function scope (function literals are their own
-// scope):
+// The per-function check then classifies each use of a pinned frame:
 //
-//  1. Totality: a fixed frame with no release and no escape anywhere
-//     in the scope is a definite pin leak.
-//  2. Early-return paths: for fixes in straight-line code (not inside
-//     a loop), each return statement lexically after the fix must be
-//     preceded on its path by a release or escape. The
-//     `if err != nil { return ... }` guard on the fix's own error
-//     result is exempt: the frame is nil on that path.
+//   - a release when it reaches a releases-parameter;
+//   - an escape when it is returned, stored, or reaches a
+//     stores-parameter (or an unresolvable callee — conservative);
+//   - neutral when it is a selector receiver, a nil comparison, an
+//     assignment target, or — the v2 change — a bare argument to a
+//     helper that neither releases nor stores it. v1 treated any bare
+//     pass as an escape, which let `check(f)`-style helpers silently
+//     discharge the obligation; now the obligation stays with the
+//     caller until a summary proves it moved.
 //
-// Fixes inside loops get only the totality check — re-fix/continue
-// patterns (the b-tree descent's forgo protocol) make lexical path
-// reasoning unsound there. Methods on Pager and Frame themselves are
+// Two checks run per function: totality (a pinned frame with no
+// release and no escape anywhere is a definite leak) and early-return
+// paths (each return lexically after a straight-line fix must be
+// preceded by a release or escape; the `if err != nil` guard on the
+// fix's own error is exempt — the frame is nil there). Fixes inside
+// loops get only the totality check. Methods on Pager and Frame are
 // exempt: the pool manages pin counts directly.
 package fixunfix
 
@@ -41,9 +46,9 @@ import (
 
 // Analyzer is the fixunfix check.
 var Analyzer = &analysis.Analyzer{
-	Name: "fixunfix",
-	Doc:  "every Pager.Fix/Allocate result must be Unfixed or escape on all paths",
-	Run:  run,
+	Name:       "fixunfix",
+	Doc:        "every Pager.Fix/Allocate result must be Unfixed or transfer custody on all paths",
+	RunProgram: run,
 }
 
 // fixMethods are the pin-acquiring methods on Pager.
@@ -55,30 +60,267 @@ var fixMethods = map[string]bool{
 	"AllocateAt":  true,
 }
 
-func run(pass *analysis.Pass) error {
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if recvIsPoolInternal(pass, fd) {
-				continue
-			}
-			for _, scope := range scopesIn(fd.Body) {
-				checkScope(pass, scope)
+// maxSummaryRounds bounds the fixed point; summaries only grow, so in
+// practice convergence takes call-chain-depth rounds.
+const maxSummaryRounds = 30
+
+// summary is one function's may-behavior with respect to pinned frames.
+type summary struct {
+	pinned   map[int]bool // result index carries a pinned frame
+	releases map[int]bool // param index reaches Pager.Unfix
+	stores   map[int]bool // param index is stored (custody transfer)
+}
+
+func newSummary() *summary {
+	return &summary{
+		pinned:   make(map[int]bool),
+		releases: make(map[int]bool),
+		stores:   make(map[int]bool),
+	}
+}
+
+// state is the whole-program analysis context.
+type state struct {
+	pass *analysis.ProgramPass
+	sums map[string]*summary // types.Func.FullName -> summary
+}
+
+func run(pass *analysis.ProgramPass) error {
+	st := &state{pass: pass, sums: make(map[string]*summary)}
+	st.buildSummaries()
+	for _, pkg := range pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if recvIsPoolInternal(pkg.Info, fd) {
+					continue
+				}
+				for _, scope := range scopesIn(fd.Body) {
+					st.checkScope(pkg.Info, scope)
+				}
 			}
 		}
 	}
 	return nil
 }
 
+// --- summaries ---
+
+// buildSummaries iterates the module's FuncDecls to a fixed point.
+func (st *state) buildSummaries() {
+	type fn struct {
+		decl *ast.FuncDecl
+		info *types.Info
+		key  string
+	}
+	var fns []fn
+	for _, pkg := range st.pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := obj.FullName()
+				st.sums[key] = newSummary()
+				fns = append(fns, fn{decl: fd, info: pkg.Info, key: key})
+			}
+		}
+	}
+	for round := 0; round < maxSummaryRounds; round++ {
+		changed := false
+		for _, f := range fns {
+			if st.summarize(f.info, f.decl, st.sums[f.key]) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// summarize recomputes one function's summary in place; reports growth.
+func (st *state) summarize(info *types.Info, fd *ast.FuncDecl, sum *summary) bool {
+	grew := false
+	set := func(m map[int]bool, i int) {
+		if !m[i] {
+			m[i] = true
+			grew = true
+		}
+	}
+
+	// Frame-typed parameters, by index.
+	params := make(map[types.Object]int)
+	idx := 0
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil && isFrameType(obj.Type()) {
+					params[obj] = idx
+				}
+				idx++
+			}
+			if len(field.Names) == 0 {
+				idx++
+			}
+		}
+	}
+
+	// Locals pinned by a summarized call in this body.
+	pinnedVars := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		cs, known := st.calleeSummary(info, call)
+		if !known || cs == nil {
+			return true
+		}
+		for k := range cs.pinned {
+			if k < len(as.Lhs) {
+				if obj := objOf(info, as.Lhs[k]); obj != nil {
+					pinnedVars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Classify parameter uses and returned pinned values.
+	var walk func(parent, n ast.Node)
+	walk = func(parent, n ast.Node) {
+		switch p := n.(type) {
+		case *ast.ReturnStmt:
+			for k, res := range p.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+					if pinnedVars[info.Uses[id]] {
+						set(sum.pinned, k)
+					}
+					continue
+				}
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+					if cs, known := st.calleeSummary(info, call); known && cs != nil {
+						// `return p.Fix(id)`: callee results align with ours
+						// when the call is the k-th (usually only) result.
+						for ci := range cs.pinned {
+							if len(p.Results) == 1 {
+								set(sum.pinned, ci)
+							} else {
+								set(sum.pinned, k+ci)
+							}
+						}
+					}
+				}
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			pi, isParam := params[info.Uses[id]]
+			if !isParam {
+				return
+			}
+			switch k := st.classifyUse(info, parent, id); k {
+			case useRelease:
+				set(sum.releases, pi)
+			case useEscape:
+				set(sum.stores, pi)
+			}
+			return
+		}
+		children(n, func(c ast.Node) { walk(n, c) })
+	}
+	walk(nil, fd.Body)
+	return grew
+}
+
+// isFrameType reports *T where T is a named type called Frame.
+func isFrameType(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	return ok && n.Obj().Name() == "Frame"
+}
+
+// calleeSummary resolves a call's effect on frame arguments. known is
+// false when the callee cannot be resolved (function values, interface
+// methods) — callers must be conservative.
+func (st *state) calleeSummary(info *types.Info, call *ast.CallExpr) (*summary, bool) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return nil, false
+	}
+	switch o := obj.(type) {
+	case *types.Builtin:
+		if o.Name() == "append" {
+			// Appending a frame to a slice stores it.
+			s := newSummary()
+			for i := range call.Args {
+				s.stores[i] = true
+			}
+			return s, true
+		}
+		return newSummary(), true // len, cap, ... are neutral
+	case *types.Func:
+		if recv := recvTypeName(o); recv != "" {
+			switch {
+			case recv == "Pager" && fixMethods[o.Name()]:
+				s := newSummary()
+				s.pinned[0] = true
+				return s, true
+			case recv == "Pager" && o.Name() == "Unfix":
+				s := newSummary()
+				s.releases[0] = true
+				return s, true
+			case recv == "Pager" || recv == "Frame":
+				return newSummary(), true // pool internals are neutral
+			}
+		}
+		if s, ok := st.sums[o.FullName()]; ok {
+			return s, true
+		}
+		// External function without source: frames cannot reach
+		// Unfix there, but we cannot see stores either.
+		return nil, false
+	case *types.TypeName:
+		return newSummary(), true // conversion
+	}
+	return nil, false
+}
+
+// recvTypeName names a method's receiver type, "" for plain functions.
+func recvTypeName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return namedTypeName(sig.Recv().Type())
+}
+
 // recvIsPoolInternal reports whether fd is a method on Pager or Frame.
-func recvIsPoolInternal(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+func recvIsPoolInternal(info *types.Info, fd *ast.FuncDecl) bool {
 	if fd.Recv == nil || len(fd.Recv.List) == 0 {
 		return false
 	}
-	name := namedTypeName(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type))
+	name := namedTypeName(info.TypeOf(fd.Recv.List[0].Type))
 	return name == "Pager" || name == "Frame"
 }
 
@@ -107,7 +349,7 @@ func scopesIn(body *ast.BlockStmt) []*ast.BlockStmt {
 	return scopes
 }
 
-// fixPoint is one pin-acquiring assignment.
+// fixPoint is one pin-acquiring assignment result.
 type fixPoint struct {
 	stmt   *ast.AssignStmt
 	frame  types.Object // the *Frame variable
@@ -125,52 +367,65 @@ const (
 	useEscape
 )
 
-// useSites maps each frame-identifier use position to its kind.
-// Classification needs the parent node, so the walk carries it.
-func useSites(pass *analysis.Pass, root ast.Node, frame types.Object) map[token.Pos]useKind {
-	sites := make(map[token.Pos]useKind)
-	// First pass: idents that are arguments of Unfix calls.
-	ast.Inspect(root, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+// classifyUse decides what one identifier use does with a frame, given
+// its parent node. Shared between the summary builder (parameter uses)
+// and the per-function check (pinned-local uses).
+func (st *state) classifyUse(info *types.Info, parent ast.Node, id *ast.Ident) useKind {
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X == id {
+			return useNeutral // f.Data(), f.Lock(), f.ID()...
 		}
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Unfix" {
-			for _, a := range call.Args {
-				if id, ok := a.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == frame {
-					sites[id.Pos()] = useRelease
-				}
+	case *ast.BinaryExpr:
+		if p.Op == token.EQL || p.Op == token.NEQ {
+			return useNeutral // nil comparison
+		}
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if l == id {
+				return useNeutral // assignment target
 			}
 		}
-		return true
-	})
-	// Second pass: classify remaining uses by parent.
+		return useEscape // aliased or stored via assignment
+	case *ast.CallExpr:
+		if p.Fun == id {
+			return useNeutral // calling a frame is not expressible; defensive
+		}
+		cs, known := st.calleeSummary(info, p)
+		if !known {
+			return useEscape // unresolvable callee: assume custody moved
+		}
+		argIdx := -1
+		for i, a := range p.Args {
+			if ast.Unparen(a) == id {
+				argIdx = i
+				break
+			}
+		}
+		if argIdx < 0 {
+			return useNeutral // nested deeper; the nested parent classifies it
+		}
+		switch {
+		case cs.releases[argIdx]:
+			return useRelease
+		case cs.stores[argIdx]:
+			return useEscape
+		default:
+			// v2: a bare pass to a helper that provably neither
+			// releases nor stores leaves the obligation here.
+			return useNeutral
+		}
+	}
+	return useEscape // returned, composite literal, channel send, &f, ...
+}
+
+// useSites maps each frame-identifier use position to its kind.
+func (st *state) useSites(info *types.Info, root ast.Node, frame types.Object) map[token.Pos]useKind {
+	sites := make(map[token.Pos]useKind)
 	var walk func(parent, n ast.Node)
 	walk = func(parent, n ast.Node) {
-		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == frame {
-			if _, done := sites[id.Pos()]; done {
-				return
-			}
-			switch p := parent.(type) {
-			case *ast.SelectorExpr:
-				if p.X == id {
-					sites[id.Pos()] = useNeutral
-					return
-				}
-			case *ast.BinaryExpr:
-				if p.Op == token.EQL || p.Op == token.NEQ {
-					sites[id.Pos()] = useNeutral
-					return
-				}
-			case *ast.AssignStmt:
-				for _, l := range p.Lhs {
-					if l == id {
-						sites[id.Pos()] = useNeutral // assignment target
-						return
-					}
-				}
-			}
-			sites[id.Pos()] = useEscape
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == frame {
+			sites[id.Pos()] = st.classifyUse(info, parent, id)
 			return
 		}
 		children(n, func(c ast.Node) { walk(n, c) })
@@ -195,13 +450,13 @@ func children(n ast.Node, fn func(ast.Node)) {
 }
 
 // checkScope analyzes one function body.
-func checkScope(pass *analysis.Pass, body *ast.BlockStmt) {
-	points := collectFixPoints(pass, body)
+func (st *state) checkScope(info *types.Info, body *ast.BlockStmt) {
+	points := st.collectFixPoints(info, body)
 	for _, fp := range points {
 		if fp.frame == nil {
 			continue
 		}
-		sites := useSites(pass, body, fp.frame)
+		sites := st.useSites(info, body, fp.frame)
 		released, escaped := false, false
 		for _, k := range sites {
 			switch k {
@@ -212,20 +467,20 @@ func checkScope(pass *analysis.Pass, body *ast.BlockStmt) {
 			}
 		}
 		if !released && !escaped {
-			pass.Reportf(fp.stmt.Pos(),
+			st.pass.Reportf(fp.stmt.Pos(),
 				"frame %s pinned by %s is never Unfixed and never escapes (pin leak)",
 				fp.frame.Name(), fp.method)
 			continue
 		}
 		if !fp.inLoop {
-			checkReturnPaths(pass, body, fp, sites)
+			st.checkReturnPaths(info, body, fp, sites)
 		}
 	}
 }
 
-// collectFixPoints finds fix-like assignments whose statements belong
-// directly to body's scope (not to a nested function literal).
-func collectFixPoints(pass *analysis.Pass, body *ast.BlockStmt) []*fixPoint {
+// collectFixPoints finds pin-acquiring assignments whose statements
+// belong directly to body's scope (not to a nested function literal).
+func (st *state) collectFixPoints(info *types.Info, body *ast.BlockStmt) []*fixPoint {
 	var points []*fixPoint
 	var walk func(n ast.Node, inLoop bool)
 	walk = func(n ast.Node, inLoop bool) {
@@ -243,7 +498,7 @@ func collectFixPoints(pass *analysis.Pass, body *ast.BlockStmt) []*fixPoint {
 			}
 			return
 		case *ast.AssignStmt:
-			if fp := asFixPoint(pass, s); fp != nil {
+			for _, fp := range st.asFixPoints(info, s) {
 				fp.inLoop = inLoop
 				points = append(points, fp)
 			}
@@ -254,8 +509,10 @@ func collectFixPoints(pass *analysis.Pass, body *ast.BlockStmt) []*fixPoint {
 	return points
 }
 
-// asFixPoint recognises `f, err := p.Fix(...)` shapes.
-func asFixPoint(pass *analysis.Pass, s *ast.AssignStmt) *fixPoint {
+// asFixPoints recognises assignments whose callee returns pinned
+// frames — `f, err := p.Fix(...)` and helper wrappers alike — one
+// fixPoint per pinned result.
+func (st *state) asFixPoints(info *types.Info, s *ast.AssignStmt) []*fixPoint {
 	if len(s.Rhs) != 1 {
 		return nil
 	}
@@ -263,39 +520,68 @@ func asFixPoint(pass *analysis.Pass, s *ast.AssignStmt) *fixPoint {
 	if !ok {
 		return nil
 	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || !fixMethods[sel.Sel.Name] {
+	cs, known := st.calleeSummary(info, call)
+	if !known || cs == nil || len(cs.pinned) == 0 {
 		return nil
 	}
-	if namedTypeName(pass.TypesInfo.TypeOf(sel.X)) != "Pager" {
-		return nil
+	method := calleeName(info, call)
+	var errObj types.Object
+	for _, l := range s.Lhs {
+		if obj := objOf(info, l); obj != nil && isErrorType(obj.Type()) {
+			errObj = obj
+		}
 	}
-	fp := &fixPoint{stmt: s, method: "Pager." + sel.Sel.Name}
-	if len(s.Lhs) >= 1 {
-		fp.frame = objOf(pass, s.Lhs[0])
+	var points []*fixPoint
+	for k := range cs.pinned {
+		if k >= len(s.Lhs) {
+			continue
+		}
+		obj := objOf(info, s.Lhs[k])
+		if obj == nil || !isFrameType(obj.Type()) {
+			continue
+		}
+		points = append(points, &fixPoint{stmt: s, frame: obj, errObj: errObj, method: method})
 	}
-	if len(s.Lhs) >= 2 {
-		fp.errObj = objOf(pass, s.Lhs[1])
-	}
-	return fp
+	return points
 }
 
-func objOf(pass *analysis.Pass, e ast.Expr) types.Object {
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// calleeName renders the callee for diagnostics: Recv.Method or name.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			if recv := recvTypeName(f); recv != "" {
+				return recv + "." + f.Name()
+			}
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+func objOf(info *types.Info, e ast.Expr) types.Object {
 	id, ok := e.(*ast.Ident)
 	if !ok || id.Name == "_" {
 		return nil
 	}
-	if o := pass.TypesInfo.Defs[id]; o != nil {
+	if o := info.Defs[id]; o != nil {
 		return o
 	}
-	return pass.TypesInfo.Uses[id]
+	return info.Uses[id]
 }
 
 // --- early-return path analysis ---
 
 // pathCtx carries shared state for one fix point's path walk.
 type pathCtx struct {
-	pass  *analysis.Pass
+	st    *state
+	info  *types.Info
 	fp    *fixPoint
 	sites map[token.Pos]useKind
 }
@@ -321,7 +607,7 @@ func (c *pathCtx) mentionsErr(e ast.Expr) bool {
 	}
 	found := false
 	ast.Inspect(e, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == c.fp.errObj {
+		if id, ok := n.(*ast.Ident); ok && c.info.Uses[id] == c.fp.errObj {
 			found = true
 		}
 		return !found
@@ -333,12 +619,12 @@ func (c *pathCtx) mentionsErr(e ast.Expr) bool {
 // reports returns reachable without a release or escape. The walk
 // bails out (no report) on constructs it cannot reason about soundly:
 // loops, selects, labeled statements, goto/break/continue.
-func checkReturnPaths(pass *analysis.Pass, body *ast.BlockStmt, fp *fixPoint, sites map[token.Pos]useKind) {
+func (st *state) checkReturnPaths(info *types.Info, body *ast.BlockStmt, fp *fixPoint, sites map[token.Pos]useKind) {
 	chain := blockChainTo(body, fp.stmt)
 	if chain == nil {
 		return
 	}
-	c := &pathCtx{pass: pass, fp: fp, sites: sites}
+	c := &pathCtx{st: st, info: info, fp: fp, sites: sites}
 	released := false
 	for level := len(chain) - 1; level >= 0; level-- {
 		blk := chain[level].block
@@ -432,7 +718,7 @@ func (c *pathCtx) walkStmt(s ast.Stmt, released bool) (bool, bool) {
 		// obligation window (the new value is its own fix point).
 		for _, l := range n.Lhs {
 			if id, ok := l.(*ast.Ident); ok {
-				if c.pass.TypesInfo.Uses[id] == c.fp.frame || c.pass.TypesInfo.Defs[id] == c.fp.frame {
+				if c.info.Uses[id] == c.fp.frame || c.info.Defs[id] == c.fp.frame {
 					return false, released
 				}
 			}
@@ -448,10 +734,10 @@ func (c *pathCtx) walkStmt(s ast.Stmt, released bool) (bool, bool) {
 		if c.handled(n) {
 			return false, true // escapes via return
 		}
-		c.pass.Reportf(n.Pos(),
+		c.st.pass.Reportf(n.Pos(),
 			"return leaks frame %s pinned by %s at line %d (no Unfix on this path)",
 			c.fp.frame.Name(), c.fp.method,
-			c.pass.Fset.Position(c.fp.stmt.Pos()).Line)
+			c.st.pass.Prog.Fset.Position(c.fp.stmt.Pos()).Line)
 		return false, released
 	case *ast.IfStmt:
 		return c.walkIf(n, released)

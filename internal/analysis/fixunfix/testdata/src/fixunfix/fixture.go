@@ -102,3 +102,105 @@ func cleanSuppressed(p *Pager) {
 	f, _ := p.Fix(6) //vet:allow(fixunfix) -- fixture: audited deliberate leak
 	_ = f.Data()
 }
+
+// --- v2 interprocedural cases ---
+
+// releaseVia is a release helper: its summary says param 0 reaches
+// Unfix, so callers handing it a frame are discharged.
+func releaseVia(p *Pager, f *Frame) {
+	p.Unfix(f)
+}
+
+// releaseDeeper chains through releaseVia; the fixed point propagates
+// the releases bit two hops.
+func releaseDeeper(p *Pager, f *Frame) {
+	releaseVia(p, f)
+}
+
+// inspect is a neutral helper: it neither releases nor stores.
+func inspect(f *Frame) int {
+	return f.ID()
+}
+
+// cache stubs a structure that takes custody.
+type cache struct {
+	frames []*Frame
+}
+
+// keep stores the frame: custody transfers to the cache.
+func (c *cache) keep(f *Frame) {
+	c.frames = append(c.frames, f)
+}
+
+// fixRoot wraps Fix; its summary says result 0 is pinned, so callers
+// inherit the obligation.
+func fixRoot(p *Pager) (*Frame, error) {
+	return p.Fix(10)
+}
+
+// cleanHelperRelease discharges through the release helper chain.
+func cleanHelperRelease(p *Pager) error {
+	f, err := p.Fix(11)
+	if err != nil {
+		return err
+	}
+	releaseDeeper(p, f)
+	return nil
+}
+
+// cleanCustody hands the frame to a storing helper.
+func cleanCustody(p *Pager, c *cache) error {
+	f, err := p.Fix(12)
+	if err != nil {
+		return err
+	}
+	c.keep(f)
+	return nil
+}
+
+// leakNeutralHelper passes the frame only to a neutral helper: v1
+// treated the bare pass as an escape and stayed quiet; v2 knows
+// inspect neither releases nor stores, so the pin still leaks.
+func leakNeutralHelper(p *Pager) {
+	f, err := p.Fix(13) // want `frame f pinned by Pager\.Fix is never Unfixed and never escapes`
+	if err != nil {
+		return
+	}
+	_ = inspect(f)
+}
+
+// leakFromWrapper pins through the helper wrapper and never releases:
+// the obligation follows fixRoot's pinned summary to this caller.
+func leakFromWrapper(p *Pager) {
+	f, err := fixRoot(p) // want `frame f pinned by fixRoot is never Unfixed and never escapes`
+	if err != nil {
+		return
+	}
+	_ = f.Data()
+}
+
+// leakWrapperReturn releases on the happy path but leaks on the early
+// return, with the pin coming from the wrapper.
+func leakWrapperReturn(p *Pager, cond bool) error {
+	f, err := fixRoot(p)
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil // want `return leaks frame f pinned by fixRoot`
+	}
+	p.Unfix(f)
+	return nil
+}
+
+// cleanWrapperHelper combines both summaries: pinned by a wrapper,
+// released through a helper.
+func cleanWrapperHelper(p *Pager) error {
+	f, err := fixRoot(p)
+	if err != nil {
+		return err
+	}
+	defer releaseVia(p, f)
+	_ = f.Data()
+	return nil
+}

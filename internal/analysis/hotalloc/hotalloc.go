@@ -1,0 +1,298 @@
+// Package hotalloc proves the hot paths allocation-free. Functions
+// annotated //vet:hotpath in their doc comment are roots; the analyzer
+// walks the callgraph from them and reports every construct that heap-
+// allocates or defeats the allocation-free descent on a reached path:
+// make/new, addressed composite literals, string concatenation and
+// string<->[]byte conversions, closures, goroutine launches, fmt calls
+// (reflection plus boxing), calls whose variadic ...interface{}
+// parameters box their arguments, appends to a freshly-made slice, map
+// iteration, and defer inside a loop.
+//
+// Two escapes keep the contract honest instead of noisy:
+//
+//   - //vet:coldpath -- <reason> on a callee's doc comment stops the
+//     traversal there: the function is a declared slow path (a pool
+//     miss paying a disk read, a lock wait that sleeps) and its
+//     allocations are accounted to that event, not the descent.
+//   - Allocations whose enclosing statement returns a non-nil error or
+//     panics are skipped: failure paths may allocate their message.
+//
+// PR 7 bought the hot descent its 1.8-2.1x with an allocation-free
+// Tree.Get/kv.Search; this analyzer is the regression fence around it
+// (cf. PAPERS.md, "BS-tree": gapped layouts live or die by
+// allocation-free search).
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ssa"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name:       "hotalloc",
+	Doc:        "no heap allocation, boxing, map iteration or defer-in-loop reachable from a //vet:hotpath root",
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	prog := pass.Prog
+
+	// Roots and boundaries from doc-comment annotations.
+	var roots []*ssa.Function
+	cold := make(map[*ssa.Function]bool)
+	for _, fn := range prog.SSA.Funcs {
+		switch {
+		case hasMarker(fn.Doc, "//vet:hotpath"):
+			roots = append(roots, fn)
+		case hasMarker(fn.Doc, "//vet:coldpath"):
+			cold[fn] = true
+		}
+	}
+
+	// Reachability from the roots; remember one root per function for
+	// the diagnostic.
+	via := make(map[*ssa.Function]*ssa.Function)
+	var queue []*ssa.Function
+	for _, r := range roots {
+		if via[r] == nil {
+			via[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, blk := range fn.Blocks {
+			for _, in := range blk.Instrs {
+				var callees []*ssa.Function
+				switch in.Kind {
+				case ssa.Call, ssa.Defer:
+					callees = prog.Graph.CalleesAt(in)
+				case ssa.MakeClosure:
+					callees = []*ssa.Function{in.Lit}
+				case ssa.Go:
+					// A launched goroutine is not on the caller's
+					// latency path; the launch itself is flagged below.
+					continue
+				default:
+					continue
+				}
+				for _, callee := range callees {
+					if cold[callee] || via[callee] != nil {
+						continue
+					}
+					via[callee] = via[fn]
+					queue = append(queue, callee)
+				}
+			}
+		}
+	}
+
+	// Scan every reached function.
+	for fn, root := range via {
+		skip := errorPathRanges(fn)
+		for _, blk := range fn.Blocks {
+			for _, in := range blk.Instrs {
+				if msg := flag(fn, blk, in); msg != "" && !skip.covers(in.Pos()) {
+					pass.Reportf(in.Pos(), "%s on hot path (reachable from %s)", msg, root.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// flag classifies one instruction; empty string means clean.
+func flag(fn *ssa.Function, blk *ssa.Block, in *ssa.Instr) string {
+	info := fn.Pkg.Info
+	switch in.Kind {
+	case ssa.Alloc:
+		return allocDesc(info, in)
+	case ssa.MakeClosure:
+		return "closure allocation"
+	case ssa.Go:
+		return "goroutine launch"
+	case ssa.Defer:
+		if blk.LoopDepth > 0 {
+			return "defer inside a loop (runtime defer record per iteration)"
+		}
+	case ssa.Range:
+		rs := in.Node.(*ast.RangeStmt)
+		if t := info.Types[rs.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				return "map iteration (hash-order walk)"
+			}
+		}
+	case ssa.Call:
+		return flagCall(info, in.Call)
+	}
+	return ""
+}
+
+func allocDesc(info *types.Info, in *ssa.Instr) string {
+	switch n := in.Node.(type) {
+	case *ast.CallExpr:
+		if id, ok := n.Fun.(*ast.Ident); ok {
+			if _, isB := info.Uses[id].(*types.Builtin); isB {
+				return "heap allocation: " + id.Name
+			}
+		}
+		return "allocating conversion (string<->[]byte copy)"
+	case *ast.UnaryExpr:
+		return "heap allocation: composite literal"
+	case *ast.BinaryExpr:
+		return "string concatenation"
+	}
+	return "heap allocation"
+}
+
+func flagCall(info *types.Info, call *ast.CallExpr) string {
+	if call == nil {
+		return ""
+	}
+	// Builtin append onto a freshly-made slice always allocates.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := info.Uses[id].(*types.Builtin); isB && id.Name == "append" && len(call.Args) > 0 {
+			if freshSlice(info, call.Args[0]) {
+				return "append to a fresh slice (allocates every call)"
+			}
+			return ""
+		}
+	}
+	fn, _ := typeutilCallee(info, call)
+	if fn == nil {
+		return ""
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return "fmt." + fn.Name() + " call (reflection and boxing)"
+	}
+	// Variadic ...interface{} parameters box every argument.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Variadic() {
+		last := sig.Params().At(sig.Params().Len() - 1)
+		if s, ok := last.Type().(*types.Slice); ok && types.IsInterface(s.Elem()) {
+			if len(call.Args) >= sig.Params().Len() && !call.Ellipsis.IsValid() {
+				return "variadic ...interface{} call (boxes arguments)"
+			}
+		}
+	}
+	return ""
+}
+
+// typeutilCallee resolves a call's static callee object, if any.
+func typeutilCallee(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, ok := info.Uses[fun].(*types.Func)
+		return f, ok
+	case *ast.SelectorExpr:
+		f, ok := info.Uses[fun.Sel].(*types.Func)
+		return f, ok
+	}
+	return nil, false
+}
+
+// freshSlice reports []T(nil) conversions and empty slice literals:
+// the append target that turns an append into a guaranteed allocation.
+func freshSlice(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		// []T(nil)-style conversion.
+		if len(x.Args) == 1 {
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+				if id, ok := ast.Unparen(x.Args[0]).(*ast.Ident); ok && id.Name == "nil" {
+					return true
+				}
+			}
+		}
+	case *ast.CompositeLit:
+		if len(x.Elts) == 0 {
+			if t := info.Types[x].Type; t != nil {
+				_, isSlice := t.Underlying().(*types.Slice)
+				return isSlice
+			}
+		}
+	}
+	return false
+}
+
+// posRanges is a set of source intervals.
+type posRanges []posRange
+
+type posRange struct{ lo, hi token.Pos }
+
+func (rs posRanges) covers(p token.Pos) bool {
+	for _, r := range rs {
+		if p >= r.lo && p <= r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// errorPathRanges collects the spans of statements that terminate a
+// failure path — returns carrying a non-nil error and panic calls —
+// so their message-building allocations are not charged to the hot
+// path.
+func errorPathRanges(fn *ssa.Function) posRanges {
+	var body *ast.BlockStmt
+	if fn.Decl != nil {
+		body = fn.Decl.Body
+	} else if fn.Lit != nil {
+		body = fn.Lit.Body
+	}
+	if body == nil {
+		return nil
+	}
+	info := fn.Pkg.Info
+	var out posRanges
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if isErrorExpr(info, res) && !isNilIdent(res) {
+					out = append(out, posRange{n.Pos(), n.End()})
+					break
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, isB := info.Uses[id].(*types.Builtin); isB && b.Name() == "panic" {
+					out = append(out, posRange{n.Pos(), n.End()})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	return t.String() == "error"
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	atest.Run(t, "testdata/src/hotalloc", hotalloc.Analyzer)
+}

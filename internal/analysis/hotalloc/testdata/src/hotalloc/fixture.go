@@ -1,0 +1,107 @@
+// Package hotfix is the hotalloc fixture: a //vet:hotpath root, a
+// callee cone carrying one of each flagged construct, a //vet:coldpath
+// boundary whose allocations are NOT charged, an error-path exemption,
+// an audited //vet:allow case, and an unreachable function whose
+// allocations are nobody's business.
+package hotfix
+
+import "fmt"
+
+// Tree stubs the searched structure.
+type Tree struct {
+	keys []int
+	idx  map[int]int
+}
+
+// node stubs a pool node.
+type node struct{ v int }
+
+//vet:hotpath -- fixture root: the descent below must stay clean.
+//
+// Get is the fixture's hot entry point.
+func Get(t *Tree, k int) (int, error) {
+	if t == nil {
+		// Failure paths may allocate their message: the error-return
+		// exemption keeps this fmt call quiet.
+		return 0, fmt.Errorf("hotfix: nil tree looking up %d", k)
+	}
+	return search(t, k)
+}
+
+// search is reachable from Get, so everything in it is on the hot
+// path — including the map fallback and the helpers it calls.
+func search(t *Tree, k int) (int, error) {
+	buf := make([]int, 0, 4) // want `heap allocation: make on hot path \(reachable from hotfix\.Get\)`
+	for i := range t.keys {
+		if t.keys[i] == k {
+			buf = append(buf, i)
+		}
+	}
+	if len(buf) > 0 {
+		return buf[0], nil
+	}
+	for k2, v := range t.idx { // want `map iteration \(hash-order walk\) on hot path`
+		if k2 == k {
+			return v, nil
+		}
+	}
+	drain(t)
+	audit(t, k)
+	_ = copyOut(t)
+	n := grow()
+	return n.v, nil
+}
+
+// drain collects the remaining flagged constructs, one per line.
+func drain(t *Tree) {
+	for i := range t.keys {
+		defer release(i) // want `defer inside a loop \(runtime defer record per iteration\) on hot path`
+	}
+	go audit(t, 0)                          // want `goroutine launch on hot path`
+	f := func() int { return len(t.keys) }  // want `closure allocation on hot path`
+	_ = f()
+	name := fmt.Sprintf("t%d", len(t.keys)) // want `fmt\.Sprintf call \(reflection and boxing\) on hot path`
+	_ = name
+	logf(1, len(t.keys)) // want `variadic \.\.\.interface\{\} call \(boxes arguments\) on hot path`
+	_ = refill(t)
+}
+
+// release stubs a per-entry unpin.
+func release(int) {}
+
+// logf stubs a boxing logger.
+func logf(args ...interface{}) {}
+
+// refill rebuilds a probe cache; the append target is a fresh slice,
+// which allocates on every call.
+func refill(t *Tree) []int {
+	return append([]int{}, t.keys...) // want `append to a fresh slice \(allocates every call\) on hot path`
+}
+
+// grow returns a freshly boxed node.
+func grow() *node {
+	return &node{} // want `heap allocation: composite literal on hot path`
+}
+
+//vet:coldpath -- fixture: audit runs once per miss epoch, off the descent.
+//
+// audit is a declared slow path: the traversal stops at the marker and
+// none of these allocations is charged to Get.
+func audit(t *Tree, k int) {
+	msg := fmt.Sprintf("miss %d", k)
+	_ = msg
+	dup := append([]int(nil), t.keys...)
+	_ = dup
+}
+
+// copyOut allocates by contract (the caller keeps the copy); reviewed
+// and suppressed, so no want comment.
+func copyOut(t *Tree) []int {
+	//vet:allow(hotalloc) -- fixture: the returned copy is the API contract
+	out := make([]int, len(t.keys))
+	copy(out, t.keys)
+	return out
+}
+
+// offline is reachable from no root: its allocation is fine.
+func offline() []byte { return make([]byte, 64) }

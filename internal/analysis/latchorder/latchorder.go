@@ -1,0 +1,737 @@
+// Package latchorder statically proves the repo's lock acquisition
+// order. It is the compile-time half of internal/invariant's runtime
+// lock-order tracker: where the tracker checks the schedules that
+// actually execute, this analyzer checks every static call path.
+//
+// The analysis runs on the whole program (RunProgram):
+//
+//  1. Every sync.Mutex/RWMutex operation is classified to a lock class
+//     by its declaration site, through the shared internal/lockclass
+//     table — the same classes the runtime tracker uses.
+//  2. A forward may-held dataflow over each function's CFG computes,
+//     per function, the classes it acquires and still holds at return
+//     (so `shard.lock()`-style wrappers summarize as "returns holding
+//     storage.shard") and the classes it releases on its caller's
+//     behalf (`shard.unlock()`), to a fixed point over the callgraph.
+//  3. Held sets propagate top-down: a callee's entry-held set is the
+//     union of every caller's held set at its call sites (goroutine
+//     launches start empty — a `go` statement hands nothing across).
+//  4. Every acquisition of class C while holding class H yields the
+//     edge H→C. An edge is reported when the lockclass.Order table
+//     ranks both classes and forbids it, and any cycle among the
+//     remaining edges (including unranked classes) is reported too —
+//     the graph must come out acyclic for the order to exist at all.
+//
+// Same-class edges are exempt, mirroring the runtime tracker:
+// per-instance locks of one class (frame lock coupling, the
+// careful-write flush cascade) carry their own ordering arguments.
+// A latch on an object freshly allocated in the same function (its
+// only definitions are &T{...} literals) is uncontendable and is not
+// an acquisition — Pager.Fix latching a frame it just built under the
+// shard mutex cannot deadlock against the published-frame order.
+package latchorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ssa"
+	"repro/internal/lockclass"
+)
+
+// Analyzer is the latchorder check.
+var Analyzer = &analysis.Analyzer{
+	Name:       "latchorder",
+	Doc:        "static lock-order proof: every acquisition path must respect the lockclass table and form no cycle",
+	RunProgram: run,
+}
+
+// maxSummaryRounds bounds the whole-program summary iteration; the
+// repo's call depth converges in a handful of rounds.
+const maxSummaryRounds = 30
+
+// classSet is a small set of lock-class names.
+type classSet map[string]bool
+
+func (s classSet) clone() classSet {
+	out := make(classSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s classSet) addAll(o classSet) bool {
+	grew := false
+	for k := range o {
+		if !s[k] {
+			s[k] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+// retainAll intersects s with o in place; reports whether s shrank.
+func (s classSet) retainAll(o classSet) bool {
+	shrank := false
+	for k := range s {
+		if !o[k] {
+			delete(s, k)
+			shrank = true
+		}
+	}
+	return shrank
+}
+
+// equal reports whether s and o hold the same classes.
+func (s classSet) equal(o classSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s classSet) sorted() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// summary is one function's net lock effect.
+type summary struct {
+	acq classSet // classes still held at return that the function took
+	rel classSet // classes released that the function did not take
+}
+
+// lockOp is one classified mutex operation.
+type lockOp struct {
+	class   string
+	acquire bool
+}
+
+type checker struct {
+	pass *analysis.ProgramPass
+	prog *analysis.Program
+
+	sums  map[*ssa.Function]*summary
+	entry map[*ssa.Function]classSet
+
+	// heldAt records the local held set before each call-shaped
+	// instruction (for entry-set propagation), from the final pass.
+	heldAt map[*ssa.Instr]classSet
+	// relAt records, per call-shaped instruction, the classes the
+	// function has released on every path reaching it without having
+	// acquired them locally — entry-held locks it gave back. The
+	// propagation subtracts these from the caller-supplied entry set,
+	// so `lock; ...; unlock; helper()` does not leak the lock into
+	// helper's entry context (makeRoom drops the shard mutex before
+	// eviction I/O; flushFrame must not inherit it).
+	relAt map[*ssa.Instr]classSet
+	// recording is set during the phase-2 sweep that logs call-site
+	// held sets and acquisitions.
+	recording bool
+
+	// acquisitions from the final pass.
+	acqs []acqSite
+}
+
+type acqSite struct {
+	fn    *ssa.Function
+	instr *ssa.Instr
+	class string
+	held  classSet // local held set before the acquisition
+	rel   classSet // entry-held classes already released before it
+}
+
+func run(pass *analysis.ProgramPass) error {
+	c := &checker{
+		pass:   pass,
+		prog:   pass.Prog,
+		sums:   make(map[*ssa.Function]*summary),
+		entry:  make(map[*ssa.Function]classSet),
+		heldAt: make(map[*ssa.Instr]classSet),
+		relAt:  make(map[*ssa.Instr]classSet),
+	}
+	for _, fn := range c.prog.SSA.Funcs {
+		c.sums[fn] = &summary{acq: classSet{}, rel: classSet{}}
+		c.entry[fn] = classSet{}
+	}
+
+	// Phase 1: net-effect summaries, one callgraph SCC at a time in
+	// callee-first order. Each round REPLACES a function's summary
+	// rather than unioning into it, and each component starts from
+	// empty summaries with every callee component already final. Both
+	// points matter: a stale "exits holding the shard" guess — taken
+	// before the callee's releases were known — must be discarded, and
+	// a recursive function must not keep such a guess alive by reading
+	// it back from its own summary through the cycle (a non-least
+	// fixed point the flat iteration cannot escape).
+	for _, comp := range c.calleeFirstSCCs() {
+		for round := 0; round < maxSummaryRounds; round++ {
+			changed := false
+			for _, fn := range comp {
+				acq, rel := c.analyze(fn, false)
+				s := c.sums[fn]
+				if !s.acq.equal(acq) || !s.rel.equal(rel) {
+					s.acq, s.rel = acq, rel
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+
+	// Phase 2: one more pass with final summaries, recording held sets
+	// at call sites and every acquisition.
+	for _, fn := range c.prog.SSA.Funcs {
+		c.analyze(fn, true)
+	}
+
+	// Phase 3: propagate entry-held sets through the recorded call
+	// sites until stable.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range c.prog.SSA.Funcs {
+			for _, blk := range fn.Blocks {
+				for _, in := range blk.Instrs {
+					held, ok := c.heldAt[in]
+					if !ok {
+						continue
+					}
+					full := held.clone()
+					for cl := range c.entry[fn] {
+						if !c.relAt[in][cl] {
+							full[cl] = true
+						}
+					}
+					for _, callee := range c.callTargets(in) {
+						if c.entry[callee].addAll(full) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	c.report()
+	return nil
+}
+
+// calleeFirstSCCs returns the callgraph's strongly connected
+// components in callee-first (reverse topological) order: Tarjan pops
+// a component only once every component it can reach is out, which is
+// exactly the order phase 1 wants.
+func (c *checker) calleeFirstSCCs() [][]*ssa.Function {
+	index := make(map[*ssa.Function]int)
+	low := make(map[*ssa.Function]int)
+	onStack := make(map[*ssa.Function]bool)
+	var stack []*ssa.Function
+	var comps [][]*ssa.Function
+	next := 0
+	var strong func(fn *ssa.Function)
+	strong = func(fn *ssa.Function) {
+		next++
+		index[fn], low[fn] = next, next
+		stack = append(stack, fn)
+		onStack[fn] = true
+		for _, blk := range fn.Blocks {
+			for _, in := range blk.Instrs {
+				for _, callee := range c.callTargets(in) {
+					if _, seen := index[callee]; !seen {
+						strong(callee)
+						if low[callee] < low[fn] {
+							low[fn] = low[callee]
+						}
+					} else if onStack[callee] && index[callee] < low[fn] {
+						low[fn] = index[callee]
+					}
+				}
+			}
+		}
+		if low[fn] == index[fn] {
+			var comp []*ssa.Function
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				comp = append(comp, m)
+				if m == fn {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for _, fn := range c.prog.SSA.Funcs {
+		if _, seen := index[fn]; !seen {
+			strong(fn)
+		}
+	}
+	return comps
+}
+
+// callTargets returns the callees an instruction hands the current
+// held set to: resolved calls and defers, and closures at their
+// creation site. Goroutine launches start with nothing held.
+func (c *checker) callTargets(in *ssa.Instr) []*ssa.Function {
+	switch in.Kind {
+	case ssa.Call, ssa.Defer, ssa.Alloc:
+		return c.prog.Graph.CalleesAt(in)
+	case ssa.MakeClosure:
+		return []*ssa.Function{in.Lit}
+	}
+	return nil
+}
+
+// analyze runs the forward may-held dataflow over fn's CFG and returns
+// the exit-state summary. With record set it also logs held-at-site
+// and acquisition facts for phases 2/3.
+func (c *checker) analyze(fn *ssa.Function, record bool) (classSet, classSet) {
+	n := len(fn.Blocks)
+	if n == 0 {
+		return classSet{}, classSet{}
+	}
+	type state struct{ held, rel classSet }
+	ins := make([]*state, n)
+	ins[fn.Entry.Index] = &state{held: classSet{}, rel: classSet{}}
+
+	transfer := func(blk *ssa.Block, st *state) *state {
+		held := st.held.clone()
+		rel := st.rel.clone()
+		for _, in := range blk.Instrs {
+			if op := c.classify(fn, in); op != nil {
+				if op.acquire {
+					if c.recording {
+						c.acqs = append(c.acqs, acqSite{fn: fn, instr: in, class: op.class, held: held.clone(), rel: rel.clone()})
+					}
+					held[op.class] = true
+				} else {
+					if held[op.class] {
+						delete(held, op.class)
+					} else {
+						rel[op.class] = true
+					}
+				}
+				continue
+			}
+			switch in.Kind {
+			case ssa.Call, ssa.Alloc:
+				if c.recording {
+					c.heldAt[in] = held.clone()
+					c.relAt[in] = rel.clone()
+				}
+				for _, callee := range c.prog.Graph.CalleesAt(in) {
+					s := c.sums[callee]
+					held.addAll(s.acq)
+					for cl := range s.rel {
+						if held[cl] {
+							delete(held, cl)
+						} else {
+							rel[cl] = true
+						}
+					}
+				}
+			case ssa.Defer, ssa.MakeClosure:
+				// Effects apply at exit (defers) or at an unknown
+				// invocation point (closures); only the held set at
+				// the site propagates.
+				if c.recording {
+					c.heldAt[in] = held.clone()
+					c.relAt[in] = rel.clone()
+				}
+			case ssa.Go:
+				// The new goroutine starts with an empty held set;
+				// nothing propagates and nothing comes back.
+			}
+		}
+		return &state{held: held, rel: rel}
+	}
+
+	// Worklist iteration to a fixed point (transfer is monotone in its
+	// input and the join is union, so the in-sets only grow).
+	c.recording = false
+	work := []*ssa.Block{fn.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := ins[blk.Index]
+		if in == nil {
+			continue
+		}
+		out := transfer(blk, in)
+		for _, succ := range blk.Succs {
+			si := ins[succ.Index]
+			if si == nil {
+				ins[succ.Index] = &state{held: out.held.clone(), rel: out.rel.clone()}
+				work = append(work, succ)
+			} else {
+				// held joins by union (may-held); rel joins by
+				// intersection (must-released on every path), because
+				// rel is subtracted from entry-held sets — removing a
+				// lock still held on some path would hide violations.
+				grewHeld := si.held.addAll(out.held)
+				shrankRel := si.rel.retainAll(out.rel)
+				if grewHeld || shrankRel {
+					work = append(work, succ)
+				}
+			}
+		}
+	}
+	// With the in-sets final, one recording sweep logs each site once.
+	if record {
+		c.recording = true
+		for _, blk := range fn.Blocks {
+			if ins[blk.Index] != nil {
+				transfer(blk, ins[blk.Index])
+			}
+		}
+		c.recording = false
+	}
+
+	exit := &state{held: classSet{}, rel: classSet{}}
+	if s := ins[fn.Exit.Index]; s != nil {
+		exit.held.addAll(s.held)
+		exit.rel.addAll(s.rel)
+	}
+	// Deferred releases and callee effects fire between the last
+	// instruction and return.
+	for _, d := range fn.Defers {
+		if op := c.classifyCall(fn, d.Call); op != nil {
+			if op.acquire {
+				exit.held[op.class] = true
+			} else if exit.held[op.class] {
+				delete(exit.held, op.class)
+			} else {
+				exit.rel[op.class] = true
+			}
+			continue
+		}
+		for _, callee := range c.prog.Graph.CalleesAt(d) {
+			s := c.sums[callee]
+			exit.held.addAll(s.acq)
+			for cl := range s.rel {
+				if exit.held[cl] {
+					delete(exit.held, cl)
+				} else {
+					exit.rel[cl] = true
+				}
+			}
+		}
+	}
+	return exit.held, exit.rel
+}
+
+// classify returns the lock operation an instruction performs, or nil.
+func (c *checker) classify(fn *ssa.Function, in *ssa.Instr) *lockOp {
+	if in.Kind != ssa.Call {
+		return nil
+	}
+	return c.classifyCall(fn, in.Call)
+}
+
+var acquireMethods = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+}
+var releaseMethods = map[string]bool{
+	"Unlock": true, "RUnlock": true,
+}
+
+func (c *checker) classifyCall(fn *ssa.Function, call *ast.CallExpr) *lockOp {
+	if call == nil {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	name := sel.Sel.Name
+	if !acquireMethods[name] && !releaseMethods[name] {
+		return nil
+	}
+	info := fn.Pkg.Info
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return nil
+	}
+	key := c.lockKey(fn, sel.X)
+	if key == "" {
+		return nil
+	}
+	if c.isFresh(fn, sel.X) {
+		return nil
+	}
+	class, ok := lockclass.Classes[key]
+	if !ok {
+		class = key // unranked automatic class
+	}
+	return &lockOp{class: class, acquire: acquireMethods[name]}
+}
+
+// lockKey derives the lockclass table key for the mutex expression:
+// "pkg.Type.field" for a named mutex field, "pkg.Type" for a method
+// promoted from an embedded mutex, "pkg.var" for a package-level
+// mutex. Local mutex variables are per-call-frame and return "".
+func (c *checker) lockKey(fn *ssa.Function, recv ast.Expr) string {
+	info := fn.Pkg.Info
+	switch x := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		// x = base.field: the mutex is a named field.
+		fieldObj, ok := info.Uses[x.Sel].(*types.Var)
+		if !ok || !fieldObj.IsField() {
+			return ""
+		}
+		base := info.Types[x.X].Type
+		if base == nil {
+			return ""
+		}
+		if p, ok := base.(*types.Pointer); ok {
+			base = p.Elem()
+		}
+		named, ok := base.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + fieldObj.Name()
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			return ""
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return ""
+		}
+		t := v.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			if named.Obj().Pkg().Path() != "sync" {
+				// A method promoted from an embedded mutex: the
+				// enclosing named type is the lock.
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+			}
+			// A plain mutex variable: package-level ones get a key,
+			// locals are untracked.
+			if v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+// isFresh reports whether the latched object is provably a fresh,
+// unpublished allocation of this function: every definition of its
+// base variable is a &T{...} literal. Locking it cannot contend.
+func (c *checker) isFresh(fn *ssa.Function, recv ast.Expr) bool {
+	id, ok := ast.Unparen(recv).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := fn.Pkg.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	defs := fn.DefsOf(obj)
+	rebound := false
+	for _, d := range defs {
+		as, ok := d.Node.(*ast.AssignStmt)
+		if !ok {
+			return false // range binding or other non-assign def
+		}
+		// The def list also carries field writes through the variable
+		// (`f.loadErr = err` defs f via the selector base); those do
+		// not rebind f, only direct ident LHS entries do.
+		rhs := ast.Expr(nil)
+		direct := false
+		for i, l := range as.Lhs {
+			if lid, ok := l.(*ast.Ident); ok && (fn.Pkg.Info.Defs[lid] == obj || fn.Pkg.Info.Uses[lid] == obj) {
+				direct = true
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[i]
+				}
+			}
+		}
+		if !direct {
+			continue
+		}
+		rebound = true
+		if rhs == nil {
+			return false // multi-value call result: not a literal
+		}
+		u, ok := ast.Unparen(rhs).(*ast.UnaryExpr)
+		if !ok || u.Op != token.AND {
+			return false
+		}
+		if _, ok := u.X.(*ast.CompositeLit); !ok {
+			return false
+		}
+	}
+	return rebound
+}
+
+// report turns the recorded acquisitions into edge diagnostics.
+func (c *checker) report() {
+	type edge struct{ from, to string }
+	firstSite := make(map[edge]*acqSite)
+	var edges []edge
+	for i := range c.acqs {
+		a := &c.acqs[i]
+		full := a.held.clone()
+		for cl := range c.entry[a.fn] {
+			if !a.rel[cl] {
+				full[cl] = true
+			}
+		}
+		for h := range full {
+			if h == a.class {
+				continue // same-class exemption
+			}
+			e := edge{from: h, to: a.class}
+			if firstSite[e] == nil {
+				firstSite[e] = a
+				edges = append(edges, e)
+			}
+		}
+	}
+
+	// Rank violations.
+	bad := make(map[edge]bool)
+	for _, e := range edges {
+		rf, okf := lockclass.Rank(e.from)
+		rt, okt := lockclass.Rank(e.to)
+		if okf && okt && rf > rt {
+			bad[e] = true
+			a := firstSite[e]
+			c.pass.Reportf(a.instr.Pos(),
+				"%s acquires %q while holding %q; lockclass.Order ranks %q before %q",
+				a.fn.Name, e.to, e.from, e.to, e.from)
+		}
+	}
+
+	// Cycle check over the remaining edges (covers unranked classes).
+	adj := make(map[string][]string)
+	for _, e := range edges {
+		if bad[e] {
+			continue
+		}
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	sccID := tarjan(adj)
+	for _, e := range edges {
+		if bad[e] {
+			continue
+		}
+		if id, ok := sccID[e.from]; ok && sccID[e.to] == id && multiMember(sccID, id) {
+			a := firstSite[e]
+			c.pass.Reportf(a.instr.Pos(),
+				"%s acquires %q while holding %q, closing an acquisition cycle (classes %s)",
+				a.fn.Name, e.to, e.from, strings.Join(cycleMembers(sccID, id), " ⇄ "))
+		}
+	}
+}
+
+func multiMember(sccID map[string]int, id int) bool {
+	n := 0
+	for _, v := range sccID {
+		if v == id {
+			n++
+			if n > 1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func cycleMembers(sccID map[string]int, id int) []string {
+	var out []string
+	for k, v := range sccID {
+		if v == id {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tarjan returns a map from node to strongly-connected-component id.
+func tarjan(adj map[string][]string) map[string]int {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	sccID := make(map[string]int)
+	var stack []string
+	next, nscc := 0, 0
+
+	var nodes []string
+	seen := make(map[string]bool)
+	for from, tos := range adj {
+		if !seen[from] {
+			seen[from] = true
+			nodes = append(nodes, from)
+		}
+		for _, to := range tos {
+			if !seen[to] {
+				seen[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				sccID[w] = nscc
+				if w == v {
+					break
+				}
+			}
+			nscc++
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+	return sccID
+}

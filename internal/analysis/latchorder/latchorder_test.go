@@ -1,0 +1,12 @@
+package latchorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/latchorder"
+)
+
+func TestLatchorder(t *testing.T) {
+	atest.Run(t, "testdata/src/latchorder", latchorder.Analyzer)
+}

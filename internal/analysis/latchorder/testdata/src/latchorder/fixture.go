@@ -1,0 +1,129 @@
+// Package storage is the latchorder fixture. The package is named
+// storage on purpose: lockclass keys on the package NAME, so the stub
+// types below (shard.mu, Frame, Pager.allocMu, Pager.depMu,
+// FileDisk.mu, Frame.flushMu) land on the real ranked classes
+// storage.shard (7), storage.frame (8), storage.alloc (14),
+// storage.dep (13), storage.disk (15) and storage.flush (6). Clean
+// functions double as precision tests: the analyzer must stay quiet on
+// them.
+package storage
+
+import "sync"
+
+// shard stubs the pool shard (storage.shard).
+type shard struct{ mu sync.Mutex }
+
+// Frame stubs the pool frame; the embedded mutex is the frame latch
+// (storage.frame) and flushMu the careful-write serialiser
+// (storage.flush).
+type Frame struct {
+	sync.Mutex
+	flushMu sync.Mutex
+}
+
+// FileDisk stubs the disk (storage.disk).
+type FileDisk struct{ mu sync.Mutex }
+
+// Pager stubs the pool (storage.alloc, storage.dep).
+type Pager struct {
+	sh      shard
+	allocMu sync.Mutex
+	depMu   sync.Mutex
+	disk    FileDisk
+}
+
+// ordered takes the shard mutex before a frame latch, the order the
+// table declares: quiet.
+func (p *Pager) ordered(f *Frame) {
+	p.sh.mu.Lock()
+	f.Lock()
+	f.Unlock()
+	p.sh.mu.Unlock()
+}
+
+// inverted latches a frame first and then takes the shard mutex: the
+// rank check fires at the inner acquisition.
+func (p *Pager) inverted(f *Frame) {
+	f.Lock()
+	p.sh.mu.Lock() // want `inverted acquires "storage.shard" while holding "storage.frame"; lockclass\.Order ranks "storage.shard" before "storage.frame"`
+	p.sh.mu.Unlock()
+	f.Unlock()
+}
+
+// lockShard is clean in isolation; the violation is interprocedural.
+// viaHelper calls it with the alloc mutex held, the entry-held
+// propagation carries the class in, and the diagnostic lands here, at
+// the acquisition that closes the bad edge.
+func (p *Pager) lockShard() {
+	p.sh.mu.Lock() // want `lockShard acquires "storage.shard" while holding "storage.alloc"`
+}
+
+// viaHelper supplies the held context for lockShard's violation.
+func (p *Pager) viaHelper() {
+	p.allocMu.Lock()
+	p.lockShard()
+	p.sh.mu.Unlock()
+	p.allocMu.Unlock()
+}
+
+// releaseThenHelper gives the disk mutex back BEFORE calling the
+// helper; the must-release subtraction keeps storage.disk out of
+// lockDep's entry set, so the (would-be illegal) disk→dep edge never
+// forms. Quiet — this is the precision case that separates may-held
+// propagation from a naive "ever held in a caller" scheme.
+func (p *Pager) releaseThenHelper() {
+	p.disk.mu.Lock()
+	p.disk.mu.Unlock()
+	p.lockDep()
+}
+
+// lockDep takes and releases the dep-graph mutex.
+func (p *Pager) lockDep() {
+	p.depMu.Lock()
+	p.depMu.Unlock()
+}
+
+// freshFrame latches a frame it just allocated: the object is
+// unpublished, the latch cannot contend, and the (rank-illegal)
+// alloc→frame edge must NOT be recorded. Quiet.
+func (p *Pager) freshFrame() {
+	p.allocMu.Lock()
+	f := &Frame{}
+	f.Lock()
+	f.Unlock()
+	p.allocMu.Unlock()
+}
+
+// allowed inverts frame→flush deliberately; the suppression keeps the
+// diagnostic out (no want comment here).
+func (p *Pager) allowed(f *Frame) {
+	f.Lock()
+	f.flushMu.Lock() //vet:allow(latchorder) -- fixture: audited deliberate inversion
+	f.flushMu.Unlock()
+	f.Unlock()
+}
+
+// waitA and waitB are unranked: their mutexes are not in the class
+// table, so each gets an automatic per-declaration class and the rank
+// check cannot order them. The cycle check still must reject the pair
+// below.
+type waitA struct{ mu sync.Mutex }
+
+type waitB struct{ mu sync.Mutex }
+
+// cyc1 acquires A then B; cyc2 acquires B then A. Neither edge is a
+// rank violation, but together they close a cycle: no global order can
+// exist, and both closing acquisitions are reported.
+func cyc1(a *waitA, b *waitB) {
+	a.mu.Lock()
+	b.mu.Lock() // want `closing an acquisition cycle \(classes storage\.waitA\.mu ⇄ storage\.waitB\.mu\)`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func cyc2(a *waitA, b *waitB) {
+	b.mu.Lock()
+	a.mu.Lock() // want `closing an acquisition cycle \(classes storage\.waitA\.mu ⇄ storage\.waitB\.mu\)`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}

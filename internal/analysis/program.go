@@ -1,0 +1,80 @@
+// Program-level passes: the whole loaded module, its ssa IR and its
+// callgraph, handed to one analyzer at a time. See Analyzer.RunProgram.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/ssa"
+)
+
+// Program bundles the loaded packages with the derived IR every
+// interprocedural analyzer shares. Build it once per reorg-vet run.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*load.Package
+	SSA      *ssa.Program
+	Graph    *callgraph.Graph
+}
+
+// BuildProgram derives the ssa IR and callgraph for pkgs.
+func BuildProgram(pkgs []*load.Package) *Program {
+	prog := &Program{Packages: pkgs}
+	if len(pkgs) > 0 {
+		prog.Fset = pkgs[0].Fset
+	}
+	prog.SSA = ssa.Build(pkgs)
+	prog.Graph = callgraph.Build(prog.SSA)
+	return prog
+}
+
+// ProgramPass carries one program through an Analyzer's RunProgram.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *ProgramPass) allowed() map[string]map[int]map[string]bool {
+	var files []*ast.File
+	for _, pkg := range p.Prog.Packages {
+		files = append(files, pkg.Files...)
+	}
+	return allowedLines(p.Prog.Fset, files)
+}
+
+// Finish filters suppressed diagnostics and returns the rest, sorted
+// by position.
+func (p *ProgramPass) Finish() []Diagnostic {
+	return finish(p.diags, p.allowed(), false)
+}
+
+// FinishAll returns every diagnostic sorted by position, suppressed
+// ones flagged rather than dropped.
+func (p *ProgramPass) FinishAll() []Diagnostic {
+	return finish(p.diags, p.allowed(), true)
+}
+
+// RunOnProgram executes a program-level analyzer and returns all its
+// diagnostics, suppressed ones flagged.
+func RunOnProgram(a *Analyzer, prog *Program) ([]Diagnostic, error) {
+	pass := &ProgramPass{Analyzer: a, Prog: prog}
+	if err := a.RunProgram(pass); err != nil {
+		return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+	}
+	return pass.FinishAll(), nil
+}

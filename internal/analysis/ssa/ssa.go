@@ -1,0 +1,824 @@
+// Package ssa builds a light SSA-form IR over type-checked ASTs for
+// reorg-vet's interprocedural analyzers: every function and function
+// literal becomes a control-flow graph of basic blocks, each block a
+// stream of instructions in evaluation order, with def-use chains
+// keyed by types.Object (the IR is phi-less: source variables are the
+// registers, and a merge point simply has several reaching defs).
+//
+// This is deliberately not a full go/ssa: no value numbering, no
+// lowering of expressions to three-address form. The analyzers built
+// on it (latchorder, hotalloc, atomicfield, fixunfix) need exactly
+// three things — which calls and allocations execute on which paths,
+// in what order; which blocks loop; and which instructions define or
+// use which variables — and the builder stops there. Like the analysis
+// core, it is stdlib-only (the build environment is offline).
+package ssa
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/load"
+)
+
+// Kind classifies an instruction.
+type Kind uint8
+
+// Instruction kinds.
+const (
+	// Expr is a generic statement-level step with no other
+	// classification (sends, inc/dec, ...).
+	Expr Kind = iota
+	// Call is a function, method or builtin call.
+	Call
+	// Alloc is an expression that heap-allocates when it executes:
+	// make, new, an addressed composite literal, a string concat, or a
+	// string<->[]byte conversion.
+	Alloc
+	// MakeClosure is a function literal; Lit points at its Function.
+	MakeClosure
+	// Assign is an assignment or short declaration; Node is the
+	// *ast.AssignStmt or *ast.DeclStmt and Defs lists the assigned
+	// variables.
+	Assign
+	// Return terminates a path; Node is the *ast.ReturnStmt.
+	Return
+	// Defer schedules Node's call at function exit (Call is set).
+	Defer
+	// Go launches Node's call on a new goroutine (Call is set).
+	Go
+	// Range marks the header of a range loop; Node is the
+	// *ast.RangeStmt (the ranged-over type is in the package's
+	// types.Info).
+	Range
+)
+
+// Instr is one step of a block.
+type Instr struct {
+	Kind  Kind
+	Node  ast.Node
+	Call  *ast.CallExpr // set for Call, Defer, Go, and call-shaped Allocs
+	Lit   *Function     // set for MakeClosure
+	Block *Block
+	Defs  []types.Object // variables this instruction assigns
+	Uses  []types.Object // variables this instruction reads
+}
+
+// Pos returns the instruction's source position.
+func (i *Instr) Pos() token.Pos { return i.Node.Pos() }
+
+// Block is one basic block.
+type Block struct {
+	Index  int
+	Fn     *Function
+	Instrs []*Instr
+	Succs  []*Block
+	Preds  []*Block
+	// LoopDepth counts enclosing for/range bodies; a Defer instruction
+	// in a block with LoopDepth > 0 runs an unbounded number of times
+	// before any of them fire.
+	LoopDepth int
+}
+
+// Function is the CFG of one declared function, method, or function
+// literal.
+type Function struct {
+	// Obj is the declared function's object; nil for function literals.
+	Obj  *types.Func
+	Name string // qualified display name, e.g. "storage.(*Pager).Fix"
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	Pkg  *load.Package
+	// Doc is the declaration's doc comment (annotation carrier for
+	// //vet:hotpath and //vet:coldpath); nil for literals.
+	Doc    *ast.CommentGroup
+	Blocks []*Block
+	// Entry is Blocks[0]; Exit is the block every return and the final
+	// fall-off-the-end edge lead to (it has no instructions).
+	Entry, Exit *Block
+	// Defers lists the function's defer instructions in source order;
+	// their calls execute between the last real instruction and Exit.
+	Defers []*Instr
+	// Lits are the function literals created inside this function.
+	Lits   []*Function
+	Parent *Function // enclosing function, for literals
+
+	defs map[types.Object][]*Instr
+	uses map[types.Object][]*Instr
+}
+
+// Pos returns the function's declaration position.
+func (f *Function) Pos() token.Pos {
+	if f.Decl != nil {
+		return f.Decl.Pos()
+	}
+	return f.Lit.Pos()
+}
+
+// DefsOf returns the instructions that assign obj, in build order.
+func (f *Function) DefsOf(obj types.Object) []*Instr { return f.defs[obj] }
+
+// UsesOf returns the instructions that read obj, in build order.
+func (f *Function) UsesOf(obj types.Object) []*Instr { return f.uses[obj] }
+
+// Program is the IR for a set of packages.
+type Program struct {
+	Fset *token.FileSet
+	// Funcs lists every built function, declared ones first (package
+	// then source order), then literals in creation order.
+	Funcs []*Function
+	// ByObj finds a declared function's IR from its types object.
+	ByObj map[*types.Func]*Function
+	// byName indexes the same functions by types.Func.FullName. Each
+	// package is type-checked against its dependencies' export data,
+	// so the *types.Func a call site resolves to in one package is not
+	// pointer-identical to the object from the callee package's own
+	// source check; FullName is stable across the two views.
+	byName map[string]*Function
+}
+
+// FuncOf finds the IR for a function object, tolerating the
+// export-data/source split in object identity.
+func (p *Program) FuncOf(obj *types.Func) *Function {
+	if fn := p.ByObj[obj]; fn != nil {
+		return fn
+	}
+	return p.byName[obj.FullName()]
+}
+
+// Build constructs the IR for every function in pkgs.
+func Build(pkgs []*load.Package) *Program {
+	prog := &Program{
+		ByObj:  make(map[*types.Func]*Function),
+		byName: make(map[string]*Function),
+	}
+	for _, pkg := range pkgs {
+		if prog.Fset == nil {
+			prog.Fset = pkg.Fset
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				fn := &Function{
+					Obj:  obj,
+					Name: declName(pkg, fd, obj),
+					Decl: fd,
+					Pkg:  pkg,
+					Doc:  fd.Doc,
+				}
+				buildBody(fn, fd.Body)
+				prog.Funcs = append(prog.Funcs, fn)
+				if obj != nil {
+					prog.ByObj[obj] = fn
+					prog.byName[obj.FullName()] = fn
+				}
+			}
+		}
+	}
+	// Literals are appended to Funcs during their parents' builds via
+	// fn.Lits; flatten them in.
+	var lits []*Function
+	var collect func(f *Function)
+	collect = func(f *Function) {
+		for _, l := range f.Lits {
+			lits = append(lits, l)
+			collect(l)
+		}
+	}
+	for _, f := range prog.Funcs {
+		collect(f)
+	}
+	prog.Funcs = append(prog.Funcs, lits...)
+	return prog
+}
+
+func declName(pkg *load.Package, fd *ast.FuncDecl, obj *types.Func) string {
+	if obj == nil {
+		return pkg.Name + "." + fd.Name.Name
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			return fmt.Sprintf("%s.(*%s).%s", pkg.Name, typeName(p.Elem()), fd.Name.Name)
+		}
+		return fmt.Sprintf("%s.%s.%s", pkg.Name, typeName(t), fd.Name.Name)
+	}
+	return pkg.Name + "." + fd.Name.Name
+}
+
+func typeName(t types.Type) string {
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// builder holds the per-function CFG construction state.
+type builder struct {
+	fn  *Function
+	cur *Block
+	// break/continue targets, innermost last; label is "" for
+	// unlabeled statements.
+	breaks    []branchTarget
+	continues []branchTarget
+	labels    map[string]*Block // goto targets
+	loopDepth int
+	// pendingLabel carries a label name from a LabeledStmt to the loop
+	// or switch statement it labels.
+	pendingLabel string
+}
+
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+func buildBody(fn *Function, body *ast.BlockStmt) {
+	b := &builder{fn: fn, labels: make(map[string]*Block)}
+	fn.defs = make(map[types.Object][]*Instr)
+	fn.uses = make(map[types.Object][]*Instr)
+	entry := b.newBlock()
+	fn.Entry = entry
+	fn.Exit = b.newBlock() // filled with edges as returns appear
+	b.cur = entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.link(b.cur, fn.Exit)
+	}
+	// Exit must be last in RPO-ish display order; index order is fine.
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.fn.Blocks), Fn: b.fn, LoopDepth: b.loopDepth}
+	b.fn.Blocks = append(b.fn.Blocks, blk)
+	return blk
+}
+
+func (b *builder) link(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// startBlock finishes cur (linking it to next) and makes next current.
+func (b *builder) startBlock(next *Block) {
+	if b.cur != nil {
+		b.link(b.cur, next)
+	}
+	b.cur = next
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	if b.cur == nil {
+		// Unreachable code after a return/branch still gets a block so
+		// its instructions exist (analyzers may look at them), but no
+		// predecessor links in.
+		b.cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.ExprStmt:
+		b.exprInstrs(s.X)
+	case *ast.SendStmt:
+		b.exprInstrs(s.Chan)
+		b.exprInstrs(s.Value)
+		b.emit(&Instr{Kind: Expr, Node: s})
+	case *ast.IncDecStmt:
+		b.exprInstrs(s.X)
+		b.emit(&Instr{Kind: Assign, Node: s, Defs: b.objs(s.X, true)})
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			b.exprInstrs(r)
+		}
+		var defs []types.Object
+		for _, l := range s.Lhs {
+			defs = append(defs, b.objs(l, true)...)
+			// Index/selector targets also *read* their base.
+			if _, ok := l.(*ast.Ident); !ok {
+				b.exprInstrs(l)
+			}
+		}
+		in := &Instr{Kind: Assign, Node: s, Defs: defs}
+		for _, r := range s.Rhs {
+			in.Uses = append(in.Uses, b.objs(r, false)...)
+		}
+		b.emit(in)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				b.exprInstrs(v)
+			}
+			var defs []types.Object
+			for _, n := range vs.Names {
+				if o := b.fn.Pkg.Info.Defs[n]; o != nil {
+					defs = append(defs, o)
+				}
+			}
+			in := &Instr{Kind: Assign, Node: s, Defs: defs}
+			for _, v := range vs.Values {
+				in.Uses = append(in.Uses, b.objs(v, false)...)
+			}
+			b.emit(in)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			b.exprInstrs(r)
+		}
+		in := &Instr{Kind: Return, Node: s}
+		for _, r := range s.Results {
+			in.Uses = append(in.Uses, b.objs(r, false)...)
+		}
+		b.emit(in)
+		b.link(b.cur, b.fn.Exit)
+		b.cur = nil
+	case *ast.DeferStmt:
+		b.callArgs(s.Call)
+		in := &Instr{Kind: Defer, Node: s, Call: s.Call, Uses: b.objs(s.Call, false)}
+		b.emit(in)
+		b.fn.Defers = append(b.fn.Defers, in)
+	case *ast.GoStmt:
+		b.callArgs(s.Call)
+		b.emit(&Instr{Kind: Go, Node: s, Call: s.Call, Uses: b.objs(s.Call, false)})
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.exprInstrs(s.Cond)
+		condBlk := b.cur
+		thenBlk := b.newBlock()
+		b.link(condBlk, thenBlk)
+		var elseBlk *Block
+		if s.Else != nil {
+			elseBlk = b.newBlock()
+			b.link(condBlk, elseBlk)
+		}
+		done := b.newBlock()
+		if s.Else == nil {
+			b.link(condBlk, done)
+		}
+		b.cur = thenBlk
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.link(b.cur, done)
+		}
+		if s.Else != nil {
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.link(b.cur, done)
+			}
+		}
+		b.cur = done
+		if len(done.Preds) == 0 {
+			b.cur = nil // both arms terminated
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.loopDepth++
+		head := b.newBlock()
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.exprInstrs(s.Cond)
+		}
+		body := b.newBlock()
+		b.link(head, body)
+		done := func() *Block { b.loopDepth--; blk := b.newBlock(); b.loopDepth++; return blk }()
+		if s.Cond != nil {
+			b.link(head, done)
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.pushLoop(s, done, post)
+		b.cur = body
+		b.stmt(s.Body)
+		if s.Post != nil {
+			if b.cur != nil {
+				b.link(b.cur, post)
+			}
+			b.cur = post
+			b.stmt(s.Post)
+			if b.cur != nil {
+				b.link(b.cur, head)
+			}
+		} else if b.cur != nil {
+			b.link(b.cur, head)
+		}
+		b.popLoop()
+		b.loopDepth--
+		b.cur = done
+		if s.Cond == nil && len(done.Preds) == 0 {
+			b.cur = nil // for {} with no break never exits
+		}
+	case *ast.RangeStmt:
+		b.exprInstrs(s.X)
+		b.loopDepth++
+		head := b.newBlock()
+		b.startBlock(head)
+		var defs []types.Object
+		if s.Key != nil {
+			defs = append(defs, b.objs(s.Key, true)...)
+		}
+		if s.Value != nil {
+			defs = append(defs, b.objs(s.Value, true)...)
+		}
+		b.emit(&Instr{Kind: Range, Node: s, Defs: defs, Uses: b.objs(s.X, false)})
+		body := b.newBlock()
+		b.link(head, body)
+		done := func() *Block { b.loopDepth--; blk := b.newBlock(); b.loopDepth++; return blk }()
+		b.link(head, done)
+		b.pushLoop(s, done, head)
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.link(b.cur, head)
+		}
+		b.popLoop()
+		b.loopDepth--
+		b.cur = done
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.exprInstrs(s.Tag)
+		}
+		b.caseClauses(s, s.Body.List, func(cc *ast.CaseClause) {
+			for _, e := range cc.List {
+				b.exprInstrs(e)
+			}
+		})
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.stmt(s.Assign)
+		b.caseClauses(s, s.Body.List, nil)
+	case *ast.SelectStmt:
+		head := b.cur
+		done := b.newBlock()
+		any := false
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			b.link(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			if b.cur != nil {
+				b.link(b.cur, done)
+				any = true
+			}
+		}
+		b.cur = done
+		if !any && len(s.Body.List) > 0 {
+			b.cur = nil
+		}
+	case *ast.LabeledStmt:
+		name := s.Label.Name
+		blk, ok := b.labels[name]
+		if !ok {
+			blk = b.newBlock()
+			b.labels[name] = blk
+		}
+		b.startBlock(blk)
+		// Loops and switches consult the pending label for labeled
+		// break/continue.
+		b.pendingLabel = name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(b.breaks, s.Label); t != nil {
+				b.link(b.cur, t)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := b.findTarget(b.continues, s.Label); t != nil {
+				b.link(b.cur, t)
+			}
+			b.cur = nil
+		case token.GOTO:
+			name := s.Label.Name
+			blk, ok := b.labels[name]
+			if !ok {
+				blk = b.newBlock()
+				b.labels[name] = blk
+			}
+			b.link(b.cur, blk)
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled structurally by caseClauses (clause bodies are
+			// linked in order when the last statement falls through);
+			// nothing to emit.
+		}
+	case *ast.EmptyStmt:
+	default:
+		b.emit(&Instr{Kind: Expr, Node: s})
+	}
+}
+
+func (b *builder) pushLoop(stmt ast.Stmt, brk, cont *Block) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	b.breaks = append(b.breaks, branchTarget{label: label, block: brk})
+	b.continues = append(b.continues, branchTarget{label: label, block: cont})
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *builder) findTarget(stack []branchTarget, label *ast.Ident) *Block {
+	if len(stack) == 0 {
+		return nil
+	}
+	if label == nil {
+		return stack[len(stack)-1].block
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label.Name {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// caseClauses builds the CFG for switch/type-switch bodies: every
+// clause is reachable from the dispatch block, clauses merge at done,
+// and fallthrough links one clause body to the next.
+func (b *builder) caseClauses(stmt ast.Stmt, clauses []ast.Stmt, guards func(*ast.CaseClause)) {
+	head := b.cur
+	done := b.newBlock()
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	b.breaks = append(b.breaks, branchTarget{label: label, block: done})
+	hasDefault := false
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.link(head, blocks[i])
+	}
+	for i, cl := range clauses {
+		cc, ok := cl.(*ast.CaseClause)
+		if ok && cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = blocks[i]
+		if ok && guards != nil {
+			guards(cc)
+		}
+		var body []ast.Stmt
+		if ok {
+			body = cc.Body
+		} else if comm, ok2 := cl.(*ast.CommClause); ok2 {
+			body = comm.Body
+		}
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		b.stmtList(body)
+		if b.cur != nil {
+			if fallsThrough && i+1 < len(clauses) {
+				b.link(b.cur, blocks[i+1])
+			} else {
+				b.link(b.cur, done)
+			}
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if !hasDefault {
+		b.link(head, done)
+	}
+	b.cur = done
+}
+
+// exprInstrs emits the instructions an expression's evaluation
+// produces: calls, allocations, and closures, in evaluation order.
+// Nested function literals are built as separate Functions and not
+// descended into.
+func (b *builder) exprInstrs(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.FuncLit:
+		lit := &Function{
+			Name:   b.fn.Name + "$" + fmt.Sprintf("%d", len(b.fn.Lits)+1),
+			Lit:    e,
+			Pkg:    b.fn.Pkg,
+			Parent: b.fn,
+		}
+		buildBody(lit, e.Body)
+		b.fn.Lits = append(b.fn.Lits, lit)
+		b.emit(&Instr{Kind: MakeClosure, Node: e, Lit: lit})
+	case *ast.CallExpr:
+		b.callArgs(e)
+		kind := Call
+		if isAllocBuiltin(b.fn.Pkg.Info, e) {
+			kind = Alloc
+		} else if isAllocConversion(b.fn.Pkg.Info, e) {
+			kind = Alloc
+		}
+		b.emit(&Instr{Kind: kind, Node: e, Call: e, Uses: b.objs(e, false)})
+	case *ast.UnaryExpr:
+		if cl, ok := e.X.(*ast.CompositeLit); ok && e.Op == token.AND {
+			for _, el := range cl.Elts {
+				b.exprInstrs(el)
+			}
+			b.emit(&Instr{Kind: Alloc, Node: e, Uses: b.objs(e, false)})
+			return
+		}
+		b.exprInstrs(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			b.exprInstrs(el)
+		}
+	case *ast.BinaryExpr:
+		b.exprInstrs(e.X)
+		b.exprInstrs(e.Y)
+		if e.Op == token.ADD && isString(b.fn.Pkg.Info, e) {
+			b.emit(&Instr{Kind: Alloc, Node: e, Uses: b.objs(e, false)})
+		}
+	case *ast.ParenExpr:
+		b.exprInstrs(e.X)
+	case *ast.StarExpr:
+		b.exprInstrs(e.X)
+	case *ast.SelectorExpr:
+		b.exprInstrs(e.X)
+	case *ast.IndexExpr:
+		b.exprInstrs(e.X)
+		b.exprInstrs(e.Index)
+	case *ast.SliceExpr:
+		b.exprInstrs(e.X)
+		b.exprInstrs(e.Low)
+		b.exprInstrs(e.High)
+		b.exprInstrs(e.Max)
+	case *ast.TypeAssertExpr:
+		b.exprInstrs(e.X)
+	case *ast.KeyValueExpr:
+		b.exprInstrs(e.Key)
+		b.exprInstrs(e.Value)
+	}
+}
+
+// callArgs emits instructions for a call's function and arguments
+// (everything evaluated before the call itself).
+func (b *builder) callArgs(call *ast.CallExpr) {
+	b.exprInstrs(call.Fun)
+	for _, a := range call.Args {
+		b.exprInstrs(a)
+	}
+}
+
+func isAllocBuiltin(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, ok := info.Uses[id].(*types.Builtin); !ok {
+		return false
+	}
+	return id.Name == "make" || id.Name == "new"
+}
+
+// isAllocConversion reports string<->[]byte/[]rune conversions, which
+// copy their operand.
+func isAllocConversion(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	to := tv.Type.Underlying()
+	from := info.Types[call.Args[0]].Type
+	if from == nil {
+		return false
+	}
+	fromU := from.Underlying()
+	return (isStringType(to) && isByteSlice(fromU)) ||
+		(isByteSlice(to) && isStringType(fromU))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune)
+}
+
+func isString(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	return t != nil && isStringType(t.Underlying())
+}
+
+func (b *builder) emit(in *Instr) {
+	in.Block = b.cur
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	for _, o := range in.Defs {
+		b.fn.defs[o] = append(b.fn.defs[o], in)
+	}
+	for _, o := range in.Uses {
+		b.fn.uses[o] = append(b.fn.uses[o], in)
+	}
+}
+
+// objs collects the variable objects an expression defines (def=true:
+// only a direct identifier target) or uses (def=false: every variable
+// identifier in the subtree, skipping nested function literals).
+func (b *builder) objs(e ast.Expr, def bool) []types.Object {
+	info := b.fn.Pkg.Info
+	if def {
+		if id, ok := e.(*ast.Ident); ok {
+			if o := info.Defs[id]; o != nil {
+				return []types.Object{o}
+			}
+			if o := info.Uses[id]; o != nil {
+				return []types.Object{o}
+			}
+			return nil
+		}
+		// A selector/index target defines through its base; record the
+		// base variable as the defined object (field-sensitive
+		// analyzers look at the AST node instead).
+		if id := baseIdent(e); id != nil {
+			if o := info.Uses[id]; o != nil {
+				return []types.Object{o}
+			}
+		}
+		return nil
+	}
+	var out []types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if o, ok := info.Uses[id].(*types.Var); ok {
+				out = append(out, o)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// baseIdent returns the root identifier of a selector/index/star
+// chain, or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

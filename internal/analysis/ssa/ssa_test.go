@@ -1,0 +1,197 @@
+package ssa_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/ssa"
+)
+
+func buildFixture(t *testing.T) *ssa.Program {
+	t.Helper()
+	pkg, err := load.Dir("testdata/src/ssa")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return ssa.Build([]*load.Package{pkg})
+}
+
+func fnByName(t *testing.T, prog *ssa.Program, name string) *ssa.Function {
+	t.Helper()
+	for _, f := range prog.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	var names []string
+	for _, f := range prog.Funcs {
+		names = append(names, f.Name)
+	}
+	t.Fatalf("no function %q in program (have %s)", name, strings.Join(names, ", "))
+	return nil
+}
+
+// TestFunctionDiscovery checks that declarations, methods and literals
+// all become Functions with their qualified names and doc comments.
+func TestFunctionDiscovery(t *testing.T) {
+	prog := buildFixture(t)
+	root := fnByName(t, prog, "ssafix.Root")
+	fnByName(t, prog, "ssafix.helper")
+	fnByName(t, prog, "ssafix.(*counter).bump")
+	loops := fnByName(t, prog, "ssafix.loops")
+
+	if root.Doc == nil {
+		t.Fatal("Root has no doc comment")
+	}
+	found := false
+	for _, c := range root.Doc.List {
+		if strings.HasPrefix(c.Text, "//vet:hotpath") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Root's doc comment lost the //vet:hotpath marker")
+	}
+
+	if len(loops.Lits) != 1 {
+		t.Fatalf("loops has %d literals, want 1", len(loops.Lits))
+	}
+	lit := loops.Lits[0]
+	if lit.Parent != loops {
+		t.Errorf("literal's Parent = %v, want loops", lit.Parent)
+	}
+	if lit.Name != "ssafix.loops$1" {
+		t.Errorf("literal named %q, want ssafix.loops$1", lit.Name)
+	}
+	if prog.FuncOf(root.Obj) != root {
+		t.Error("FuncOf(Root.Obj) does not round-trip")
+	}
+}
+
+// TestReturnEmbeddedCall pins the builder behavior the callgraph (and
+// therefore every interprocedural analyzer) depends on: a call inside
+// a return statement's results still emits a Call instruction.
+func TestReturnEmbeddedCall(t *testing.T) {
+	prog := buildFixture(t)
+	root := fnByName(t, prog, "ssafix.Root")
+	found := false
+	for _, blk := range root.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Kind != ssa.Call || in.Call == nil {
+				continue
+			}
+			if id, ok := in.Call.Fun.(*ast.Ident); ok && id.Name == "helper" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no Call instruction for the return-embedded helper(xs)")
+	}
+}
+
+// TestCFGShape checks structural invariants on every built function:
+// Entry is Blocks[0], Exit is empty, successor/predecessor lists agree,
+// and Exit is reachable from Entry.
+func TestCFGShape(t *testing.T) {
+	prog := buildFixture(t)
+	for _, fn := range prog.Funcs {
+		if len(fn.Blocks) == 0 {
+			t.Errorf("%s has no blocks", fn.Name)
+			continue
+		}
+		if fn.Entry != fn.Blocks[0] {
+			t.Errorf("%s: Entry is not Blocks[0]", fn.Name)
+		}
+		if len(fn.Exit.Instrs) != 0 {
+			t.Errorf("%s: Exit has %d instructions, want 0", fn.Name, len(fn.Exit.Instrs))
+		}
+		for _, blk := range fn.Blocks {
+			for _, succ := range blk.Succs {
+				linked := false
+				for _, pred := range succ.Preds {
+					if pred == blk {
+						linked = true
+					}
+				}
+				if !linked {
+					t.Errorf("%s: block %d -> %d edge has no back-link", fn.Name, blk.Index, succ.Index)
+				}
+			}
+		}
+		seen := map[*ssa.Block]bool{fn.Entry: true}
+		work := []*ssa.Block{fn.Entry}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, s := range b.Succs {
+				if !seen[s] {
+					seen[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+		if !seen[fn.Exit] {
+			t.Errorf("%s: Exit unreachable from Entry", fn.Name)
+		}
+	}
+}
+
+// TestLoopDepthAndDefers checks that a defer in a loop body lands in a
+// block with LoopDepth > 0 and is listed in Defers.
+func TestLoopDepthAndDefers(t *testing.T) {
+	prog := buildFixture(t)
+	loops := fnByName(t, prog, "ssafix.loops")
+	if len(loops.Defers) != 1 {
+		t.Fatalf("loops has %d defers, want 1", len(loops.Defers))
+	}
+	d := loops.Defers[0]
+	if d.Kind != ssa.Defer {
+		t.Errorf("defer instr has kind %d, want Defer", d.Kind)
+	}
+	if d.Block.LoopDepth == 0 {
+		t.Error("defer inside the range body has LoopDepth 0")
+	}
+	ranged := false
+	for _, blk := range loops.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Kind == ssa.Range {
+				ranged = true
+			}
+		}
+	}
+	if !ranged {
+		t.Error("no Range instruction for the range loop header")
+	}
+}
+
+// TestDefUse checks the def-use chains on the rebound local: both
+// assignments to c are defs, and the method call reads it.
+func TestDefUse(t *testing.T) {
+	prog := buildFixture(t)
+	rebind := fnByName(t, prog, "ssafix.rebind")
+	var firstDef *ssa.Instr
+	for _, blk := range rebind.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Kind == ssa.Assign && len(in.Defs) > 0 {
+				firstDef = in
+				break
+			}
+		}
+		if firstDef != nil {
+			break
+		}
+	}
+	if firstDef == nil {
+		t.Fatal("rebind has no Assign instruction with defs")
+	}
+	obj := firstDef.Defs[0]
+	if got := len(rebind.DefsOf(obj)); got != 2 {
+		t.Errorf("DefsOf(c) has %d instructions, want 2 (both assignments)", got)
+	}
+	if len(rebind.UsesOf(obj)) == 0 {
+		t.Error("UsesOf(c) is empty; the bump call and return read c")
+	}
+}

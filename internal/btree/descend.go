@@ -13,6 +13,8 @@ import (
 // reader waited out one reorganization unit; units are short).
 const maxDescendRetries = 10000
 
+//vet:hotpath -- the shared point-descent under Get and modify (PR 7)
+//
 // descendToLeaf implements the reader/updater descent of §4.1.2/4.1.3:
 // S lock-coupling down the internal levels, then leafMode (S or X) on
 // the leaf with the forgo-on-RX protocol — on an RX conflict the base

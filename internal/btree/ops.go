@@ -85,6 +85,8 @@ func (t *Tree) applyLogged(tx *txn.Txn, f *storage.Frame, u wal.Update) error {
 	return nil
 }
 
+//vet:hotpath -- the point-read descent must stay allocation-free (PR 7)
+//
 // Get returns the value for key (a copy), taking an IS tree lock,
 // lock-coupling to the leaf with the forgo-on-RX protocol, an IS page
 // lock and an S record lock held to end of transaction.
@@ -106,6 +108,7 @@ func (t *Tree) Get(tx *txn.Txn, key []byte) ([]byte, bool, error) {
 	v, ok := kv.LeafGet(leaf.Data(), key)
 	var out []byte
 	if ok {
+		//vet:allow(hotalloc) -- the returned copy is Get's API contract: the caller keeps the value past the latch
 		out = append([]byte(nil), v...)
 	}
 	leaf.RUnlock()

@@ -9,6 +9,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"repro/internal/lockclass"
 )
 
 // Enabled reports whether the invariants build tag is active.
@@ -109,6 +111,16 @@ func LockAcquire(class string) {
 	for _, h := range order.held[g] {
 		if h == class {
 			continue
+		}
+		// The static rank check first: when both classes are ranked in
+		// lockclass.Order, the declared order binds even before any
+		// conflicting schedule has been observed.
+		if hr, ok := lockclass.Rank(h); ok {
+			if cr, ok := lockclass.Rank(class); ok && cr < hr {
+				panic(fmt.Sprintf(
+					"invariant: lock-rank violation: acquiring %q while holding %q, but lockclass.Order ranks %q first",
+					class, h, class))
+			}
 		}
 		if reachableLocked(class, h, map[string]bool{}) {
 			panic(fmt.Sprintf(

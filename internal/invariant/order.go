@@ -1,0 +1,13 @@
+// This file builds in BOTH configurations (no build tag): the shared
+// class-order table must be visible to tests and tools even when the
+// runtime tracker is compiled out.
+package invariant
+
+import "repro/internal/lockclass"
+
+// ClassOrder returns the global lock acquisition order, outermost
+// first. It is the same table the static checker
+// (internal/analysis/latchorder) proves acquisition paths against —
+// both read lockclass.Order, so the runtime tracker and the static
+// proof cannot drift apart.
+func ClassOrder() []string { return lockclass.Order }

@@ -22,11 +22,18 @@ const MaxKeySize = 64
 // EncodeLeafCell encodes a (key, value) record.
 // Layout: u16 keyLen | key | value.
 func EncodeLeafCell(key, val []byte) []byte {
-	cell := make([]byte, 2+len(key)+len(val))
-	binary.LittleEndian.PutUint16(cell, uint16(len(key)))
-	copy(cell[2:], key)
-	copy(cell[2+len(key):], val)
-	return cell
+	return AppendLeafCell(make([]byte, 0, 2+len(key)+len(val)), key, val)
+}
+
+// AppendLeafCell appends the leaf-cell encoding of (key, val) to dst
+// and returns the extended slice. Hot loops reuse dst across records
+// (page inserts copy the cell), so the encode allocates only on growth.
+func AppendLeafCell(dst, key, val []byte) []byte {
+	var hdr [2]byte
+	binary.LittleEndian.PutUint16(hdr[:], uint16(len(key)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, key...)
+	return append(dst, val...)
 }
 
 // DecodeLeafCell splits a leaf cell into key and value. The returned
@@ -69,6 +76,8 @@ func SlotKey(p storage.Page, i int) []byte {
 // the final bisection steps.
 const linearCutoff = 8
 
+//vet:hotpath -- every descent level runs one Search; zero allocations
+//
 // Search finds key in the key-ordered page p. It returns the slot where
 // key is (found = true) or where it would be inserted (found = false).
 //

@@ -243,6 +243,8 @@ func (t *resTable) put(res Resource, h *lockHead) {
 	}
 }
 
+//vet:coldpath -- doubling the probe table is amortized O(1) per put
+// and a grown table never shrinks.
 func (t *resTable) grow() {
 	old := t.slots
 	t.slots = make([]resSlot, 2*len(old))
@@ -420,7 +422,17 @@ func (m *Manager) LockOpts(owner uint64, res Resource, mode Mode, opt Opt) error
 		m.mu.Unlock()
 		return ErrWouldBlock
 	}
+	return m.blockAndWait(h, owner, res, mode, eff, upgrade, opt)
+}
 
+//vet:coldpath -- a blocked request parks on a channel until a release
+// wakes it; the wait dominates every allocation here, and the fast
+// path never reaches this function.
+//
+// blockAndWait queues a waiter for res, runs deadlock detection, and
+// sleeps until granted, aborted, or timed out. Entered with m.mu held;
+// returns with it released.
+func (m *Manager) blockAndWait(h *lockHead, owner uint64, res Resource, mode, eff Mode, upgrade bool, opt Opt) error {
 	w := &waiter{owner: owner, res: res, mode: eff, instant: opt.Instant,
 		upgrade: upgrade, ch: make(chan error, 1)}
 	if upgrade {
@@ -546,6 +558,7 @@ func (m *Manager) newHeadLocked() *lockHead {
 		m.headPool = m.headPool[:n-1]
 		return h
 	}
+	//vet:allow(hotalloc) -- pool-miss fallback; steady state recycles heads
 	return &lockHead{}
 }
 
@@ -587,6 +600,7 @@ func (m *Manager) setHeldLocked(h *lockHead, owner uint64, res Resource, mode Mo
 			oh = m.heldPool[n-1]
 			m.heldPool = m.heldPool[:n-1]
 		} else {
+			//vet:allow(hotalloc) -- pool-miss fallback; steady state recycles held maps
 			oh = &ownerHeld{}
 		}
 		m.held[owner] = oh

@@ -1,0 +1,57 @@
+package lockclass_test
+
+import (
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/lockclass"
+)
+
+// TestSharedOrderTable is the golden tie between the two consumers of
+// the class table: the static checker (internal/analysis/latchorder)
+// ranks acquisition edges with lockclass.Rank, and the runtime tracker
+// exposes its order through invariant.ClassOrder. Both must be views
+// of the one lockclass.Order slice — element-wise and by rank.
+func TestSharedOrderTable(t *testing.T) {
+	runtime := invariant.ClassOrder()
+	if len(runtime) != len(lockclass.Order) {
+		t.Fatalf("invariant.ClassOrder has %d classes, lockclass.Order has %d",
+			len(runtime), len(lockclass.Order))
+	}
+	for i, c := range lockclass.Order {
+		if runtime[i] != c {
+			t.Fatalf("order diverges at %d: runtime %q, static %q", i, runtime[i], c)
+		}
+		r, ok := lockclass.Rank(c)
+		if !ok || r != i {
+			t.Fatalf("Rank(%q) = %d, %v; want %d, true", c, r, ok, i)
+		}
+	}
+}
+
+// TestClassesAreRankedOrDeliberatelyNot pins the invariant latchorder
+// relies on: every class name in the Classes map is either ranked in
+// Order or known-unranked on purpose. A typo in either table shows up
+// here rather than as a silently unordered class.
+func TestClassesAreRankedOrDeliberatelyNot(t *testing.T) {
+	ranked := make(map[string]bool, len(lockclass.Order))
+	for _, c := range lockclass.Order {
+		ranked[c] = true
+	}
+	for site, class := range lockclass.Classes {
+		if !ranked[class] {
+			t.Errorf("class %q (from %s) is not in lockclass.Order", class, site)
+		}
+	}
+	// And no ranked class is orphaned: each must be reachable from at
+	// least one declaration site.
+	sites := make(map[string]bool, len(lockclass.Classes))
+	for _, class := range lockclass.Classes {
+		sites[class] = true
+	}
+	for _, c := range lockclass.Order {
+		if !sites[c] {
+			t.Errorf("ranked class %q has no declaration site in lockclass.Classes", c)
+		}
+	}
+}

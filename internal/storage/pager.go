@@ -364,37 +364,48 @@ func (p *Pager) Fix(id PageID) (*Frame, error) {
 				continue // mutex was dropped; re-check the table
 			}
 		}
-		// Miss with room reserved: publish a loading frame under the
-		// write latch so a second fixer can pin it but must wait for the
-		// read to finish before seeing the bytes.
-		f := &Frame{id: id, data: make(Page, p.disk.PageSize())}
-		f.pin.Store(1)
-		p.pins.Inc(uint64(id))
-		f.loading.Store(true)
-		f.Lock()
-		sh.insert(f)
-		sh.unlock()
-		p.stats.Misses.Add(1)
+		return p.fixMiss(sh, id)
+	}
+}
 
-		// The read (and any transient-fault backoff) runs outside every
-		// pool lock; only this frame's write latch is held.
-		err := p.retryIO("read", id, func() error {
-			return p.disk.Read(id, f.data)
-		})
-		if err != nil {
-			sh.lock(&p.stats)
-			sh.remove(f)
-			sh.unlock()
-			p.pins.Dec(uint64(id))
-			f.loadErr = err
-			f.loading.Store(false)
-			f.Unlock()
-			return nil, err
-		}
+//vet:coldpath -- a pool miss reads the page from disk; the I/O, not
+// the frame allocation, dominates, and hit rates keep misses off the
+// steady-state descent.
+//
+// fixMiss finishes Fix's miss path once room is reserved: publish a
+// loading frame, then read the page from disk outside every pool lock.
+// Entered with sh locked; always returns with it unlocked.
+func (p *Pager) fixMiss(sh *shard, id PageID) (*Frame, error) {
+	// Miss with room reserved: publish a loading frame under the
+	// write latch so a second fixer can pin it but must wait for the
+	// read to finish before seeing the bytes.
+	f := &Frame{id: id, data: make(Page, p.disk.PageSize())}
+	f.pin.Store(1)
+	p.pins.Inc(uint64(id))
+	f.loading.Store(true)
+	f.Lock()
+	sh.insert(f)
+	sh.unlock()
+	p.stats.Misses.Add(1)
+
+	// The read (and any transient-fault backoff) runs outside every
+	// pool lock; only this frame's write latch is held.
+	err := p.retryIO("read", id, func() error {
+		return p.disk.Read(id, f.data)
+	})
+	if err != nil {
+		sh.lock(&p.stats)
+		sh.remove(f)
+		sh.unlock()
+		p.pins.Dec(uint64(id))
+		f.loadErr = err
 		f.loading.Store(false)
 		f.Unlock()
-		return f, nil
+		return nil, err
 	}
+	f.loading.Store(false)
+	f.Unlock()
+	return f, nil
 }
 
 // Unfix releases one pin on the frame. It touches no pool lock.
@@ -433,6 +444,9 @@ func (p *Pager) MarkDirty(f *Frame, lsn uint64) {
 	}
 }
 
+//vet:coldpath -- runs only on a pool miss with a full shard; the
+// victim flush I/O dominates the bookkeeping allocations.
+//
 // makeRoom ensures the shard has room for one more frame, evicting a
 // CLOCK victim if the shard is at capacity. It is called with the
 // shard mutex held. held=true means the mutex is still held and the

@@ -176,7 +176,12 @@ func (c ClientStats) AvgLatency() time.Duration {
 // successful (retried) operations, so Errors counts real failures only.
 func RunClients(s Store, clients int, opsPerClient int, mix Mix,
 	keySpace int, valueSize int, stop <-chan struct{}) ClientStats {
-	var stats ClientStats
+	// Workers accumulate into typed atomics; the plain ClientStats is
+	// filled in only after Wait, so no field is ever both atomic and
+	// plain (the atomicfield discipline).
+	var acc struct {
+		ops, errs, totalNanos, maxNanos atomic.Int64
+	}
 	var wg sync.WaitGroup
 	var lastErrMu sync.Mutex
 	var lastErr error
@@ -224,16 +229,16 @@ func RunClients(s Store, clients int, opsPerClient int, mix Mix,
 					})
 				}
 				d := time.Since(opStart).Nanoseconds()
-				atomic.AddInt64(&stats.Ops, 1)
-				atomic.AddInt64(&stats.TotalNanos, d)
+				acc.ops.Add(1)
+				acc.totalNanos.Add(d)
 				for {
-					old := atomic.LoadInt64(&stats.MaxNanos)
-					if d <= old || atomic.CompareAndSwapInt64(&stats.MaxNanos, old, d) {
+					old := acc.maxNanos.Load()
+					if d <= old || acc.maxNanos.CompareAndSwap(old, d) {
 						break
 					}
 				}
 				if err != nil {
-					atomic.AddInt64(&stats.Errors, 1)
+					acc.errs.Add(1)
 					lastErrMu.Lock()
 					lastErr = err
 					lastErrMu.Unlock()
@@ -242,7 +247,12 @@ func RunClients(s Store, clients int, opsPerClient int, mix Mix,
 		}(c)
 	}
 	wg.Wait()
-	stats.Elapsed = time.Since(start)
-	stats.LastError = lastErr
-	return stats
+	return ClientStats{
+		Ops:        acc.ops.Load(),
+		Errors:     acc.errs.Load(),
+		TotalNanos: acc.totalNanos.Load(),
+		MaxNanos:   acc.maxNanos.Load(),
+		Elapsed:    time.Since(start),
+		LastError:  lastErr,
+	}
 }
