@@ -316,7 +316,7 @@ func BenchmarkE8RangeScan(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			readsBefore, _ := db.IOStats()
+			readsBefore := db.IOStats().Reads
 			seeksBefore := db.Seeks()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -330,7 +330,7 @@ func BenchmarkE8RangeScan(b *testing.B) {
 				}
 			}
 			b.StopTimer()
-			readsAfter, _ := db.IOStats()
+			readsAfter := db.IOStats().Reads
 			b.ReportMetric(float64(readsAfter-readsBefore)/float64(b.N), "reads/scan")
 			b.ReportMetric(float64(db.Seeks()-seeksBefore)/float64(b.N), "seeks/scan")
 		})

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +26,7 @@ import (
 
 	repro "repro"
 	"repro/internal/kv"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
@@ -36,7 +38,19 @@ func main() {
 	pageSize := flag.Int("pagesize", 4096, "page size in bytes")
 	backend := flag.String("backend", "mem", "storage backend: mem or file")
 	dir := flag.String("dir", "", "file backend: database directory (created or recovered)")
+	metricsDump := flag.Bool("metrics", false, "dump counters, latency quantiles, occupancy gauges and the trace ring")
+	jsonOut := flag.Bool("json", false, "with -metrics: emit one machine-readable JSON document on stdout")
 	flag.Parse()
+
+	// With -json the only stdout output is the JSON document; progress
+	// chatter moves to stderr so pipelines can consume the result.
+	say := func(format string, args ...any) {
+		if *jsonOut {
+			fmt.Fprintf(os.Stderr, format, args...)
+			return
+		}
+		fmt.Printf(format, args...)
+	}
 
 	opts := repro.Options{PageSize: *pageSize}
 	existing := false
@@ -63,31 +77,105 @@ func main() {
 		}
 	}()
 	if existing {
-		fmt.Printf("recovered existing database in %s; inspecting as-is\n", *dir)
+		say("recovered existing database in %s; inspecting as-is\n", *dir)
 	} else {
-		fmt.Printf("loading %d records (%d-byte pages)...\n", *records, *pageSize)
+		say("loading %d records (%d-byte pages)...\n", *records, *pageSize)
 		if err := workload.Load(db, *records, 48, "random", 42); err != nil {
 			log.Fatal(err)
 		}
 	}
 	if *keep < 1 && !existing {
-		fmt.Printf("sparsifying to %.0f%%...\n", *keep*100)
+		say("sparsifying to %.0f%%...\n", *keep*100)
 		if _, err := workload.Sparsify(db, *records, *keep); err != nil {
 			log.Fatal(err)
 		}
 	}
 	if *reorg {
-		fmt.Println("reorganizing (compact, swap, rebuild)...")
+		say("reorganizing (compact, swap, rebuild)...\n")
 		m, err := db.Reorganize(repro.DefaultReorgConfig())
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("reorganizer counters:\n%s", m)
+		say("reorganizer counters:\n%s", m)
 	}
 	if err := db.Check(); err != nil {
 		log.Fatalf("invariant check: %v", err)
 	}
+	if *jsonOut {
+		if !*metricsDump {
+			log.Fatal("-json requires -metrics")
+		}
+		dumpMetricsJSON(db)
+		return
+	}
 	dump(db)
+	if *metricsDump {
+		dumpMetrics(db)
+	}
+}
+
+// dumpMetricsJSON emits the full observability state as one JSON
+// document: counters, latency quantiles, occupancy gauges, write
+// amplification and the trace-ring events.
+func dumpMetricsJSON(db *repro.DB) {
+	doc := struct {
+		Metrics obs.MetricsSnapshot `json:"metrics"`
+		Trace   []obs.Event         `json:"trace"`
+	}{Metrics: db.MetricsSnapshot(), Trace: db.TraceSnapshot()}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// dumpMetrics renders the observability state for humans: one quantile
+// row per operation kind, the occupancy cells, and the trace tail.
+func dumpMetrics(db *repro.DB) {
+	fmt.Println("\nlatency quantiles (ns):")
+	fmt.Printf("  %-14s %9s %10s %10s %10s %10s %10s\n",
+		"op", "count", "p50", "p90", "p99", "p999", "max")
+	for _, r := range db.LatencyQuantiles() {
+		fmt.Printf("  %-14s %9d %10d %10d %10d %10d %10d\n", r.Op, r.Count,
+			r.P50.Nanoseconds(), r.P90.Nanoseconds(), r.P99.Nanoseconds(),
+			r.P999.Nanoseconds(), r.Max.Nanoseconds())
+	}
+
+	occ, err := db.Occupancy(8)
+	if err != nil {
+		log.Fatalf("occupancy: %v", err)
+	}
+	fmt.Println("\noccupancy by key range:")
+	fmt.Printf("  %-12s %7s %8s %8s %8s %8s %7s\n",
+		"lo-key", "leaves", "records", "avgfill", "minfill", "contig", "invers")
+	for _, c := range occ.Ranges {
+		lo := c.LoKey
+		if len(lo) > 12 {
+			lo = lo[:12]
+		}
+		fmt.Printf("  %-12s %7d %8d %8.3f %8.3f %7d/%-2d %5d\n", lo,
+			c.Leaves, c.Records, c.AvgFill, c.MinFill, c.ContigPairs, c.Pairs,
+			c.Inversions)
+	}
+	fmt.Printf("free space: high-water %d, allocated %d, free %d in %d runs (largest %d)\n",
+		occ.Free.HighWater, occ.Free.Allocated, occ.Free.Free,
+		occ.Free.FreeRuns, occ.Free.LargestFreeRun)
+
+	wa := db.WriteAmp()
+	fmt.Printf("\nwrite amplification: logical %d B, WAL %d B (%.2fx), pages %d B (%.2fx), total %.2fx\n",
+		wa.LogicalBytes, wa.WALBytes, wa.WALAmp, wa.PageBytes, wa.PageAmp, wa.TotalAmp)
+
+	trace := db.TraceSnapshot()
+	const tail = 20
+	fmt.Printf("\ntrace ring: %d events held", len(trace))
+	if len(trace) > tail {
+		fmt.Printf(" (last %d shown)", tail)
+		trace = trace[len(trace)-tail:]
+	}
+	fmt.Println()
+	for _, e := range trace {
+		fmt.Printf("  #%-6d %-18s a=%-8d b=%d\n", e.Seq, e.Name, e.A, e.B)
+	}
 }
 
 func dump(db *repro.DB) {
@@ -129,7 +217,8 @@ func dump(db *repro.DB) {
 
 	dumpLevels(db)
 
-	reads, writes, seeks := db.IOStats3()
+	ds := db.IOStats()
+	reads, writes, seeks := ds.Reads, ds.Writes, ds.Seeks
 	fmt.Printf("\ndisk I/O        %d reads, %d writes, %d seeks\n", reads, writes, seeks)
 	fmt.Printf("log volume      %d bytes\n", db.LogBytes())
 

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	repro "repro"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// bench9Cell is one (backend, reorg, op) row of the tail-latency
+// matrix: latency quantiles of a Zipfian read-mostly workload measured
+// while the three-pass reorganization either runs concurrently or not.
+type bench9Cell struct {
+	Backend    string  `json:"backend"`
+	Reorg      bool    `json:"reorg"`
+	Op         string  `json:"op"`
+	Count      uint64  `json:"count"`
+	P50Ns      int64   `json:"p50_ns"`
+	P99Ns      int64   `json:"p99_ns"`
+	P999Ns     int64   `json:"p999_ns"`
+	MaxNs      int64   `json:"max_ns"`
+	Throughput float64 `json:"ops_per_sec"`
+	Forgoes    int64   `json:"forgoes"`
+	LockWaits  int64   `json:"lock_waits"`
+}
+
+// bench9Report is the top-level BENCH_PR9.json document. The overhead
+// block quantifies what always-on observability costs the hottest path:
+// the same 200k-random-gets loop as bench7, run with histograms on and
+// with Options.DisableObservability.
+type bench9Report struct {
+	Generated   string       `json:"generated"`
+	Records     int          `json:"records"`
+	ValueSize   int          `json:"value_size"`
+	PageSize    int          `json:"page_size"`
+	Seed        int64        `json:"seed"`
+	Clients     int          `json:"clients"`
+	RunMS       float64      `json:"run_ms_per_cell"`
+	ZipfS       float64      `json:"zipf_s"`
+	Methodology string       `json:"methodology"`
+	Cells       []bench9Cell `json:"cells"`
+	ObsOnGetNs  float64      `json:"obs_on_get_ns_per_op"`
+	ObsOffGetNs float64      `json:"obs_off_get_ns_per_op"`
+	OverheadPct float64      `json:"obs_overhead_pct"`
+}
+
+// bench9Measure runs the four tail-latency cells plus the overhead A/B
+// and returns the report (without writing it).
+func bench9Measure(records, valueSize, pageSize int, seed int64) bench9Report {
+	const clients = 8
+	const window = 400 * time.Millisecond
+	const zipfS = 1.2
+	rep := bench9Report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Records:   records, ValueSize: valueSize, PageSize: pageSize,
+		Seed: seed, Clients: clients,
+		RunMS: float64(window) / float64(time.Millisecond), ZipfS: zipfS,
+		Methodology: "per cell: load, sparsify to 25%, then a Zipfian read-mostly mix for the window while Reorganize loops (reorg=on) or not; quantiles from driver-side histograms. Overhead: bench7-style 200k random gets, observability on vs DisableObservability, mem backend.",
+	}
+	p := experiments.Params{Records: records, ValueSize: valueSize,
+		PageSize: pageSize, Seed: seed}
+	rows, err := experiments.E11TailLatency(p, experiments.E11Config{
+		Clients: clients, Run: window, ZipfS: zipfS})
+	if err != nil {
+		log.Fatalf("bench9: %v", err)
+	}
+	for _, r := range rows {
+		rep.Cells = append(rep.Cells, bench9Cell{Backend: r.Backend,
+			Reorg: r.Reorg, Op: r.Op, Count: r.Count,
+			P50Ns: r.P50.Nanoseconds(), P99Ns: r.P99.Nanoseconds(),
+			P999Ns: r.P999.Nanoseconds(), MaxNs: r.Max.Nanoseconds(),
+			Throughput: r.Throughput, Forgoes: r.Forgoes,
+			LockWaits: r.Waits})
+	}
+	rep.ObsOnGetNs = bench9GetNs(records, valueSize, pageSize, seed, false)
+	rep.ObsOffGetNs = bench9GetNs(records, valueSize, pageSize, seed, true)
+	if rep.ObsOffGetNs > 0 {
+		rep.OverheadPct = (rep.ObsOnGetNs/rep.ObsOffGetNs - 1) * 100
+	}
+	return rep
+}
+
+// bench9GetNs measures the bench7 get loop — 200k pseudo-random point
+// reads over a batch-loaded tree — with observability on or off.
+func bench9GetNs(records, valueSize, pageSize int, seed int64, disableObs bool) float64 {
+	db, err := repro.Open(repro.Options{PageSize: pageSize,
+		DisableObservability: disableObs})
+	if err != nil {
+		log.Fatalf("bench9: open: %v", err)
+	}
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Fatalf("bench9: close: %v", err)
+		}
+	}()
+	if err := workload.Load(db, records, valueSize, "random", seed); err != nil {
+		log.Fatalf("bench9: load: %v", err)
+	}
+	const gets = 200000
+	rng := rand.New(rand.NewSource(seed))
+	t0 := time.Now()
+	for i := 0; i < gets; i++ {
+		if _, err := db.Get(workload.Key(rng.Intn(records))); err != nil {
+			log.Fatalf("bench9: get: %v", err)
+		}
+	}
+	return float64(time.Since(t0)) / float64(gets)
+}
+
+// runBench9 writes the measured report as JSON.
+func runBench9(records, valueSize, pageSize int, seed int64, outPath string) {
+	fmt.Printf("bench9: running tail-latency cells (%d records, 4 cells)...\n", records)
+	rep := bench9Measure(records, valueSize, pageSize, seed)
+	for _, c := range rep.Cells {
+		on := "off"
+		if c.Reorg {
+			on = "on"
+		}
+		fmt.Printf("bench9: %-4s reorg=%-3s %-12s n=%-7d p50=%-8d p99=%-8d p999=%-8d forgoes=%d\n",
+			c.Backend, on, c.Op, c.Count, c.P50Ns, c.P99Ns, c.P999Ns, c.Forgoes)
+	}
+	fmt.Printf("bench9: get overhead obs-on=%.0fns obs-off=%.0fns (%.1f%%)\n",
+		rep.ObsOnGetNs, rep.ObsOffGetNs, rep.OverheadPct)
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("bench9: marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		log.Fatalf("bench9: write %s: %v", outPath, err)
+	}
+	fmt.Printf("bench9: wrote %s\n", outPath)
+}
+
+// runBench9Compare re-measures the tail-latency cells and fails (exit
+// 1) when a get-p99 cell regressed beyond its tolerance against the
+// checked-in baseline — 20% for quiescent cells, 3x for the noisier
+// reorg-on cells — the CI gate for the observability layer's "tails
+// must not quietly grow" contract.
+func runBench9Compare(records, valueSize, pageSize int, seed int64, basePath string) {
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		log.Fatalf("bench9compare: read baseline %s: %v", basePath, err)
+	}
+	var base bench9Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("bench9compare: parse baseline %s: %v", basePath, err)
+	}
+	baseP99 := map[string]int64{}
+	for _, c := range base.Cells {
+		if c.Op == "get" {
+			baseP99[fmt.Sprintf("%s/reorg=%v", c.Backend, c.Reorg)] = c.P99Ns
+		}
+	}
+	fmt.Printf("bench9compare: re-measuring against %s...\n", basePath)
+	fresh := bench9Measure(records, valueSize, pageSize, seed)
+	// Quiescent cells are stable run to run and get the tight 20% gate.
+	// Reorg-on cells' get p99 rides on where reorganization units land
+	// inside the window (the file cell swings 2-3x between identical
+	// runs), so they gate only against order-of-magnitude blowups.
+	const tolerance = 1.20
+	const toleranceReorg = 3.0
+	failed := false
+	for _, c := range fresh.Cells {
+		if c.Op != "get" {
+			continue
+		}
+		key := fmt.Sprintf("%s/reorg=%v", c.Backend, c.Reorg)
+		b, ok := baseP99[key]
+		if !ok || b == 0 {
+			fmt.Printf("bench9compare: %-18s p99=%-8d (no baseline)\n", key, c.P99Ns)
+			continue
+		}
+		tol := tolerance
+		if c.Reorg {
+			tol = toleranceReorg
+		}
+		ratio := float64(c.P99Ns) / float64(b)
+		verdict := "ok"
+		if ratio > tol {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("bench9compare: %-18s p99=%-8d baseline=%-8d ratio=%.2f (tol %.2f) %s\n",
+			key, c.P99Ns, b, ratio, tol, verdict)
+	}
+	fmt.Printf("bench9compare: get overhead obs-on=%.0fns obs-off=%.0fns (%.1f%%)\n",
+		fresh.ObsOnGetNs, fresh.ObsOffGetNs, fresh.OverheadPct)
+	if failed {
+		log.Fatalf("bench9compare: get p99 regressed beyond tolerance (%.0f%% quiescent, %.0fx under reorg)",
+			(tolerance-1)*100, toleranceReorg)
+	}
+	fmt.Println("bench9compare: ok")
+}
+
+// runTraceDump reorganizes a sparsified file-backed tree under a
+// concurrent workload and writes the resulting trace-ring events plus
+// the metrics snapshot as JSON — the artifact the nightly job uploads.
+func runTraceDump(records, valueSize, pageSize int, seed int64, outPath string) {
+	tmp, err := os.MkdirTemp("", "reorg-trace-")
+	if err != nil {
+		log.Fatalf("tracedump: temp dir: %v", err)
+	}
+	defer os.RemoveAll(tmp)
+	db, err := repro.Open(repro.Options{PageSize: pageSize, Dir: tmp})
+	if err != nil {
+		log.Fatalf("tracedump: open: %v", err)
+	}
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Fatalf("tracedump: close: %v", err)
+		}
+	}()
+	if err := workload.Load(db, records, valueSize, "random", seed); err != nil {
+		log.Fatalf("tracedump: load: %v", err)
+	}
+	if _, err := workload.Sparsify(db, records, 0.25); err != nil {
+		log.Fatalf("tracedump: sparsify: %v", err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		workload.RunClientsOpts(db, workload.ClientOpts{Clients: 4,
+			Mix: workload.ReadMostly, KeySpace: records,
+			ValueSize: valueSize, ZipfS: 1.2}, stop)
+	}()
+	if _, err := db.Reorganize(repro.DefaultReorgConfig()); err != nil {
+		log.Fatalf("tracedump: reorganize: %v", err)
+	}
+	close(stop)
+	<-done
+	if err := db.Checkpoint(); err != nil {
+		log.Fatalf("tracedump: checkpoint: %v", err)
+	}
+	doc := struct {
+		Metrics any `json:"metrics"`
+		Trace   any `json:"trace"`
+	}{Metrics: db.MetricsSnapshot(), Trace: db.TraceSnapshot()}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("tracedump: marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		log.Fatalf("tracedump: write %s: %v", outPath, err)
+	}
+	fmt.Printf("tracedump: wrote %s (%d trace events)\n", outPath, len(db.TraceSnapshot()))
+}

@@ -7,11 +7,14 @@
 //
 // Usage:
 //
-//	reorg-bench [-exp all|e1|e2|...|e10] [-records N] [-pagesize N]
+//	reorg-bench [-exp all|e1|e2|...|e11] [-records N] [-pagesize N]
 //	reorg-bench -sweep [-stride N] [-maxruns N] [-backend mem|file] [-dir D]
 //	reorg-bench -check [-seed N] [-histories N] [-crashes N] [-crashhit N] [-backend mem|file]
 //	reorg-bench -bench6 [-benchout BENCH_PR6.json]
 //	reorg-bench -bench7 [-bench7out BENCH_PR7.json]
+//	reorg-bench -bench9 [-bench9out BENCH_PR9.json]
+//	reorg-bench -bench9compare [-bench9out BENCH_PR9.json]
+//	reorg-bench -tracedump trace.json
 //
 // The -sweep mode runs experiment E5b instead: the exhaustive
 // crash-schedule sweep over every fault-point hit of a scripted
@@ -35,6 +38,14 @@
 // time insert, 256-record batched insert, and random point gets — on
 // both backends, and writes BENCH_PR7.json with speedups against the
 // BENCH_PR2.json baseline when that file is present.
+//
+// The -bench9 mode measures tail latency of a Zipfian read-mostly
+// workload with and without a concurrent reorganization on both
+// backends (the E11 cells), plus the hot-path cost of the always-on
+// observability layer, and writes BENCH_PR9.json. -bench9compare
+// re-measures and fails when a get-p99 cell regressed beyond tolerance
+// against that file. -tracedump reorganizes a file-backed tree under
+// load and dumps the event-trace ring as JSON.
 package main
 
 import (
@@ -79,6 +90,10 @@ func main() {
 	benchOut := flag.String("benchout", "BENCH_PR6.json", "bench6: output JSON path")
 	doBench7 := flag.Bool("bench7", false, "run the node-layout hot-path benchmark and exit")
 	bench7Out := flag.String("bench7out", "BENCH_PR7.json", "bench7: output JSON path")
+	doBench9 := flag.Bool("bench9", false, "run the tail-latency benchmark (E11 cells + observability overhead) and exit")
+	bench9Out := flag.String("bench9out", "BENCH_PR9.json", "bench9: output JSON path; bench9compare: baseline path")
+	doBench9Cmp := flag.Bool("bench9compare", false, "re-measure bench9 and fail on get-p99 regression vs -bench9out")
+	traceDump := flag.String("tracedump", "", "reorganize a file-backed tree under load and dump the trace ring as JSON to this path, then exit")
 	flag.Parse()
 
 	switch *backend {
@@ -93,6 +108,18 @@ func main() {
 	}
 	if *doBench7 {
 		runBench7(*records, *valueSize, *pageSize, *seed, *walSeg, *bench7Out)
+		return
+	}
+	if *doBench9 {
+		runBench9(*records, *valueSize, *pageSize, *seed, *bench9Out)
+		return
+	}
+	if *doBench9Cmp {
+		runBench9Compare(*records, *valueSize, *pageSize, *seed, *bench9Out)
+		return
+	}
+	if *traceDump != "" {
+		runTraceDump(*records, *valueSize, *pageSize, *seed, *traceDump)
 		return
 	}
 	if *doSweep {
@@ -180,6 +207,18 @@ func main() {
 			log.Fatalf("E10: %v", err)
 		}
 		_, _ = experiments.E10Table(rows).WriteTo(out)
+	}
+	if want("e11") {
+		cfg := experiments.E11Config{Dir: *dir}
+		if *exp != "all" {
+			// An explicit -exp e11 honours -backend; "all" runs both.
+			cfg.Backend = *backend
+		}
+		rows, err := experiments.E11TailLatency(p, cfg)
+		if err != nil {
+			log.Fatalf("E11: %v", err)
+		}
+		_, _ = experiments.E11Table(rows).WriteTo(out)
 	}
 	fmt.Fprintf(out, "\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
 }
@@ -347,7 +386,8 @@ func benchOne(backend string, records, valueSize, pageSize int, seed, walSeg int
 	}
 	row.ScanMS = msSince(t0)
 
-	row.DiskReads, row.DiskWrites = db.IOStats()
+	ds := db.IOStats()
+	row.DiskReads, row.DiskWrites = ds.Reads, ds.Writes
 	row.Counters = db.PerfCounters().Snapshot()
 
 	t0 = time.Now()

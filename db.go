@@ -33,6 +33,7 @@ import (
 	"repro/internal/kv"
 	"repro/internal/lock"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -86,6 +87,20 @@ type Options struct {
 	// Restart: recovery runs against the same injector, so sweeps must
 	// Disarm it before restarting.
 	FaultInjector *fault.Injector
+	// DisableObservability turns off latency histograms, the trace ring
+	// and logical-byte accounting entirely (no time.Now per operation).
+	// The default — observability on — costs two clock reads and one
+	// atomic add per operation; this switch exists so the overhead can
+	// be measured honestly (reorg-bench -bench9 does).
+	DisableObservability bool
+	// TraceCapacity sets the event ring size in events (rounded up to a
+	// power of two; 0 = obs.DefaultTraceCap).
+	TraceCapacity int
+	// DebugAddr, when non-empty, serves the observability HTTP endpoint
+	// on this address (":0" picks an ephemeral port — see
+	// DB.DebugAddr): /metrics (JSON snapshot), /trace (event ring
+	// dump), /debug/vars (expvar) and /debug/pprof.
+	DebugAddr string
 }
 
 // ErrIO re-exports the typed permanent I/O error surfaced after the
@@ -136,6 +151,58 @@ type DB struct {
 	tree  *btree.Tree
 	reorg *core.Reorganizer
 	inj   *fault.Injector
+
+	// obs is the observability set (nil when disabled); the h* fields
+	// are its pre-resolved histogram handles, so the per-operation cost
+	// is a nil check, two clock reads and one atomic add — never a
+	// lookup.
+	obs     *obs.Set
+	hGet    *obs.Histogram
+	hInsert *obs.Histogram
+	hUpdate *obs.Histogram
+	hDelete *obs.Histogram
+	hScan   *obs.Histogram
+	hCommit *obs.Histogram
+	hBatch  *obs.Histogram
+	debug   *obs.DebugServer
+}
+
+// wireObs resolves the histogram handles and installs the observer
+// hooks on the current lock manager, log, pager and tree. Called at
+// Open and again after Restart (recovery rebuilds those subsystems).
+func (db *DB) wireObs() {
+	if db.obs == nil {
+		return
+	}
+	db.hGet = db.obs.H(obs.OpGet)
+	db.hInsert = db.obs.H(obs.OpInsert)
+	db.hUpdate = db.obs.H(obs.OpUpdate)
+	db.hDelete = db.obs.H(obs.OpDelete)
+	db.hScan = db.obs.H(obs.OpScan)
+	db.hCommit = db.obs.H(obs.OpCommit)
+	db.hBatch = db.obs.H(obs.OpInsertBatch)
+	ring := db.obs.Trace()
+	db.locks.SetObserver(db.obs.H(obs.OpUserLockWait), db.obs.H(obs.OpReorgLockWait), ring)
+	db.log.SetObserver(ring)
+	db.pager.SetObserver(ring)
+	db.tree.SetObserver(db.obs.H(obs.OpForgoWait))
+}
+
+// emitRecovery traces what a restart did (phase events carry the
+// Result's counts; emitted post-hoc because recovery rebuilds the very
+// subsystems the observer hangs off).
+func (db *DB) emitRecovery(res *recovery.Result) {
+	if db.obs == nil {
+		return
+	}
+	ring := db.obs.Trace()
+	ring.Emit(obs.EvRecoveryRedo, uint64(res.RedoneRecords), 0)
+	ring.Emit(obs.EvRecoveryUndo, uint64(res.LosersUndone), 0)
+	if res.UnitCompleted {
+		ring.Emit(obs.EvRecoveryForward, res.CompletedUnit, 0)
+	} else {
+		ring.Emit(obs.EvRecoveryForward, 0, 0)
+	}
 }
 
 // Open creates a fresh database (Options.Dir empty), or opens — and,
@@ -145,6 +212,13 @@ func Open(opts Options) (*DB, error) {
 		opts.PageSize = storage.DefaultPageSize
 	}
 	db := &DB{inj: opts.FaultInjector}
+	if !opts.DisableObservability {
+		cap := opts.TraceCapacity
+		if cap <= 0 {
+			cap = obs.DefaultTraceCap
+		}
+		db.obs = obs.NewSet(cap)
+	}
 	existing := false
 	if opts.Dir == "" {
 		db.log = wal.NewLog()
@@ -184,7 +258,9 @@ func Open(opts Options) (*DB, error) {
 		db.locks = res.Locks
 		db.txns = res.Txns
 		db.tree = res.Tree
-		return db, nil
+		db.wireObs()
+		db.emitRecovery(res)
+		return db, db.startDebug(opts.DebugAddr)
 	}
 	db.pager = storage.NewPager(db.disk, opts.BufferPoolPages, db.log)
 	db.pager.SetInjector(db.inj)
@@ -197,7 +273,25 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.tree = tree
-	return db, nil
+	db.wireObs()
+	return db, db.startDebug(opts.DebugAddr)
+}
+
+// startDebug launches the observability HTTP endpoint when configured.
+func (db *DB) startDebug(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	if db.obs == nil {
+		return fmt.Errorf("repro: DebugAddr requires observability (DisableObservability must be false)")
+	}
+	srv, err := obs.StartDebug(addr, db.MetricsSnapshot, db.TraceSnapshot)
+	if err != nil {
+		_ = db.Close()
+		return err
+	}
+	db.debug = srv
+	return nil
 }
 
 // Txn is one transaction over the database.
@@ -260,7 +354,19 @@ func (t *Txn) Scan(lo, hi []byte, fn func(key, val []byte) bool) error {
 }
 
 // Commit commits (running deferred free-at-empty work first).
-func (t *Txn) Commit() error { return t.db.tree.Commit(t.inner) }
+// Read-only transactions (no log records) are not worth a histogram
+// sample: the commit is a lock release, and counting it would drown the
+// durability cost the commit histogram exists to show.
+func (t *Txn) Commit() error {
+	h := t.db.hCommit
+	if h == nil || t.inner.LastLSN() == 0 {
+		return t.db.tree.Commit(t.inner)
+	}
+	start := time.Now()
+	err := t.db.tree.Commit(t.inner)
+	h.Record(time.Since(start))
+	return err
+}
 
 // Abort rolls the transaction back.
 func (t *Txn) Abort() error { return t.db.tree.Abort(t.inner) }
@@ -329,15 +435,32 @@ func backoff(attempt int) {
 	time.Sleep(d/2 + jitter)
 }
 
+// timedAuto runs fn as an auto-commit transaction, recording the whole
+// operation — descent, locks, commit, every retry — into h. With
+// observability off (h nil) there is no clock read at all.
+func (db *DB) timedAuto(h *obs.Histogram, fn func(t *Txn) error) error {
+	if h == nil {
+		return db.auto(fn)
+	}
+	start := time.Now()
+	err := db.auto(fn)
+	h.Record(time.Since(start))
+	return err
+}
+
 // Insert adds a record in its own transaction.
 func (db *DB) Insert(key, val []byte) error {
-	return db.auto(func(t *Txn) error { return t.Insert(key, val) })
+	err := db.timedAuto(db.hInsert, func(t *Txn) error { return t.Insert(key, val) })
+	if err == nil && db.obs != nil {
+		db.obs.AddLogicalBytes(len(key) + len(val))
+	}
+	return err
 }
 
 // Get reads a record in its own transaction.
 func (db *DB) Get(key []byte) ([]byte, error) {
 	var out []byte
-	err := db.auto(func(t *Txn) error {
+	err := db.timedAuto(db.hGet, func(t *Txn) error {
 		v, err := t.Get(key)
 		out = v
 		return err
@@ -349,22 +472,38 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 // descents and leaf latching across runs of consecutive keys. The
 // batch commits or rolls back atomically.
 func (db *DB) InsertBatch(keys, vals [][]byte) error {
-	return db.auto(func(t *Txn) error { return t.InsertBatch(keys, vals) })
+	err := db.timedAuto(db.hBatch, func(t *Txn) error { return t.InsertBatch(keys, vals) })
+	if err == nil && db.obs != nil {
+		n := 0
+		for i := range keys {
+			n += len(keys[i]) + len(vals[i])
+		}
+		db.obs.AddLogicalBytes(n)
+	}
+	return err
 }
 
 // Update replaces a record in its own transaction.
 func (db *DB) Update(key, val []byte) error {
-	return db.auto(func(t *Txn) error { return t.Update(key, val) })
+	err := db.timedAuto(db.hUpdate, func(t *Txn) error { return t.Update(key, val) })
+	if err == nil && db.obs != nil {
+		db.obs.AddLogicalBytes(len(key) + len(val))
+	}
+	return err
 }
 
 // Delete removes a record in its own transaction.
 func (db *DB) Delete(key []byte) error {
-	return db.auto(func(t *Txn) error { return t.Delete(key) })
+	err := db.timedAuto(db.hDelete, func(t *Txn) error { return t.Delete(key) })
+	if err == nil && db.obs != nil {
+		db.obs.AddLogicalBytes(len(key))
+	}
+	return err
 }
 
 // Scan runs a range scan in its own transaction.
 func (db *DB) Scan(lo, hi []byte, fn func(key, val []byte) bool) error {
-	return db.auto(func(t *Txn) error { return t.Scan(lo, hi, fn) })
+	return db.timedAuto(db.hScan, func(t *Txn) error { return t.Scan(lo, hi, fn) })
 }
 
 // Count counts records in [lo, hi].
@@ -382,6 +521,9 @@ func (db *DB) Reorganize(cfg ReorgConfig) (*metrics.Counters, error) {
 	if cfg.Injector == nil {
 		cfg.Injector = db.inj
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = db.obs
+	}
 	r := core.New(db.tree, cfg)
 	db.mu.Lock()
 	db.reorg = r
@@ -398,6 +540,9 @@ func (db *DB) Reorganize(cfg ReorgConfig) (*metrics.Counters, error) {
 func (db *DB) Reorganizer(cfg ReorgConfig) *core.Reorganizer {
 	if cfg.Injector == nil {
 		cfg.Injector = db.inj
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = db.obs
 	}
 	return core.New(db.tree, cfg)
 }
@@ -434,7 +579,15 @@ func (db *DB) Checkpoint() error {
 	if err := db.log.FlushTo(lsn); err != nil {
 		return err
 	}
-	if !reorging && len(cp.ActiveTxns) == 0 {
+	quiescent := !reorging && len(cp.ActiveTxns) == 0
+	if db.obs != nil {
+		q := uint64(0)
+		if quiescent {
+			q = 1
+		}
+		db.obs.Trace().Emit(obs.EvCheckpoint, lsn, q)
+	}
+	if quiescent {
 		return db.log.TruncateBelow(lsn)
 	}
 	return nil
@@ -447,6 +600,10 @@ func (db *DB) Checkpoint() error {
 // earlier step failed (a read-only directory must not leak
 // descriptors); all failures are joined into the returned error.
 func (db *DB) Close() error {
+	if db.debug != nil {
+		_ = db.debug.Close()
+		db.debug = nil
+	}
 	flushErr := db.log.Flush()
 	var pageErr error
 	if flushErr == nil {
@@ -483,6 +640,9 @@ func (db *DB) Restart() (*RestartInfo, error) {
 	db.locks = res.Locks
 	db.txns = res.Txns
 	db.tree = res.Tree
+	// Recovery rebuilt every observed subsystem: re-install the hooks.
+	db.wireObs()
+	db.emitRecovery(res)
 	return res, nil
 }
 
@@ -494,11 +654,21 @@ func (db *DB) GatherStats() (TreeStats, error) { return db.tree.GatherStats() }
 // Check verifies structural invariants (quiescent tree).
 func (db *DB) Check() error { return db.tree.Check() }
 
-// IOStats returns cumulative disk reads and writes.
-func (db *DB) IOStats() (reads, writes int64) { return db.disk.Stats().Snapshot() }
+// IOSnapshot re-exports the versioned disk-statistics snapshot: new
+// fields grow on the struct instead of numbered accessor variants.
+type IOSnapshot = storage.IOSnapshot
+
+// IOStats returns the cumulative disk statistics — reads, writes,
+// seeks, byte volumes and fsyncs — as one struct.
+func (db *DB) IOStats() IOSnapshot { return db.disk.Stats().Snapshot() }
 
 // IOStats3 returns cumulative reads, writes and seeks in one call.
-func (db *DB) IOStats3() (reads, writes, seeks int64) { return db.disk.Stats().Snapshot3() }
+//
+// Deprecated: use IOStats, which returns every counter in one struct.
+func (db *DB) IOStats3() (reads, writes, seeks int64) {
+	s := db.disk.Stats().Snapshot()
+	return s.Reads, s.Writes, s.Seeks
+}
 
 // Seeks returns the number of non-sequential disk reads (pass 2's
 // contiguity benefit shows up here).
@@ -530,10 +700,10 @@ func (db *DB) PerfCounters() *metrics.Counters {
 	c.Add(metrics.WALForcesSaved, db.log.ForcesSaved())
 	c.Add(metrics.WALGroupLeaders, db.log.GroupLeaders())
 	c.Add(metrics.WALBytesForced, db.log.BytesForced())
-	br, bw, fs := db.disk.Stats().Bytes()
-	c.Add(metrics.DiskBytesRead, br)
-	c.Add(metrics.DiskBytesWritten, bw)
-	c.Add(metrics.DiskFsyncs, fs)
+	ds := db.disk.Stats().Snapshot()
+	c.Add(metrics.DiskBytesRead, ds.BytesRead)
+	c.Add(metrics.DiskBytesWritten, ds.BytesWritten)
+	c.Add(metrics.DiskFsyncs, ds.Fsyncs)
 	c.Add(metrics.WALFsyncs, db.log.Fsyncs())
 	sc, sd, sl := db.log.SegmentCounts()
 	c.Add(metrics.WALSegsCreated, sc)
@@ -544,3 +714,94 @@ func (db *DB) PerfCounters() *metrics.Counters {
 
 // PageSize returns the database page size.
 func (db *DB) PageSize() int { return db.pager.PageSize() }
+
+// Obs exposes the observability set (nil when disabled) — the
+// benchmarks and tools read histograms and the trace ring through it.
+func (db *DB) Obs() *obs.Set { return db.obs }
+
+// LatencyQuantiles returns one quantile row (count, p50/p90/p99/p999,
+// max) per operation kind that has recorded at least one sample. Nil
+// when observability is disabled.
+func (db *DB) LatencyQuantiles() []obs.QuantileRow {
+	if db.obs == nil {
+		return nil
+	}
+	return db.obs.Quantiles()
+}
+
+// TraceSnapshot returns the events currently held in the trace ring,
+// oldest first (at most Options.TraceCapacity; older events have been
+// overwritten). Nil when observability is disabled.
+func (db *DB) TraceSnapshot() []obs.Event {
+	if db.obs == nil {
+		return nil
+	}
+	return db.obs.Trace().Snapshot()
+}
+
+// Occupancy walks the live tree's leaf chain and aggregates fill and
+// contiguity gauges into at most n contiguous key ranges, plus the
+// free-space map's view of the file. Best-effort under concurrency.
+func (db *DB) Occupancy(n int) (obs.Occupancy, error) {
+	var out obs.Occupancy
+	ranges, err := db.tree.GatherRangeOccupancy(n)
+	if err != nil {
+		return out, err
+	}
+	for _, r := range ranges {
+		out.Ranges = append(out.Ranges, obs.RangeGauge{
+			LoKey: string(r.LoKey), HiKey: string(r.HiKey),
+			Leaves: r.Leaves, Records: r.Records,
+			AvgFill: r.AvgFill, MinFill: r.MinFill,
+			Pairs: r.Pairs, ContigPairs: r.ContiguousPairs,
+			Inversions: r.OutOfOrderPairs,
+		})
+	}
+	fs := db.pager.FreeMapStats()
+	out.Free = obs.FreeSpace{HighWater: fs.HighWater, Allocated: fs.Allocated,
+		Free: fs.Free, FreeRuns: fs.FreeRuns, LargestFreeRun: fs.LargestFreeRun}
+	return out, nil
+}
+
+// WriteAmp reports write amplification: logical bytes the application
+// wrote versus WAL bytes appended and page bytes written to disk.
+// Meaningful only with observability on (logical bytes otherwise 0).
+func (db *DB) WriteAmp() obs.WriteAmp {
+	var w obs.WriteAmp
+	if db.obs != nil {
+		w.LogicalBytes = db.obs.LogicalBytes()
+	}
+	w.WALBytes = db.log.BytesAppended()
+	w.PageBytes = db.disk.Stats().Snapshot().BytesWritten
+	w.Fill()
+	return w
+}
+
+// MetricsSnapshot bundles the full observability state — perf counters,
+// latency quantiles, occupancy gauges, write amplification and the
+// trace-ring event count — for the debug endpoint and btree-inspect.
+func (db *DB) MetricsSnapshot() obs.MetricsSnapshot {
+	snap := obs.MetricsSnapshot{
+		TSUnixNano: time.Now().UnixNano(),
+		Counters:   db.PerfCounters().Snapshot(),
+		Latencies:  db.LatencyQuantiles(),
+	}
+	wa := db.WriteAmp()
+	snap.WriteAmp = &wa
+	if db.obs != nil {
+		snap.Events = db.obs.Trace().Emitted()
+	}
+	if occ, err := db.Occupancy(8); err == nil {
+		snap.Occupancy = &occ
+	}
+	return snap
+}
+
+// DebugAddr returns the bound address of the observability HTTP
+// endpoint ("" when Options.DebugAddr was not set).
+func (db *DB) DebugAddr() string {
+	if db.debug == nil {
+		return ""
+	}
+	return db.debug.Addr()
+}

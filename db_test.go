@@ -224,7 +224,7 @@ func TestCountAndIOStats(t *testing.T) {
 	if err := db.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	_, writes := db.IOStats()
+	writes := db.IOStats().Writes
 	if writes == 0 {
 		t.Error("checkpoint wrote nothing")
 	}

@@ -205,6 +205,130 @@ func (t *Tree) GatherStats() (Stats, error) {
 	return s, nil
 }
 
+// RangeOccupancy is one key-range cell of the occupancy gauges: how
+// full and how contiguous the leaves covering [LoKey, HiKey] are. The
+// autonomous reorganization policy reads these to find where sparsity
+// has accumulated without walking the whole tree into one number.
+type RangeOccupancy struct {
+	LoKey   []byte
+	HiKey   []byte
+	Leaves  int
+	Records int
+	AvgFill float64
+	MinFill float64
+	// Pairs counts adjacent leaf pairs inside the range;
+	// ContiguousPairs those at consecutive page ids, OutOfOrderPairs
+	// those whose page ids decrease.
+	Pairs           int
+	ContiguousPairs int
+	OutOfOrderPairs int
+}
+
+// leafSample is one leaf's occupancy reading during the chain walk.
+type leafSample struct {
+	id       storage.PageID
+	firstKey []byte
+	records  int
+	fill     float64
+}
+
+// GatherRangeOccupancy walks the leaf chain and aggregates occupancy
+// into at most n contiguous key ranges of roughly equal leaf count.
+// The walk follows side pointers under per-frame read latches, so it
+// can run on a live system; concurrent splits may skew a cell by a
+// leaf or two (best-effort gauges, not an audit).
+func (t *Tree) GatherRangeOccupancy(n int) ([]RangeOccupancy, error) {
+	if n <= 0 {
+		n = 1
+	}
+	rootID, _ := t.Root()
+	cur, err := t.pager.Fix(rootID)
+	if err != nil {
+		return nil, err
+	}
+	// Descend leftmost child pointers to the first leaf.
+	for {
+		cur.RLock()
+		p := cur.Data()
+		if p.Type() == storage.PageLeaf {
+			cur.RUnlock()
+			break
+		}
+		if p.NumSlots() == 0 {
+			cur.RUnlock()
+			t.pager.Unfix(cur)
+			return nil, fmt.Errorf("btree: empty internal %d in occupancy walk", cur.ID())
+		}
+		_, child := kv.DecodeIndexCell(p.Cell(0))
+		cur.RUnlock()
+		cf, err := t.pager.Fix(child)
+		if err != nil {
+			t.pager.Unfix(cur)
+			return nil, err
+		}
+		t.pager.Unfix(cur)
+		cur = cf
+	}
+	var leaves []leafSample
+	for {
+		cur.RLock()
+		p := cur.Data()
+		ls := leafSample{id: cur.ID(), records: p.NumSlots(), fill: p.FillFactor()}
+		if ls.records > 0 {
+			ls.firstKey = append([]byte(nil), kv.SlotKey(p, 0)...)
+		}
+		next := p.Next()
+		cur.RUnlock()
+		t.pager.Unfix(cur)
+		leaves = append(leaves, ls)
+		if next == storage.InvalidPage {
+			break
+		}
+		if cur, err = t.pager.Fix(next); err != nil {
+			return nil, err
+		}
+	}
+	if n > len(leaves) {
+		n = len(leaves)
+	}
+	out := make([]RangeOccupancy, 0, n)
+	for c := 0; c < n; c++ {
+		lo, hi := c*len(leaves)/n, (c+1)*len(leaves)/n
+		cell := RangeOccupancy{MinFill: 1}
+		for i := lo; i < hi; i++ {
+			s := leaves[i]
+			cell.Leaves++
+			cell.Records += s.records
+			cell.AvgFill += s.fill
+			if s.fill < cell.MinFill {
+				cell.MinFill = s.fill
+			}
+			if cell.LoKey == nil {
+				cell.LoKey = s.firstKey
+			}
+			if s.firstKey != nil {
+				cell.HiKey = s.firstKey
+			}
+			if i > lo {
+				cell.Pairs++
+				if s.id == leaves[i-1].id+1 {
+					cell.ContiguousPairs++
+				}
+				if s.id < leaves[i-1].id {
+					cell.OutOfOrderPairs++
+				}
+			}
+		}
+		if cell.Leaves > 0 {
+			cell.AvgFill /= float64(cell.Leaves)
+		} else {
+			cell.MinFill = 0
+		}
+		out = append(out, cell)
+	}
+	return out, nil
+}
+
 // CollectAll returns every record in the tree in key order (test
 // support; quiescent tree only).
 func (t *Tree) CollectAll() (keys, vals [][]byte, err error) {

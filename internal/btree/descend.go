@@ -3,6 +3,7 @@ package btree
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/kv"
 	"repro/internal/lock"
@@ -63,8 +64,12 @@ func (t *Tree) descendToLeaf(owner uint64, key []byte, leafMode lock.Mode) (base
 				// reorganizer via instant RS, re-lock and re-route.
 				t.locks.Unlock(owner, pageRes(cur))
 				t.pager.Unfix(f)
+				waitStart := time.Now()
 				if err := t.locks.LockInstant(owner, pageRes(cur), lock.RS); err != nil {
 					return nil, nil, err
+				}
+				if t.hForgoWait != nil {
+					t.hForgoWait.Record(time.Since(waitStart))
 				}
 				if err := t.locks.Lock(owner, pageRes(cur), lock.S); err != nil {
 					return nil, nil, err

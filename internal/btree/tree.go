@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/kv"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/pageops"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -99,7 +100,16 @@ type Tree struct {
 	// commit, see delete.go).
 	deferredMu   sync.Mutex
 	deferredKeys map[uint64][]freeHint
+
+	// hForgoWait, when non-nil, records how long forgoing descents
+	// blocked on the instant-RS wait for the reorganizer (set once at
+	// wiring time, before the tree sees traffic).
+	hForgoWait *obs.Histogram
 }
+
+// SetObserver wires the tree's forgo-wait histogram (nil disables it).
+// Call before the tree sees traffic.
+func (t *Tree) SetObserver(forgoWait *obs.Histogram) { t.hForgoWait = forgoWait }
 
 // Create formats a new tree: the anchor at page 1, an internal root,
 // and one empty leaf, all forced to disk.

@@ -11,10 +11,13 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/btree"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -85,6 +88,10 @@ type Config struct {
 	// reorganizer at unit boundaries, swap halves, stable points,
 	// side-file applies, and both sides of the root switch.
 	Injector *fault.Injector
+	// Obs, when set, receives unit-duration samples and unit start/end
+	// trace events (DB.Reorganize wires the database's observability
+	// set here automatically).
+	Obs *obs.Set
 }
 
 func (c Config) withDefaults() Config {
@@ -161,12 +168,56 @@ func (t *reorgTable) snapshot() wal.ReorgTableSnap {
 		LK: append([]byte(nil), t.lk...)}
 }
 
+// counterHandles are the reorganizer's pre-resolved metric counters:
+// one mutex-map lookup each at New, plain atomic adds ever after (the
+// string-keyed Add was measurable inside tight unit loops).
+type counterHandles struct {
+	unitsCompact    *atomic.Int64
+	unitsMove       *atomic.Int64
+	unitsSwap       *atomic.Int64
+	recordsMoved    *atomic.Int64
+	pagesFreed      *atomic.Int64
+	pagesAllocated  *atomic.Int64
+	unitsDeadlocked *atomic.Int64
+	pass2Swaps      *atomic.Int64
+	pass2Moves      *atomic.Int64
+	pass3Bases      *atomic.Int64
+	pass3SideApply  *atomic.Int64
+	pass3Stable     *atomic.Int64
+}
+
+func resolveCounters(m *metrics.Counters) counterHandles {
+	return counterHandles{
+		unitsCompact:    m.Handle(metrics.UnitsCompact),
+		unitsMove:       m.Handle(metrics.UnitsMove),
+		unitsSwap:       m.Handle(metrics.UnitsSwap),
+		recordsMoved:    m.Handle(metrics.RecordsMoved),
+		pagesFreed:      m.Handle(metrics.PagesFreed),
+		pagesAllocated:  m.Handle(metrics.PagesAllocated),
+		unitsDeadlocked: m.Handle(metrics.UnitsDeadlocked),
+		pass2Swaps:      m.Handle(metrics.Pass2Swaps),
+		pass2Moves:      m.Handle(metrics.Pass2Moves),
+		pass3Bases:      m.Handle(metrics.Pass3Bases),
+		pass3SideApply:  m.Handle(metrics.Pass3SideApply),
+		pass3Stable:     m.Handle(metrics.Pass3Stable),
+	}
+}
+
 // Reorganizer is the single background reorganization process.
 type Reorganizer struct {
 	tree  *btree.Tree
 	cfg   Config
 	owner uint64
 	m     *metrics.Counters
+	c     counterHandles
+
+	// Observability handles resolved from cfg.Obs at New (nil when
+	// unobserved).
+	hUnit *obs.Histogram
+	ring  *obs.Ring
+	// unitStart is when the in-flight unit's BEGIN was logged; only the
+	// single reorganizer goroutine touches it.
+	unitStart time.Time
 
 	table    reorgTable
 	nextUnit uint64
@@ -181,12 +232,18 @@ type Reorganizer struct {
 // New creates a reorganizer for the tree. The owner id is registered
 // with the lock manager as the preferred deadlock victim.
 func New(tree *btree.Tree, cfg Config) *Reorganizer {
+	m := metrics.New()
 	r := &Reorganizer{
 		tree:     tree,
 		cfg:      cfg.withDefaults(),
 		owner:    tree.Txns().NextOwnerID(),
-		m:        metrics.New(),
+		m:        m,
+		c:        resolveCounters(m),
 		nextUnit: 1,
+	}
+	if cfg.Obs != nil {
+		r.hUnit = cfg.Obs.H(obs.OpReorgUnit)
+		r.ring = cfg.Obs.Trace()
 	}
 	tree.Locks().SetReorg(r.owner, true)
 	return r

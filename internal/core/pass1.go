@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/kv"
 	"repro/internal/lock"
-	"repro/internal/metrics"
 	"repro/internal/pageops"
 	"repro/internal/storage"
 	"repro/internal/wal"
@@ -325,7 +324,7 @@ func (r *Reorganizer) executeCompactUnit(base *storage.Frame, entries []baseEntr
 	if upErr := locks.Lock(owner, pageRes(base.ID()), lock.X); upErr != nil {
 		r.undoUnitMoves(unit, moved, dest, group, pred, succ)
 		r.endUnit(unit, nil)
-		r.m.Add(metrics.UnitsDeadlocked, 1)
+		r.c.unitsDeadlocked.Add(1)
 		releaseNeighbours()
 		releaseFrames()
 		unfixFrames()
@@ -393,9 +392,9 @@ func (r *Reorganizer) executeCompactUnit(base *storage.Frame, entries []baseEntr
 
 	r.endUnit(unit, largest)
 	r.noteFinished(dest.ID())
-	r.m.Add(metrics.UnitsCompact, 1)
+	r.c.unitsCompact.Add(1)
 	if newPlace {
-		r.m.Add(metrics.PagesAllocated, 1)
+		r.c.pagesAllocated.Add(1)
 	}
 	releaseNeighbours()
 	releaseFrames()

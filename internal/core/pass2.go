@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/kv"
 	"repro/internal/lock"
-	"repro/internal/metrics"
 	"repro/internal/pageops"
 	"repro/internal/storage"
 	"repro/internal/wal"
@@ -265,7 +264,7 @@ func (r *Reorganizer) moveLeafUnit(key []byte, from, to storage.PageID) (bool, e
 		releaseNbs()
 		dlsn := r.tree.Log().Append(wal.Dealloc{Page: to})
 		_ = pg.Deallocate(to, dlsn)
-		r.m.Add(metrics.UnitsDeadlocked, 1)
+		r.c.unitsDeadlocked.Add(1)
 		return false, nil
 	}
 	m := wal.ReorgModify{Unit: unit, Base: base.ID(),
@@ -285,8 +284,8 @@ func (r *Reorganizer) moveLeafUnit(key []byte, from, to storage.PageID) (bool, e
 		return false, err
 	}
 	r.endUnit(unit, nil)
-	r.m.Add(metrics.UnitsMove, 1)
-	r.m.Add(metrics.Pass2Moves, 1)
+	r.c.unitsMove.Add(1)
+	r.c.pass2Moves.Add(1)
 	releaseDest()
 	releaseNbs()
 	return true, r.event("move.end")
@@ -465,7 +464,7 @@ func (r *Reorganizer) swapUnit(ka []byte, pa storage.PageID, kb []byte, pb stora
 		r.undoSwap(unit, fa, fb, predA, succA, predB, succB)
 		r.endUnit(unit, nil)
 		releaseAll()
-		r.m.Add(metrics.UnitsDeadlocked, 1)
+		r.c.unitsDeadlocked.Add(1)
 		return false, nil
 	}
 	if !sameBase {
@@ -474,7 +473,7 @@ func (r *Reorganizer) swapUnit(ka []byte, pa storage.PageID, kb []byte, pb stora
 			r.undoSwap(unit, fa, fb, predA, succA, predB, succB)
 			r.endUnit(unit, nil)
 			releaseAll()
-			r.m.Add(metrics.UnitsDeadlocked, 1)
+			r.c.unitsDeadlocked.Add(1)
 			return false, nil
 		}
 	}
@@ -499,8 +498,8 @@ func (r *Reorganizer) swapUnit(ka []byte, pa storage.PageID, kb []byte, pb stora
 	locks.Downgrade(owner, pageRes(baseA.ID()), lock.R)
 
 	r.endUnit(unit, nil)
-	r.m.Add(metrics.UnitsSwap, 1)
-	r.m.Add(metrics.Pass2Swaps, 1)
+	r.c.unitsSwap.Add(1)
+	r.c.pass2Swaps.Add(1)
 	releaseAll()
 	return true, r.event("swap.end")
 }

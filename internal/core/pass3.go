@@ -8,7 +8,6 @@ import (
 	"repro/internal/btree"
 	"repro/internal/kv"
 	"repro/internal/lock"
-	"repro/internal/metrics"
 	"repro/internal/pageops"
 	"repro/internal/sidefile"
 	"repro/internal/storage"
@@ -212,7 +211,7 @@ func (r *Reorganizer) RebuildInternal() error {
 			}
 			lastKey = e.key
 		}
-		r.m.Add(metrics.Pass3Bases, 1)
+		r.c.pass3Bases.Add(1)
 		if err := r.event("pass3.base"); err != nil {
 			return err
 		}
@@ -251,7 +250,7 @@ func (r *Reorganizer) RebuildInternal() error {
 		if err != nil {
 			return err
 		}
-		r.m.Add(metrics.Pass3SideApply, int64(n))
+		r.c.pass3SideApply.Add(int64(n))
 		if n == 0 && sf.Pending() == 0 {
 			break
 		}
@@ -268,7 +267,7 @@ func (r *Reorganizer) RebuildInternal() error {
 	if err != nil {
 		return err
 	}
-	r.m.Add(metrics.Pass3SideApply, int64(n))
+	r.c.pass3SideApply.Add(int64(n))
 	if err := pg.FlushAll(); err != nil {
 		return err
 	}
@@ -337,7 +336,7 @@ func (r *Reorganizer) stablePoint(b *builder, lastKey []byte) error {
 	if err := r.tree.Log().FlushTo(lsn); err != nil {
 		return err
 	}
-	r.m.Add(metrics.Pass3Stable, 1)
+	r.c.pass3Stable.Add(1)
 	return r.event("pass3.stable")
 }
 
@@ -412,7 +411,7 @@ func (r *Reorganizer) discardOldInternals(oldRoot storage.PageID) error {
 		if err := pg.Deallocate(internals[i], lsn); err != nil {
 			return err
 		}
-		r.m.Add(metrics.PagesFreed, 1)
+		r.c.pagesFreed.Add(1)
 	}
 	return nil
 }

@@ -7,7 +7,7 @@ import (
 
 	"repro/internal/kv"
 	"repro/internal/lock"
-	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pageops"
 	"repro/internal/storage"
 	"repro/internal/wal"
@@ -79,7 +79,7 @@ func (r *Reorganizer) descendToBase(rootID storage.PageID, k []byte, mode lock.M
 func (r *Reorganizer) lockLeaf(id storage.PageID, mode lock.Mode) error {
 	err := r.tree.Locks().Lock(r.owner, pageRes(id), mode)
 	if errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrTimeout) {
-		r.m.Add(metrics.UnitsDeadlocked, 1)
+		r.c.unitsDeadlocked.Add(1)
 		return errUnitAborted
 	}
 	return err
@@ -186,7 +186,7 @@ func (r *Reorganizer) moveRecords(unit uint64, org, dest *storage.Frame) (int, e
 	if r.cfg.CarefulWriting {
 		r.tree.Pager().AddWriteDep(org.ID(), dest.ID())
 	}
-	r.m.Add(metrics.RecordsMoved, int64(n))
+	r.c.recordsMoved.Add(int64(n))
 	return n, nil
 }
 
@@ -247,6 +247,14 @@ func ApplyModifyToPage(p storage.Page, m wal.ReorgModify) error {
 func (r *Reorganizer) beginUnit(b wal.ReorgBegin) uint64 {
 	lsn := r.tree.Log().Append(b)
 	r.table.beginUnit(b.Unit, lsn)
+	r.unitStart = time.Now()
+	if r.ring != nil {
+		newPlace := uint64(0)
+		if b.NewPlace {
+			newPlace = 1
+		}
+		r.ring.Emit(obs.EvReorgUnitStart, b.Unit, newPlace)
+	}
 	if b.NewPlace && b.Dest != storage.InvalidPage {
 		// Stamp the fresh destination page with the BEGIN LSN so its
 		// formatting is ordered against redo.
@@ -269,12 +277,19 @@ func (r *Reorganizer) endUnit(unit uint64, largestKey []byte) {
 	lsn := r.tree.Log().Append(e)
 	r.table.record(lsn)
 	r.table.endUnit(largestKey)
+	d := time.Since(r.unitStart)
+	if r.hUnit != nil {
+		r.hUnit.Record(d)
+	}
+	if r.ring != nil {
+		r.ring.Emit(obs.EvReorgUnitEnd, unit, uint64(d.Nanoseconds()))
+	}
 }
 
 // deallocLeaf logs and performs a page deallocation inside a unit.
 func (r *Reorganizer) deallocLeaf(id storage.PageID) error {
 	lsn := r.tree.Log().Append(wal.Dealloc{Page: id})
 	r.table.record(lsn)
-	r.m.Add(metrics.PagesFreed, 1)
+	r.c.pagesFreed.Add(1)
 	return r.tree.Pager().Deallocate(id, lsn)
 }

@@ -119,6 +119,7 @@ func f0(v float64) string       { return fmt.Sprintf("%.0f", v) }
 func d(v int64) string          { return fmt.Sprintf("%d", v) }
 func di(v int) string           { return fmt.Sprintf("%d", v) }
 func ms(v time.Duration) string { return fmt.Sprintf("%.1fms", float64(v.Microseconds())/1000) }
+func us(v time.Duration) string { return fmt.Sprintf("%.0fus", float64(v.Nanoseconds())/1000) }
 
 // --- E1: Table 1 ---
 

@@ -310,7 +310,7 @@ func E8RangeScanIO(p Params) ([]E8Row, error) {
 		stats, _ := db.GatherStats()
 		// Warm nothing: random scan starts defeat the small pool.
 		const scans = 200
-		readsBefore, _ := db.IOStats()
+		readsBefore := db.IOStats().Reads
 		seeksBefore := db.Seeks()
 		rng := newRNG(p.Seed)
 		for i := 0; i < scans; i++ {
@@ -323,7 +323,7 @@ func E8RangeScanIO(p Params) ([]E8Row, error) {
 				return nil, err
 			}
 		}
-		readsAfter, _ := db.IOStats()
+		readsAfter := db.IOStats().Reads
 		rows = append(rows, E8Row{Stage: st.name, Leaves: stats.LeafPages,
 			AvgFill: stats.AvgLeafFill, Inversions: stats.OutOfOrderPairs,
 			ReadsPerScan: float64(readsAfter-readsBefore) / scans,

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"fmt"
+	"os"
 	"sync"
 	"time"
 
 	repro "repro"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -88,6 +91,182 @@ func E10Table(rows []E10Row) *Table {
 		t.Rows = append(t.Rows, []string{r.Mix, di(r.Clients),
 			f0(r.Throughput), ms(r.AvgLatency), d(r.Forces), d(r.Saved),
 			d(r.Contention), d(r.Errors)})
+	}
+	return t
+}
+
+// --- E11: tail latency under a live reorganization ---
+
+// E11Row is one operation kind's latency distribution in one cell of
+// the backend × reorganization matrix: a Zipfian read-mostly workload
+// with hot keys, measured while the three-pass reorganization either
+// runs concurrently or not at all. The forgo/wait columns explain the
+// tail — each forgo is a reader that had to wait out a reorganization
+// unit on its hot page.
+type E11Row struct {
+	Backend    string
+	Reorg      bool
+	Op         string
+	Count      uint64
+	P50        time.Duration
+	P99        time.Duration
+	P999       time.Duration
+	Max        time.Duration
+	Throughput float64 // whole-cell ops/s (repeated per row for context)
+	Forgoes    int64   // whole-cell forgo count
+	Waits      int64   // whole-cell lock waits (user + reorg)
+}
+
+// E11Config tunes the tail-latency cells.
+type E11Config struct {
+	Clients int           // driver goroutines (default 8)
+	Run     time.Duration // measurement window per cell (default 400ms)
+	ZipfS   float64       // Zipf skew (default 1.2)
+	Backend string        // "mem", "file", or "" for both
+	Dir     string        // file backend: parent dir ("" = temp)
+}
+
+// E11TailLatency loads and sparsifies a tree per cell, then drives the
+// Zipfian mix — with the reorganizer running concurrently in the
+// reorg=on cells — and extracts per-operation latency quantiles from a
+// driver-side histogram set (isolated from load traffic). The reorg=on
+// cells additionally report the reorganizer's own unit-duration
+// distribution from the database's observability set.
+func E11TailLatency(p Params, cfg E11Config) ([]E11Row, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Run <= 0 {
+		cfg.Run = 400 * time.Millisecond
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	backends := []string{"mem", "file"}
+	if cfg.Backend != "" {
+		backends = []string{cfg.Backend}
+	}
+	var rows []E11Row
+	for _, backend := range backends {
+		for _, reorg := range []bool{false, true} {
+			cellRows, err := e11Cell(p, cfg, backend, reorg)
+			if err != nil {
+				return nil, fmt.Errorf("e11 [%s reorg=%v]: %w", backend, reorg, err)
+			}
+			rows = append(rows, cellRows...)
+		}
+	}
+	return rows, nil
+}
+
+func e11Cell(p Params, cfg E11Config, backend string, reorg bool) ([]E11Row, error) {
+	opts := repro.Options{PageSize: p.PageSize}
+	if backend == "file" {
+		tmp, err := os.MkdirTemp(cfg.Dir, "reorg-e11-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		opts.Dir = tmp
+	}
+	db, err := repro.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if err := workload.Load(db, p.Records, p.ValueSize, "random", p.Seed); err != nil {
+		return nil, err
+	}
+	// Sparsify so the reorganizer has real work: without empty space the
+	// reorg=on cell would finish its passes before the window closes.
+	if _, err := workload.Sparsify(db, p.Records, 0.25); err != nil {
+		return nil, err
+	}
+	forgoes0 := db.LockStats().Forgoes.Load()
+	waits0 := db.LockStats().UserWaits.Load() + db.LockStats().ReorgWaits.Load()
+
+	meas := obs.NewSet(1) // driver-side histograms; trace unused
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var stats workload.ClientStats
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		stats = workload.RunClientsOpts(db, workload.ClientOpts{
+			Clients: cfg.Clients, Mix: workload.ReadMostly,
+			KeySpace: p.Records, ValueSize: p.ValueSize,
+			ZipfS: cfg.ZipfS, Obs: meas}, stop)
+	}()
+	var reorgErr error
+	var reorgWG sync.WaitGroup
+	if reorg {
+		reorgWG.Add(1)
+		go func() {
+			defer reorgWG.Done()
+			// Keep reorganizing until the measurement window closes, so
+			// units overlap the whole sample rather than only its start.
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := db.Reorganize(repro.DefaultReorgConfig()); err != nil {
+					reorgErr = err
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(cfg.Run)
+	close(stop)
+	wg.Wait()
+	reorgWG.Wait()
+	if reorgErr != nil {
+		return nil, reorgErr
+	}
+	if stats.Errors > 0 {
+		return nil, fmt.Errorf("%d client errors (last: %w)", stats.Errors, stats.LastError)
+	}
+	if err := db.Check(); err != nil {
+		return nil, err
+	}
+
+	forgoes := db.LockStats().Forgoes.Load() - forgoes0
+	waits := db.LockStats().UserWaits.Load() + db.LockStats().ReorgWaits.Load() - waits0
+	var rows []E11Row
+	add := func(q obs.QuantileRow) {
+		rows = append(rows, E11Row{Backend: backend, Reorg: reorg,
+			Op: q.Op, Count: q.Count, P50: q.P50, P99: q.P99,
+			P999: q.P999, Max: q.Max, Throughput: stats.Throughput(),
+			Forgoes: forgoes, Waits: waits})
+	}
+	for _, q := range meas.Quantiles() {
+		add(q)
+	}
+	if reorg {
+		// The reorganizer's unit durations live in the DB's own set.
+		for _, q := range db.LatencyQuantiles() {
+			if q.Op == obs.OpReorgUnit.String() {
+				add(q)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// E11Table renders the tail-latency matrix.
+func E11Table(rows []E11Row) *Table {
+	t := &Table{Title: "E11: tail latency under live reorganization (Zipfian read-mostly mix)",
+		Header: []string{"backend", "reorg", "op", "count", "p50", "p99", "p999", "max", "ops/s", "forgoes", "waits"}}
+	for _, r := range rows {
+		on := "off"
+		if r.Reorg {
+			on = "on"
+		}
+		t.Rows = append(t.Rows, []string{r.Backend, on, r.Op,
+			d(int64(r.Count)), us(r.P50), us(r.P99), us(r.P999), us(r.Max),
+			f0(r.Throughput), d(r.Forgoes), d(r.Waits)})
 	}
 	return t
 }

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Space partitions the lock name space.
@@ -315,6 +317,13 @@ type Manager struct {
 
 	// Timeout is the watchdog on a single wait (default 10s).
 	Timeout time.Duration
+
+	// Pre-resolved observability handles (nil when no observer is
+	// wired). Set once before the manager sees traffic; the hot paths
+	// check the local copy without any lookup or lock.
+	hUserWait  *obs.Histogram
+	hReorgWait *obs.Histogram
+	ring       *obs.Ring
 }
 
 // NewManager returns an empty lock manager.
@@ -331,6 +340,18 @@ func NewManager() *Manager {
 
 // Stats returns the manager's contention counters.
 func (m *Manager) Stats() *Stats { return &m.stats }
+
+// SetObserver wires the manager's observability handles: wait-time
+// histograms (user and reorganizer) and the trace ring for forgo and
+// deadlock-victim events. Call before the manager sees traffic; any
+// argument may be nil to disable that signal.
+func (m *Manager) SetObserver(userWait, reorgWait *obs.Histogram, ring *obs.Ring) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hUserWait = userWait
+	m.hReorgWait = reorgWait
+	m.ring = ring
+}
 
 // SetReorg flags owner as the reorganization process: it becomes the
 // preferred deadlock victim and its waits are accounted separately.
@@ -415,7 +436,11 @@ func (m *Manager) LockOpts(owner uint64, res Resource, mode Mode, opt Opt) error
 	// Not immediately grantable.
 	if opt.ForgoOnRX && m.rxConflictLocked(h, owner) {
 		m.stats.Forgoes.Add(1)
+		ring := m.ring
 		m.mu.Unlock()
+		if ring != nil {
+			ring.Emit(obs.EvForgo, owner, res.ID)
+		}
 		return ErrReorgConflict
 	}
 	if opt.NoWait {
@@ -485,9 +510,15 @@ func (m *Manager) blockAndWait(h *lockHead, owner uint64, res Resource, mode, ef
 	if isReorg {
 		m.stats.ReorgWaits.Add(1)
 		m.stats.ReorgWaitNanos.Add(d)
+		if h := m.hReorgWait; h != nil {
+			h.RecordNanos(d)
+		}
 	} else {
 		m.stats.UserWaits.Add(1)
 		m.stats.UserWaitNanos.Add(d)
+		if h := m.hUserWait; h != nil {
+			h.RecordNanos(d)
+		}
 	}
 	return err
 }
@@ -730,6 +761,9 @@ func (m *Manager) removeWaiterLocked(w *waiter) {
 
 func (m *Manager) abortWaitLocked(w *waiter, err error) {
 	m.stats.Deadlocks.Add(1)
+	if m.ring != nil {
+		m.ring.Emit(obs.EvDeadlockVictim, w.owner, w.res.ID)
+	}
 	m.removeWaiterLocked(w)
 	w.ch <- err
 }

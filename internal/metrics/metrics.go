@@ -39,6 +39,13 @@ func (c *Counters) Add(name string, delta int64) {
 	c.counter(name).Add(delta)
 }
 
+// Handle resolves a named counter once and returns the underlying
+// atomic, so hot paths can increment it without the mutex-map lookup
+// Add pays. Handles stay valid for the life of the Counters.
+func (c *Counters) Handle(name string) *atomic.Int64 {
+	return c.counter(name)
+}
+
 // Get reads a named counter.
 func (c *Counters) Get(name string) int64 {
 	return c.counter(name).Load()

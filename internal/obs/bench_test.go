@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+var sink time.Duration
+
+func BenchmarkClockPair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		sink = time.Since(start)
+	}
+}
+
+func BenchmarkClockPairPlusRecord(b *testing.B) {
+	h := &Histogram{}
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		h.Record(time.Since(start))
+	}
+}
+
+func BenchmarkRecordOnly(b *testing.B) {
+	h := &Histogram{}
+	d := 1234 * time.Nanosecond
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(d)
+	}
+}
+
+func BenchmarkEmit(b *testing.B) {
+	r := NewRing(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(EvForgo, 1, 2)
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// MetricsSnapshot is the /metrics payload: everything a scraper needs
+// in one JSON document.
+type MetricsSnapshot struct {
+	TSUnixNano int64            `json:"ts_unix_nano"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+	Latencies  []QuantileRow    `json:"latencies"`
+	Occupancy  *Occupancy       `json:"occupancy,omitempty"`
+	WriteAmp   *WriteAmp        `json:"write_amp,omitempty"`
+	Events     uint64           `json:"events_emitted"`
+}
+
+// DebugServer serves the optional observability HTTP endpoint:
+// /debug/vars (expvar), /debug/pprof/*, /metrics (JSON snapshot) and
+// /trace (event ring dump). It is off unless Options.DebugAddr is set.
+type DebugServer struct {
+	srv  *http.Server
+	addr string
+}
+
+// StartDebug binds addr (":0" picks an ephemeral port) and serves the
+// debug endpoints. metrics is called per /metrics request so the
+// snapshot is always fresh; trace likewise for /trace.
+func StartDebug(addr string, metrics func() MetricsSnapshot, trace func() []Event) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, metrics())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, trace())
+	})
+	s := &DebugServer{
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		addr: ln.Addr().String(),
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful when DebugAddr was ":0").
+func (s *DebugServer) Addr() string { return s.addr }
+
+// Close stops the server.
+func (s *DebugServer) Close() error { return s.srv.Close() }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort debug endpoint
+}

@@ -1,0 +1,59 @@
+package obs
+
+// RangeGauge is the occupancy/fragmentation state of one key range:
+// the subtree sensors the autonomous reorganization policy reads to
+// decide where sparsity has accumulated (the fragmentation bounds of
+// Bender et al. are stated per key range, so the gauges are too).
+type RangeGauge struct {
+	LoKey   string  `json:"lo_key"`
+	HiKey   string  `json:"hi_key"`
+	Leaves  int     `json:"leaves"`
+	Records int     `json:"records"`
+	AvgFill float64 `json:"avg_fill"`
+	MinFill float64 `json:"min_fill"`
+	// ContigPairs of Pairs adjacent key-ordered leaves sit at exactly
+	// consecutive page ids; Inversions counts pairs whose page ids
+	// decrease (the disorder a range scan pays seeks for).
+	Pairs       int `json:"pairs"`
+	ContigPairs int `json:"contig_pairs"`
+	Inversions  int `json:"inversions"`
+}
+
+// FreeSpace summarises the free map: how much of the extent is
+// allocated and how fragmented the free space is.
+type FreeSpace struct {
+	HighWater      int `json:"high_water_pages"`
+	Allocated      int `json:"allocated_pages"`
+	Free           int `json:"free_pages"`
+	FreeRuns       int `json:"free_runs"`
+	LargestFreeRun int `json:"largest_free_run"`
+}
+
+// Occupancy is the full gauge snapshot: per-key-range occupancy plus
+// extent-wide free-space fragmentation.
+type Occupancy struct {
+	Ranges []RangeGauge `json:"ranges"`
+	Free   FreeSpace    `json:"free_space"`
+}
+
+// WriteAmp reports write amplification: physical write volume (WAL
+// bytes appended, page bytes flushed to media) per logical byte the
+// application wrote.
+type WriteAmp struct {
+	LogicalBytes int64   `json:"logical_bytes"`
+	WALBytes     int64   `json:"wal_bytes"`
+	PageBytes    int64   `json:"page_bytes"`
+	WALAmp       float64 `json:"wal_amp"`
+	PageAmp      float64 `json:"page_amp"`
+	TotalAmp     float64 `json:"total_amp"`
+}
+
+// Fill computes the amplification ratios from the byte fields.
+func (w *WriteAmp) Fill() {
+	if w.LogicalBytes > 0 {
+		l := float64(w.LogicalBytes)
+		w.WALAmp = float64(w.WALBytes) / l
+		w.PageAmp = float64(w.PageBytes) / l
+		w.TotalAmp = float64(w.WALBytes+w.PageBytes) / l
+	}
+}

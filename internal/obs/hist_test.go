@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// oracle computes the exact quantile over recorded samples.
+func oracle(samples []int64, q float64) int64 {
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// TestQuantileVsOracle drives random samples spanning several orders of
+// magnitude through the histogram and checks every extracted quantile
+// against the exact sorted-sample answer. Power-of-two buckets bound
+// the error: the estimate must land within a factor of two of the
+// truth (each bucket spans [2^(k-1), 2^k), and interpolation can only
+// move the estimate inside the bucket holding the true value's rank).
+func TestQuantileVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		var h Histogram
+		n := 1000 + rng.Intn(9000)
+		samples := make([]int64, n)
+		// Mix magnitudes: microseconds to seconds, as real latencies do.
+		for i := range samples {
+			mag := 10 + rng.Intn(20) // 2^10 ns .. 2^30 ns
+			samples[i] = (int64(1) << mag) + rng.Int63n(int64(1)<<mag)
+			h.RecordNanos(samples[i])
+		}
+		if got := h.Count(); got != uint64(n) {
+			t.Fatalf("trial %d: Count = %d, want %d", trial, got, n)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			est := h.Quantile(q).Nanoseconds()
+			truth := oracle(samples, q)
+			if est < truth/2 || est > truth*2 {
+				t.Fatalf("trial %d: Quantile(%v) = %d, oracle %d (off by more than 2x)",
+					trial, q, est, truth)
+			}
+		}
+	}
+}
+
+// TestQuantileMonotonic checks that quantile extraction is monotone in
+// q, and capped by Max.
+func TestQuantileMonotonic(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		h.RecordNanos(rng.Int63n(1 << 22))
+	}
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+	if h.Quantile(1) > h.Max() {
+		t.Fatalf("Quantile(1) = %v above Max() = %v", h.Quantile(1), h.Max())
+	}
+}
+
+// TestQuantileSingleBucket pins the degenerate shapes: empty histogram,
+// all-zero durations, and a single sample.
+func TestQuantileSingleBucket(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", h.Quantile(0.99))
+	}
+	for i := 0; i < 100; i++ {
+		h.RecordNanos(0)
+	}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("all-zero quantile = %v, want 0", got)
+	}
+	var h2 Histogram
+	h2.Record(1500 * time.Nanosecond)
+	got := h2.Quantile(0.5).Nanoseconds()
+	if got < 1024 || got > 2048 {
+		t.Fatalf("single-sample p50 = %dns, want within its bucket [1024, 2048]", got)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines
+// and checks that no increment is lost (the striped counters must merge
+// exactly at snapshot).
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines = 8
+	const perG = 20000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.RecordNanos(rng.Int63n(1 << 30))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("Count = %d, want %d (lost updates)", got, goroutines*perG)
+	}
+	snap := h.Snapshot()
+	var sum uint64
+	for _, c := range snap.Counts {
+		sum += c
+	}
+	if sum != snap.Total || sum != goroutines*perG {
+		t.Fatalf("snapshot sum %d, Total %d, want %d", sum, snap.Total, goroutines*perG)
+	}
+}
+
+// TestBucketBounds pins the bucket edges the quantile math relies on.
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		ns     int64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.bucket {
+			t.Fatalf("bucketOf(%d) = %d, want %d", c.ns, got, c.bucket)
+		}
+		lo, hi := bucketBounds(bucketOf(c.ns))
+		v := c.ns
+		if v == 0 {
+			continue // bucket 0 is the zero bucket, bounds (0, 1)
+		}
+		if v < lo || v >= hi {
+			t.Fatalf("value %d outside its bucket bounds [%d, %d)", v, lo, hi)
+		}
+	}
+}

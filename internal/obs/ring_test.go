@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// emitSelfSeq is Emit with A stamped to the event's own ticket, letting
+// the concurrent reader detect torn publishes (A must equal Seq in any
+// event that survives the seqlock).
+func (r *Ring) emitSelfSeq(t EventType) {
+	tk := r.pos.Add(1) - 1
+	s := &r.slots[tk&r.mask]
+	s.seq.Store(0)
+	s.ts.Store(time.Now().UnixNano())
+	s.typ.Store(uint32(t))
+	s.a.Store(tk)
+	s.b.Store(0)
+	s.seq.Store(tk + 1)
+	r.counts[t].Add(1)
+}
+
+// TestRingBasic checks emit/snapshot ordering below capacity.
+func TestRingBasic(t *testing.T) {
+	r := NewRing(64)
+	if r.Cap() != 64 {
+		t.Fatalf("Cap = %d, want 64", r.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		r.Emit(EvForgo, uint64(i), uint64(i*2))
+	}
+	events := r.Snapshot()
+	if len(events) != 10 {
+		t.Fatalf("Snapshot len = %d, want 10", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i) || e.A != uint64(i) || e.B != uint64(i*2) {
+			t.Fatalf("event %d = %+v, want seq/a=%d b=%d", i, e, i, i*2)
+		}
+		if e.Name != "lock.forgo" {
+			t.Fatalf("event %d name = %q, want lock.forgo", i, e.Name)
+		}
+	}
+	if r.Count(EvForgo) != 10 || r.Emitted() != 10 {
+		t.Fatalf("Count = %d, Emitted = %d, want 10, 10", r.Count(EvForgo), r.Emitted())
+	}
+}
+
+// TestRingCapacityRounding pins the power-of-two rounding.
+func TestRingCapacityRounding(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{0, DefaultTraceCap}, {1, 1}, {3, 4}, {64, 64}, {100, 128}} {
+		if got := NewRing(c.in).Cap(); got != c.want {
+			t.Fatalf("NewRing(%d).Cap() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRingWraparound emits 3x capacity and checks that the snapshot
+// holds only the newest events while the per-type counts still account
+// for every emit — wraparound loses old events, never counts.
+func TestRingWraparound(t *testing.T) {
+	const cap = 64
+	r := NewRing(cap)
+	const emits = 3 * cap
+	for i := 0; i < emits; i++ {
+		typ := EvForgo
+		if i%2 == 1 {
+			typ = EvPageEvict
+		}
+		r.Emit(typ, uint64(i), 0)
+	}
+	if r.Emitted() != emits {
+		t.Fatalf("Emitted = %d, want %d", r.Emitted(), emits)
+	}
+	if got := r.Count(EvForgo) + r.Count(EvPageEvict); got != emits {
+		t.Fatalf("type counts sum to %d, want %d (wraparound must not lose counts)", got, emits)
+	}
+	events := r.Snapshot()
+	if len(events) != cap {
+		t.Fatalf("Snapshot len = %d, want %d", len(events), cap)
+	}
+	// Only the newest cap events survive, in order.
+	for i, e := range events {
+		wantSeq := uint64(emits - cap + i)
+		if e.Seq != wantSeq || e.A != wantSeq {
+			t.Fatalf("event %d seq = %d a = %d, want %d", i, e.Seq, e.A, wantSeq)
+		}
+	}
+}
+
+// TestRingConcurrent hammers the ring from many writers (run with
+// -race): every emit must be counted, and a concurrent snapshot must
+// only ever see fully-published events.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(256)
+	const goroutines = 8
+	const perG = 10000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// A reader snapshotting concurrently with the writers: every event
+	// it observes must be internally consistent (A == Seq).
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, e := range r.Snapshot() {
+				if e.A != e.Seq {
+					t.Errorf("torn event: seq %d with a %d", e.Seq, e.A)
+					return
+				}
+				if e.Type == EvNone || e.Type >= numEventTypes {
+					t.Errorf("torn event: seq %d with type %d", e.Seq, e.Type)
+					return
+				}
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			typ := EventType(1 + g%int(numEventTypes-1))
+			for i := 0; i < perG; i++ {
+				r.emitSelfSeq(typ)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	if r.Emitted() != goroutines*perG {
+		t.Fatalf("Emitted = %d, want %d", r.Emitted(), goroutines*perG)
+	}
+	var sum uint64
+	for typ := EventType(1); typ < numEventTypes; typ++ {
+		sum += r.Count(typ)
+	}
+	if sum != goroutines*perG {
+		t.Fatalf("type counts sum to %d, want %d", sum, goroutines*perG)
+	}
+	// A writer lapped mid-publish can leave its slot torn with a stale
+	// seq (at most one per goroutine, from its final interleaving), so
+	// the quiesced ring holds at least Cap - goroutines decodable events.
+	events := r.Snapshot()
+	if len(events) < r.Cap()-goroutines {
+		t.Fatalf("Snapshot len = %d, want at least %d", len(events), r.Cap()-goroutines)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("snapshot out of order at %d: %d after %d", i, events[i].Seq, events[i-1].Seq)
+		}
+	}
+}

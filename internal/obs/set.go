@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Op indexes the fixed set of latency histograms a database maintains.
+type Op uint8
+
+// Histogram indices. NumOps bounds the fixed array, so adding an op is
+// a one-line change and recording never consults a map.
+const (
+	OpGet Op = iota
+	OpInsert
+	OpUpdate
+	OpDelete
+	OpScan
+	OpCommit
+	OpInsertBatch
+	OpReorgUnit     // one reorganization unit, begin to end
+	OpUserLockWait  // a user transaction blocked in the lock manager
+	OpReorgLockWait // the reorganizer blocked in the lock manager
+	OpForgoWait     // a descent's instant-RS wait after forgoing on RX
+
+	NumOps
+)
+
+// String names the op for reports and JSON keys.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	case OpCommit:
+		return "commit"
+	case OpInsertBatch:
+		return "insert_batch"
+	case OpReorgUnit:
+		return "reorg_unit"
+	case OpUserLockWait:
+		return "lock_wait_user"
+	case OpReorgLockWait:
+		return "lock_wait_reorg"
+	case OpForgoWait:
+		return "forgo_wait"
+	default:
+		return "unknown"
+	}
+}
+
+// Set bundles one database's observability state: the per-op latency
+// histograms, the trace ring, and the logical-write accumulator that
+// write-amplification is computed against. Subsystems hold pre-resolved
+// handles (*Histogram, *Ring) obtained once at wiring time, so the hot
+// paths never look anything up.
+type Set struct {
+	hists        [NumOps]Histogram
+	trace        *Ring
+	logicalBytes atomic.Int64
+}
+
+// NewSet returns a Set with a trace ring of the given capacity
+// (0 selects DefaultTraceCap).
+func NewSet(traceCap int) *Set {
+	return &Set{trace: NewRing(traceCap)}
+}
+
+// H returns the pre-resolvable handle for op's histogram.
+func (s *Set) H(op Op) *Histogram { return &s.hists[op] }
+
+// Trace returns the event ring.
+func (s *Set) Trace() *Ring { return s.trace }
+
+// AddLogicalBytes accounts n logical payload bytes written by the
+// application (key+value on insert/update, key on delete) — the
+// denominator of write amplification.
+func (s *Set) AddLogicalBytes(n int) { s.logicalBytes.Add(int64(n)) }
+
+// LogicalBytes returns the accumulated logical write volume.
+func (s *Set) LogicalBytes() int64 { return s.logicalBytes.Load() }
+
+// QuantileRow is one histogram's summary line.
+type QuantileRow struct {
+	Op    string        `json:"op"`
+	Count uint64        `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Quantiles summarises every histogram that has recorded at least one
+// sample.
+func (s *Set) Quantiles() []QuantileRow {
+	out := make([]QuantileRow, 0, NumOps)
+	for op := Op(0); op < NumOps; op++ {
+		snap := s.hists[op].Snapshot()
+		if snap.Total == 0 {
+			continue
+		}
+		out = append(out, QuantileRow{
+			Op:    op.String(),
+			Count: snap.Total,
+			P50:   snap.Quantile(0.50),
+			P90:   snap.Quantile(0.90),
+			P99:   snap.Quantile(0.99),
+			P999:  snap.Quantile(0.999),
+			Max:   snap.Max(),
+		})
+	}
+	return out
+}

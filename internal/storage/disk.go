@@ -24,22 +24,47 @@ type IOStats struct {
 	Fsyncs       atomic.Int64
 }
 
-// Snapshot returns the current counter values.
-func (s *IOStats) Snapshot() (reads, writes int64) {
-	return s.Reads.Load(), s.Writes.Load()
+// IOSnapshot is a point-in-time view of every I/O counter. Each field
+// is read individually atomically; exact cross-counter consistency is
+// not needed by any consumer. The struct is the versioning mechanism:
+// new counters become new fields, not new numbered methods.
+type IOSnapshot struct {
+	Reads        int64 `json:"reads"`
+	Writes       int64 `json:"writes"`
+	Seeks        int64 `json:"seeks"`
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+	Fsyncs       int64 `json:"fsyncs"`
 }
 
-// Snapshot3 returns reads, writes and seeks in one consistent-enough
-// view (each counter is individually atomic; exact cross-counter
-// consistency is not needed by any consumer).
+// Snapshot returns the current counter values.
+func (s *IOStats) Snapshot() IOSnapshot {
+	return IOSnapshot{
+		Reads:        s.Reads.Load(),
+		Writes:       s.Writes.Load(),
+		Seeks:        s.Seeks.Load(),
+		BytesRead:    s.BytesRead.Load(),
+		BytesWritten: s.BytesWritten.Load(),
+		Fsyncs:       s.Fsyncs.Load(),
+	}
+}
+
+// Snapshot3 returns reads, writes and seeks.
+//
+// Deprecated: use Snapshot, which returns every counter in one struct
+// instead of sprouting numbered variants.
 func (s *IOStats) Snapshot3() (reads, writes, seeks int64) {
-	return s.Reads.Load(), s.Writes.Load(), s.Seeks.Load()
+	v := s.Snapshot()
+	return v.Reads, v.Writes, v.Seeks
 }
 
 // Bytes returns the media byte counters: bytes read, bytes written and
 // fsyncs issued.
+//
+// Deprecated: use Snapshot.
 func (s *IOStats) Bytes() (read, written, fsyncs int64) {
-	return s.BytesRead.Load(), s.BytesWritten.Load(), s.Fsyncs.Load()
+	v := s.Snapshot()
+	return v.BytesRead, v.BytesWritten, v.Fsyncs
 }
 
 // Disk is stable storage: whatever Write (and MarkFree) has made

@@ -12,15 +12,15 @@ func TestMarkFreeStampsFreeImage(t *testing.T) {
 	if err := d.Write(5, img); err != nil {
 		t.Fatal(err)
 	}
-	r0, w0 := d.Stats().Snapshot()
+	s0 := d.Stats().Snapshot()
 
 	d.MarkFree(5, 7)
 
 	// Freeing is an allocation-bitmap update, not a page transfer: no
 	// data I/O may be charged.
-	r1, w1 := d.Stats().Snapshot()
-	if r1 != r0 || w1 != w0 {
-		t.Errorf("MarkFree charged I/O: reads %d->%d writes %d->%d", r0, r1, w0, w1)
+	s1 := d.Stats().Snapshot()
+	if s1.Reads != s0.Reads || s1.Writes != s0.Writes {
+		t.Errorf("MarkFree charged I/O: reads %d->%d writes %d->%d", s0.Reads, s1.Reads, s0.Writes, s1.Writes)
 	}
 	got := make(Page, MinPageSize)
 	if err := d.Read(5, got); err != nil {
@@ -61,9 +61,9 @@ func TestScanTypes(t *testing.T) {
 	write(4, PageInternal) // page 3 never written
 	d.MarkFree(2, 5)       // freed after use
 
-	r0, _ := d.Stats().Snapshot()
+	r0 := d.Stats().Snapshot().Reads
 	types := d.ScanTypes()
-	if r1, _ := d.Stats().Snapshot(); r1 != r0 {
+	if r1 := d.Stats().Snapshot().Reads; r1 != r0 {
 		t.Errorf("ScanTypes charged %d reads (stands in for the allocation bitmap)", r1-r0)
 	}
 	want := []PageType{PageFree, PageAnchor, PageFree, PageFree, PageInternal}

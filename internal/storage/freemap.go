@@ -156,3 +156,46 @@ func (f *FreeMap) FreeIDs() []PageID {
 
 // HighWater returns one past the largest id ever allocated.
 func (f *FreeMap) HighWater() PageID { return f.highWater }
+
+// FreeMapStats summarises allocation state and free-space fragmentation
+// below the high-water mark: how many pages are free, how many maximal
+// runs of consecutive free pages they form, and the largest such run.
+// One giant run means the extent is compact; many short runs mean the
+// free space is shredded into holes no batch allocation can use.
+type FreeMapStats struct {
+	HighWater      int `json:"high_water_pages"`
+	Allocated      int `json:"allocated_pages"`
+	Free           int `json:"free_pages"`
+	FreeRuns       int `json:"free_runs"`
+	LargestFreeRun int `json:"largest_free_run"`
+}
+
+// Stats computes a FreeMapStats by scanning the bitset (one pass, 64
+// ids per word). Not safe for concurrent use; callers go through
+// Pager.FreeMapStats, which takes the allocation lock.
+func (f *FreeMap) Stats() FreeMapStats {
+	st := FreeMapStats{HighWater: int(f.highWater)}
+	run := 0
+	for id := PageID(1); id < f.highWater; id++ {
+		if f.isSet(id) {
+			st.Allocated++
+			if run > 0 {
+				st.FreeRuns++
+				if run > st.LargestFreeRun {
+					st.LargestFreeRun = run
+				}
+				run = 0
+			}
+		} else {
+			st.Free++
+			run++
+		}
+	}
+	if run > 0 {
+		st.FreeRuns++
+		if run > st.LargestFreeRun {
+			st.LargestFreeRun = run
+		}
+	}
+	return st
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/invariant"
+	"repro/internal/obs"
 )
 
 // ErrIO reports a permanent I/O failure: every retry of a transient
@@ -138,6 +139,10 @@ type Pager struct {
 	pins invariant.Pins
 
 	stats PoolStats
+
+	// ring receives eviction trace events (nil when no observer is
+	// wired). Set once before the pool sees traffic.
+	ring *obs.Ring
 }
 
 // shardCountFor picks a power-of-two shard count: wide for unbounded
@@ -190,6 +195,10 @@ func (p *Pager) injector() *fault.Injector { return p.inj.Load() }
 
 // Stats exposes the pool's concurrency counters.
 func (p *Pager) Stats() *PoolStats { return &p.stats }
+
+// SetObserver wires the trace ring the pool emits eviction events into
+// (nil disables tracing). Call before the pool sees traffic.
+func (p *Pager) SetObserver(ring *obs.Ring) { p.ring = ring }
 
 // ShardCount reports the page-table fan-out (observability).
 func (p *Pager) ShardCount() int { return len(p.shards) }
@@ -306,6 +315,17 @@ func (p *Pager) PageSize() int { return p.disk.PageSize() }
 // take the allocation lock.
 func (p *Pager) FreeMap() *FreeMap {
 	return p.free
+}
+
+// FreeMapStats computes allocation and free-space-fragmentation
+// statistics under the allocation lock (the occupancy gauges read it
+// on a live system).
+func (p *Pager) FreeMapStats() FreeMapStats {
+	p.allocMu.Lock()
+	invariant.LockAcquire("storage.alloc")
+	defer p.allocMu.Unlock()
+	defer invariant.LockRelease("storage.alloc")
+	return p.free.Stats()
 }
 
 // FirstFreeIn returns the lowest free page id in the open interval
@@ -471,22 +491,29 @@ func (p *Pager) makeRoom(sh *shard) (held, grow bool) {
 	sh.unlock()
 
 	var flushErr error
+	wasDirty := uint64(0)
 	faulted := p.injector().Hit(fault.PagerEvict) != nil
 	if !faulted && f.dirty.Load() {
 		flushErr = p.flushFrame(f, make(map[PageID]bool))
 		if flushErr == nil {
 			p.stats.DirtyEvictions.Add(1)
+			wasDirty = 1
 		}
 	}
 
 	sh.lock(&p.stats)
 	f.evicting = false
+	evicted := false
 	if !faulted && flushErr == nil &&
 		f.pin.Load() == 0 && !f.dirty.Load() && sh.frames[f.id] == f {
 		sh.remove(f)
 		p.stats.Evictions.Add(1)
+		evicted = true
 	}
 	sh.unlock()
+	if evicted && p.ring != nil {
+		p.ring.Emit(obs.EvPageEvict, uint64(f.id), wasDirty)
+	}
 	return false, faulted || flushErr != nil
 }
 

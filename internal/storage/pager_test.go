@@ -39,9 +39,9 @@ func TestDiskReadWrite(t *testing.T) {
 	if got.ID() != 3 || got.LSN() != 9 || got.Type() != PageLeaf {
 		t.Errorf("round trip lost header: id=%d lsn=%d type=%v", got.ID(), got.LSN(), got.Type())
 	}
-	r, w := d.Stats().Snapshot()
-	if r != 1 || w != 1 {
-		t.Errorf("stats = %d reads %d writes, want 1/1", r, w)
+	s := d.Stats().Snapshot()
+	if s.Reads != 1 || s.Writes != 1 {
+		t.Errorf("stats = %d reads %d writes, want 1/1", s.Reads, s.Writes)
 	}
 }
 
@@ -189,7 +189,7 @@ func TestPagerEvictionWritesBack(t *testing.T) {
 		}
 		p.Unfix(f)
 	}
-	if _, w := d.Stats().Snapshot(); w == 0 {
+	if d.Stats().Snapshot().Writes == 0 {
 		t.Error("eviction never wrote to disk")
 	}
 }

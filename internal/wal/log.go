@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -75,6 +76,11 @@ type Log struct {
 	bytesForced   atomic.Int64
 	groupLeaders  atomic.Int64
 	forcesSaved   atomic.Int64 // waiters whose force was absorbed by a leader
+
+	// ring receives group-flush, rotation and truncation trace events
+	// (nil when no observer is wired). Emitting under l.mu is fine:
+	// Emit is wait-free and never does I/O.
+	ring *obs.Ring
 }
 
 // NewLog returns an empty in-memory log.
@@ -113,6 +119,14 @@ func (l *Log) SetInjector(in *fault.Injector) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.inj = in
+}
+
+// SetObserver wires the trace ring the log emits events into (nil
+// disables tracing). Call before the log sees traffic.
+func (l *Log) SetObserver(ring *obs.Ring) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ring = ring
 }
 
 // SetGroupCommitWindow configures how long a commit leader waits (off
@@ -304,7 +318,9 @@ func (l *Log) forceLocked() error {
 			}
 		})
 		if err == nil {
+			segsBefore := int64(0)
 			if l.seg != nil {
+				segsBefore = l.seg.segmentsCreated
 				// Real device: frame and fsync the tail (rotating between
 				// records as segments fill). A write/sync failure here is a
 				// log-device failure and fails the force outright.
@@ -316,9 +332,17 @@ func (l *Log) forceLocked() error {
 			// buffer models a single forced write of the log tail. Records
 			// appended while a leader waited out the window (or a backoff)
 			// ride along here — that is the group commit.
-			l.bytesForced.Add(int64(len(l.buf) - l.flushed))
+			forced := int64(len(l.buf) - l.flushed)
+			l.bytesForced.Add(forced)
 			l.flushed = len(l.buf)
 			l.forcedWrites.Add(1)
+			if l.ring != nil {
+				l.ring.Emit(obs.EvGroupFlush, uint64(forced), uint64(l.forcesSaved.Load()))
+				if l.seg != nil && l.seg.segmentsCreated > segsBefore {
+					l.ring.Emit(obs.EvWALRotate,
+						uint64(l.seg.segmentsCreated), uint64(len(l.seg.segments)))
+				}
+			}
 			return nil
 		}
 		if !fault.IsTransient(err) {
@@ -394,6 +418,7 @@ func (l *Log) TruncateBelow(horizon LSN) error {
 	if l.seg == nil || horizon <= l.base {
 		return nil
 	}
+	deletedBefore := l.seg.segmentsDeleted
 	newBase, err := l.seg.retain(horizon)
 	if err != nil {
 		return err
@@ -403,6 +428,10 @@ func (l *Log) TruncateBelow(horizon LSN) error {
 		l.buf = append([]byte(nil), l.buf[drop:]...)
 		l.flushed -= drop
 		l.base = newBase - 1
+	}
+	if l.ring != nil && l.seg.segmentsDeleted > deletedBefore {
+		l.ring.Emit(obs.EvWALTruncate,
+			uint64(l.seg.segmentsDeleted-deletedBefore), newBase)
 	}
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/kv"
+	"repro/internal/obs"
 )
 
 // Key formats record key i (zero-padded so byte order == numeric
@@ -169,6 +170,27 @@ func (c ClientStats) AvgLatency() time.Duration {
 	return time.Duration(c.TotalNanos / c.Ops)
 }
 
+// ClientOpts parameterises RunClientsOpts beyond the positional
+// RunClients arguments: key distribution and latency capture.
+type ClientOpts struct {
+	Clients      int
+	OpsPerClient int // <= 0: run until stop closes
+	Mix          Mix
+	KeySpace     int
+	ValueSize    int
+	// ZipfS > 1 draws keys Zipfian (stdlib rand.Zipf with parameters
+	// s = ZipfS, v = ZipfV, capped at KeySpace-1) instead of uniformly:
+	// a small set of hot keys absorbs most operations, which is what
+	// makes tail latency under a concurrent reorganization visible.
+	// ZipfV < 1 is treated as 1. ZipfS == 0 keeps the uniform draw.
+	ZipfS, ZipfV float64
+	// Obs, when non-nil, receives one latency sample per operation into
+	// the histogram matching its kind (get/insert/update/scan). Passing
+	// a fresh Set gives the caller a measurement window isolated from
+	// load-phase traffic, unlike the DB's own cumulative histograms.
+	Obs *obs.Set
+}
+
 // RunClients drives `clients` goroutines issuing the mix against the
 // store until stop is closed (or opsPerClient is reached when > 0).
 // Keys are drawn uniformly from [0, keySpace); inserts use fresh keys
@@ -176,6 +198,16 @@ func (c ClientStats) AvgLatency() time.Duration {
 // successful (retried) operations, so Errors counts real failures only.
 func RunClients(s Store, clients int, opsPerClient int, mix Mix,
 	keySpace int, valueSize int, stop <-chan struct{}) ClientStats {
+	return RunClientsOpts(s, ClientOpts{Clients: clients,
+		OpsPerClient: opsPerClient, Mix: mix, KeySpace: keySpace,
+		ValueSize: valueSize}, stop)
+}
+
+// RunClientsOpts is RunClients with a configurable key distribution and
+// optional per-operation latency capture.
+func RunClientsOpts(s Store, o ClientOpts, stop <-chan struct{}) ClientStats {
+	clients, opsPerClient := o.Clients, o.OpsPerClient
+	mix, keySpace, valueSize := o.Mix, o.KeySpace, o.ValueSize
 	// Workers accumulate into typed atomics; the plain ClientStats is
 	// filled in only after Wait, so no field is ever both atomic and
 	// plain (the atomicfield discipline).
@@ -194,6 +226,20 @@ func RunClients(s Store, clients int, opsPerClient int, mix Mix,
 		go func(c int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(c)*7919 + 13))
+			var zipf *rand.Zipf
+			if o.ZipfS > 1 && keySpace > 1 {
+				v := o.ZipfV
+				if v < 1 {
+					v = 1
+				}
+				zipf = rand.NewZipf(rng, o.ZipfS, v, uint64(keySpace-1))
+			}
+			drawKey := func() int {
+				if zipf != nil {
+					return int(zipf.Uint64())
+				}
+				return rng.Intn(keySpace)
+			}
 			for n := 0; opsPerClient <= 0 || n < opsPerClient; n++ {
 				select {
 				case <-stop:
@@ -202,26 +248,31 @@ func RunClients(s Store, clients int, opsPerClient int, mix Mix,
 				}
 				opStart := time.Now()
 				var err error
+				var kind obs.Op
 				p := rng.Intn(100)
 				switch {
 				case p < mix.GetPct:
-					_, gerr := s.Get(Key(rng.Intn(keySpace)))
+					kind = obs.OpGet
+					_, gerr := s.Get(Key(drawKey()))
 					// Missing keys are expected in sparse trees; any
 					// other Get failure is a real error.
 					if gerr != nil && !errors.Is(gerr, kv.ErrNotFound) {
 						err = gerr
 					}
 				case p < mix.GetPct+mix.InsertPct:
+					kind = obs.OpInsert
 					id := int(freshKey.Add(1))
 					err = s.Insert(Key(id), Value(id, valueSize))
 				case p < mix.GetPct+mix.InsertPct+mix.UpdatePct:
-					id := rng.Intn(keySpace)
+					kind = obs.OpUpdate
+					id := drawKey()
 					uerr := s.Update(Key(id), Value(id, valueSize))
 					if uerr != nil {
 						err = nil // missing key: fine
 					}
 				default:
-					lo := rng.Intn(keySpace)
+					kind = obs.OpScan
+					lo := drawKey()
 					count := 0
 					err = s.Scan(Key(lo), Key(lo+100), func(_, _ []byte) bool {
 						count++
@@ -229,6 +280,9 @@ func RunClients(s Store, clients int, opsPerClient int, mix Mix,
 					})
 				}
 				d := time.Since(opStart).Nanoseconds()
+				if o.Obs != nil {
+					o.Obs.H(kind).RecordNanos(d)
+				}
 				acc.ops.Add(1)
 				acc.totalNanos.Add(d)
 				for {
