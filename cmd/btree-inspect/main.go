@@ -25,7 +25,9 @@ import (
 	"strings"
 
 	repro "repro"
+	"repro/internal/daemon"
 	"repro/internal/kv"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -35,6 +37,7 @@ func main() {
 	records := flag.Int("records", 10000, "records to load")
 	keep := flag.Float64("keep", 0.25, "fraction of records kept after sparsification (1 = skip)")
 	reorg := flag.Bool("reorg", false, "run the three-pass reorganization before inspecting")
+	daemonOn := flag.Bool("daemon", false, "reorganize via the autonomous daemon instead: manual ticks drained to quiescence, one line per policy decision")
 	pageSize := flag.Int("pagesize", 4096, "page size in bytes")
 	backend := flag.String("backend", "mem", "storage backend: mem or file")
 	dir := flag.String("dir", "", "file backend: database directory (created or recovered)")
@@ -53,6 +56,23 @@ func main() {
 	}
 
 	opts := repro.Options{PageSize: *pageSize}
+	if *daemonOn {
+		dcfg := daemon.DefaultConfig()
+		dcfg.Manual = true
+		dcfg.Ranges = 8
+		dcfg.MinLeaves = 2
+		dcfg.OnTick = func(info daemon.TickInfo) {
+			d := info.Decision
+			if !d.Run {
+				say("  tick %-3d %-9s\n", info.Tick, d.Reason)
+				return
+			}
+			say("  tick %-3d %-9s [%q, %q) budget=%d ran=%d stopped=%v\n",
+				info.Tick, d.Reason, d.StartKey, d.EndKey, d.MaxUnits,
+				info.Result.UnitsRun, info.Result.Stopped)
+		}
+		opts.Daemon = &dcfg
+	}
 	existing := false
 	switch *backend {
 	case "mem":
@@ -97,6 +117,28 @@ func main() {
 			log.Fatal(err)
 		}
 		say("reorganizer counters:\n%s", m)
+	}
+	if *daemonOn {
+		say("draining the autonomous daemon (manual ticks):\n")
+		d := db.Daemon()
+		idle := 0
+		for ticks := 0; idle < 3; ticks++ {
+			if ticks > 400 {
+				log.Fatalf("daemon never went idle within %d ticks", ticks)
+			}
+			before := d.Metrics().Get(metrics.DaemonIncrements)
+			if err := d.Tick(); err != nil {
+				log.Fatalf("daemon tick: %v", err)
+			}
+			if d.Metrics().Get(metrics.DaemonIncrements) == before {
+				idle++
+			} else {
+				idle = 0
+			}
+		}
+		say("daemon idle after %d units in %d increments\n",
+			d.Metrics().Get(metrics.DaemonUnits),
+			d.Metrics().Get(metrics.DaemonIncrements))
 	}
 	if err := db.Check(); err != nil {
 		log.Fatalf("invariant check: %v", err)

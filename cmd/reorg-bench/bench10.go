@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/experiments"
+)
+
+// bench10Cell is one settled churn wave of one (backend, daemon) cell
+// in BENCH_PR10.json: the occupancy trajectory plus the foreground get
+// quantiles measured while the daemon drained the wave.
+type bench10Cell struct {
+	Backend string  `json:"backend"`
+	Daemon  bool    `json:"daemon"`
+	Wave    int     `json:"wave"`
+	Records int     `json:"records"`
+	Leaves  int     `json:"leaves"`
+	Fill    float64 `json:"fill"`
+	Units   int64   `json:"daemon_units"`
+	Forgoes int64   `json:"forgoes"`
+	Gets    uint64  `json:"gets"`
+	GetP50  int64   `json:"get_p50_ns"`
+	GetP99  int64   `json:"get_p99_ns"`
+}
+
+// bench10Summary is one backend's verdict: the daemon must hold the
+// steady-state occupancy at or above the policy floor while the
+// daemon-off tree decays below it, and foreground get p99 with the
+// daemon working must stay within 3x of the quiescent baseline. The
+// baseline is the median p99 across the daemon-off cell's waves — the
+// same churn phases measured with no daemon at all — so the ratio
+// charges the daemon only for its own contention, not for the churn's.
+type bench10Summary struct {
+	Backend        string  `json:"backend"`
+	FloorFill      float64 `json:"floor_fill"`
+	FinalFillOn    float64 `json:"final_fill_daemon_on"`
+	FinalFillOff   float64 `json:"final_fill_daemon_off"`
+	DaemonUnits    int64   `json:"daemon_units"`
+	QuiescentP99Ns int64   `json:"quiescent_get_p99_ns"` // median over daemon-off waves
+	DaemonP99Ns    int64   `json:"daemon_get_p99_ns"`    // worst daemon-on churn wave
+	P99Ratio       float64 `json:"p99_ratio"`
+	HoldsFloor     bool    `json:"holds_floor"`
+	OffDecays      bool    `json:"off_decays_below_floor"`
+	P99Within3x    bool    `json:"p99_within_3x"`
+}
+
+// bench10Report is the top-level BENCH_PR10.json document.
+type bench10Report struct {
+	Generated   string           `json:"generated"`
+	Records     int              `json:"records"`
+	ValueSize   int              `json:"value_size"`
+	PageSize    int              `json:"page_size"`
+	Seed        int64            `json:"seed"`
+	Waves       int              `json:"waves"`
+	Methodology string           `json:"methodology"`
+	Cells       []bench10Cell    `json:"cells"`
+	Summaries   []bench10Summary `json:"summaries"`
+}
+
+func medianInt64(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// runBench10 runs the E12 cells on both backends and writes
+// BENCH_PR10.json. The summary verdicts are computed but not enforced
+// here — the nightly job reads them and decides.
+func runBench10(records, valueSize, pageSize int, seed int64, outPath string) {
+	fmt.Printf("bench10: running daemon steady-state cells (%d records, 4 cells)...\n", records)
+	p := experiments.Params{Records: records, ValueSize: valueSize,
+		PageSize: pageSize, Seed: seed}
+	cfg := experiments.E12Config{}
+	rows, err := experiments.E12DaemonSteadyState(p, cfg)
+	if err != nil {
+		log.Fatalf("bench10: %v", err)
+	}
+	floor := daemon.DefaultConfig().FloorFill
+	rep := bench10Report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Records:   records, ValueSize: valueSize, PageSize: pageSize,
+		Seed: seed, Waves: 5,
+		Methodology: "per cell: load, then 5 delete-heavy churn waves (region refilled dense then 2/3 deleted, stride-permuted tail inserts); daemon cells drain a manual-mode p99-paced daemon to quiescence after each wave while foreground clients measure get latency; fill is the leaf-weighted average occupancy at each settle point; the p99 ratio compares the worst daemon-on churn wave against the median daemon-off wave (same churn, no daemon)",
+	}
+	for _, r := range rows {
+		rep.Cells = append(rep.Cells, bench10Cell{Backend: r.Backend,
+			Daemon: r.Daemon, Wave: r.Wave, Records: r.Records,
+			Leaves: r.Leaves, Fill: r.Fill, Units: r.Units,
+			Forgoes: r.Forgoes, Gets: r.Gets,
+			GetP50: r.GetP50.Nanoseconds(), GetP99: r.GetP99.Nanoseconds()})
+	}
+
+	for _, backend := range []string{"mem", "file"} {
+		s := bench10Summary{Backend: backend, FloorFill: floor}
+		var offP99s []int64
+		for _, r := range rows {
+			if r.Backend != backend {
+				continue
+			}
+			if r.Daemon {
+				s.FinalFillOn = r.Fill // last wave wins
+				s.DaemonUnits = r.Units
+				if p99 := r.GetP99.Nanoseconds(); r.Wave > 0 && p99 > s.DaemonP99Ns {
+					s.DaemonP99Ns = p99
+				}
+			} else {
+				s.FinalFillOff = r.Fill
+				offP99s = append(offP99s, r.GetP99.Nanoseconds())
+			}
+		}
+		s.QuiescentP99Ns = medianInt64(offP99s)
+		if s.QuiescentP99Ns > 0 {
+			s.P99Ratio = float64(s.DaemonP99Ns) / float64(s.QuiescentP99Ns)
+		}
+		s.HoldsFloor = s.FinalFillOn >= floor
+		s.OffDecays = s.FinalFillOff < floor
+		s.P99Within3x = s.P99Ratio <= 3.0
+		rep.Summaries = append(rep.Summaries, s)
+		fmt.Printf("bench10: %-4s fill on=%.2f off=%.2f (floor %.2f) units=%d p99 quiescent=%dns daemon=%dns ratio=%.2f holds=%v decays=%v within3x=%v\n",
+			backend, s.FinalFillOn, s.FinalFillOff, floor, s.DaemonUnits,
+			s.QuiescentP99Ns, s.DaemonP99Ns, s.P99Ratio,
+			s.HoldsFloor, s.OffDecays, s.P99Within3x)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("bench10: marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		log.Fatalf("bench10: write %s: %v", outPath, err)
+	}
+	fmt.Printf("bench10: wrote %s\n", outPath)
+}

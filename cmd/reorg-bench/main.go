@@ -7,13 +7,14 @@
 //
 // Usage:
 //
-//	reorg-bench [-exp all|e1|e2|...|e11] [-records N] [-pagesize N]
-//	reorg-bench -sweep [-stride N] [-maxruns N] [-backend mem|file] [-dir D]
-//	reorg-bench -check [-seed N] [-histories N] [-crashes N] [-crashhit N] [-backend mem|file]
+//	reorg-bench [-exp all|e1|e2|...|e12] [-records N] [-pagesize N]
+//	reorg-bench -sweep [-stride N] [-maxruns N] [-backend mem|file] [-dir D] [-daemon]
+//	reorg-bench -check [-seed N] [-histories N] [-crashes N] [-crashhit N] [-backend mem|file] [-daemon]
 //	reorg-bench -bench6 [-benchout BENCH_PR6.json]
 //	reorg-bench -bench7 [-bench7out BENCH_PR7.json]
 //	reorg-bench -bench9 [-bench9out BENCH_PR9.json]
 //	reorg-bench -bench9compare [-bench9out BENCH_PR9.json]
+//	reorg-bench -bench10 [-bench10out BENCH_PR10.json]
 //	reorg-bench -tracedump trace.json
 //
 // The -sweep mode runs experiment E5b instead: the exhaustive
@@ -67,7 +68,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1..e10")
+	exp := flag.String("exp", "all", "experiment to run: all, e1..e12")
 	records := flag.Int("records", 20000, "records loaded before sparsification")
 	pageSize := flag.Int("pagesize", 4096, "page size in bytes")
 	valueSize := flag.Int("valuesize", 48, "record value size in bytes")
@@ -83,6 +84,7 @@ func main() {
 	clients := flag.Int("clients", 0, "check: override derived history client count")
 	opsPer := flag.Int("ops", 0, "check: override derived history ops-per-client")
 	noShrink := flag.Bool("noshrink", false, "check: skip shrinking failing histories")
+	daemonOn := flag.Bool("daemon", false, "check/sweep: enable the autonomous-daemon arm")
 	backend := flag.String("backend", "mem", "sweep/check: storage backend (mem or file)")
 	dir := flag.String("dir", "", "file backend: parent directory for run directories (default: system temp)")
 	walSeg := flag.Int64("walseg", 0, "file backend: WAL segment size in bytes (0 = default)")
@@ -93,6 +95,8 @@ func main() {
 	doBench9 := flag.Bool("bench9", false, "run the tail-latency benchmark (E11 cells + observability overhead) and exit")
 	bench9Out := flag.String("bench9out", "BENCH_PR9.json", "bench9: output JSON path; bench9compare: baseline path")
 	doBench9Cmp := flag.Bool("bench9compare", false, "re-measure bench9 and fail on get-p99 regression vs -bench9out")
+	doBench10 := flag.Bool("bench10", false, "run the daemon steady-state benchmark (E12 cells) and exit")
+	bench10Out := flag.String("bench10out", "BENCH_PR10.json", "bench10: output JSON path")
 	traceDump := flag.String("tracedump", "", "reorganize a file-backed tree under load and dump the trace ring as JSON to this path, then exit")
 	flag.Parse()
 
@@ -118,16 +122,20 @@ func main() {
 		runBench9Compare(*records, *valueSize, *pageSize, *seed, *bench9Out)
 		return
 	}
+	if *doBench10 {
+		runBench10(*records, *valueSize, *pageSize, *seed, *bench10Out)
+		return
+	}
 	if *traceDump != "" {
 		runTraceDump(*records, *valueSize, *pageSize, *seed, *traceDump)
 		return
 	}
 	if *doSweep {
-		runSweep(*stride, *maxRuns, *backend, *dir, *walSeg)
+		runSweep(*stride, *maxRuns, *backend, *dir, *walSeg, *daemonOn)
 		return
 	}
 	if *doCheck {
-		runCheck(*seed, *histories, *crashes, *crashHit, *clients, *opsPer, !*noShrink, *backend, *dir)
+		runCheck(*seed, *histories, *crashes, *crashHit, *clients, *opsPer, !*noShrink, *backend, *dir, *daemonOn)
 		return
 	}
 
@@ -220,6 +228,18 @@ func main() {
 		}
 		_, _ = experiments.E11Table(rows).WriteTo(out)
 	}
+	if want("e12") {
+		cfg := experiments.E12Config{Dir: *dir}
+		if *exp != "all" {
+			// An explicit -exp e12 honours -backend; "all" runs both.
+			cfg.Backend = *backend
+		}
+		rows, err := experiments.E12DaemonSteadyState(p, cfg)
+		if err != nil {
+			log.Fatalf("E12: %v", err)
+		}
+		_, _ = experiments.E12Table(rows).WriteTo(out)
+	}
 	fmt.Fprintf(out, "\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
 }
 
@@ -243,12 +263,12 @@ func checkDir(backend, dir string) (string, func()) {
 // runCheck executes the property-check harness. A crashhit > 0 runs a
 // single equivalence crash repro; otherwise the full smoke budget.
 // Exits non-zero on any violation, after printing the repro line.
-func runCheck(seed int64, histories, crashes, crashHit, clients, opsPer int, shrink bool, backend, dir string) {
+func runCheck(seed int64, histories, crashes, crashHit, clients, opsPer int, shrink bool, backend, dir string, daemonOn bool) {
 	start := time.Now()
 	runDir, cleanup := checkDir(backend, dir)
 	defer cleanup()
 	if crashHit > 0 {
-		res, err := check.Equiv(check.EquivConfig{Seed: seed, CrashHit: crashHit, Dir: runDir})
+		res, err := check.Equiv(check.EquivConfig{Seed: seed, CrashHit: crashHit, Dir: runDir, Daemon: daemonOn})
 		if err != nil {
 			log.Fatalf("check: crash repro (seed %d, hit %d): %v", seed, crashHit, err)
 		}
@@ -263,6 +283,7 @@ func runCheck(seed int64, histories, crashes, crashHit, clients, opsPer int, shr
 		CrashSchedules: crashes,
 		Shrink:         shrink,
 		Dir:            runDir,
+		Daemon:         daemonOn,
 		HistoryClients: clients,
 		HistoryOps:     opsPer,
 		Logf:           log.Printf,
@@ -285,8 +306,10 @@ func runCheck(seed int64, histories, crashes, crashHit, clients, opsPer int, shr
 }
 
 // runSweep executes E5b: enumerate every fault-point hit in the
-// scripted workload, then crash at each one and verify recovery.
-func runSweep(stride, maxRuns int, backend, dir string, walSeg int64) {
+// scripted workload, then crash at each one and verify recovery. With
+// daemonOn the workload's reorganization is daemon-driven instead of
+// explicit passes (see sweep.Config.Daemon).
+func runSweep(stride, maxRuns int, backend, dir string, walSeg int64, daemonOn bool) {
 	start := time.Now()
 	res, err := sweep.Run(sweep.Config{
 		Stride:          stride,
@@ -295,6 +318,7 @@ func runSweep(stride, maxRuns int, backend, dir string, walSeg int64) {
 		Backend:         backend,
 		Dir:             dir,
 		WALSegmentBytes: walSeg,
+		Daemon:          daemonOn,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
@@ -302,8 +326,12 @@ func runSweep(stride, maxRuns int, backend, dir string, walSeg int64) {
 	if err != nil {
 		log.Fatalf("sweep: %v", err)
 	}
-	fmt.Printf("\nE5b crash-schedule sweep [%s backend] (%v)\n",
-		backend, time.Since(start).Round(time.Millisecond))
+	shape := "passes"
+	if daemonOn {
+		shape = "daemon"
+	}
+	fmt.Printf("\nE5b crash-schedule sweep [%s backend, %s workload] (%v)\n",
+		backend, shape, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("  fault-point hits enumerated  %d\n", res.TotalHits)
 	fmt.Printf("  distinct fault points        %d\n", len(res.Points))
 	fmt.Printf("  crash runs verified          %d\n", res.CrashRuns)

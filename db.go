@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/fault"
 	"repro/internal/kv"
 	"repro/internal/lock"
@@ -101,6 +102,17 @@ type Options struct {
 	// DB.DebugAddr): /metrics (JSON snapshot), /trace (event ring
 	// dump), /debug/vars (expvar) and /debug/pprof.
 	DebugAddr string
+	// Daemon, when non-nil, wires the autonomous reorganization daemon
+	// (internal/daemon) over this database: a background policy that
+	// watches occupancy and free-map fragmentation and runs incremental
+	// pass-1 reorganization slices, pacing itself against foreground
+	// p99 and the forgo rate. Unless Daemon.Manual is set, the policy
+	// loop starts immediately and Close drains it deterministically.
+	Daemon *daemon.Config
+	// DaemonClock injects the daemon's clock (nil = wall clock). The
+	// simulation tests pass a daemon.VirtualClock so no policy decision
+	// ever depends on real time.
+	DaemonClock daemon.Clock
 }
 
 // ErrIO re-exports the typed permanent I/O error surfaced after the
@@ -152,6 +164,20 @@ type DB struct {
 	reorg *core.Reorganizer
 	inj   *fault.Injector
 
+	// reorgBusy serializes reorganization ownership (guarded by mu):
+	// the manual Reorganize path and the daemon's increments share the
+	// single-reorganizer invariant, so whichever arrives second gets
+	// ErrReorgBusy instead of silently overwriting db.reorg under a
+	// concurrent checkpoint.
+	reorgBusy bool
+
+	// Autonomous reorganization daemon (nil when Options.Daemon unset).
+	// daemonOpts/daemonClk are kept so Restart can rebuild the daemon
+	// against the recovered subsystems.
+	daemon     *daemon.Daemon
+	daemonOpts *daemon.Config
+	daemonClk  daemon.Clock
+
 	// obs is the observability set (nil when disabled); the h* fields
 	// are its pre-resolved histogram handles, so the per-operation cost
 	// is a nil check, two clock reads and one atomic add — never a
@@ -185,7 +211,7 @@ func (db *DB) wireObs() {
 	db.locks.SetObserver(db.obs.H(obs.OpUserLockWait), db.obs.H(obs.OpReorgLockWait), ring)
 	db.log.SetObserver(ring)
 	db.pager.SetObserver(ring)
-	db.tree.SetObserver(db.obs.H(obs.OpForgoWait))
+	db.tree.SetObserver(db.obs.H(obs.OpForgoWait), ring)
 }
 
 // emitRecovery traces what a restart did (phase events carry the
@@ -260,6 +286,7 @@ func Open(opts Options) (*DB, error) {
 		db.tree = res.Tree
 		db.wireObs()
 		db.emitRecovery(res)
+		db.initDaemon(opts)
 		return db, db.startDebug(opts.DebugAddr)
 	}
 	db.pager = storage.NewPager(db.disk, opts.BufferPoolPages, db.log)
@@ -274,7 +301,21 @@ func Open(opts Options) (*DB, error) {
 	}
 	db.tree = tree
 	db.wireObs()
+	db.initDaemon(opts)
 	return db, db.startDebug(opts.DebugAddr)
+}
+
+// initDaemon wires (and, unless manual, starts) the autonomous
+// reorganization daemon. The options are kept so Restart can rebuild
+// it over the recovered subsystems.
+func (db *DB) initDaemon(opts Options) {
+	if opts.Daemon == nil {
+		return
+	}
+	db.daemonOpts = opts.Daemon
+	db.daemonClk = opts.DaemonClock
+	db.daemon = daemon.New(db, *opts.Daemon, opts.DaemonClock, db.inj)
+	db.daemon.Start()
 }
 
 // startDebug launches the observability HTTP endpoint when configured.
@@ -515,8 +556,34 @@ func (db *DB) Count(lo, hi []byte) (int, error) {
 
 // --- reorganization ---
 
+// ErrReorgBusy reports that a reorganization (manual or
+// daemon-initiated) is already running on this database.
+var ErrReorgBusy = errors.New("repro: a reorganization is already running")
+
+// acquireReorg claims the single-reorganizer slot and publishes r for
+// checkpoints; releaseReorg returns the slot. Claiming while another
+// reorganization runs fails with ErrReorgBusy.
+func (db *DB) acquireReorg(r *core.Reorganizer) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.reorgBusy {
+		return ErrReorgBusy
+	}
+	db.reorgBusy = true
+	db.reorg = r
+	return nil
+}
+
+func (db *DB) releaseReorg() {
+	db.mu.Lock()
+	db.reorgBusy = false
+	db.reorg = nil
+	db.mu.Unlock()
+}
+
 // Reorganize runs the configured passes on-line and returns the
-// reorganizer's counters.
+// reorganizer's counters. It fails with ErrReorgBusy while another
+// reorganization (including a daemon increment) is in flight.
 func (db *DB) Reorganize(cfg ReorgConfig) (*metrics.Counters, error) {
 	if cfg.Injector == nil {
 		cfg.Injector = db.inj
@@ -525,15 +592,66 @@ func (db *DB) Reorganize(cfg ReorgConfig) (*metrics.Counters, error) {
 		cfg.Obs = db.obs
 	}
 	r := core.New(db.tree, cfg)
-	db.mu.Lock()
-	db.reorg = r
-	db.mu.Unlock()
+	if err := db.acquireReorg(r); err != nil {
+		return nil, err
+	}
+	defer db.releaseReorg()
 	err := r.Run()
-	db.mu.Lock()
-	db.reorg = nil
-	db.mu.Unlock()
 	return r.Metrics(), err
 }
+
+// RunIncrement implements daemon.System: one bounded pass-1 slice
+// through the regular reorganization machinery, sharing the
+// single-reorganizer slot with Reorganize so concurrent checkpoints
+// include the in-flight unit's reorg table.
+func (db *DB) RunIncrement(inc daemon.Increment) (daemon.RunResult, error) {
+	var target float64
+	if db.daemonOpts != nil {
+		target = db.daemon.Config().TargetFill
+	}
+	cfg := core.Config{TargetFill: target, CarefulWriting: true,
+		StartKey: inc.StartKey, EndKey: inc.EndKey,
+		MaxUnits: inc.MaxUnits, Yield: inc.Yield,
+		Injector: db.inj, Obs: db.obs}
+	r := core.New(db.tree, cfg)
+	if err := db.acquireReorg(r); err != nil {
+		return daemon.RunResult{}, err
+	}
+	defer db.releaseReorg()
+	err := r.CompactLeaves()
+	return daemon.RunResult{Stopped: r.Stopped(), LK: r.LK(),
+		UnitsRun: r.UnitsRun(), MaxUnits: inc.MaxUnits}, err
+}
+
+// GetHistogram implements daemon.System: the cumulative foreground
+// get-latency histogram (nil when observability is off).
+func (db *DB) GetHistogram() *obs.Histogram { return db.hGet }
+
+// ForgoCount implements daemon.System: cumulative reader forgoes.
+func (db *DB) ForgoCount() int64 { return db.locks.Stats().Forgoes.Load() }
+
+// Mutations implements daemon.System: cumulative mutating operations.
+func (db *DB) Mutations() uint64 {
+	if db.obs == nil {
+		return 0
+	}
+	return db.hInsert.Count() + db.hUpdate.Count() +
+		db.hDelete.Count() + db.hBatch.Count()
+}
+
+// TraceRing implements daemon.System: the shared event ring (nil when
+// observability is off).
+func (db *DB) TraceRing() *obs.Ring {
+	if db.obs == nil {
+		return nil
+	}
+	return db.obs.Trace()
+}
+
+// Daemon returns the autonomous reorganization daemon, or nil when
+// Options.Daemon was unset. In manual mode the caller drives it via
+// Daemon().Tick().
+func (db *DB) Daemon() *daemon.Daemon { return db.daemon }
 
 // Reorganizer creates (without running) a reorganizer for fine-grained
 // control — individual passes, crash hooks, metrics.
@@ -600,6 +718,13 @@ func (db *DB) Checkpoint() error {
 // earlier step failed (a read-only directory must not leak
 // descriptors); all failures are joined into the returned error.
 func (db *DB) Close() error {
+	// Stop the reorganization daemon first and deterministically: its
+	// stop signal doubles as every in-flight increment's Yield hook, so
+	// the running slice drains at its next unit boundary before the
+	// pager and log go away underneath it.
+	if db.daemon != nil {
+		db.daemon.Stop()
+	}
 	if db.debug != nil {
 		_ = db.debug.Close()
 		db.debug = nil
@@ -617,6 +742,12 @@ func (db *DB) Close() error {
 // unforced log tail are lost; only the disk and the durable log
 // survive. Call Restart to recover.
 func (db *DB) Crash() {
+	// The daemon does not survive a crash; recovery rebuilds it with
+	// fresh sensor state (Restart).
+	if db.daemon != nil {
+		db.daemon.Stop()
+		db.daemon = nil
+	}
 	db.log.Crash()
 	db.pager.Crash()
 }
@@ -642,6 +773,17 @@ func (db *DB) Restart() (*RestartInfo, error) {
 	db.tree = res.Tree
 	// Recovery rebuilt every observed subsystem: re-install the hooks.
 	db.wireObs()
+	// Any reorganization in flight at the crash died with it (forward
+	// recovery already settled its unit), so the busy slot is free
+	// again; the daemon restarts with fresh sensor state.
+	db.mu.Lock()
+	db.reorgBusy = false
+	db.reorg = nil
+	db.mu.Unlock()
+	if db.daemonOpts != nil {
+		db.daemon = daemon.New(db, *db.daemonOpts, db.daemonClk, db.inj)
+		db.daemon.Start()
+	}
 	db.emitRecovery(res)
 	return res, nil
 }
@@ -709,6 +851,11 @@ func (db *DB) PerfCounters() *metrics.Counters {
 	c.Add(metrics.WALSegsCreated, sc)
 	c.Add(metrics.WALSegsDeleted, sd)
 	c.Add(metrics.WALSegsLive, sl)
+	if db.daemon != nil {
+		for name, v := range db.daemon.Metrics().Snapshot() {
+			c.Add(name, v)
+		}
+	}
 	return c
 }
 

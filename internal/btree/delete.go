@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/kv"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/pageops"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -277,6 +278,9 @@ func (t *Tree) freeLeafSMO(tx *txn.Txn, h freeHint) error {
 	}
 	if err != nil {
 		return fmt.Errorf("btree: free-at-empty of leaf %d: %w", child, err)
+	}
+	if t.ring != nil {
+		t.ring.Emit(obs.EvLeafFree, uint64(child), 0)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/kv"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/pageops"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -320,6 +321,9 @@ func (t *Tree) splitChild(tx *txn.Txn, parent, child *storage.Frame, key []byte)
 		releaseNext()
 		cleanupRight()
 		return nil, fmt.Errorf("btree: apply split of %d: %w", child.ID(), err)
+	}
+	if isLeaf && t.ring != nil {
+		t.ring.Emit(obs.EvLeafSplit, uint64(child.ID()), uint64(rightID))
 	}
 	releaseNext()
 

@@ -105,11 +105,18 @@ type Tree struct {
 	// blocked on the instant-RS wait for the reorganizer (set once at
 	// wiring time, before the tree sees traffic).
 	hForgoWait *obs.Histogram
+	// ring, when non-nil, receives leaf structure-modification events
+	// (EvLeafSplit, EvLeafFree) — the daemon's cheap activity signal
+	// for deciding when the occupancy picture is stale.
+	ring *obs.Ring
 }
 
-// SetObserver wires the tree's forgo-wait histogram (nil disables it).
-// Call before the tree sees traffic.
-func (t *Tree) SetObserver(forgoWait *obs.Histogram) { t.hForgoWait = forgoWait }
+// SetObserver wires the tree's forgo-wait histogram and trace ring
+// (either may be nil to disable). Call before the tree sees traffic.
+func (t *Tree) SetObserver(forgoWait *obs.Histogram, ring *obs.Ring) {
+	t.hForgoWait = forgoWait
+	t.ring = ring
+}
 
 // Create formats a new tree: the anchor at page 1, an internal root,
 // and one empty leaf, all forced to disk.

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro"
+	"repro/internal/daemon"
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/storage"
@@ -38,6 +39,13 @@ type EquivConfig struct {
 	// each in a fresh directory created under Dir (real page file +
 	// WAL segments; crashes recover by re-scanning them).
 	Dir string
+	// Daemon adds a third arm: the same program on a database whose
+	// reorganization is driven by the autonomous daemon (manual ticks,
+	// pacing off) instead of explicit passes. CrashHit then arms the
+	// crash on the daemon arm — including at daemon-initiated unit
+	// boundaries — and the manual arm runs clean; the side-file
+	// assertion stays on the manual arm (the daemon runs pass 1 only).
+	Daemon bool
 }
 
 func (c EquivConfig) withDefaults() EquivConfig {
@@ -78,6 +86,7 @@ type EquivResult struct {
 	Records     int    // final record count (both databases)
 	CrashPoint  string // fault point the armed crash fired at
 	CrashStep   string // program step that was interrupted
+	DaemonUnits int64  // reorg units the daemon arm ran (Daemon only)
 }
 
 // program is the pure, pre-generated op list: everything the run does
@@ -170,12 +179,14 @@ type equivRun struct {
 	result EquivResult
 }
 
-// openEquivDB opens one run's database on the configured backend.
-func openEquivDB(cfg EquivConfig, inj *fault.Injector) (*repro.DB, string, error) {
+// openEquivDB opens one run's database on the configured backend,
+// optionally with the autonomous daemon wired in manual mode.
+func openEquivDB(cfg EquivConfig, inj *fault.Injector, dcfg *daemon.Config) (*repro.DB, string, error) {
 	opts := repro.Options{
 		PageSize:        cfg.PageSize,
 		BufferPoolPages: cfg.BufferPool,
 		FaultInjector:   inj,
+		Daemon:          dcfg,
 	}
 	var dir string
 	if cfg.Dir != "" {
@@ -325,7 +336,7 @@ func (r *equivRun) reorgConfig() repro.ReorgConfig {
 // then crashes once, restarts (redo + forward recovery), re-runs the
 // interrupted step and finishes the program.
 func runReorg(cfg EquivConfig, prog *program, inj *fault.Injector) (*equivRun, error) {
-	db, dir, err := openEquivDB(cfg, inj)
+	db, dir, err := openEquivDB(cfg, inj, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -375,9 +386,97 @@ func runReorg(cfg EquivConfig, prog *program, inj *fault.Injector) (*equivRun, e
 	return r, nil
 }
 
+// daemonDrain ticks the manual daemon until it reports three
+// consecutive ticks without an increment: the policy has gone idle on
+// the current tree. A crash armed at a daemon fault point (or any
+// point the increment hits) panics out of Tick into the step runner's
+// fault.Catch; the drain is idempotent, so the restarted run simply
+// re-enters it.
+func (r *equivRun) daemonDrain() error {
+	idle := 0
+	for ticks := 0; idle < 3; ticks++ {
+		if ticks > 500 {
+			return fmt.Errorf("daemon never went idle within %d ticks", ticks)
+		}
+		d := r.db.Daemon() // re-fetch: a restart rebuilds the daemon
+		before := d.Metrics().Get(metrics.DaemonIncrements)
+		if err := d.Tick(); err != nil {
+			return err
+		}
+		if d.Metrics().Get(metrics.DaemonIncrements) == before {
+			idle++
+		} else {
+			idle = 0
+		}
+	}
+	r.result.DaemonUnits += r.db.Daemon().Metrics().Get(metrics.DaemonUnits)
+	return nil
+}
+
+// runDaemon executes the program on a database whose reorganization is
+// the autonomous daemon's doing: after each mutation segment the
+// harness ticks the manual daemon until the policy goes idle. Catch-up
+// ops apply directly (the daemon runs pass 1 only; there is no pass-3
+// hook to ride). Crash arming works exactly as in runReorg — the
+// schedule indexes the global fault-point hit sequence, which now
+// includes daemon.tick and daemon.unit.start.
+func runDaemon(cfg EquivConfig, prog *program, inj *fault.Injector) (*equivRun, error) {
+	dcfg := daemon.DefaultConfig()
+	dcfg.Manual = true
+	dcfg.Ranges = 8
+	dcfg.UnitsPerTick = 4
+	dcfg.MinLeaves = 2
+	dcfg.TargetFill = cfg.TargetFill
+	db, dir, err := openEquivDB(cfg, inj, &dcfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &equivRun{db: db, dir: dir, prog: prog}
+	startSeq := inj.Seq()
+	if cfg.CrashHit > 0 {
+		inj.ArmCrashAtSeq(startSeq+int64(cfg.CrashHit), cfg.Torn)
+	}
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"load", r.load},
+		{"sparsify", r.sparsify},
+		{"seg1", func() error { return r.segment(prog.seg1) }},
+		{"daemon1", r.daemonDrain},
+		{"catchup", r.applyCatchup},
+		{"seg2", func() error { return r.segment(prog.seg2) }},
+		{"daemon2", r.daemonDrain},
+	}
+	for i := 0; i < len(steps); {
+		crash, err := fault.Catch(steps[i].fn)
+		if err != nil {
+			return r, fmt.Errorf("step %s: %w", steps[i].name, err)
+		}
+		if crash != nil {
+			if r.result.Restarts > 0 {
+				return r, fmt.Errorf("step %s: second crash with injector disarmed", steps[i].name)
+			}
+			inj.Disarm()
+			db.Crash()
+			if _, err := db.Restart(); err != nil {
+				return r, fmt.Errorf("restart after crash in %s: %w", steps[i].name, err)
+			}
+			r.result.Crashed = true
+			r.result.Restarts++
+			r.result.CrashPoint = crash.Point
+			r.result.CrashStep = steps[i].name
+			continue
+		}
+		i++
+	}
+	r.hits = inj.Seq() - startSeq
+	return r, nil
+}
+
 // runReference executes the program without any reorganization.
 func runReference(cfg EquivConfig, prog *program) (*equivRun, error) {
-	db, dir, err := openEquivDB(cfg, nil)
+	db, dir, err := openEquivDB(cfg, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -465,8 +564,16 @@ func Equiv(cfg EquivConfig) (*EquivResult, error) {
 	cfg = cfg.withDefaults()
 	prog := buildProgram(cfg)
 
+	// With the daemon arm enabled, the crash schedule moves onto it:
+	// the manual arm then runs clean on its own injector.
 	inj := fault.New(cfg.Seed)
-	reorgRun, err := runReorg(cfg, prog, inj)
+	reorgCfg := cfg
+	reorgInj := inj
+	if cfg.Daemon {
+		reorgCfg.CrashHit = 0
+		reorgInj = fault.New(cfg.Seed)
+	}
+	reorgRun, err := runReorg(reorgCfg, prog, reorgInj)
 	defer reorgRun.close()
 	if err != nil {
 		return resultOf(reorgRun), fmt.Errorf("reorganizing run: %w", err)
@@ -475,6 +582,15 @@ func Equiv(cfg EquivConfig) (*EquivResult, error) {
 		// The schedule index lies past the run's hit count; the run
 		// completed clean, which is still a valid equivalence check.
 		reorgRun.result.Restarts = 0
+	}
+
+	var daemonRun *equivRun
+	if cfg.Daemon {
+		daemonRun, err = runDaemon(cfg, prog, inj)
+		defer daemonRun.close()
+		if err != nil {
+			return resultOf(daemonRun), fmt.Errorf("daemon run: %w", err)
+		}
 	}
 
 	refRun, err := runReference(cfg, prog)
@@ -507,6 +623,34 @@ func Equiv(cfg EquivConfig) (*EquivResult, error) {
 		return resultOf(reorgRun), fmt.Errorf("reference tree invariants: %w", rep.Err())
 	}
 
+	// The daemon arm must match the model too, hold every invariant,
+	// and — on clean runs — have actually reorganized: a policy that
+	// never triggers on a third-full tree is a broken policy, and a
+	// check that silently stops checking it is worse.
+	if daemonRun != nil {
+		gotDaemon, err := collect(daemonRun.db)
+		if err != nil {
+			return resultOf(daemonRun), err
+		}
+		if err := diffContents("model", "daemon", want, gotDaemon); err != nil {
+			return resultOf(daemonRun), err
+		}
+		if rep := Tree(daemonRun.db); !rep.OK() {
+			return resultOf(daemonRun), fmt.Errorf("daemon tree invariants: %w", rep.Err())
+		}
+		if cfg.CrashHit == 0 && daemonRun.result.DaemonUnits == 0 {
+			return resultOf(daemonRun), fmt.Errorf(
+				"daemon arm ran no reorganization units on a sparse tree")
+		}
+		// Report the daemon arm's crash outcome alongside the manual
+		// arm's side-file evidence.
+		reorgRun.result.Crashed = daemonRun.result.Crashed
+		reorgRun.result.Restarts = daemonRun.result.Restarts
+		reorgRun.result.CrashPoint = daemonRun.result.CrashPoint
+		reorgRun.result.CrashStep = daemonRun.result.CrashStep
+		reorgRun.result.DaemonUnits = daemonRun.result.DaemonUnits
+	}
+
 	// A clean run with catch-up traffic must actually have exercised
 	// the side file — otherwise the suite silently stopped testing §7.2.
 	if cfg.CrashHit == 0 && cfg.CatchupOps > 0 && reorgRun.result.SideApplied == 0 {
@@ -526,11 +670,17 @@ func resultOf(r *equivRun) *EquivResult {
 
 // EquivHits enumerates the fault-point hit count of a clean
 // reorganizing run for cfg — crash schedules index into [1, hits].
+// With cfg.Daemon set it enumerates the daemon arm instead, since that
+// is the arm the schedules then crash.
 func EquivHits(cfg EquivConfig) (int, error) {
 	cfg = cfg.withDefaults()
 	cfg.CrashHit = 0
 	prog := buildProgram(cfg)
-	r, err := runReorg(cfg, prog, fault.New(cfg.Seed))
+	run := runReorg
+	if cfg.Daemon {
+		run = runDaemon
+	}
+	r, err := run(cfg, prog, fault.New(cfg.Seed))
 	defer r.close()
 	if err != nil {
 		return 0, fmt.Errorf("enumeration run: %w", err)

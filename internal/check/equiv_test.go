@@ -63,3 +63,43 @@ func TestEquivWithCrashSchedules(t *testing.T) {
 		}
 	}
 }
+
+func TestEquivDaemonArmClean(t *testing.T) {
+	res, err := check.Equiv(check.EquivConfig{Seed: 5, Daemon: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DaemonUnits == 0 {
+		t.Fatal("daemon arm ran no reorganization units")
+	}
+	if res.SideApplied == 0 {
+		t.Fatal("manual arm stopped exercising the side file")
+	}
+}
+
+func TestEquivDaemonArmCrashSchedules(t *testing.T) {
+	cfg := check.EquivConfig{Seed: 6, Daemon: true}
+	hits, err := check.EquivHits(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits < 20 {
+		t.Fatalf("only %d fault-point hits on the daemon arm", hits)
+	}
+	crashed := 0
+	for i := 0; i < 5; i++ {
+		hit := 1 + i*(hits-1)/4
+		cfg.CrashHit = hit
+		res, err := check.Equiv(cfg)
+		if err != nil {
+			t.Fatalf("daemon crash at hit %d/%d: %v\nrepro: reorg-bench -check -seed 6 -crashhit %d -daemon",
+				hit, hits, err, hit)
+		}
+		if res.Crashed {
+			crashed++
+		}
+	}
+	if crashed == 0 {
+		t.Fatal("no scheduled crash fired on the daemon arm")
+	}
+}

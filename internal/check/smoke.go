@@ -24,6 +24,11 @@ type SmokeConfig struct {
 	// on the file backend, each run in a fresh directory under Dir.
 	// (Histories stay in-memory: they probe concurrency, not media.)
 	Dir string
+	// Daemon runs the equivalence and crash-schedule legs with the
+	// autonomous-daemon arm enabled: the crash schedules then index the
+	// daemon run's fault-point hits, including daemon.tick and
+	// daemon.unit.start.
+	Daemon bool
 	// Logf receives progress output (nil = silent).
 	Logf func(format string, args ...any)
 
@@ -132,15 +137,25 @@ func Smoke(cfg SmokeConfig) (*SmokeResult, error) {
 		logf = func(string, ...any) {}
 	}
 
+	daemonFlag := ""
+	if cfg.Daemon {
+		daemonFlag = " -daemon"
+	}
+
 	// --- clean equivalence + structure oracle on every pass boundary
-	eq, err := Equiv(EquivConfig{Seed: cfg.Seed, Dir: cfg.Dir})
+	eq, err := Equiv(EquivConfig{Seed: cfg.Seed, Dir: cfg.Dir, Daemon: cfg.Daemon})
 	if err != nil {
-		return res, fmt.Errorf("%w\nrepro: reorg-bench -check -seed %d -histories 0 -crashes 0",
-			err, cfg.Seed)
+		return res, fmt.Errorf("%w\nrepro: reorg-bench -check -seed %d -histories 0 -crashes 0%s",
+			err, cfg.Seed, daemonFlag)
 	}
 	res.SideApplied = eq.SideApplied
-	logf("check: clean equivalence ok (%d records, %d side-file applies)",
-		eq.Records, eq.SideApplied)
+	if cfg.Daemon {
+		logf("check: clean equivalence ok (%d records, %d side-file applies, %d daemon units)",
+			eq.Records, eq.SideApplied, eq.DaemonUnits)
+	} else {
+		logf("check: clean equivalence ok (%d records, %d side-file applies)",
+			eq.Records, eq.SideApplied)
+	}
 
 	// --- random concurrent histories
 	for i := 0; i < cfg.Histories; i++ {
@@ -172,10 +187,10 @@ func Smoke(cfg SmokeConfig) (*SmokeResult, error) {
 
 	// --- crash-point equivalence schedules
 	if cfg.CrashSchedules > 0 {
-		hits, err := EquivHits(EquivConfig{Seed: cfg.Seed, Dir: cfg.Dir})
+		hits, err := EquivHits(EquivConfig{Seed: cfg.Seed, Dir: cfg.Dir, Daemon: cfg.Daemon})
 		if err != nil {
-			return res, fmt.Errorf("%w\nrepro: reorg-bench -check -seed %d -histories 0 -crashes 0",
-				err, cfg.Seed)
+			return res, fmt.Errorf("%w\nrepro: reorg-bench -check -seed %d -histories 0 -crashes 0%s",
+				err, cfg.Seed, daemonFlag)
 		}
 		res.Hits = hits
 		denom := cfg.CrashSchedules - 1
@@ -184,9 +199,9 @@ func Smoke(cfg SmokeConfig) (*SmokeResult, error) {
 		}
 		for j := 0; j < cfg.CrashSchedules; j++ {
 			hit := 1 + j*(hits-1)/denom
-			if _, err := Equiv(EquivConfig{Seed: cfg.Seed, CrashHit: hit, Dir: cfg.Dir}); err != nil {
-				return res, fmt.Errorf("crash schedule %d/%d (hit %d of %d): %w\nrepro: reorg-bench -check -seed %d -histories 0 -crashes 0 -crashhit %d",
-					j+1, cfg.CrashSchedules, hit, hits, err, cfg.Seed, hit)
+			if _, err := Equiv(EquivConfig{Seed: cfg.Seed, CrashHit: hit, Dir: cfg.Dir, Daemon: cfg.Daemon}); err != nil {
+				return res, fmt.Errorf("crash schedule %d/%d (hit %d of %d): %w\nrepro: reorg-bench -check -seed %d -histories 0 -crashes 0 -crashhit %d%s",
+					j+1, cfg.CrashSchedules, hit, hits, err, cfg.Seed, hit, daemonFlag)
 			}
 			res.CrashRuns++
 		}

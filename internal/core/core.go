@@ -76,6 +76,22 @@ type Config struct {
 	// StartKey resumes pass 1 from the base page covering this key
 	// (the paper's LK restart position, §5; recovery.Result.ReorgLK).
 	StartKey []byte
+	// EndKey, when set, bounds pass 1: no compaction group STARTS at or
+	// beyond it, and the walk stops cleanly at the first one that
+	// would. The bound is group-granular — the final unit may cover
+	// keys past EndKey by at most one group's span. Combined with
+	// StartKey this turns pass 1 into an incremental range slice (the
+	// daemon's reorganization increment).
+	EndKey []byte
+	// MaxUnits, when > 0, bounds pass 1 to that many executed
+	// compaction units; the walk then stops cleanly at the next unit
+	// boundary (Stopped reports true, LK gives the resume position).
+	MaxUnits int
+	// Yield, when set, is polled at every pass-1 unit boundary; when it
+	// returns true the walk stops cleanly before starting another unit.
+	// This is the daemon's shutdown/backoff seam: no unit is ever
+	// abandoned mid-flight, only not started.
+	Yield func() bool
 	// OnEvent, when set, is invoked at named points of the
 	// reorganization ("compact.begin", "compact.moved",
 	// "compact.modified", "move.begin", "swap.moved", "pass3.base",
@@ -222,6 +238,14 @@ type Reorganizer struct {
 	table    reorgTable
 	nextUnit uint64
 
+	// unitsRun counts compaction units executed by the current
+	// CompactLeaves call; stopped records whether that call ended at a
+	// clean unit boundary (budget, yield, or EndKey) rather than by
+	// reaching the right edge of the tree. Both are touched only by the
+	// reorganizer goroutine.
+	unitsRun int
+	stopped  bool
+
 	// largestFinished is L, the largest finished leaf page id of pass 1
 	// (the left boundary of the Find-Free-Space interval).
 	largestFinished storage.PageID
@@ -271,6 +295,36 @@ func (r *Reorganizer) SetNextUnit(u uint64) {
 	if u > r.nextUnit {
 		r.nextUnit = u
 	}
+}
+
+// LK returns the largest key of the last finished reorganization unit
+// (the paper's LK), or nil if no unit has finished. It is the resume
+// position for an incremental run that Stopped before the tree's end.
+func (r *Reorganizer) LK() []byte {
+	r.table.mu.Lock()
+	defer r.table.mu.Unlock()
+	if !r.table.hasLK {
+		return nil
+	}
+	return append([]byte(nil), r.table.lk...)
+}
+
+// Stopped reports whether the last CompactLeaves call ended early at a
+// clean unit boundary (MaxUnits exhausted, Yield asked, or EndKey
+// reached) instead of walking off the right edge of the tree.
+func (r *Reorganizer) Stopped() bool { return r.stopped }
+
+// UnitsRun returns the number of compaction units the last
+// CompactLeaves call executed.
+func (r *Reorganizer) UnitsRun() int { return r.unitsRun }
+
+// stopHere reports whether pass 1 should stop before starting another
+// unit: the per-run unit budget is spent or the yield hook asks.
+func (r *Reorganizer) stopHere() bool {
+	if r.cfg.MaxUnits > 0 && r.unitsRun >= r.cfg.MaxUnits {
+		return true
+	}
+	return r.cfg.Yield != nil && r.cfg.Yield()
 }
 
 // Run executes the configured passes in order: compact, swap, rebuild.

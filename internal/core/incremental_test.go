@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestPass1IncrementalBudget drives pass 1 in MaxUnits-bounded slices,
+// resuming each slice from the previous one's LK, and checks the
+// sequence converges to the same compacted tree a single full pass
+// would produce.
+func TestPass1IncrementalBudget(t *testing.T) {
+	e := newEnv(t, 1024)
+	const n, keep = 2000, 4
+	makeSparse(t, e, n, keep)
+	before, err := e.tree.GatherStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var start []byte
+	totalUnits := 0
+	slices := 0
+	for {
+		cfg := Config{TargetFill: 0.9, CarefulWriting: true,
+			StartKey: start, MaxUnits: 2}
+		r := New(e.tree, cfg)
+		if err := r.CompactLeaves(); err != nil {
+			t.Fatalf("slice %d: %v", slices, err)
+		}
+		totalUnits += r.UnitsRun()
+		slices++
+		if slices > n {
+			t.Fatal("incremental pass 1 did not converge")
+		}
+		if !r.Stopped() {
+			break // walked off the right edge: done
+		}
+		if r.UnitsRun() == 0 {
+			t.Fatalf("slice %d stopped without executing a unit", slices-1)
+		}
+		if lk := r.LK(); lk != nil {
+			start = lk
+		}
+	}
+	if slices < 2 {
+		t.Fatalf("expected multiple budgeted slices, got %d", slices)
+	}
+	if totalUnits == 0 {
+		t.Fatal("no compaction units ran")
+	}
+	if err := e.tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.tree.GatherStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.LeafPages >= before.LeafPages {
+		t.Errorf("compaction did not reduce leaves: %d -> %d", before.LeafPages, after.LeafPages)
+	}
+	if after.AvgLeafFill <= before.AvgLeafFill {
+		t.Errorf("fill did not improve: %.3f -> %.3f", before.AvgLeafFill, after.AvgLeafFill)
+	}
+	checkRecords(t, e, sparsePresent(keep), n)
+}
+
+// TestPass1YieldStopsAtUnitBoundary checks a yield hook stops the walk
+// cleanly: no units start after the hook flips, the tree stays valid,
+// and no records are lost.
+func TestPass1YieldStopsAtUnitBoundary(t *testing.T) {
+	e := newEnv(t, 1024)
+	const n, keep = 1200, 4
+	makeSparse(t, e, n, keep)
+
+	units := 0
+	r := New(e.tree, Config{TargetFill: 0.9, CarefulWriting: true,
+		Yield: func() bool { return units >= 1 },
+		OnEvent: func(stage string) error {
+			if stage == "compact.end" {
+				units++
+			}
+			return nil
+		}})
+	if err := r.CompactLeaves(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Stopped() {
+		t.Error("yielded run not reported as stopped")
+	}
+	if r.UnitsRun() != 1 {
+		t.Errorf("units after yield: got %d, want 1", r.UnitsRun())
+	}
+	if r.LK() == nil {
+		t.Error("no LK after a finished unit")
+	}
+	if err := e.tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, e, sparsePresent(keep), n)
+}
+
+// TestPass1EndKeyBoundsRange checks EndKey stops the walk cleanly and
+// leaves real work behind: a resumed, unbounded run still finds units
+// to execute, and the two runs together finish the whole tree.
+func TestPass1EndKeyBoundsRange(t *testing.T) {
+	e := newEnv(t, 1024)
+	const n, keep = 2000, 4
+	makeSparse(t, e, n, keep)
+	end := key(n / 2)
+
+	r := New(e.tree, Config{TargetFill: 0.9, CarefulWriting: true, EndKey: end})
+	if err := r.CompactLeaves(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Stopped() {
+		t.Error("EndKey-bounded run not reported as stopped")
+	}
+	if r.UnitsRun() == 0 {
+		t.Fatal("no units ran below EndKey")
+	}
+	lk := r.LK()
+	if lk == nil {
+		t.Fatal("no LK after bounded run")
+	}
+	// The bound is group-granular: the last unit may extend past EndKey
+	// by one group, but the NEXT group would have started at or beyond
+	// EndKey, so the upper half of the tree is untouched and a resumed
+	// run still has units to execute there.
+	r2 := New(e.tree, Config{TargetFill: 0.9, CarefulWriting: true, StartKey: lk})
+	if err := r2.CompactLeaves(); err != nil {
+		t.Fatal(err)
+	}
+	if r2.UnitsRun() == 0 {
+		t.Error("EndKey bound left no work for the resumed run")
+	}
+	if r2.Stopped() {
+		t.Error("unbounded resumed run reported stopped")
+	}
+	if err := e.tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, e, sparsePresent(keep), n)
+}
+
+// TestPass1ImmediateYield checks a hook that yields before any unit
+// leaves the tree untouched and reports no progress.
+func TestPass1ImmediateYield(t *testing.T) {
+	e := newEnv(t, 1024)
+	makeSparse(t, e, 600, 4)
+	r := New(e.tree, Config{TargetFill: 0.9, Yield: func() bool { return true }})
+	if err := r.CompactLeaves(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Stopped() || r.UnitsRun() != 0 {
+		t.Errorf("immediate yield: stopped=%v units=%d", r.Stopped(), r.UnitsRun())
+	}
+	if r.LK() != nil {
+		t.Errorf("LK set with no finished units: %q", r.LK())
+	}
+	if err := e.tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

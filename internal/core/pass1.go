@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
@@ -38,6 +39,8 @@ func (r *Reorganizer) CompactLeaves() error {
 	owner := r.owner
 	locks := r.tree.Locks()
 	var err error
+	r.unitsRun = 0
+	r.stopped = false
 	_, epoch := r.tree.Root()
 	if err := locks.Lock(owner, lock.TreeRes(epoch), lock.IX); err != nil {
 		return fmt.Errorf("pass1 tree IX: %w", err)
@@ -66,6 +69,9 @@ func (r *Reorganizer) CompactLeaves() error {
 			lowMark = entries[0].key
 		}
 		r.tree.ReleaseBase(owner, base)
+		if r.stopped {
+			return nil
+		}
 		rootID, _ := r.tree.Root()
 		base, err = r.nextBase(rootID, lowMark, lock.R)
 		if err != nil {
@@ -82,6 +88,16 @@ func (r *Reorganizer) compactBase(base *storage.Frame, entries []baseEntry) erro
 	i := 0
 	retries := 0
 	for i < len(entries) {
+		// Unit boundary: stop cleanly when the increment's key range,
+		// unit budget, or yield hook says so. No unit is in flight here.
+		if len(r.cfg.EndKey) > 0 && bytes.Compare(entries[i].key, r.cfg.EndKey) >= 0 {
+			r.stopped = true
+			return nil
+		}
+		if r.stopHere() {
+			r.stopped = true
+			return nil
+		}
 		group, frames, total, err := r.acquireGroup(entries, i, capacity)
 		if err != nil {
 			if errors.Is(err, errUnitAborted) {
@@ -122,6 +138,8 @@ func (r *Reorganizer) compactBase(base *storage.Frame, entries []baseEntry) erro
 			if !errors.Is(err, errUnitAborted) {
 				return err
 			}
+		} else {
+			r.unitsRun++
 		}
 		retries = 0
 		i += len(group)

@@ -1,0 +1,92 @@
+package daemon
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the daemon so every policy decision is
+// replayable: production uses WallClock, the simulation tests drive a
+// VirtualClock by hand and never sleep.
+type Clock interface {
+	Now() time.Time
+	// After returns a channel that delivers one tick once d has
+	// elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+}
+
+// WallClock is the real time.
+type WallClock struct{}
+
+// Now returns time.Now.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// After defers to time.After.
+func (WallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// VirtualClock is a manually advanced clock. Now returns the virtual
+// time; After registers a timer that fires when Advance moves the
+// clock past its deadline. The zero value starts at the zero time and
+// is ready to use.
+type VirtualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []vtimer
+}
+
+type vtimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewVirtualClock returns a virtual clock starting at start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After registers a one-shot timer d from the current virtual time.
+func (c *VirtualClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	t := vtimer{at: c.now.Add(d), ch: ch}
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.timers = append(c.timers, t)
+	return ch
+}
+
+// Waiters returns how many registered timers have not fired yet. Tests
+// driving a background loop use it to know the loop has parked on
+// After before calling Advance.
+func (c *VirtualClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+// Advance moves the virtual time forward by d and fires every timer
+// whose deadline has been reached, in registration order.
+func (c *VirtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	kept := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.at.After(c.now) {
+			t.ch <- c.now
+			continue
+		}
+		kept = append(kept, t)
+	}
+	c.timers = kept
+}

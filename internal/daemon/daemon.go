@@ -1,0 +1,297 @@
+// Package daemon is the autonomous reorganization policy: a background
+// process that watches per-key-range occupancy and free-map
+// fragmentation through the observability layer, triggers incremental
+// pass-1 reorganization slices when a range decays below a
+// Bender-style sparsity floor, and paces itself against foreground
+// tail latency and the forgo rate. Everything time- or
+// schedule-dependent is injectable — the clock (Clock), the scheduler
+// seams (fault points daemon.tick / daemon.unit.start), and the system
+// under management (System) — so every policy decision is replayable
+// from a seed, in the same discipline internal/fault and
+// internal/check enforce for crashes.
+package daemon
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// Increment parameterizes one incremental reorganization slice (a
+// bounded pass-1 run; see core.Config StartKey/EndKey/MaxUnits/Yield).
+type Increment struct {
+	StartKey []byte
+	EndKey   []byte
+	MaxUnits int
+	// Yield is polled at unit boundaries; returning true stops the
+	// slice cleanly (the daemon wires its stop signal here).
+	Yield func() bool
+}
+
+// System is the narrow surface the daemon manages. *repro.DB
+// implements it; the policy tests implement it with a fake.
+type System interface {
+	// Occupancy gathers up to n key-range occupancy gauges plus
+	// free-map statistics (DB.Occupancy).
+	Occupancy(n int) (obs.Occupancy, error)
+	// RunIncrement executes one bounded pass-1 slice through the
+	// reorganization machinery and reports how it ended.
+	RunIncrement(inc Increment) (RunResult, error)
+	// GetHistogram returns the cumulative foreground get-latency
+	// histogram, or nil when latency observation is off.
+	GetHistogram() *obs.Histogram
+	// ForgoCount returns the cumulative reader-forgo counter.
+	ForgoCount() int64
+	// Mutations returns the cumulative count of foreground mutating
+	// operations (inserts, updates, deletes, batches) — the activity
+	// signal structural ring events alone would miss, since a partial
+	// delete leaves no trace event but does change occupancy.
+	Mutations() uint64
+	// TraceRing returns the shared event ring, or nil when tracing is
+	// off. The daemon only reads deltas from it.
+	TraceRing() *obs.Ring
+}
+
+// TickInfo is the per-tick report passed to Config.OnTick.
+type TickInfo struct {
+	Tick     uint64
+	Decision Decision
+	Result   RunResult // zero unless Decision.Run
+	Err      error
+}
+
+// Daemon drives a Policy against a System, either from a background
+// goroutine (Start/Stop) or one tick at a time (Tick, manual mode).
+type Daemon struct {
+	sys System
+	cfg Config
+	clk Clock
+	inj *fault.Injector
+	pol *Policy
+
+	m         *metrics.Counters
+	cTicks    *atomic.Int64
+	cIncr     *atomic.Int64
+	cUnits    *atomic.Int64
+	cBackoffs *atomic.Int64
+	cSkips    *atomic.Int64
+	cErrors   *atomic.Int64
+
+	// Tick-to-tick sensor state (guarded by mu: ticks are serialized).
+	mu        sync.Mutex
+	tick      uint64
+	cursor    uint64
+	prevGet   obs.HistSnapshot
+	prevForgo int64
+	prevMut   uint64
+	scanned   bool
+
+	stopped  atomic.Bool
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	started  atomic.Bool
+}
+
+// New wires a daemon (defaults applied; nil clk selects WallClock, the
+// injector may be nil). The daemon does not run until Start, or until
+// the caller ticks it by hand.
+func New(sys System, cfg Config, clk Clock, inj *fault.Injector) *Daemon {
+	if clk == nil {
+		clk = WallClock{}
+	}
+	m := metrics.New()
+	d := &Daemon{
+		sys: sys, cfg: cfg.withDefaults(), clk: clk, inj: inj,
+		pol:       NewPolicy(cfg),
+		m:         m,
+		cTicks:    m.Handle(metrics.DaemonTicks),
+		cIncr:     m.Handle(metrics.DaemonIncrements),
+		cUnits:    m.Handle(metrics.DaemonUnits),
+		cBackoffs: m.Handle(metrics.DaemonBackoffs),
+		cSkips:    m.Handle(metrics.DaemonSkips),
+		cErrors:   m.Handle(metrics.DaemonErrors),
+		stopCh:    make(chan struct{}),
+		doneCh:    make(chan struct{}),
+	}
+	if ring := sys.TraceRing(); ring != nil {
+		// Start the delta cursor at "now": history predating the daemon
+		// is not activity.
+		d.cursor = ring.Emitted()
+	}
+	return d
+}
+
+// Metrics returns the daemon's counters (merged into DB.PerfCounters).
+func (d *Daemon) Metrics() *metrics.Counters { return d.m }
+
+// Policy returns the decision core (for tests and inspection).
+func (d *Daemon) Policy() *Policy { return d.pol }
+
+// Config returns the effective configuration.
+func (d *Daemon) Config() Config { return d.cfg }
+
+// stopRequested reports whether Stop has been called; it is the Yield
+// hook handed to every increment, so an in-flight slice drains at the
+// next unit boundary.
+func (d *Daemon) stopRequested() bool { return d.stopped.Load() }
+
+// Tick runs one policy cycle: scheduler fault point, sensor reads,
+// decision, and (when ordered) one incremental slice. Safe to call
+// concurrently with foreground traffic; ticks themselves serialize. A
+// crash armed at a daemon fault point propagates as the usual
+// *fault.Crash panic.
+func (d *Daemon) Tick() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped.Load() {
+		return nil
+	}
+	//vet:allow(nolockio) -- d.mu serializes whole ticks by design (Stop drains on it); the fault point is the tick scheduler seam, and a crash panic releases mu via the defer
+	if err := d.inj.Hit(fault.DaemonTick); err != nil {
+		d.cErrors.Add(1)
+		return err
+	}
+	d.tick++
+	d.cTicks.Add(1)
+	in := Inputs{Tick: d.tick}
+
+	// Activity: structural ring events plus foreground mutations since
+	// the last tick. Partial deletes emit no ring event but do change
+	// occupancy, hence the mutation delta. Page evictions are
+	// deliberately NOT counted: they never change occupancy, and the
+	// daemon's own scans evict pages under a small buffer pool — a
+	// self-sustaining signal that would defeat quiescence forever.
+	if ring := d.sys.TraceRing(); ring != nil {
+		evs, cur := ring.Since(d.cursor)
+		d.cursor = cur
+		for _, ev := range evs {
+			switch ev.Type {
+			case obs.EvLeafSplit, obs.EvLeafFree, obs.EvReorgUnitEnd:
+				in.Activity++
+			}
+		}
+	} else {
+		in.Activity = 1 // no ring: never skip the scan
+	}
+	mut := d.sys.Mutations()
+	in.Activity += mut - d.prevMut
+	d.prevMut = mut
+
+	// Pacing sensors: windowed foreground get p99 and forgo delta.
+	if h := d.sys.GetHistogram(); h != nil {
+		cur := h.Snapshot()
+		in.P99 = cur.Sub(d.prevGet).Quantile(0.99)
+		d.prevGet = cur
+	}
+	forgo := d.sys.ForgoCount()
+	in.ForgoDelta = forgo - d.prevForgo
+	d.prevForgo = forgo
+
+	// Occupancy scan — skipped when provably unchanged (no activity,
+	// no active range, and a scan has already been taken).
+	if in.Activity > 0 || d.pol.Active() || !d.scanned {
+		occ, err := d.sys.Occupancy(d.cfg.Ranges)
+		if err != nil {
+			d.cErrors.Add(1)
+			return err
+		}
+		d.scanned = true
+		in.Occ = &occ
+	} else {
+		d.cSkips.Add(1)
+	}
+
+	dec := d.pol.Decide(in)
+	if dec.Reason == ReasonPaced {
+		d.cBackoffs.Add(1)
+	}
+	info := TickInfo{Tick: d.tick, Decision: dec}
+	if dec.Run {
+		//vet:allow(nolockio) -- same seam mid-tick: the unit-start fault point must fire under the serialized tick, exactly where a crash would land in production
+		if err := d.inj.Hit(fault.DaemonUnitStart); err != nil {
+			d.cErrors.Add(1)
+			info.Err = err
+		} else {
+			d.cIncr.Add(1)
+			res, err := d.sys.RunIncrement(Increment{
+				StartKey: dec.StartKey, EndKey: dec.EndKey,
+				MaxUnits: dec.MaxUnits, Yield: d.stopRequested,
+			})
+			d.cUnits.Add(int64(res.UnitsRun))
+			info.Result = res
+			if err != nil {
+				d.cErrors.Add(1)
+				info.Err = err
+			} else {
+				d.pol.Observe(res)
+			}
+			// An increment ran: force the next tick to rescan even if no
+			// ring event surfaces. A 0-unit increment (range done or
+			// barren) emits nothing, and without this the backlog of
+			// other still-sparse ranges would wait for unrelated
+			// foreground activity to re-arm the scan.
+			d.scanned = false
+		}
+	}
+	if d.cfg.OnTick != nil {
+		d.cfg.OnTick(info)
+	}
+	return info.Err
+}
+
+// Start launches the background loop (no-op in manual mode, if already
+// started, or after Stop).
+func (d *Daemon) Start() {
+	if d.cfg.Manual || d.stopped.Load() || !d.started.CompareAndSwap(false, true) {
+		return
+	}
+	go d.loop()
+}
+
+func (d *Daemon) loop() {
+	defer close(d.doneCh)
+	for {
+		t := d.clk.After(d.cfg.Interval)
+		select {
+		case <-d.stopCh:
+			return
+		case <-t:
+		}
+		select {
+		case <-d.stopCh:
+			return
+		default:
+		}
+		// Transient injected errors and scan errors are counted in
+		// daemon.errors; the loop itself keeps running.
+		_ = d.Tick()
+	}
+}
+
+// Stop requests shutdown and waits for the daemon to drain: the stop
+// signal doubles as every in-flight increment's Yield hook, so the
+// running slice finishes its current unit, stops at the boundary, and
+// the loop exits. In manual mode Stop additionally waits for any
+// concurrently running Tick to return, so a caller (DB.Close) knows no
+// increment touches the tree afterwards. Safe to call more than once;
+// after Stop, Tick is a no-op. Deterministic: no unit is ever
+// abandoned mid-flight. Must not be called from inside an OnTick hook
+// or RunIncrement — that tick would be waiting on itself.
+func (d *Daemon) Stop() {
+	d.stopOnce.Do(func() {
+		d.stopped.Store(true)
+		close(d.stopCh)
+	})
+	if d.started.Load() {
+		<-d.doneCh
+	}
+	// Drain a harness-driven tick in flight: once the tick mutex is
+	// free, no slice is running.
+	d.mu.Lock()
+	//lint:ignore SA2001 the critical section IS the synchronization
+	d.mu.Unlock()
+}

@@ -1,0 +1,295 @@
+package daemon
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// fakeSystem is a scripted System: the simulation tests drive the
+// daemon against it with a virtual clock and zero wall-clock sleeps.
+type fakeSystem struct {
+	occ     *obs.Occupancy // what Occupancy returns (copied)
+	occErr  error
+	scans   int
+	incs    []Increment // every RunIncrement call, in order
+	results []RunResult // popped per call; empty = zero result
+	runErr  error
+	hist    *obs.Histogram
+	forgo   int64
+	mut     uint64
+	ring    *obs.Ring
+	// onRun, when set, runs inside RunIncrement (shutdown tests).
+	onRun func(inc Increment) RunResult
+}
+
+func (f *fakeSystem) Occupancy(n int) (obs.Occupancy, error) {
+	f.scans++
+	if f.occErr != nil {
+		return obs.Occupancy{}, f.occErr
+	}
+	if f.occ == nil {
+		return obs.Occupancy{}, nil
+	}
+	return *f.occ, nil
+}
+
+func (f *fakeSystem) RunIncrement(inc Increment) (RunResult, error) {
+	f.incs = append(f.incs, inc)
+	if f.onRun != nil {
+		return f.onRun(inc), f.runErr
+	}
+	var res RunResult
+	if len(f.results) > 0 {
+		res, f.results = f.results[0], f.results[1:]
+	}
+	return res, f.runErr
+}
+
+func (f *fakeSystem) GetHistogram() *obs.Histogram { return f.hist }
+func (f *fakeSystem) ForgoCount() int64            { return f.forgo }
+func (f *fakeSystem) Mutations() uint64            { return f.mut }
+func (f *fakeSystem) TraceRing() *obs.Ring         { return f.ring }
+
+func sparseOcc() *obs.Occupancy {
+	return occ(rangeSpec{"a", "z", 30, 0.3})
+}
+
+func TestDaemonTickRunsIncrementAndCounts(t *testing.T) {
+	sys := &fakeSystem{occ: sparseOcc(),
+		results: []RunResult{{Stopped: true, LK: []byte("m"), UnitsRun: 4, MaxUnits: 4}}}
+	d := New(sys, Config{Manual: true, UnitsPerTick: 4}, NewVirtualClock(time.Time{}), nil)
+	if err := d.Tick(); err != nil {
+		t.Fatalf("tick: %v", err)
+	}
+	if len(sys.incs) != 1 {
+		t.Fatalf("increments = %d, want 1", len(sys.incs))
+	}
+	inc := sys.incs[0]
+	if string(inc.StartKey) != "a" || string(inc.EndKey) != "z" || inc.MaxUnits != 4 {
+		t.Fatalf("increment = %+v, want [a, z) budget 4", inc)
+	}
+	if inc.Yield == nil || inc.Yield() {
+		t.Fatal("Yield must be wired and false while the daemon runs")
+	}
+	m := d.Metrics()
+	if m.Get(metrics.DaemonTicks) != 1 || m.Get(metrics.DaemonIncrements) != 1 ||
+		m.Get(metrics.DaemonUnits) != 4 {
+		t.Fatalf("counters: %v", m.Snapshot())
+	}
+	// Budget was spent: the next tick resumes from LK.
+	sys.results = []RunResult{{Stopped: true, LK: []byte("r"), UnitsRun: 4, MaxUnits: 4}}
+	if err := d.Tick(); err != nil {
+		t.Fatalf("tick 2: %v", err)
+	}
+	if got := string(sys.incs[1].StartKey); got != "m" {
+		t.Fatalf("tick 2 resumed from %q, want m", got)
+	}
+}
+
+func TestDaemonQuiescentScanSkip(t *testing.T) {
+	ring := obs.NewRing(64)
+	sys := &fakeSystem{occ: occ(rangeSpec{"a", "z", 30, 0.9}), ring: ring}
+	d := New(sys, Config{Manual: true}, NewVirtualClock(time.Time{}), nil)
+
+	// First tick always scans (no baseline yet).
+	_ = d.Tick()
+	if sys.scans != 1 {
+		t.Fatalf("scans after tick 1 = %d, want 1", sys.scans)
+	}
+	// Nothing happened: ticks 2 and 3 skip the scan.
+	_ = d.Tick()
+	_ = d.Tick()
+	if sys.scans != 1 {
+		t.Fatalf("scans after quiescent ticks = %d, want 1", sys.scans)
+	}
+	if d.Metrics().Get(metrics.DaemonSkips) != 2 {
+		t.Fatalf("skip counter = %d, want 2", d.Metrics().Get(metrics.DaemonSkips))
+	}
+	// A structural ring event re-arms the scan.
+	ring.Emit(obs.EvLeafSplit, 3, 4)
+	_ = d.Tick()
+	if sys.scans != 2 {
+		t.Fatalf("scans after leaf split = %d, want 2", sys.scans)
+	}
+	// So does a foreground mutation with no ring event (partial delete).
+	sys.mut = 10
+	_ = d.Tick()
+	if sys.scans != 3 {
+		t.Fatalf("scans after mutations = %d, want 3", sys.scans)
+	}
+	// Mutation count unchanged: quiescent again.
+	_ = d.Tick()
+	if sys.scans != 3 {
+		t.Fatalf("scans after steady mutation count = %d, want 3", sys.scans)
+	}
+}
+
+func TestDaemonWindowedP99Pacing(t *testing.T) {
+	hist := &obs.Histogram{}
+	sys := &fakeSystem{occ: sparseOcc(), hist: hist}
+	cfg := Config{Manual: true, P99Limit: 10 * time.Millisecond}
+	d := New(sys, cfg, NewVirtualClock(time.Time{}), nil)
+
+	// Window 1: fast gets. The daemon runs.
+	for i := 0; i < 100; i++ {
+		hist.Record(100 * time.Microsecond)
+	}
+	sys.results = []RunResult{{Stopped: false, UnitsRun: 1, MaxUnits: 4}}
+	_ = d.Tick()
+	if len(sys.incs) != 1 {
+		t.Fatalf("fast window: increments = %d, want 1", len(sys.incs))
+	}
+
+	// Window 2: a latency spike. The cumulative histogram still holds
+	// the fast samples; only the windowed delta must see the spike.
+	for i := 0; i < 100; i++ {
+		hist.Record(50 * time.Millisecond)
+	}
+	_ = d.Tick()
+	if len(sys.incs) != 1 {
+		t.Fatal("spike window: daemon must pace, not run")
+	}
+	if d.Metrics().Get(metrics.DaemonBackoffs) != 1 {
+		t.Fatalf("backoff counter = %d, want 1", d.Metrics().Get(metrics.DaemonBackoffs))
+	}
+}
+
+func TestDaemonForgoPacing(t *testing.T) {
+	sys := &fakeSystem{occ: sparseOcc(), forgo: 100}
+	d := New(sys, Config{Manual: true, ForgoLimit: 5}, NewVirtualClock(time.Time{}), nil)
+	// First tick's forgo delta is 100-0: paced.
+	_ = d.Tick()
+	if len(sys.incs) != 0 {
+		t.Fatal("forgo spike: daemon must pace")
+	}
+}
+
+func TestDaemonFaultPoints(t *testing.T) {
+	inj := fault.New(1)
+	sys := &fakeSystem{occ: sparseOcc()}
+	d := New(sys, Config{Manual: true}, NewVirtualClock(time.Time{}), inj)
+
+	inj.Arm(fault.DaemonTick, fault.Schedule{Kind: fault.KindError, OnHit: 1})
+	if err := d.Tick(); err == nil {
+		t.Fatal("armed daemon.tick must fail the tick")
+	}
+	if d.Metrics().Get(metrics.DaemonErrors) != 1 {
+		t.Fatalf("error counter = %d, want 1", d.Metrics().Get(metrics.DaemonErrors))
+	}
+
+	inj.Reset()
+	inj.Arm(fault.DaemonUnitStart, fault.Schedule{Kind: fault.KindError, OnHit: 1})
+	if err := d.Tick(); err == nil {
+		t.Fatal("armed daemon.unit.start must fail the increment")
+	}
+	if len(sys.incs) != 0 {
+		t.Fatal("failed unit.start must suppress the increment")
+	}
+	// Disarmed: the next tick runs normally.
+	inj.Reset()
+	if err := d.Tick(); err != nil {
+		t.Fatalf("tick after reset: %v", err)
+	}
+	if len(sys.incs) != 1 {
+		t.Fatalf("increments = %d, want 1", len(sys.incs))
+	}
+}
+
+func TestDaemonScanErrorCounted(t *testing.T) {
+	sys := &fakeSystem{occErr: errors.New("scan failed")}
+	d := New(sys, Config{Manual: true}, NewVirtualClock(time.Time{}), nil)
+	if err := d.Tick(); err == nil {
+		t.Fatal("scan error must surface")
+	}
+	if d.Metrics().Get(metrics.DaemonErrors) != 1 {
+		t.Fatal("scan error must be counted")
+	}
+}
+
+func TestDaemonShutdownDuringUnit(t *testing.T) {
+	sys := &fakeSystem{occ: sparseOcc()}
+	d := New(sys, Config{Manual: true, UnitsPerTick: 4}, NewVirtualClock(time.Time{}), nil)
+	// Stop lands mid-slice (from another goroutine, as DB.Close would):
+	// the increment's Yield hook must flip to true so the reorganizer
+	// stops at its next unit boundary, and Stop must block until the
+	// tick has drained.
+	sys.onRun = func(inc Increment) RunResult {
+		if inc.Yield() {
+			t.Error("Yield true before Stop")
+		}
+		go d.Stop()
+		for !inc.Yield() {
+			runtime.Gosched()
+		}
+		return RunResult{Stopped: true, LK: []byte("c"), UnitsRun: 1, MaxUnits: 4}
+	}
+	if err := d.Tick(); err != nil {
+		t.Fatalf("tick: %v", err)
+	}
+	d.Stop() // joins the drain started inside the slice
+	// After Stop, ticks are no-ops.
+	ticks := d.Metrics().Get(metrics.DaemonTicks)
+	if err := d.Tick(); err != nil {
+		t.Fatalf("post-stop tick: %v", err)
+	}
+	if d.Metrics().Get(metrics.DaemonTicks) != ticks {
+		t.Fatal("post-stop tick must not advance the tick counter")
+	}
+	// Stopped with units to spare reads as "range done": no resume key
+	// leaks into a future restart.
+	if d.Policy().Active() {
+		t.Fatal("yield-stop must deactivate the range")
+	}
+}
+
+func TestDaemonVirtualClockLoop(t *testing.T) {
+	clk := NewVirtualClock(time.Time{})
+	done := make(chan TickInfo, 16)
+	sys := &fakeSystem{occ: sparseOcc(),
+		results: []RunResult{
+			{Stopped: true, LK: []byte("h"), UnitsRun: 2, MaxUnits: 2},
+			{Stopped: false, UnitsRun: 1, MaxUnits: 2},
+		}}
+	cfg := Config{Interval: time.Second, UnitsPerTick: 2,
+		OnTick: func(ti TickInfo) { done <- ti }}
+	d := New(sys, cfg, clk, nil)
+	d.Start()
+	defer d.Stop()
+
+	// Drive two ticks entirely on virtual time: wait for the loop to
+	// park on After, advance past the deadline, collect the tick.
+	for i := 0; i < 2; i++ {
+		for clk.Waiters() == 0 {
+			runtime.Gosched()
+		}
+		clk.Advance(time.Second)
+		select {
+		case ti := <-done:
+			if !ti.Decision.Run {
+				t.Fatalf("tick %d: %+v, want a run", i+1, ti.Decision)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("virtual tick never fired")
+		}
+	}
+	if len(sys.incs) != 2 {
+		t.Fatalf("increments = %d, want 2", len(sys.incs))
+	}
+	if got := string(sys.incs[1].StartKey); got != "h" {
+		t.Fatalf("loop tick 2 resumed from %q, want h", got)
+	}
+	d.Stop()
+	// Stop drained the loop: further virtual time is inert.
+	clk.Advance(10 * time.Second)
+	select {
+	case ti := <-done:
+		t.Fatalf("tick after Stop: %+v", ti)
+	default:
+	}
+}

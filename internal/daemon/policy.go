@@ -1,0 +1,368 @@
+package daemon
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config tunes the autonomous reorganization daemon.
+type Config struct {
+	// Interval is the tick period of the background loop (default
+	// 100ms; ignored in manual mode, where the harness calls Tick).
+	Interval time.Duration
+	// TargetFill is f2, the fill the reorganizer compacts to (default
+	// 0.9; must match the reorganizer's own TargetFill).
+	TargetFill float64
+	// Slack is the tolerated density drift before reorganization must
+	// run, in the spirit of the Bender et al. fragmentation bound for
+	// B-trees under batched insertions (PAPERS.md): a region may decay
+	// to TargetFill/(1+Slack) before it is considered sparse. Default
+	// 0.5, so the default trigger floor is 0.9/1.5 = 0.6.
+	Slack float64
+	// FloorFill overrides the derived trigger floor (0 = derive from
+	// TargetFill and Slack). A key range whose average leaf fill drops
+	// below the floor triggers an incremental reorganization.
+	FloorFill float64
+	// ResumeFill is the hysteresis high-water mark: once triggered, the
+	// daemon keeps reorganizing the chosen range until its fill climbs
+	// to ResumeFill (or the range is exhausted), and a range above the
+	// floor but below ResumeFill does NOT re-trigger. Default is the
+	// midpoint of FloorFill and TargetFill (0.75 with the defaults).
+	ResumeFill float64
+	// Ranges is how many key-range occupancy buckets each scan gathers
+	// (default 16).
+	Ranges int
+	// UnitsPerTick bounds how many reorganization units one tick may
+	// execute — the increment size (default 4).
+	UnitsPerTick int
+	// MinLeaves is the smallest range (in leaves) worth triggering on
+	// (default 4; tiny trees are never worth background work).
+	MinLeaves int
+	// P99Limit paces against foreground latency: when the windowed
+	// foreground get p99 of the last tick exceeds it, the daemon backs
+	// off exponentially instead of running. 0 disables latency pacing
+	// (the deterministic harnesses rely on that).
+	P99Limit time.Duration
+	// ForgoLimit paces against reader forgoes: more than this many
+	// forgo events in one tick window backs off. 0 disables.
+	ForgoLimit int64
+	// BackoffMax caps the exponential backoff at 2^BackoffMax skipped
+	// ticks (default 6, i.e. at most 64 ticks of silence).
+	BackoffMax int
+	// FragMinFree enables the free-map fragmentation trigger: when at
+	// least this many pages are free but the largest free run covers
+	// less than a quarter of them — allocation would seek all over the
+	// file — a whole-tree compaction is triggered even if no single
+	// range is below the floor (still subject to the ResumeFill
+	// hysteresis). 0 selects the default (32); negative disables.
+	FragMinFree int
+	// Manual, when set, suppresses the background goroutine: Open wires
+	// the daemon but the caller drives every Tick. This is the
+	// simulation-test and crash-sweep mode.
+	Manual bool
+	// OnTick, when set, is called at the end of every tick with what
+	// the tick observed and decided. Test seam; must not block.
+	OnTick func(TickInfo)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.TargetFill <= 0 || c.TargetFill > 1 {
+		c.TargetFill = 0.9
+	}
+	if c.Slack <= 0 {
+		c.Slack = 0.5
+	}
+	if c.FloorFill <= 0 {
+		c.FloorFill = c.TargetFill / (1 + c.Slack)
+	}
+	if c.ResumeFill <= 0 {
+		c.ResumeFill = c.FloorFill + (c.TargetFill-c.FloorFill)/2
+	}
+	if c.Ranges <= 0 {
+		c.Ranges = 16
+	}
+	if c.UnitsPerTick <= 0 {
+		c.UnitsPerTick = 4
+	}
+	if c.MinLeaves <= 0 {
+		c.MinLeaves = 4
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 6
+	}
+	if c.FragMinFree == 0 {
+		c.FragMinFree = 32
+	}
+	return c
+}
+
+// DefaultConfig returns the default daemon policy.
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+// Inputs is everything one policy decision may depend on. All fields
+// are plain data, so a decision is a pure function of its inputs plus
+// the policy's explicit state — replayable from a trace.
+type Inputs struct {
+	// Tick is the daemon's tick counter (monotone from 1).
+	Tick uint64
+	// Occ is the occupancy scan, or nil when the tick skipped the scan
+	// because nothing structural happened since the last one.
+	Occ *obs.Occupancy
+	// P99 is the windowed foreground get p99 of the last tick interval
+	// (zero when latency observation is off).
+	P99 time.Duration
+	// ForgoDelta counts reader forgoes during the last tick interval.
+	ForgoDelta int64
+	// Activity counts structural events (leaf splits/frees, evictions,
+	// reorg units) plus foreground mutations since the last tick.
+	Activity uint64
+}
+
+// Decision is what one tick does.
+type Decision struct {
+	// Run orders one incremental reorganization slice.
+	Run bool
+	// StartKey/EndKey/MaxUnits parameterize the slice (see
+	// core.Config); nil keys mean the tree edges.
+	StartKey []byte
+	EndKey   []byte
+	MaxUnits int
+	// Reason names the branch the policy took (Reason* constants).
+	Reason string
+}
+
+// Decision reasons.
+const (
+	ReasonPaced      = "paced"      // pacing limit exceeded: backing off
+	ReasonBackoff    = "backoff"    // sitting out a previous pacing event
+	ReasonQuiescent  = "quiescent"  // no activity since last scan: skipped
+	ReasonDense      = "dense"      // scanned; nothing below the floor
+	ReasonTrigger    = "trigger"    // sparse range found: starting
+	ReasonFragmented = "fragmented" // free-map fragmentation trigger
+	ReasonContinue   = "continue"   // continuing the active range
+	ReasonHysteresis = "hysteresis" // active range climbed past ResumeFill
+)
+
+// RunResult is the outcome of one incremental slice, fed back via
+// Observe.
+type RunResult struct {
+	// Stopped is core.Reorganizer.Stopped: the slice ended at a clean
+	// unit boundary rather than the tree's right edge.
+	Stopped bool
+	// LK is the largest key of the last finished unit (resume point).
+	LK []byte
+	// UnitsRun and MaxUnits distinguish a spent budget (UnitsRun ==
+	// MaxUnits: resume next tick) from an exhausted range (Stopped with
+	// units to spare: the EndKey was reached).
+	UnitsRun int
+	MaxUnits int
+}
+
+// gauge is the (fill, leaves) fingerprint of a key range in one scan —
+// the barren-range memory compares fingerprints across scans.
+type gauge struct {
+	fill   float64
+	leaves int
+}
+
+// Policy is the pure decision core: Decide maps Inputs to a Decision
+// using only explicit state, Observe feeds a slice's outcome back. It
+// is not safe for concurrent use; the daemon serializes ticks.
+type Policy struct {
+	cfg Config
+
+	// Pacing state: consecutive-pacing exponent and the tick until
+	// which the daemon sits out.
+	backoff   int
+	skipUntil uint64
+
+	// Active range state.
+	active      bool
+	activeLo    []byte // the triggering range's low edge (nil = tree edge)
+	activeHi    []byte // its high edge (nil = tree edge)
+	resume      []byte // next slice's StartKey (nil = activeLo)
+	activeGauge gauge  // the active range's fingerprint in the latest scan
+
+	// Barren ranges: a range whose increment ran zero units is sparse
+	// but uncompactable (e.g. two half-full leaves that together would
+	// overflow the fill target). Re-triggering it would spin forever,
+	// so its scan fingerprint is remembered and the range is skipped
+	// until the fingerprint changes — any mutation in the range changes
+	// fill or leaf count and lifts the suppression.
+	barren map[string]gauge
+}
+
+// fragKey marks the whole-tree fragmentation trigger in the barren map.
+const fragKey = "\x00frag"
+
+// NewPolicy returns a policy for cfg (defaults applied).
+func NewPolicy(cfg Config) *Policy {
+	return &Policy{cfg: cfg.withDefaults(), barren: make(map[string]gauge)}
+}
+
+// Active reports whether a triggered range is still being worked.
+func (p *Policy) Active() bool { return p.active }
+
+// Config returns the policy's effective (default-applied) config.
+func (p *Policy) Config() Config { return p.cfg }
+
+// Decide is one policy step.
+func (p *Policy) Decide(in Inputs) Decision {
+	// Pacing first: foreground pain always wins, even mid-range.
+	if (p.cfg.P99Limit > 0 && in.P99 > p.cfg.P99Limit) ||
+		(p.cfg.ForgoLimit > 0 && in.ForgoDelta > p.cfg.ForgoLimit) {
+		if p.backoff < p.cfg.BackoffMax {
+			p.backoff++
+		}
+		p.skipUntil = in.Tick + 1<<p.backoff
+		return Decision{Reason: ReasonPaced}
+	}
+	if in.Tick < p.skipUntil {
+		return Decision{Reason: ReasonBackoff}
+	}
+	p.backoff = 0
+
+	if in.Occ == nil {
+		return Decision{Reason: ReasonQuiescent}
+	}
+
+	if p.active {
+		// Hysteresis high-water: stop once the active range has climbed
+		// to ResumeFill, not merely past the floor.
+		if fillOver(in.Occ, p.activeLo, p.activeHi) >= p.cfg.ResumeFill {
+			p.deactivate()
+			return Decision{Reason: ReasonHysteresis}
+		}
+		start := p.resume
+		if start == nil {
+			start = p.activeLo
+		}
+		// Refresh the fingerprint from this scan: if the coming slice
+		// runs zero units, Observe stamps the barren map with exactly
+		// what the next (unchanged) scan will show.
+		p.activeGauge = gaugeOver(in.Occ, p.activeLo, p.activeHi)
+		return Decision{Run: true, StartKey: start, EndKey: p.activeHi,
+			MaxUnits: p.cfg.UnitsPerTick, Reason: ReasonContinue}
+	}
+
+	// Score the scanned ranges against the floor: the sparsest weighted
+	// shortfall wins. Ranges whose fingerprint is remembered as barren
+	// are skipped — sparse but uncompactable, nothing has changed.
+	bestScore := 0.0
+	best := -1
+	for i, r := range in.Occ.Ranges {
+		if r.Leaves < p.cfg.MinLeaves || r.AvgFill >= p.cfg.FloorFill {
+			continue
+		}
+		if g, ok := p.barren[r.LoKey+"\x00"+r.HiKey]; ok &&
+			g.fill == r.AvgFill && g.leaves == r.Leaves {
+			continue
+		}
+		score := (p.cfg.FloorFill - r.AvgFill) * float64(r.Leaves)
+		if score > bestScore {
+			bestScore, best = score, i
+		}
+	}
+	if best >= 0 {
+		r := in.Occ.Ranges[best]
+		p.active = true
+		p.activeLo = keyOrNil(r.LoKey)
+		p.activeHi = keyOrNil(r.HiKey)
+		p.resume = nil
+		p.activeGauge = gauge{fill: r.AvgFill, leaves: r.Leaves}
+		return Decision{Run: true, StartKey: p.activeLo, EndKey: p.activeHi,
+			MaxUnits: p.cfg.UnitsPerTick, Reason: ReasonTrigger}
+	}
+
+	// Fragmentation trigger: plenty of free pages but no usable run.
+	// Only worth it while the tree is sparse enough that compaction
+	// will actually return pages (the ResumeFill hysteresis guard —
+	// otherwise a dense tree with scattered free pages would spin).
+	fs := in.Occ.Free
+	if p.cfg.FragMinFree > 0 && fs.Free >= p.cfg.FragMinFree &&
+		fs.LargestFreeRun*4 < fs.Free &&
+		fillOver(in.Occ, nil, nil) < p.cfg.ResumeFill {
+		whole := gaugeOver(in.Occ, nil, nil)
+		if g, ok := p.barren[fragKey]; !ok || g != whole {
+			p.active = true
+			p.activeLo, p.activeHi, p.resume = nil, nil, nil
+			p.activeGauge = whole
+			return Decision{Run: true, MaxUnits: p.cfg.UnitsPerTick,
+				Reason: ReasonFragmented}
+		}
+	}
+	return Decision{Reason: ReasonDense}
+}
+
+// Observe feeds one slice's outcome back into the range state.
+func (p *Policy) Observe(res RunResult) {
+	if p.active && res.UnitsRun == 0 {
+		// The slice found nothing to do: the range (or, for the
+		// fragmentation trigger, the whole tree) is uncompactable at
+		// its current fingerprint. Remember that so the trigger does
+		// not spin; the memory self-invalidates when the fingerprint
+		// changes.
+		if len(p.barren) > 64 {
+			p.barren = make(map[string]gauge)
+		}
+		key := fragKey
+		if p.activeLo != nil || p.activeHi != nil {
+			key = string(p.activeLo) + "\x00" + string(p.activeHi)
+		}
+		p.barren[key] = p.activeGauge
+	}
+	if !res.Stopped || res.UnitsRun < res.MaxUnits {
+		// Walked off the tree edge, reached the range's EndKey with
+		// budget to spare, or yielded for shutdown: the range is done
+		// (or moot).
+		p.deactivate()
+		return
+	}
+	// Budget spent mid-range: resume from LK next tick.
+	if res.LK != nil {
+		p.resume = res.LK
+	}
+}
+
+func (p *Policy) deactivate() {
+	p.active = false
+	p.activeLo, p.activeHi, p.resume = nil, nil, nil
+}
+
+// gaugeOver aggregates the scanned ranges overlapping [lo, hi] (nil =
+// unbounded) into one fingerprint. Empty scans count as fully dense —
+// nothing to do.
+func gaugeOver(occ *obs.Occupancy, lo, hi []byte) gauge {
+	var fill float64
+	leaves := 0
+	for _, r := range occ.Ranges {
+		if hi != nil && r.LoKey != "" && r.LoKey > string(hi) {
+			continue
+		}
+		if lo != nil && r.HiKey != "" && r.HiKey < string(lo) {
+			continue
+		}
+		fill += r.AvgFill * float64(r.Leaves)
+		leaves += r.Leaves
+	}
+	if leaves == 0 {
+		return gauge{fill: 1}
+	}
+	return gauge{fill: fill / float64(leaves), leaves: leaves}
+}
+
+// fillOver is gaugeOver's fill component.
+func fillOver(occ *obs.Occupancy, lo, hi []byte) float64 {
+	return gaugeOver(occ, lo, hi).fill
+}
+
+func keyOrNil(s string) []byte {
+	if s == "" {
+		return nil
+	}
+	return []byte(s)
+}

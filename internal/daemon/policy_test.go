@@ -1,0 +1,266 @@
+package daemon
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// occ builds a synthetic occupancy scan from (lo, hi, leaves, fill)
+// quadruples — the policy tests never touch a real tree.
+func occ(ranges ...rangeSpec) *obs.Occupancy {
+	o := &obs.Occupancy{}
+	for _, r := range ranges {
+		o.Ranges = append(o.Ranges, obs.RangeGauge{
+			LoKey: r.lo, HiKey: r.hi, Leaves: r.leaves, AvgFill: r.fill,
+		})
+	}
+	return o
+}
+
+type rangeSpec struct {
+	lo, hi string
+	leaves int
+	fill   float64
+}
+
+func TestPolicyDerivedThresholds(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.FloorFill != 0.6 {
+		t.Fatalf("default floor = %v, want 0.9/1.5 = 0.6", cfg.FloorFill)
+	}
+	if cfg.ResumeFill != 0.75 {
+		t.Fatalf("default resume = %v, want 0.75", cfg.ResumeFill)
+	}
+	custom := Config{TargetFill: 0.8, Slack: 1.0}.withDefaults()
+	if custom.FloorFill != 0.4 {
+		t.Fatalf("floor = %v, want 0.8/2 = 0.4", custom.FloorFill)
+	}
+}
+
+func TestPolicyTriggerPicksSparsestWeightedRange(t *testing.T) {
+	p := NewPolicy(Config{})
+	// b is sparser per leaf but tiny; c has the larger weighted
+	// shortfall (0.25*40=10 vs 0.3*5=1.5) and must win.
+	in := Inputs{Tick: 1, Occ: occ(
+		rangeSpec{"a", "b", 50, 0.9},
+		rangeSpec{"b", "c", 5, 0.3},
+		rangeSpec{"c", "d", 40, 0.35},
+	)}
+	dec := p.Decide(in)
+	if !dec.Run || dec.Reason != ReasonTrigger {
+		t.Fatalf("decision = %+v, want trigger", dec)
+	}
+	if string(dec.StartKey) != "c" || string(dec.EndKey) != "d" {
+		t.Fatalf("range = [%q, %q), want [c, d)", dec.StartKey, dec.EndKey)
+	}
+	if dec.MaxUnits != p.Config().UnitsPerTick {
+		t.Fatalf("budget = %d, want %d", dec.MaxUnits, p.Config().UnitsPerTick)
+	}
+	if !p.Active() {
+		t.Fatal("policy should hold the triggered range active")
+	}
+}
+
+func TestPolicyMinLeavesSuppressesTinyRanges(t *testing.T) {
+	p := NewPolicy(Config{MinLeaves: 8})
+	dec := p.Decide(Inputs{Tick: 1, Occ: occ(rangeSpec{"a", "z", 7, 0.1})})
+	if dec.Run || dec.Reason != ReasonDense {
+		t.Fatalf("decision = %+v, want dense (range below MinLeaves)", dec)
+	}
+}
+
+func TestPolicyBudgetResumeAndHysteresis(t *testing.T) {
+	p := NewPolicy(Config{UnitsPerTick: 2})
+	sparse := occ(rangeSpec{"k0", "k9", 30, 0.4})
+	dec := p.Decide(Inputs{Tick: 1, Occ: sparse})
+	if dec.Reason != ReasonTrigger {
+		t.Fatalf("tick 1: %+v, want trigger", dec)
+	}
+
+	// Budget spent mid-range: next slice must resume from LK.
+	p.Observe(RunResult{Stopped: true, LK: []byte("k4"), UnitsRun: 2, MaxUnits: 2})
+	dec = p.Decide(Inputs{Tick: 2, Occ: occ(rangeSpec{"k0", "k9", 24, 0.5})})
+	if dec.Reason != ReasonContinue || string(dec.StartKey) != "k4" {
+		t.Fatalf("tick 2: %+v, want continue from k4", dec)
+	}
+	if string(dec.EndKey) != "k9" {
+		t.Fatalf("tick 2 EndKey = %q, want the active range's hi edge", dec.EndKey)
+	}
+
+	// Range climbed past ResumeFill (0.75 default): hysteresis stop.
+	p.Observe(RunResult{Stopped: true, LK: []byte("k7"), UnitsRun: 2, MaxUnits: 2})
+	dec = p.Decide(Inputs{Tick: 3, Occ: occ(rangeSpec{"k0", "k9", 14, 0.8})})
+	if dec.Run || dec.Reason != ReasonHysteresis {
+		t.Fatalf("tick 3: %+v, want hysteresis stop", dec)
+	}
+	if p.Active() {
+		t.Fatal("range should be deactivated after hysteresis stop")
+	}
+
+	// Between floor and resume: no re-trigger (that IS the hysteresis).
+	dec = p.Decide(Inputs{Tick: 4, Occ: occ(rangeSpec{"k0", "k9", 14, 0.65})})
+	if dec.Run || dec.Reason != ReasonDense {
+		t.Fatalf("tick 4: %+v, want dense (0.65 is above the 0.6 floor)", dec)
+	}
+}
+
+func TestPolicyRangeDoneDeactivates(t *testing.T) {
+	p := NewPolicy(Config{UnitsPerTick: 4})
+	p.Decide(Inputs{Tick: 1, Occ: occ(rangeSpec{"a", "m", 20, 0.3})})
+	if !p.Active() {
+		t.Fatal("expected active range")
+	}
+	// EndKey reached with budget to spare: the range is exhausted even
+	// though its gauge still reads sparse (stale scan).
+	p.Observe(RunResult{Stopped: true, LK: []byte("l"), UnitsRun: 1, MaxUnits: 4})
+	if p.Active() {
+		t.Fatal("range should deactivate when Stopped with units to spare")
+	}
+	// Walked off the tree edge: same.
+	p.Decide(Inputs{Tick: 2, Occ: occ(rangeSpec{"a", "m", 20, 0.3})})
+	p.Observe(RunResult{Stopped: false, UnitsRun: 3, MaxUnits: 4})
+	if p.Active() {
+		t.Fatal("range should deactivate at the tree edge")
+	}
+}
+
+func TestPolicyPacingBackoffEscalatesAndCaps(t *testing.T) {
+	p := NewPolicy(Config{P99Limit: time.Millisecond, BackoffMax: 3})
+	sparse := occ(rangeSpec{"a", "z", 30, 0.3})
+
+	// A spike at tick t sets skipUntil = t + 2^backoff: the next
+	// eligible tick is t + 2^backoff, so one spike silences 2^backoff-1
+	// subsequent ticks.
+	dec := p.Decide(Inputs{Tick: 1, Occ: sparse, P99: 2 * time.Millisecond})
+	if dec.Run || dec.Reason != ReasonPaced {
+		t.Fatalf("spike tick: %+v, want paced", dec)
+	}
+	if dec = p.Decide(Inputs{Tick: 2, Occ: sparse}); dec.Reason != ReasonBackoff {
+		t.Fatalf("tick 2: %+v, want backoff", dec)
+	}
+	// A second spike at the window's edge escalates: skipUntil = 3+4.
+	dec = p.Decide(Inputs{Tick: 3, Occ: sparse, P99: 2 * time.Millisecond})
+	if dec.Reason != ReasonPaced {
+		t.Fatalf("tick 3: %+v, want paced again", dec)
+	}
+	for tick := uint64(4); tick <= 6; tick++ {
+		dec = p.Decide(Inputs{Tick: tick, Occ: sparse})
+		if dec.Reason != ReasonBackoff {
+			t.Fatalf("tick %d: %+v, want backoff", tick, dec)
+		}
+	}
+	// Two more spikes hit the cap: windows of 2^3 = 8, never 16.
+	p.Decide(Inputs{Tick: 7, Occ: sparse, P99: 2 * time.Millisecond})        // backoff=3
+	dec = p.Decide(Inputs{Tick: 15, Occ: sparse, P99: 2 * time.Millisecond}) // capped
+	if dec.Reason != ReasonPaced {
+		t.Fatalf("tick 15: %+v, want paced", dec)
+	}
+	if dec = p.Decide(Inputs{Tick: 22, Occ: sparse}); dec.Reason != ReasonBackoff {
+		t.Fatalf("tick 22: %+v, want backoff (capped window is 8 ticks)", dec)
+	}
+	if dec = p.Decide(Inputs{Tick: 23, Occ: sparse}); dec.Reason != ReasonTrigger {
+		t.Fatalf("tick 23: %+v, want trigger once capped backoff expires", dec)
+	}
+
+	// A calm tick resets the exponent: the next spike is 2^1 again.
+	p2 := NewPolicy(Config{ForgoLimit: 10, BackoffMax: 3})
+	p2.Decide(Inputs{Tick: 1, Occ: sparse, ForgoDelta: 50})
+	p2.Decide(Inputs{Tick: 3, Occ: sparse, ForgoDelta: 50}) // escalates to 2^2
+	// A calm tick past the window resets the exponent (dense scan so
+	// nothing triggers as a side effect).
+	p2.Decide(Inputs{Tick: 100, Occ: occ(rangeSpec{"a", "z", 30, 0.9})})
+	dec = p2.Decide(Inputs{Tick: 101, Occ: sparse, ForgoDelta: 50})
+	if dec.Reason != ReasonPaced {
+		t.Fatalf("tick 101: %+v, want paced", dec)
+	}
+	if dec = p2.Decide(Inputs{Tick: 102, Occ: sparse}); dec.Reason != ReasonBackoff {
+		t.Fatalf("tick 102: %+v, want backoff", dec)
+	}
+	dec = p2.Decide(Inputs{Tick: 103, Occ: sparse})
+	if dec.Reason != ReasonTrigger {
+		t.Fatalf("tick 103: %+v, want trigger (backoff reset to a 2-tick window)", dec)
+	}
+}
+
+func TestPolicyPacingInterruptsActiveRange(t *testing.T) {
+	p := NewPolicy(Config{P99Limit: time.Millisecond})
+	sparse := occ(rangeSpec{"a", "z", 30, 0.3})
+	p.Decide(Inputs{Tick: 1, Occ: sparse})
+	p.Observe(RunResult{Stopped: true, LK: []byte("f"), UnitsRun: 4, MaxUnits: 4})
+
+	dec := p.Decide(Inputs{Tick: 2, Occ: sparse, P99: 5 * time.Millisecond})
+	if dec.Run || dec.Reason != ReasonPaced {
+		t.Fatalf("spike mid-range: %+v, want paced", dec)
+	}
+	// The range survives the pause and resumes from LK afterwards.
+	dec = p.Decide(Inputs{Tick: 10, Occ: sparse})
+	if dec.Reason != ReasonContinue || string(dec.StartKey) != "f" {
+		t.Fatalf("after backoff: %+v, want continue from f", dec)
+	}
+}
+
+func TestPolicyFragmentationTrigger(t *testing.T) {
+	p := NewPolicy(Config{})
+	// No range below the floor, but the free map is shattered: 100 free
+	// pages, largest run 10 (<100/4), overall fill under ResumeFill.
+	o := occ(rangeSpec{"a", "z", 30, 0.7})
+	o.Free = obs.FreeSpace{Free: 100, FreeRuns: 40, LargestFreeRun: 10}
+	dec := p.Decide(Inputs{Tick: 1, Occ: o})
+	if !dec.Run || dec.Reason != ReasonFragmented {
+		t.Fatalf("decision = %+v, want fragmented", dec)
+	}
+	if dec.StartKey != nil || dec.EndKey != nil {
+		t.Fatalf("fragmentation compaction should be whole-tree, got [%q, %q)",
+			dec.StartKey, dec.EndKey)
+	}
+
+	// Guard: a dense tree (fill >= ResumeFill) never frag-triggers, no
+	// matter how scattered the free pages are — compaction would not
+	// return them.
+	p2 := NewPolicy(Config{})
+	dense := occ(rangeSpec{"a", "z", 30, 0.9})
+	dense.Free = obs.FreeSpace{Free: 100, FreeRuns: 40, LargestFreeRun: 10}
+	dec = p2.Decide(Inputs{Tick: 1, Occ: dense})
+	if dec.Run || dec.Reason != ReasonDense {
+		t.Fatalf("dense tree: %+v, want dense", dec)
+	}
+
+	// Disabled: FragMinFree < 0.
+	p3 := NewPolicy(Config{FragMinFree: -1})
+	dec = p3.Decide(Inputs{Tick: 1, Occ: o})
+	if dec.Run {
+		t.Fatalf("frag trigger disabled but got %+v", dec)
+	}
+}
+
+func TestPolicyQuiescentAndDense(t *testing.T) {
+	p := NewPolicy(Config{})
+	if dec := p.Decide(Inputs{Tick: 1}); dec.Run || dec.Reason != ReasonQuiescent {
+		t.Fatalf("nil scan: %+v, want quiescent", dec)
+	}
+	dec := p.Decide(Inputs{Tick: 2, Occ: occ(rangeSpec{"a", "z", 30, 0.9})})
+	if dec.Run || dec.Reason != ReasonDense {
+		t.Fatalf("dense scan: %+v, want dense", dec)
+	}
+}
+
+func TestFillOverRangeOverlap(t *testing.T) {
+	o := occ(
+		rangeSpec{"a", "f", 10, 0.2},
+		rangeSpec{"f", "m", 10, 0.6},
+		rangeSpec{"m", "z", 10, 1.0},
+	)
+	if got := fillOver(o, nil, nil); got < 0.59 || got > 0.61 {
+		t.Fatalf("whole-tree fill = %v, want 0.6", got)
+	}
+	// [f, m): overlaps the middle range only.
+	if got := fillOver(o, []byte("f"), []byte("m")); got != 0.6 {
+		t.Fatalf("middle fill = %v, want 0.6", got)
+	}
+	// Empty scan reads as fully dense.
+	if got := fillOver(&obs.Occupancy{}, nil, nil); got != 1 {
+		t.Fatalf("empty scan fill = %v, want 1", got)
+	}
+}

@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	repro "repro"
+	"repro/internal/daemon"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// --- E12: steady-state occupancy under churn, daemon on vs off ---
+
+// E12Row is one settled churn wave in one cell of the backend × daemon
+// matrix. Wave 0 is the post-load quiescent baseline; each later wave
+// deletes two thirds of a rotating quarter of the original keyspace
+// and appends fresh keys at the tail — the paper's sparse regime,
+// renewed forever. Fill is the leaf-weighted average occupancy after
+// the wave settles (after the daemon drained, in the daemon=on cells);
+// the get quantiles are measured from concurrent foreground clients
+// while the daemon works, so the p99 column is the price foreground
+// reads pay for autonomous reorganization.
+type E12Row struct {
+	Backend string
+	Daemon  bool
+	Wave    int // 0 = quiescent baseline after the initial load
+	Records int
+	Leaves  int
+	Fill    float64 // leaf-weighted average occupancy
+	Units   int64   // cumulative daemon reorganization units
+	Forgoes int64   // cumulative reader forgoes
+	Gets    uint64
+	GetP50  time.Duration
+	GetP99  time.Duration
+}
+
+// E12Config tunes the steady-state cells.
+type E12Config struct {
+	Waves     int           // churn waves per cell (default 5)
+	Clients   int           // foreground get clients (default 4)
+	Ops       int           // gets per client per wave (default 1500)
+	TickEvery time.Duration // gap between drain ticks (default 500µs)
+	Backend   string        // "mem", "file", or "" for both
+	Dir       string        // file backend: parent dir ("" = temp)
+}
+
+// E12DaemonSteadyState runs the churn experiment over every requested
+// cell. The daemon runs in manual mode and is drained to quiescence
+// after each wave's mutations — deterministic policy decisions, no
+// wall-clock in the loop — while the foreground get clients overlap
+// the drain, so their histogram samples gets racing live increments.
+func E12DaemonSteadyState(p Params, cfg E12Config) ([]E12Row, error) {
+	if cfg.Waves <= 0 {
+		cfg.Waves = 5
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 1500
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 500 * time.Microsecond
+	}
+	backends := []string{"mem", "file"}
+	if cfg.Backend != "" {
+		backends = []string{cfg.Backend}
+	}
+	var rows []E12Row
+	for _, backend := range backends {
+		for _, daemonOn := range []bool{false, true} {
+			cellRows, err := e12Cell(p, cfg, backend, daemonOn)
+			if err != nil {
+				return nil, fmt.Errorf("e12 [%s daemon=%v]: %w", backend, daemonOn, err)
+			}
+			rows = append(rows, cellRows...)
+		}
+	}
+	return rows, nil
+}
+
+func e12Cell(p Params, cfg E12Config, backend string, daemonOn bool) ([]E12Row, error) {
+	opts := repro.Options{PageSize: p.PageSize}
+	if backend == "file" {
+		tmp, err := os.MkdirTemp(cfg.Dir, "reorg-e12-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		opts.Dir = tmp
+	}
+	var lastReason atomic.Value
+	if daemonOn {
+		dcfg := daemon.DefaultConfig()
+		dcfg.Manual = true // harness-driven ticks: settle points are explicit
+		dcfg.Ranges = 8
+		dcfg.UnitsPerTick = 8
+		dcfg.MinLeaves = 2
+		// The real pacing loop: a windowed foreground get p99 past the
+		// limit makes the policy back off exponentially. The limit is an
+		// absolute guard well above healthy windows on either backend,
+		// so it trips only on genuine contention stalls.
+		dcfg.P99Limit = 2 * time.Millisecond
+		dcfg.OnTick = func(info daemon.TickInfo) {
+			lastReason.Store(info.Decision.Reason)
+		}
+		opts.Daemon = &dcfg
+	}
+	db, err := repro.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	n := p.Records
+	if err := workload.Load(db, n, p.ValueSize, "random", p.Seed); err != nil {
+		return nil, err
+	}
+	tail := n + 2_000_000 // fresh-key counter, clear of client insert keys
+
+	snapshot := func(wave int, gets uint64, p50, p99 time.Duration) (E12Row, error) {
+		occ, err := db.Occupancy(64)
+		if err != nil {
+			return E12Row{}, err
+		}
+		row := E12Row{Backend: backend, Daemon: daemonOn, Wave: wave,
+			Forgoes: db.LockStats().Forgoes.Load(),
+			Gets:    gets, GetP50: p50, GetP99: p99}
+		var weighted float64
+		for _, r := range occ.Ranges {
+			row.Leaves += r.Leaves
+			row.Records += r.Records
+			weighted += r.AvgFill * float64(r.Leaves)
+		}
+		if row.Leaves > 0 {
+			row.Fill = weighted / float64(row.Leaves)
+		}
+		if d := db.Daemon(); d != nil {
+			row.Units = d.Metrics().Get(metrics.DaemonUnits)
+		}
+		return row, nil
+	}
+
+	// measure runs the foreground get clients for a fixed op budget
+	// while settle (the daemon drain; nil when the daemon is off) runs
+	// concurrently, and returns the gets' histogram quantiles.
+	measure := func(settle func() error) (uint64, time.Duration, time.Duration, error) {
+		meas := obs.NewSet(1)
+		stop := make(chan struct{})
+		defer close(stop)
+		var wg sync.WaitGroup
+		var stats workload.ClientStats
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats = workload.RunClientsOpts(db, workload.ClientOpts{
+				Clients: cfg.Clients, OpsPerClient: cfg.Ops,
+				Mix:      workload.Mix{GetPct: 100},
+				KeySpace: n, ValueSize: p.ValueSize, Obs: meas}, stop)
+		}()
+		var settleErr error
+		if settle != nil {
+			settleErr = settle()
+		}
+		wg.Wait()
+		if settleErr != nil {
+			return 0, 0, 0, settleErr
+		}
+		if stats.Errors > 0 {
+			return 0, 0, 0, fmt.Errorf("%d client errors (last: %w)", stats.Errors, stats.LastError)
+		}
+		for _, q := range meas.Quantiles() {
+			if q.Op == obs.OpGet.String() {
+				return q.Count, q.P50, q.P99, nil
+			}
+		}
+		return 0, 0, 0, fmt.Errorf("no get samples recorded")
+	}
+
+	// drain ticks the daemon at TickEvery intervals — foreground work
+	// proceeds between ticks, as under the production interval, just
+	// compressed — until three consecutive ticks neither ran an
+	// increment nor touched pacing. A paced or backoff-window tick is
+	// not idleness: the backlog is still there, the policy is just
+	// yielding to foreground pain.
+	drain := func() error {
+		idle := 0
+		for ticks := 0; idle < 3; ticks++ {
+			if ticks > 600 {
+				return fmt.Errorf("daemon never went idle within %d ticks", ticks)
+			}
+			d := db.Daemon()
+			incs := d.Metrics().Get(metrics.DaemonIncrements)
+			if err := d.Tick(); err != nil {
+				return err
+			}
+			reason, _ := lastReason.Load().(string)
+			pacing := reason == daemon.ReasonPaced || reason == daemon.ReasonBackoff
+			if d.Metrics().Get(metrics.DaemonIncrements) == incs && !pacing {
+				idle++
+			} else {
+				idle = 0
+			}
+			time.Sleep(cfg.TickEvery)
+		}
+		return nil
+	}
+
+	// Wave 0: quiescent baseline — the p99 every later wave is judged
+	// against. The daemon=on cell drains first so its baseline tree is
+	// the policy's steady state, not the raw load.
+	if daemonOn {
+		if err := drain(); err != nil {
+			return nil, err
+		}
+	}
+	gets, p50, p99, err := measure(nil)
+	if err != nil {
+		return nil, err
+	}
+	row, err := snapshot(0, gets, p50, p99)
+	if err != nil {
+		return nil, err
+	}
+	rows := []E12Row{row}
+
+	for wave := 1; wave <= cfg.Waves; wave++ {
+		// Delete-heavy churn over a rotating quarter region: refill it
+		// dense, then bulk-delete two thirds. Every visit renews the
+		// sparsity a real churn cycle leaves behind — and since plain
+		// deletes never merge leaves, without the daemon the region's
+		// occupancy stays collapsed.
+		region := (wave - 1) % 4
+		lo, hi := region*n/4, (region+1)*n/4
+		for i := lo; i < hi; i++ {
+			if err := e12Put(db, workload.Key(i), workload.Value(i, p.ValueSize)); err != nil {
+				return nil, fmt.Errorf("wave %d refill %d: %w", wave, i, err)
+			}
+		}
+		for i := lo; i < hi; i++ {
+			if i%3 == 0 {
+				continue
+			}
+			err := db.Delete(workload.Key(i))
+			if err != nil && !errors.Is(err, repro.ErrNotFound) {
+				return nil, fmt.Errorf("wave %d delete %d: %w", wave, i, err)
+			}
+		}
+		// Fresh inserts at the tail keep the tree growing while the old
+		// regions hollow out. The block is inserted in stride-permuted
+		// order so its leaves land near the random-load fill instead of
+		// the half-full leaves pure-ascending splits leave behind.
+		m := n / 8
+		step := 7
+		for step%m == 0 || gcdE12(step, m) != 1 {
+			step++
+		}
+		for j := 0; j < m; j++ {
+			k := tail + j*step%m
+			if err := db.Insert(workload.Key(k), workload.Value(k, p.ValueSize)); err != nil {
+				return nil, fmt.Errorf("wave %d insert %d: %w", wave, k, err)
+			}
+		}
+		tail += m
+
+		settle := func() error { return nil }
+		if daemonOn {
+			settle = drain
+		}
+		gets, p50, p99, err := measure(settle)
+		if err != nil {
+			return nil, fmt.Errorf("wave %d: %w", wave, err)
+		}
+		row, err := snapshot(wave, gets, p50, p99)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	if err := db.Check(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func gcdE12(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// e12Put upserts: Insert, falling back to Update when the key exists.
+func e12Put(db *repro.DB, key, val []byte) error {
+	err := db.Insert(key, val)
+	if errors.Is(err, repro.ErrExists) {
+		return db.Update(key, val)
+	}
+	return err
+}
+
+// E12Table renders the occupancy-trajectory matrix.
+func E12Table(rows []E12Row) *Table {
+	t := &Table{Title: "E12: steady-state occupancy under delete-heavy churn (autonomous daemon on/off)",
+		Header: []string{"backend", "daemon", "wave", "records", "leaves", "fill", "units", "forgoes", "gets", "get p50", "get p99"}}
+	for _, r := range rows {
+		on := "off"
+		if r.Daemon {
+			on = "on"
+		}
+		t.Rows = append(t.Rows, []string{r.Backend, on, di(r.Wave),
+			di(r.Records), di(r.Leaves), f2(r.Fill), d(r.Units),
+			d(r.Forgoes), d(int64(r.Gets)), us(r.GetP50), us(r.GetP99)})
+	}
+	return t
+}

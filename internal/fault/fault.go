@@ -38,6 +38,12 @@ const (
 	WALForce   = "wal.force"
 	PagerFlush = "pager.flush"
 	PagerEvict = "pager.evict"
+	// DaemonTick fires at the top of every reorganization-daemon policy
+	// tick; DaemonUnitStart fires just before the daemon hands an
+	// increment to the reorganizer. Together they let the crash sweep
+	// treat daemon-initiated units like manual ones.
+	DaemonTick      = "daemon.tick"
+	DaemonUnitStart = "daemon.unit.start"
 )
 
 // ErrInjected marks a transient injected I/O error. The storage layer

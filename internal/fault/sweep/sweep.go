@@ -27,6 +27,15 @@
 // record boundary after Log.Crash truncation); torn data pages would
 // need full-page writes to recover, which the storage layer does not
 // implement (documented in DESIGN.md).
+//
+// With Config.Daemon set, the sweep runs a second workload shape: the
+// explicit reorganization passes are replaced by harness-driven ticks
+// of the autonomous daemon (manual mode) drained to quiescence between
+// update waves. The hit trace then includes daemon.tick and
+// daemon.unit.start plus every pass-1 unit fault point reached from a
+// daemon-initiated slice, and a crash is armed at each — so recovery
+// is verified when the reorganization in flight was the daemon's
+// decision, not a test's.
 package sweep
 
 import (
@@ -36,7 +45,9 @@ import (
 	"sort"
 
 	"repro"
+	"repro/internal/daemon"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -79,6 +90,11 @@ type Config struct {
 	// threshold (0 keeps the default); small values make the sweep
 	// cross segment boundaries constantly.
 	WALSegmentBytes int64
+	// Daemon switches the workload to the autonomous-daemon shape: the
+	// explicit reorganization passes are replaced by manual daemon
+	// ticks drained to quiescence, so crash schedules land inside
+	// daemon-initiated increments and at the daemon's own fault points.
+	Daemon bool
 	// Logf receives progress output (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -157,6 +173,14 @@ func newScript(cfg Config, inj *fault.Injector) (*script, error) {
 		FaultInjector:   inj,
 		WALSegmentBytes: cfg.WALSegmentBytes,
 	}
+	if cfg.Daemon {
+		dcfg := daemon.DefaultConfig()
+		dcfg.Manual = true
+		dcfg.Ranges = 8
+		dcfg.UnitsPerTick = 4
+		dcfg.MinLeaves = 2
+		opts.Daemon = &dcfg
+	}
 	var dir string
 	if cfg.Backend == "file" {
 		var err error
@@ -227,8 +251,9 @@ func (s *script) delete(i int) error {
 }
 
 // run executes the scripted workload: load, sparsify, checkpoint, then
-// the three reorganization passes with update waves between passes and
-// OnEvent-driven updates inside pass 3.
+// either the three explicit reorganization passes with update waves
+// between them (default) or, with cfg.Daemon, daemon-tick drains in
+// place of each pass.
 func (s *script) run() error {
 	n, every := s.cfg.Records, s.cfg.KeepEvery
 
@@ -256,6 +281,85 @@ func (s *script) run() error {
 	if err := s.db.Checkpoint(); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+
+	if s.cfg.Daemon {
+		return s.runDaemon()
+	}
+	return s.runPasses()
+}
+
+// runDaemon is the autonomous-daemon workload shape: each explicit
+// pass of runPasses becomes "tick the manual daemon until the policy
+// goes idle", with the same update waves in between. The daemon runs
+// pass 1 only, so there is no OnEvent hook to ride — the waves apply
+// directly, and the drains decide for themselves how many increments
+// the tree needs.
+func (s *script) runDaemon() error {
+	n, every := s.cfg.Records, s.cfg.KeepEvery
+
+	if err := s.daemonDrain("drain1"); err != nil {
+		return err
+	}
+
+	// Update wave 1: high-key inserts re-grow the tail the sparsify
+	// hollowed out; the delete re-opens a hole for the next drain.
+	if err := s.update(0, 1); err != nil {
+		return err
+	}
+	for i := n + 11; i < n+11+n/8; i++ {
+		if err := s.insert(i, 0); err != nil {
+			return err
+		}
+	}
+	if err := s.delete(2 * every); err != nil {
+		return err
+	}
+	if err := s.db.Checkpoint(); err != nil {
+		return fmt.Errorf("mid checkpoint: %w", err)
+	}
+	if err := s.daemonDrain("drain2"); err != nil {
+		return err
+	}
+
+	// Update wave 2.
+	if err := s.update(3*every, 1); err != nil {
+		return err
+	}
+	if err := s.insert(n+3, 0); err != nil {
+		return err
+	}
+	if err := s.delete(4 * every); err != nil {
+		return err
+	}
+	return s.daemonDrain("drain3")
+}
+
+// daemonDrain ticks the manual daemon until three consecutive ticks
+// run no increment. An armed crash panics out of Tick into the
+// caller's fault.Catch like any other scripted operation.
+func (s *script) daemonDrain(name string) error {
+	idle := 0
+	for ticks := 0; idle < 3; ticks++ {
+		if ticks > 300 {
+			return fmt.Errorf("%s: daemon never went idle within %d ticks", name, ticks)
+		}
+		d := s.db.Daemon()
+		before := d.Metrics().Get(metrics.DaemonIncrements)
+		if err := d.Tick(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if d.Metrics().Get(metrics.DaemonIncrements) == before {
+			idle++
+		} else {
+			idle = 0
+		}
+	}
+	return nil
+}
+
+// runPasses is the explicit-reorganization workload shape.
+func (s *script) runPasses() error {
+	n, every := s.cfg.Records, s.cfg.KeepEvery
 
 	// Pass-3 update bursts fire from the reorganizer's event hook.
 	// pass3.base: the current base's S lock is already released when the

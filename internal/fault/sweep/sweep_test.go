@@ -87,6 +87,50 @@ func TestEnumerateDeterministic(t *testing.T) {
 	}
 }
 
+// TestCrashSweepDaemon sweeps the daemon-driven workload shape: the
+// reorganization in flight at every crash is one the autonomous policy
+// ordered, and the hit trace must include the daemon's own scheduler
+// fault points — crashes there leave the policy mid-decision, and the
+// rebuilt daemon after Restart must not matter to recovery.
+func TestCrashSweepDaemon(t *testing.T) {
+	cfg := Config{Daemon: true, Logf: t.Logf}
+	if testing.Short() {
+		cfg.Stride = 7
+	} else {
+		// The daemon shape enumerates more hits than the pass shape
+		// (occupancy scans between increments); stride keeps the full
+		// run in the same time envelope as the pass-shape sweep.
+		cfg.Stride = 3
+		cfg.Torn = true
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("daemon sweep failed: %v", err)
+	}
+	if res.CrashRuns == 0 {
+		t.Error("no crash runs performed")
+	}
+	t.Logf("daemon sweep: %d hits, %d crash runs, %d torn runs, %d forward-completed units",
+		res.TotalHits, res.CrashRuns, res.TornRuns, res.ForwardCompleted)
+
+	// The daemon shape must reach its scheduler seams and drive real
+	// pass-1 units through them.
+	want := []string{
+		fault.DaemonTick, fault.DaemonUnitStart,
+		"reorg.compact.begin", "reorg.compact.end",
+		fault.DiskRead, fault.DiskWrite, fault.WALAppend, fault.WALForce,
+	}
+	have := make(map[string]bool, len(res.Points))
+	for _, p := range res.Points {
+		have[p] = true
+	}
+	for _, p := range want {
+		if !have[p] {
+			t.Errorf("fault point %s never hit by the daemon sweep workload", p)
+		}
+	}
+}
+
 // TestCrashSweepFileBackend runs the same E5b sweep against real files:
 // every run gets a fresh directory holding a checksummed page file and
 // rotated WAL segments, crashes at its armed hit, and recovers by

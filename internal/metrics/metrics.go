@@ -124,3 +124,13 @@ const (
 	WALSegsDeleted   = "wal.segments.deleted"
 	WALSegsLive      = "wal.segments.live"
 )
+
+// Autonomous-reorganization daemon counters (internal/daemon).
+const (
+	DaemonTicks      = "daemon.ticks"
+	DaemonIncrements = "daemon.increments"
+	DaemonUnits      = "daemon.units"
+	DaemonBackoffs   = "daemon.backoffs"
+	DaemonSkips      = "daemon.skips.quiescent"
+	DaemonErrors     = "daemon.errors"
+)

@@ -111,6 +111,23 @@ func bucketBounds(b int) (lo, hi int64) {
 	return int64(1) << (b - 1), int64(1) << b
 }
 
+// Sub returns the histogram delta s minus prev: the samples recorded
+// between the two snapshots of one histogram. Counters only grow, so
+// with prev an earlier snapshot of the same histogram every per-bucket
+// difference is non-negative; stale buckets saturate at zero rather
+// than underflow. Quantiles of the delta are windowed quantiles — the
+// daemon's per-tick foreground p99 sensor.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	for b := 0; b < numBuckets; b++ {
+		if s.Counts[b] > prev.Counts[b] {
+			d.Counts[b] = s.Counts[b] - prev.Counts[b]
+			d.Total += d.Counts[b]
+		}
+	}
+	return d
+}
+
 // Quantile returns the q-th quantile (0 <= q <= 1) of the recorded
 // samples as a duration. Within the bucket holding the target rank the
 // estimate interpolates linearly, so results are exact at bucket

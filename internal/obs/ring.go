@@ -25,6 +25,8 @@ const (
 	EvRecoveryUndo              // A=loser txns rolled back
 	EvRecoveryForward           // A=unit id forward-completed (0 = none)
 	EvCheckpoint                // A=checkpoint LSN, B=1 if quiescent
+	EvLeafSplit                 // A=left leaf page id, B=right leaf page id
+	EvLeafFree                  // A=freed leaf page id
 
 	numEventTypes
 )
@@ -56,6 +58,10 @@ func (t EventType) String() string {
 		return "recovery.forward"
 	case EvCheckpoint:
 		return "checkpoint"
+	case EvLeafSplit:
+		return "leaf.split"
+	case EvLeafFree:
+		return "leaf.free"
 	default:
 		return "none"
 	}
@@ -140,6 +146,47 @@ func (r *Ring) Count(t EventType) uint64 { return r.counts[t].Load() }
 
 // Cap returns the ring capacity in events.
 func (r *Ring) Cap() int { return len(r.slots) }
+
+// Since decodes the events emitted at or after the given cursor (a
+// ticket previously returned by Since or Emitted), oldest first, and
+// returns the next cursor. Events the ring has already overwritten are
+// silently lost — the second return value always advances to the
+// current write position, so a slow reader skips ahead rather than
+// re-reading stale slots. This is the daemon's incremental delta feed:
+// each tick reads only what happened since the last one.
+func (r *Ring) Since(cursor uint64) ([]Event, uint64) {
+	end := r.pos.Load()
+	start := cursor
+	if end > uint64(len(r.slots)) && start < end-uint64(len(r.slots)) {
+		start = end - uint64(len(r.slots))
+	}
+	if start >= end {
+		return nil, end
+	}
+	out := make([]Event, 0, end-start)
+	for tk := start; tk < end; tk++ {
+		s := &r.slots[tk&r.mask]
+		if s.seq.Load() != tk+1 {
+			continue
+		}
+		ev := Event{
+			TS:   s.ts.Load(),
+			Seq:  tk,
+			Type: EventType(s.typ.Load()),
+			A:    s.a.Load(),
+			B:    s.b.Load(),
+		}
+		if s.seq.Load() != tk+1 {
+			continue // overwritten while reading: drop the torn view
+		}
+		if ev.Type >= numEventTypes {
+			continue
+		}
+		ev.Name = ev.Type.String()
+		out = append(out, ev)
+	}
+	return out, end
+}
 
 // Snapshot decodes the surviving event window, oldest first. Slots a
 // concurrent writer is mid-publishing (or has torn by lapping) fail

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRingSinceDeltaRead(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 3; i++ {
+		r.Emit(EvLeafSplit, uint64(i), 0)
+	}
+	evs, cur := r.Since(0)
+	if len(evs) != 3 {
+		t.Fatalf("first Since: %d events, want 3", len(evs))
+	}
+	if cur != 3 {
+		t.Fatalf("cursor = %d, want 3", cur)
+	}
+	// Nothing new: empty delta, cursor unchanged.
+	evs, cur2 := r.Since(cur)
+	if len(evs) != 0 || cur2 != cur {
+		t.Fatalf("idle Since: %d events, cursor %d", len(evs), cur2)
+	}
+	// New events arrive; only they are returned.
+	r.Emit(EvLeafFree, 7, 0)
+	r.Emit(EvPageEvict, 8, 1)
+	evs, cur = r.Since(cur)
+	if len(evs) != 2 {
+		t.Fatalf("delta Since: %d events, want 2", len(evs))
+	}
+	if evs[0].Type != EvLeafFree || evs[0].A != 7 {
+		t.Fatalf("delta[0] = %+v", evs[0])
+	}
+	if evs[1].Type != EvPageEvict || evs[1].A != 8 {
+		t.Fatalf("delta[1] = %+v", evs[1])
+	}
+	if cur != 5 {
+		t.Fatalf("cursor = %d, want 5", cur)
+	}
+}
+
+func TestRingSinceLappedReaderSkipsAhead(t *testing.T) {
+	r := NewRing(8)
+	_, cur := r.Since(0)
+	// Overflow the ring twice over: the reader's window is gone.
+	for i := 0; i < 3*r.Cap(); i++ {
+		r.Emit(EvLeafSplit, uint64(i), 0)
+	}
+	evs, cur := r.Since(cur)
+	if len(evs) != r.Cap() {
+		t.Fatalf("lapped Since: %d events, want the surviving window %d", len(evs), r.Cap())
+	}
+	// The survivors are the newest Cap events, in order.
+	for i, ev := range evs {
+		want := uint64(3*r.Cap() - r.Cap() + i)
+		if ev.Seq != want {
+			t.Fatalf("event %d: seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+	if cur != uint64(3*r.Cap()) {
+		t.Fatalf("cursor = %d, want %d", cur, 3*r.Cap())
+	}
+}
+
+func TestRingNewEventTypeNames(t *testing.T) {
+	if EvLeafSplit.String() != "leaf.split" {
+		t.Errorf("EvLeafSplit = %q", EvLeafSplit.String())
+	}
+	if EvLeafFree.String() != "leaf.free" {
+		t.Errorf("EvLeafFree = %q", EvLeafFree.String())
+	}
+}
+
+func TestHistSnapshotSub(t *testing.T) {
+	var h Histogram
+	h.Record(100 * time.Nanosecond)
+	h.Record(200 * time.Nanosecond)
+	before := h.Snapshot()
+	h.Record(time.Millisecond)
+	h.Record(time.Millisecond)
+	h.Record(2 * time.Millisecond)
+	delta := h.Snapshot().Sub(before)
+	if delta.Total != 3 {
+		t.Fatalf("delta total = %d, want 3", delta.Total)
+	}
+	// All delta samples are around a millisecond; the windowed p50 must
+	// be in that range even though the cumulative histogram holds the
+	// earlier nanosecond-scale samples.
+	if p50 := delta.Quantile(0.5); p50 < 512*time.Microsecond || p50 > 4*time.Millisecond {
+		t.Fatalf("windowed p50 = %v, want ~1ms", p50)
+	}
+	// Sub against itself is empty.
+	s := h.Snapshot()
+	if z := s.Sub(s); z.Total != 0 {
+		t.Fatalf("self-delta total = %d", z.Total)
+	}
+}
